@@ -1,0 +1,26 @@
+//! # ssr-baselines — every comparator in the paper's evaluation
+//!
+//! | Paper name | Here | Notes |
+//! |---|---|---|
+//! | SimRank (psum-SR, Lizorkin et al.) | [`simrank::simrank`] | matrix form Eq. (3)/(4); partial-sums-memoization cost `O(Knm)` |
+//! | SimRank (naive, Jeh & Widom Eq. 1–2) | [`simrank::simrank_naive`], [`simrank::simrank_jeh_widom`] | `O(Kd²n²)` reference + the diag-pinned iterative variant |
+//! | P-Rank (psum-PR, Zhao et al.) | [`prank::prank`] | in- and out-link recursion, weight λ |
+//! | RWR (Tong et al.) / PPR | [`rwr::rwr_matrix`], [`rwr::rwr_single`], [`rwr::ppr`] | power iteration on `(1−c)(I − cW)^{-1}` |
+//! | mtx-SR (Li et al., EDBT'10) | [`mtxsr::mtx_simrank`] | rank-`r` SVD SimRank; dense output (the paper's Fig. 6(h) memory blow-up) |
+//! | Co-citation / coupling (Small '73, Kessler '63) | [`cocitation`] | the rudimentary measures SimRank generalises |
+//! | SimRank++ / P-SimRank / MatchSim (related work) | [`variants`] | variants that still do NOT fix zero-similarity (tested) |
+//!
+//! The Figure 1 walk-through pins variants: the paper's reported
+//! `s(i, h) = .044` at `C = 0.8` is reproduced exactly by the **matrix form**
+//! (diagonal `(1−C)·I`, *not* pinned to 1), which is therefore the default
+//! here and what `psum-SR` means throughout the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cocitation;
+pub mod mtxsr;
+pub mod prank;
+pub mod rwr;
+pub mod simrank;
+pub mod variants;

@@ -1,0 +1,164 @@
+//! P-Rank (Zhao, Han, Sun — CIKM'09): SimRank extended with out-links.
+//!
+//! ```text
+//! S = λ·C·Q S Qᵀ + (1−λ)·C·P S Pᵀ + (1−C)·I
+//! ```
+//!
+//! where `Q` is the in-link (backward) transition and `P` the out-link
+//! (forward) transition; `λ ∈ [0, 1]` balances the two (½ by default, as in
+//! Zhao et al.). The paper's §1 argument, which our Figure-1 tests encode:
+//! P-Rank patches *some* zero-SimRank pairs (e.g. `(h, d)` via the out-link
+//! source `i`), but inserting one node on the out-path (`h → l → i`) breaks
+//! it again — the fix is structural in SimRank\*, not in adding out-links.
+
+use simrank_star::{PlainRightMultiplier, RightMultiplier, SimilarityMatrix};
+use ssr_graph::DiGraph;
+use ssr_linalg::Dense;
+
+/// psum-PR: P-Rank with balance weight `lambda`, `k` iterations from
+/// `S₀ = (1−C)·I`, both summations memoized via the shared kernels.
+pub fn prank(g: &DiGraph, c: f64, lambda: f64, k: usize) -> SimilarityMatrix {
+    assert!(c > 0.0 && c < 1.0, "damping factor must be in (0,1)");
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+    let in_kernel = PlainRightMultiplier::new(g);
+    // The forward transition of g is the backward transition of gᵀ.
+    let gt = g.transpose();
+    let out_kernel = PlainRightMultiplier::new(&gt);
+    let n = g.node_count();
+    let mut s = Dense::scaled_identity(n, 1.0 - c);
+    for _ in 0..k {
+        // In-link term: Q S Qᵀ.
+        let p_in = in_kernel.apply(&s);
+        let qsq = in_kernel.apply(&p_in.transpose()).transpose();
+        // Out-link term: P S Pᵀ.
+        let p_out = out_kernel.apply(&s);
+        let psp = out_kernel.apply(&p_out.transpose()).transpose();
+        let mut next = qsq;
+        next.scale(lambda * c);
+        next.axpy((1.0 - lambda) * c, &psp);
+        next.add_diagonal(1.0 - c);
+        s = next;
+    }
+    SimilarityMatrix::from_dense(s)
+}
+
+/// P-Rank with the paper's default λ = ½.
+pub fn prank_default(g: &DiGraph, c: f64, k: usize) -> SimilarityMatrix {
+    prank(g, c, 0.5, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simrank::simrank;
+
+    fn fig1() -> DiGraph {
+        DiGraph::from_edges(
+            11,
+            &[
+                (0, 1),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 5),
+                (1, 6),
+                (1, 8),
+                (3, 2),
+                (3, 6),
+                (3, 8),
+                (4, 7),
+                (4, 8),
+                (5, 3),
+                (7, 8),
+                (9, 7),
+                (9, 8),
+                (10, 7),
+                (10, 8),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lambda_one_is_simrank() {
+        let g = fig1();
+        let pr = prank(&g, 0.8, 1.0, 8);
+        let sr = simrank(&g, 0.8, 8);
+        assert!(pr.matrix().approx_eq(sr.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn prank_rescues_h_d_via_outlink_source() {
+        // Figure 1: PR(h, d) = .049 ≠ 0 thanks to h → i ← d.
+        let g = fig1();
+        let pr = prank_default(&g, 0.8, 12);
+        assert!(pr.score(7, 3) > 0.0, "P-Rank should see the out-link source i");
+        assert!(
+            (pr.score(7, 3) - 0.049).abs() < 0.01,
+            "PR(h,d) = {}, paper reports ≈ .049",
+            pr.score(7, 3)
+        );
+    }
+
+    #[test]
+    fn prank_still_zero_for_g_a() {
+        // Figure 1: PR(g, a) = 0 — no in- or out-link source centers any
+        // path of (g, a).
+        let g = fig1();
+        let pr = prank_default(&g, 0.8, 12);
+        assert_eq!(pr.score(6, 0), 0.0);
+    }
+
+    #[test]
+    fn inserted_node_breaks_prank_but_not_simrank_star() {
+        // §1: replace h → i by h → l → i; P-Rank(h, d) collapses to 0,
+        // SimRank* stays positive.
+        let g = DiGraph::from_edges(
+            12,
+            &[
+                (0, 1),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 5),
+                (1, 6),
+                (1, 8),
+                (3, 2),
+                (3, 6),
+                (3, 8),
+                (4, 7),
+                (4, 8),
+                (5, 3),
+                (7, 11), // h -> l
+                (11, 8), // l -> i
+                (9, 7),
+                (9, 8),
+                (10, 7),
+                (10, 8),
+            ],
+        )
+        .unwrap();
+        let pr = prank_default(&g, 0.8, 12);
+        assert_eq!(pr.score(7, 3), 0.0, "P-Rank must lose (h, d) after inserting l");
+        let star =
+            simrank_star::geometric::iterate(&g, &simrank_star::SimStarParams::new(0.8, 12));
+        assert!(star.score(7, 3) > 0.0, "SimRank* keeps (h, d) similar");
+    }
+
+    #[test]
+    fn symmetric_and_bounded() {
+        let pr = prank_default(&fig1(), 0.6, 8);
+        assert!(pr.matrix().is_symmetric(1e-12));
+        assert!(pr.max_norm() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn undirected_prank_equals_simrank() {
+        // On a symmetric graph Q = P, so P-Rank (any λ) = SimRank — the
+        // Fig. 6(a) observation that psum-PR and psum-SR coincide on DBLP.
+        let g = fig1().symmetrized();
+        let pr = prank(&g, 0.6, 0.3, 6);
+        let sr = simrank(&g, 0.6, 6);
+        assert!(pr.matrix().approx_eq(sr.matrix(), 1e-10));
+    }
+}

@@ -1,0 +1,197 @@
+//! Random Walk with Restart (Tong, Faloutsos, Pan — ICDM'06) and
+//! Personalized PageRank.
+//!
+//! ```text
+//! S_rwr = (1−c) · (I − c·W)^{-1},   W = row-normalised adjacency
+//! ```
+//!
+//! `S_rwr[i][j]` aggregates weighted *unidirectional* paths `i → … → j` —
+//! the power-series view (Eq. 6) behind the paper's argument that RWR has
+//! its own "zero-similarity" problem (`s_rwr(i,j) = 0` iff no directed path
+//! `i → j`) and is asymmetric (`s(Me, Father) = 0 ≠ s(Father, Me)`).
+
+use simrank_star::SimilarityMatrix;
+use ssr_graph::{DiGraph, NodeId};
+use ssr_linalg::{Csr, Dense};
+
+/// All-pairs RWR by truncated power series:
+/// `S_k = (1−c) Σ_{l=0}^{k} c^l W^l` (converges to the closed form as
+/// `k → ∞`; the tail is bounded by `c^{k+1}` like SimRank's).
+pub fn rwr_matrix(g: &DiGraph, c: f64, k: usize) -> SimilarityMatrix {
+    assert!(c > 0.0 && c < 1.0, "restart damping must be in (0,1)");
+    let n = g.node_count();
+    let w = Csr::forward_transition(g);
+    // Accumulate S = (1−c) Σ c^l W^l with the recurrence M_{l+1} = c·W·M_l.
+    let mut m = Dense::identity(n);
+    let mut s = Dense::identity(n);
+    for _ in 0..k {
+        m = w.mul_dense(&m);
+        m.scale(c);
+        s.add_assign(&m);
+    }
+    s.scale(1.0 - c);
+    SimilarityMatrix::from_dense(s)
+}
+
+/// Single-source RWR vector `r_q` (scores of all nodes w.r.t. query `q`),
+/// by power iteration `r ← c·Wᵀ r + (1−c)·e_q` to a fixed-point tolerance.
+///
+/// Note the transpose: `r[j] = S_rwr[q][j]` sums paths from `q` *to* `j`.
+pub fn rwr_single(g: &DiGraph, c: f64, q: NodeId, tol: f64, max_iters: usize) -> Vec<f64> {
+    assert!(c > 0.0 && c < 1.0, "restart damping must be in (0,1)");
+    let n = g.node_count();
+    let w = Csr::forward_transition(g);
+    let mut r = vec![0.0; n];
+    r[q as usize] = 1.0 - c;
+    for _ in 0..max_iters {
+        // next = c · (rᵀ W)ᵀ + (1−c) e_q  — row-vector times W keeps the
+        // "paths out of q" direction.
+        let mut next = w.vec_mul(&r);
+        for v in next.iter_mut() {
+            *v *= c;
+        }
+        next[q as usize] += 1.0 - c;
+        let diff =
+            r.iter().zip(&next).fold(0.0f64, |acc, (a, b)| acc.max((a - b).abs()));
+        r = next;
+        if diff <= tol {
+            break;
+        }
+    }
+    r
+}
+
+/// Personalized PageRank with restart distribution `personalization`
+/// (must sum to 1). RWR is the special case of a single-point distribution.
+pub fn ppr(
+    g: &DiGraph,
+    c: f64,
+    personalization: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> Vec<f64> {
+    assert!(c > 0.0 && c < 1.0, "restart damping must be in (0,1)");
+    let n = g.node_count();
+    assert_eq!(personalization.len(), n, "personalization length mismatch");
+    let total: f64 = personalization.iter().sum();
+    assert!((total - 1.0).abs() < 1e-9, "personalization must sum to 1");
+    let w = Csr::forward_transition(g);
+    let mut r: Vec<f64> = personalization.iter().map(|p| p * (1.0 - c)).collect();
+    for _ in 0..max_iters {
+        let mut next = w.vec_mul(&r);
+        for (v, p) in next.iter_mut().zip(personalization) {
+            *v = *v * c + (1.0 - c) * p;
+        }
+        let diff =
+            r.iter().zip(&next).fold(0.0f64, |acc, (a, b)| acc.max((a - b).abs()));
+        r = next;
+        if diff <= tol {
+            break;
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> DiGraph {
+        DiGraph::from_edges(
+            11,
+            &[
+                (0, 1),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 5),
+                (1, 6),
+                (1, 8),
+                (3, 2),
+                (3, 6),
+                (3, 8),
+                (4, 7),
+                (4, 8),
+                (5, 3),
+                (7, 8),
+                (9, 7),
+                (9, 8),
+                (10, 7),
+                (10, 8),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_zero_nonzero_pattern() {
+        let s = rwr_matrix(&fig1(), 0.8, 25);
+        // RWR column of Figure 1: (h,d)=0, (g,a)=0, (g,b)=0, (i,a)=0,
+        // (i,h)=0; (a,f)≠0, (a,c)≠0.
+        assert_eq!(s.score(7, 3), 0.0);
+        assert_eq!(s.score(6, 0), 0.0);
+        assert_eq!(s.score(6, 1), 0.0);
+        assert_eq!(s.score(8, 0), 0.0);
+        assert_eq!(s.score(8, 7), 0.0);
+        assert!(s.score(0, 5) > 0.0); // a → b → f
+        assert!(s.score(0, 2) > 0.0); // a → b → c, a → d → c
+    }
+
+    #[test]
+    fn rwr_is_asymmetric() {
+        // §3.1: "RWR fails to produce symmetric similarity" — Father→Me
+        // has a path but Me→Father does not.
+        let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let s = rwr_matrix(&g, 0.6, 20);
+        assert!(s.score(0, 1) > 0.0);
+        assert_eq!(s.score(1, 0), 0.0);
+    }
+
+    #[test]
+    fn single_matches_matrix_row() {
+        let g = fig1();
+        let s = rwr_matrix(&g, 0.6, 60);
+        let r = rwr_single(&g, 0.6, 0, 1e-13, 500);
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..g.node_count() {
+            assert!(
+                (s.score(0, j as u32) - r[j]).abs() < 1e-9,
+                "mismatch at j={j}: {} vs {}",
+                s.score(0, j as u32),
+                r[j]
+            );
+        }
+    }
+
+    #[test]
+    fn ppr_point_mass_equals_rwr() {
+        let g = fig1();
+        let mut pers = vec![0.0; 11];
+        pers[0] = 1.0;
+        let p = ppr(&g, 0.6, &pers, 1e-13, 500);
+        let r = rwr_single(&g, 0.6, 0, 1e-13, 500);
+        for (a, b) in p.iter().zip(&r) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scores_bounded_and_diag_positive() {
+        let s = rwr_matrix(&fig1(), 0.8, 30);
+        assert!(s.max_norm() <= 1.0 + 1e-9);
+        for v in 0..11u32 {
+            assert!(s.score(v, v) >= 1.0 - 0.8 - 1e-12); // restart mass
+        }
+    }
+
+    #[test]
+    fn rwr_row_sums_bounded_by_one() {
+        // Each row of (1−c)(I − cW)^{-1} sums to ≤ 1 (=1 when no dangling
+        // nodes are reachable).
+        let s = rwr_matrix(&fig1(), 0.6, 60);
+        for i in 0..11 {
+            let sum: f64 = (0..11).map(|j| s.score(i, j as u32)).sum();
+            assert!(sum <= 1.0 + 1e-9, "row {i} sums to {sum}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! SimRank (Jeh & Widom, KDD'02) in the variants the paper compares against.
+//!
+//! * [`simrank`] — the **matrix form** `S = C·Q S Qᵀ + (1−C)·I` (Eq. 3),
+//!   iterated with partial-sums memoization à la Lizorkin et al. (psum-SR).
+//!   Each iteration performs the two summations of Eq. (16) as two sparse
+//!   kernel applications — `O(n(m+n))` each, i.e. `O(Knm)` total, exactly
+//!   the psum-SR complexity. (SimRank\* needs only *one* per iteration,
+//!   which is the constant-factor edge Theorem 2 buys.)
+//! * [`simrank_jeh_widom`] — the original iterative form (Eq. 1–2) whose
+//!   diagonal is pinned to 1 every iteration.
+//! * [`simrank_naive`] — literal `O(K d² n²)` nested-loop evaluation of
+//!   Eq. (2), kept as a correctness oracle for the fast paths.
+
+use simrank_star::{PlainRightMultiplier, RightMultiplier, SimilarityMatrix};
+use ssr_graph::DiGraph;
+use ssr_linalg::Dense;
+
+/// One SimRank matrix-form step: `S ← C · Q S Qᵀ + (1−C)·I`.
+///
+/// Uses the symmetric-input identity `Q S Qᵀ = (P Qᵀ)ᵀ·…` unrolled as two
+/// right-kernel applications: `P = S Qᵀ`, then `Q P = (Pᵀ Qᵀ)ᵀ`.
+fn step_matrix(kernel: &PlainRightMultiplier, s: &Dense, c: f64) -> Dense {
+    let p = kernel.apply(s); // P = S Qᵀ
+    let mut qp = kernel.apply(&p.transpose()).transpose(); // Q P
+    qp.scale(c);
+    qp.add_diagonal(1.0 - c);
+    qp
+}
+
+/// psum-SR: SimRank matrix form, `k` iterations from `S₀ = (1−C)·I`.
+pub fn simrank(g: &DiGraph, c: f64, k: usize) -> SimilarityMatrix {
+    assert!(c > 0.0 && c < 1.0, "damping factor must be in (0,1)");
+    let kernel = PlainRightMultiplier::new(g);
+    let mut s = Dense::scaled_identity(g.node_count(), 1.0 - c);
+    for _ in 0..k {
+        s = step_matrix(&kernel, &s, c);
+    }
+    SimilarityMatrix::from_dense(s)
+}
+
+/// Jeh–Widom iterative SimRank (Eq. 1–2): like the matrix form but the
+/// diagonal is reset to exactly 1 after every iteration, starting from `I`.
+pub fn simrank_jeh_widom(g: &DiGraph, c: f64, k: usize) -> SimilarityMatrix {
+    assert!(c > 0.0 && c < 1.0, "damping factor must be in (0,1)");
+    let kernel = PlainRightMultiplier::new(g);
+    let n = g.node_count();
+    let mut s = Dense::identity(n);
+    for _ in 0..k {
+        let p = kernel.apply(&s);
+        let mut next = kernel.apply(&p.transpose()).transpose();
+        next.scale(c);
+        for i in 0..n {
+            next.set(i, i, 1.0);
+        }
+        s = next;
+    }
+    SimilarityMatrix::from_dense(s)
+}
+
+/// Literal nested-loop SimRank (Eq. 2), diagonal pinned to 1. `O(K d² n²)` —
+/// correctness oracle for small graphs only.
+pub fn simrank_naive(g: &DiGraph, c: f64, k: usize) -> SimilarityMatrix {
+    assert!(c > 0.0 && c < 1.0, "damping factor must be in (0,1)");
+    let n = g.node_count();
+    let mut s = Dense::identity(n);
+    for _ in 0..k {
+        let mut next = Dense::zeros(n, n);
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    next.set(a, b, 1.0);
+                    continue;
+                }
+                let ia = g.in_neighbors(a as u32);
+                let ib = g.in_neighbors(b as u32);
+                if ia.is_empty() || ib.is_empty() {
+                    continue;
+                }
+                let mut acc = 0.0;
+                for &x in ia {
+                    for &y in ib {
+                        acc += s.get(x as usize, y as usize);
+                    }
+                }
+                next.set(a, b, c * acc / (ia.len() * ib.len()) as f64);
+            }
+        }
+        s = next;
+    }
+    SimilarityMatrix::from_dense(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> DiGraph {
+        DiGraph::from_edges(
+            11,
+            &[
+                (0, 1),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 5),
+                (1, 6),
+                (1, 8),
+                (3, 2),
+                (3, 6),
+                (3, 8),
+                (4, 7),
+                (4, 8),
+                (5, 3),
+                (7, 8),
+                (9, 7),
+                (9, 8),
+                (10, 7),
+                (10, 8),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matrix_form_reproduces_paper_value() {
+        // Figure 1 table: SR(i, h) = .044 at C = 0.8 (i = 8, h = 7).
+        let s = simrank(&fig1(), 0.8, 15);
+        assert!(
+            (s.score(8, 7) - 0.044).abs() < 0.0015,
+            "s(i, h) = {}, want ≈ .044",
+            s.score(8, 7)
+        );
+    }
+
+    #[test]
+    fn matrix_form_zero_pairs_match_figure1() {
+        let s = simrank(&fig1(), 0.8, 15);
+        // Column SR of Figure 1: these pairs are exactly 0.
+        for &(a, b) in &[(7u32, 3u32), (0, 5), (0, 2), (6, 0), (8, 0)] {
+            assert_eq!(s.score(a, b), 0.0, "SR({a},{b}) should be 0");
+        }
+    }
+
+    #[test]
+    fn matrix_form_matches_series() {
+        // The matrix iteration must equal the power-series partial sum
+        // (Lemma 2): S_k = (1−C) Σ_{l≤k} C^l Q^l (Qᵀ)^l.
+        let g = fig1();
+        for k in 0..5 {
+            let it = simrank(&g, 0.6, k);
+            let series = simrank_star::series::simrank_partial_sum(&g, 0.6, k);
+            assert!(
+                it.matrix().approx_eq(&series, 1e-10),
+                "k={k} diff={}",
+                it.matrix().max_diff(&series)
+            );
+        }
+    }
+
+    #[test]
+    fn jeh_widom_diag_is_one() {
+        let s = simrank_jeh_widom(&fig1(), 0.8, 6);
+        for v in 0..11 {
+            assert_eq!(s.score(v, v), 1.0);
+        }
+    }
+
+    #[test]
+    fn jeh_widom_matches_naive() {
+        let g = fig1();
+        for k in 1..4 {
+            let fast = simrank_jeh_widom(&g, 0.7, k);
+            let naive = simrank_naive(&g, 0.7, k);
+            assert!(
+                fast.matrix().approx_eq(naive.matrix(), 1e-10),
+                "k={k} diff={}",
+                fast.matrix().max_diff(naive.matrix())
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_and_in_range() {
+        let s = simrank(&fig1(), 0.8, 10);
+        assert!(s.matrix().is_symmetric(1e-12));
+        assert!(s.max_norm() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn sourceless_node_rows_zero_offdiag() {
+        let g = fig1();
+        let s = simrank(&g, 0.8, 10);
+        // a (=0), j (=9), k (=10) have I = ∅: their off-diagonal scores are 0
+        // and self-score is (1−C).
+        for &v in &[0u32, 9, 10] {
+            assert!((s.score(v, v) - 0.2).abs() < 1e-12);
+            for u in 0..11u32 {
+                if u != v {
+                    assert_eq!(s.score(v, u), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_iterations() {
+        let g = fig1();
+        let s3 = simrank(&g, 0.6, 3);
+        let s6 = simrank(&g, 0.6, 6);
+        for i in 0..11 {
+            for j in 0..11 {
+                assert!(s6.score(i, j) >= s3.score(i, j) - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion bench for the Lemma 3 / Eq. 12 trade-off: wall-clock to reach
+//! a fixed accuracy with the geometric recurrence (many cheap iterations)
+//! vs the exponential closed form (few iterations + one dense product).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simrank_star::{convergence, exponential, geometric, SimStarParams};
+use ssr_datasets::{load, DatasetId};
+
+fn bench_convergence(c: &mut Criterion) {
+    let d = load(DatasetId::D05, 8);
+    let g = &d.graph;
+    let damp = 0.6;
+    let mut group = c.benchmark_group("to_accuracy");
+    group.sample_size(10);
+    for eps_pow in [2i32, 3, 4] {
+        let eps = 10f64.powi(-eps_pow);
+        let kg = convergence::geometric_iterations_for(damp, eps);
+        let ke = convergence::exponential_iterations_for(damp, eps);
+        group.bench_function(BenchmarkId::new("geometric", format!("1e-{eps_pow}(K={kg})")), |b| {
+            b.iter(|| geometric::iterate(g, &SimStarParams { c: damp, iterations: kg }))
+        });
+        group.bench_function(
+            BenchmarkId::new("exponential", format!("1e-{eps_pow}(K={ke})")),
+            |b| b.iter(|| exponential::closed_form(g, &SimStarParams { c: damp, iterations: ke })),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion companion to Figure 6(e): end-to-end cost of each algorithm at
+//! equal accuracy (ε = 10⁻³) on the D05 stand-in. The experiment binary
+//! (`exp_fig6e_time`) produces the full table; this bench gives
+//! statistically robust timings for the head-to-head core claim
+//! (memo-eSR\* < memo-gSR\* < iter-gSR\* < psum-SR).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simrank_star::{exponential, geometric, SimStarParams};
+use ssr_baselines::simrank::simrank;
+use ssr_compress::CompressOptions;
+use ssr_datasets::{load, DatasetId};
+
+fn bench_fig6e(c: &mut Criterion) {
+    let d = load(DatasetId::D05, 4); // ~1000 nodes: fast enough to sample
+    let g = &d.graph;
+    let eps = 1e-3;
+    let damp = 0.6;
+    let k_geo = simrank_star::convergence::geometric_iterations_for(damp, eps);
+    let k_exp = simrank_star::convergence::exponential_iterations_for(damp, eps);
+
+    let mut group = c.benchmark_group("fig6e_eps1e-3_D05");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("memo-eSR*", g.node_count()), |b| {
+        let memo = exponential::Memoized::new(g, &CompressOptions::default());
+        b.iter(|| memo.run(&SimStarParams { c: damp, iterations: k_exp }))
+    });
+    group.bench_function(BenchmarkId::new("memo-gSR*", g.node_count()), |b| {
+        let memo = geometric::Memoized::new(g, &CompressOptions::default());
+        b.iter(|| memo.run(&SimStarParams { c: damp, iterations: k_geo }))
+    });
+    group.bench_function(BenchmarkId::new("iter-gSR*", g.node_count()), |b| {
+        b.iter(|| geometric::iterate(g, &SimStarParams { c: damp, iterations: k_geo }))
+    });
+    group.bench_function(BenchmarkId::new("psum-SR", g.node_count()), |b| {
+        b.iter(|| simrank(g, damp, k_geo))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6e);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion companion to Figure 6(g): cost of one kernel application
+//! (plain vs compressed) as graph density grows. The paper's claim: the
+//! memoized kernel's advantage widens with density because denser graphs
+//! have more overlapping in-neighbor sets to concentrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simrank_star::{CompressedRightMultiplier, PlainRightMultiplier, RightMultiplier};
+use ssr_compress::CompressOptions;
+use ssr_gen::random::{rmat, RmatParams};
+use ssr_linalg::Dense;
+
+fn bench_density(c: &mut Criterion) {
+    let scale = 10u32; // 1024 nodes
+    let n = 1usize << scale;
+    let mut group = c.benchmark_group("fig6g_kernel_vs_density");
+    group.sample_size(10);
+    for d in [10usize, 20, 40] {
+        let g = rmat(scale, d * n, RmatParams::default(), 0xBE7C + d as u64);
+        let x = Dense::identity(n);
+        group.throughput(Throughput::Elements((g.edge_count() * n) as u64));
+        group.bench_with_input(BenchmarkId::new("plain", d), &g, |b, g| {
+            let k = PlainRightMultiplier::new(g);
+            b.iter(|| k.apply(&x))
+        });
+        group.bench_with_input(BenchmarkId::new("compressed", d), &g, |b, g| {
+            let k = CompressedRightMultiplier::new(g, &CompressOptions::default());
+            b.iter(|| k.apply(&x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Micro-benchmarks of the building blocks: sparse×dense products, the
+//! right-multiply kernels, edge-concentration mining, and the metric
+//! implementations. These locate where each figure's time actually goes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simrank_star::{PlainRightMultiplier, RightMultiplier};
+use ssr_compress::{compress, CompressOptions};
+use ssr_datasets::{load, DatasetId};
+use ssr_eval::metrics::{kendall_concordance, spearman_rho};
+use ssr_linalg::{Csr, Dense};
+
+fn bench_micro(c: &mut Criterion) {
+    let d = load(DatasetId::D05, 4);
+    let g = &d.graph;
+    let n = g.node_count();
+
+    let mut group = c.benchmark_group("micro");
+    group.sample_size(10);
+
+    // One spmm Q·S (the SimRank-side kernel).
+    let q = Csr::backward_transition(g);
+    let s = Dense::identity(n);
+    group.bench_function(BenchmarkId::new("spmm_q_dense", n), |b| {
+        b.iter(|| q.mul_dense(&s))
+    });
+
+    // One right-kernel application S·Qᵀ (the SimRank*-side kernel).
+    let kernel = PlainRightMultiplier::new(g);
+    group.bench_function(BenchmarkId::new("right_kernel", n), |b| {
+        b.iter(|| kernel.apply(&s))
+    });
+
+    // Edge concentration (Figure 6(f)'s preprocessing phase).
+    group.bench_function(BenchmarkId::new("edge_concentration", g.edge_count()), |b| {
+        b.iter(|| compress(g, &CompressOptions::default()))
+    });
+
+    // Rank metrics on 10k-element vectors.
+    let a: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761usize) % 10_007) as f64).collect();
+    let bvec: Vec<f64> = (0..10_000).map(|i| ((i * 40503usize) % 9_973) as f64).collect();
+    group.bench_function("kendall_10k", |bch| bch.iter(|| kendall_concordance(&a, &bvec)));
+    group.bench_function("spearman_10k", |bch| bch.iter(|| spearman_rho(&a, &bvec)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

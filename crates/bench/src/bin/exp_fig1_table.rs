@@ -1,0 +1,2 @@
+//! Regenerates the Figure 1 similarity table.
+fn main() { ssr_bench::experiments::fig1_table(); }

@@ -1,0 +1,2 @@
+//! Regenerates the Figure 5 dataset table.
+fn main() { ssr_bench::experiments::fig5_datasets(); }

@@ -1,0 +1,2 @@
+//! Regenerates Figure 6(a): semantic effectiveness.
+fn main() { ssr_bench::experiments::fig6a_semantics(); }

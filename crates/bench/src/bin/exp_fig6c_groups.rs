@@ -1,0 +1,2 @@
+//! Regenerates Figure 6(c): average similarity of role-grouped pairs.
+fn main() { ssr_bench::experiments::fig6c_groups(); }

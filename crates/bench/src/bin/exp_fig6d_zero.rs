@@ -1,0 +1,2 @@
+//! Regenerates Figure 6(d): the zero-similarity census.
+fn main() { ssr_bench::experiments::fig6d_zero(); }

@@ -1,0 +1,2 @@
+//! Regenerates Figure 6(f): amortized phase time of the memoized variants.
+fn main() { ssr_bench::experiments::fig6f_amortized(); }

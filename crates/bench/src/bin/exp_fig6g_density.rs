@@ -1,0 +1,2 @@
+//! Regenerates Figure 6(g): the density sweep on R-MAT synthetics.
+fn main() { ssr_bench::experiments::fig6g_density(); }

@@ -1,0 +1,2 @@
+//! Regenerates Figure 6(h): memory accounting per algorithm.
+fn main() { ssr_bench::experiments::fig6h_memory(); }

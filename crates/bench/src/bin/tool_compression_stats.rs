@@ -1,0 +1,17 @@
+//! Tool: edge-concentration statistics for every dataset stand-in
+//! (compression ratio, concentrator count, mining time).
+use ssr_bench::timed;
+use ssr_compress::{compress, CompressOptions};
+use ssr_datasets::{load_default, DatasetId};
+fn main() {
+    for id in DatasetId::ALL {
+        let d = load_default(id);
+        let (cg, t) = timed(|| compress(&d.graph, &CompressOptions::default()));
+        println!(
+            "{:<12} n={:>6} m={:>7} m~={:>7} ratio={:>5.1}% conc={:>6} time={:?}",
+            id.name(), d.graph.node_count(), d.graph.edge_count(),
+            cg.compressed_edge_count(), 100.0 * cg.compression_ratio(),
+            cg.concentrator_count(), t
+        );
+    }
+}

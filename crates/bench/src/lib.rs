@@ -1,0 +1,46 @@
+//! # ssr-bench — experiment harness regenerating every table and figure
+//!
+//! One binary per paper artifact (see `DESIGN.md` §3 for the index):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `exp_fig1_table` | Figure 1 similarity table |
+//! | `exp_fig5_datasets` | Figure 5 dataset table |
+//! | `exp_fig6a_semantics` | Fig. 6(a) Kendall/Spearman/NDCG |
+//! | `exp_fig6b_roles` | Fig. 6(b) role difference of top pairs |
+//! | `exp_fig6c_groups` | Fig. 6(c) within/cross decile similarity |
+//! | `exp_fig6d_zero` | Fig. 6(d) zero-similarity census |
+//! | `exp_fig6e_time` | Fig. 6(e) elapsed time |
+//! | `exp_fig6f_amortized` | Fig. 6(f) amortised phase time |
+//! | `exp_fig6g_density` | Fig. 6(g) density sweep |
+//! | `exp_fig6h_memory` | Fig. 6(h) memory space |
+//! | `run_all` | everything above, in order |
+//!
+//! Criterion benches (`cargo bench`) cover the timing-sensitive kernels:
+//! per-iteration cost (Fig. 6(e)), density scaling (Fig. 6(g)), convergence
+//! iteration counts, and micro-kernels.
+//!
+//! This crate also hosts the shared runner ([`runners`]) that executes each
+//! of the paper's five algorithm configurations with per-phase timing, and
+//! the byte-accounting helpers ([`memuse`]) behind the memory figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod memuse;
+pub mod runners;
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning its output and the wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration as fractional seconds with 3 decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}

@@ -1,0 +1,131 @@
+//! Minimal `--flag value` argument parser (no external CLI crates are
+//! available offline). Flags may appear in any order; unknown flags are
+//! errors; every flag has a typed accessor with an optional default.
+
+use std::collections::HashMap;
+
+/// Parsed flag map for one subcommand.
+#[derive(Debug, Clone)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `--key value` pairs, validating against the allowed flag list.
+    pub fn parse(tokens: &[String], allowed: &[&str]) -> Result<Args, ArgError> {
+        let mut flags = HashMap::new();
+        let mut it = tokens.iter();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError(format!("expected a --flag, got `{tok}`")));
+            };
+            if !allowed.contains(&key) {
+                return Err(ArgError(format!(
+                    "unknown flag `--{key}` (allowed: {})",
+                    allowed.iter().map(|f| format!("--{f}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+            let Some(value) = it.next() else {
+                return Err(ArgError(format!("flag `--{key}` is missing its value")));
+            };
+            if flags.insert(key.to_string(), value.clone()).is_some() {
+                return Err(ArgError(format!("flag `--{key}` given twice")));
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    /// Required string flag.
+    pub fn req(&self, key: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| ArgError(format!("missing required flag `--{key}`")))
+    }
+
+    /// Optional string flag with default.
+    pub fn opt<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.flags.get(key).map_or(default, |s| s.as_str())
+    }
+
+    /// Typed flag with default; errors on unparsable values.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| ArgError(format!("flag `--{key}`: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Whether the flag was provided at all.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = Args::parse(&toks("--input g.txt --k 7"), &["input", "k"]).unwrap();
+        assert_eq!(a.req("input").unwrap(), "g.txt");
+        assert_eq!(a.get::<usize>("k", 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&toks("--input g.txt"), &["input", "c"]).unwrap();
+        assert_eq!(a.get::<f64>("c", 0.6).unwrap(), 0.6);
+        assert_eq!(a.opt("algo", "gsr"), "gsr");
+        assert!(!a.has("c"));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let err = Args::parse(&toks("--bogus 1"), &["input"]).unwrap_err();
+        assert!(err.0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = Args::parse(&toks("--input"), &["input"]).unwrap_err();
+        assert!(err.0.contains("missing its value"));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let err = Args::parse(&toks("--k 1 --k 2"), &["k"]).unwrap_err();
+        assert!(err.0.contains("given twice"));
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let a = Args::parse(&toks("--k seven"), &["k"]).unwrap();
+        assert!(a.get::<usize>("k", 0).is_err());
+    }
+
+    #[test]
+    fn missing_required_rejected() {
+        let a = Args::parse(&toks(""), &["input"]).unwrap();
+        assert!(a.req("input").is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! The `simstar` subcommands.
+
+use crate::args::{ArgError, Args};
+use simrank_star::{exponential, geometric, single_source, SimStarParams};
+use ssr_baselines::{prank, rwr, simrank};
+use ssr_compress::{compress, CompressOptions};
+use ssr_graph::components::{strongly_connected_components, weakly_connected_components};
+use ssr_graph::stats::graph_stats;
+use ssr_graph::{io as gio, DiGraph};
+use std::io::Write;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+simstar — SimRank* similarity toolkit (reproduction of Yu et al., VLDB 2013)
+
+USAGE:
+  simstar <command> [--flag value ...]
+
+COMMANDS:
+  compute   all-pairs similarities from an edge list
+            --input FILE [--algo gsr|esr|memo-gsr|memo-esr|sr|prank|rwr]
+            [--c 0.6] [--k 5] [--threshold 0] [--output FILE]
+  query     single-source SimRank* (no all-pairs cost)
+            --input FILE --node ID [--top 10] [--c 0.6] [--k 5]
+  stats     graph statistics + compression summary
+            --input FILE
+  audit     zero-similarity census (Fig. 6(d) style)
+            --input FILE [--samples 2000] [--radius 6] [--seed 0]
+  generate  synthetic graphs
+            --kind er|rmat|web|citation|coauthor --nodes N [--edges M]
+            [--seed 0] [--output FILE]
+";
+
+/// Runs one subcommand; returns the text to print.
+pub fn run(command: &str, rest: &[String]) -> Result<String, ArgError> {
+    match command {
+        "compute" => cmd_compute(rest),
+        "query" => cmd_query(rest),
+        "stats" => cmd_stats(rest),
+        "audit" => cmd_audit(rest),
+        "generate" => cmd_generate(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(ArgError(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn load_graph(args: &Args) -> Result<DiGraph, ArgError> {
+    let path = args.req("input")?;
+    gio::read_edge_list_file(path).map_err(|e| ArgError(format!("reading `{path}`: {e}")))
+}
+
+fn cmd_compute(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(rest, &["input", "algo", "c", "k", "threshold", "output"])?;
+    let g = load_graph(&args)?;
+    let c = args.get("c", 0.6)?;
+    let k = args.get("k", 5usize)?;
+    let threshold = args.get("threshold", 0.0)?;
+    if !(0.0..1.0).contains(&c) || c == 0.0 {
+        return Err(ArgError(format!("--c must be in (0,1), got {c}")));
+    }
+    let algo = args.opt("algo", "gsr");
+    let params = SimStarParams { c, iterations: k };
+    let mut sim = match algo {
+        "gsr" => geometric::iterate(&g, &params),
+        "esr" => exponential::closed_form(&g, &params),
+        "memo-gsr" => geometric::iterate_memo(&g, &params, &CompressOptions::default()),
+        "memo-esr" => exponential::closed_form_memo(&g, &params, &CompressOptions::default()),
+        "sr" => simrank::simrank(&g, c, k),
+        "prank" => prank::prank_default(&g, c, k),
+        "rwr" => rwr::rwr_matrix(&g, c, k),
+        other => {
+            return Err(ArgError(format!(
+                "unknown --algo `{other}` (gsr|esr|memo-gsr|memo-esr|sr|prank|rwr)"
+            )))
+        }
+    };
+    let kept = if threshold > 0.0 { sim.clip_below(threshold) } else { 0 };
+    let n = sim.node_count();
+    let mut out = String::new();
+    out.push_str(&format!("# simstar compute: algo={algo} c={c} k={k} n={n}\n"));
+    if threshold > 0.0 {
+        out.push_str(&format!("# threshold={threshold} kept={kept}\n"));
+    }
+    out.push_str("# a b score (off-diagonal, score > 0)\n");
+    for a in 0..n as u32 {
+        for b in 0..n as u32 {
+            if a != b && sim.score(a, b) > 0.0 {
+                out.push_str(&format!("{a}\t{b}\t{:.6e}\n", sim.score(a, b)));
+            }
+        }
+    }
+    write_or_return(&args, out)
+}
+
+fn cmd_query(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(rest, &["input", "node", "top", "c", "k"])?;
+    let g = load_graph(&args)?;
+    let node: u32 = args.get("node", u32::MAX)?;
+    if !args.has("node") {
+        return Err(ArgError("missing required flag `--node`".into()));
+    }
+    if node as usize >= g.node_count() {
+        return Err(ArgError(format!(
+            "--node {node} out of range (graph has {} nodes)",
+            g.node_count()
+        )));
+    }
+    let top = args.get("top", 10usize)?;
+    let params = SimStarParams { c: args.get("c", 0.6)?, iterations: args.get("k", 5usize)? };
+    let results = single_source::top_k_query(&g, node, top, &params);
+    let mut out = format!("# top-{top} SimRank* matches for node {node}\n");
+    for (v, s) in results {
+        out.push_str(&format!("{v}\t{s:.6}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_stats(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(rest, &["input"])?;
+    let g = load_graph(&args)?;
+    let s = graph_stats(&g);
+    let wcc = weakly_connected_components(&g);
+    let scc = strongly_connected_components(&g);
+    let cg = compress(&g, &CompressOptions::default());
+    Ok(format!(
+        "nodes                 {}\n\
+         edges                 {}\n\
+         density |E|/|V|       {:.2}\n\
+         max in/out degree     {} / {}\n\
+         sources/sinks/isolated {} / {} / {}\n\
+         weakly connected comp {}\n\
+         strongly connected comp {} ({})\n\
+         disconnected pairs    {:.1}%\n\
+         compressed edges m~   {} (ratio {:.1}%, {} concentrators)\n",
+        s.nodes,
+        s.edges,
+        s.density,
+        s.max_in_degree,
+        s.max_out_degree,
+        s.sources,
+        s.sinks,
+        s.isolated,
+        wcc.count,
+        scc.count,
+        if scc.count == s.nodes { "DAG-like: all singletons" } else { "has cycles" },
+        100.0 * wcc.disconnected_pair_fraction(),
+        cg.compressed_edge_count(),
+        100.0 * cg.compression_ratio(),
+        cg.concentrator_count(),
+    ))
+}
+
+fn cmd_audit(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(rest, &["input", "samples", "radius", "seed"])?;
+    let g = load_graph(&args)?;
+    if g.node_count() < 2 {
+        return Err(ArgError("graph needs at least 2 nodes to audit".into()));
+    }
+    let samples = args.get("samples", 2000usize)?;
+    let radius = args.get("radius", 6usize)?;
+    let seed = args.get("seed", 0u64)?;
+    let sr = ssr_eval::zero_sim::simrank_census(&g, samples, radius, seed);
+    let rw = ssr_eval::zero_sim::rwr_census(&g, samples, radius, seed);
+    Ok(format!(
+        "zero-similarity audit ({samples} sampled pairs, probe radius {radius})\n\
+         SimRank : {:5.1}% completely dissimilar, {:5.1}% partially missing => {:5.1}% affected\n\
+         RWR     : {:5.1}% completely dissimilar, {:5.1}% partially missing => {:5.1}% affected\n",
+        100.0 * sr.completely_dissimilar,
+        100.0 * sr.partially_missing,
+        100.0 * sr.any_issue(),
+        100.0 * rw.completely_dissimilar,
+        100.0 * rw.partially_missing,
+        100.0 * rw.any_issue(),
+    ))
+}
+
+fn cmd_generate(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(rest, &["kind", "nodes", "edges", "seed", "output"])?;
+    let kind = args.req("kind")?;
+    let nodes = args.get("nodes", 1000usize)?;
+    let edges = args.get("edges", nodes * 8)?;
+    let seed = args.get("seed", 0u64)?;
+    let g = match kind {
+        "er" => ssr_gen::random::erdos_renyi_gnm(nodes, edges, seed),
+        "rmat" | "web" => {
+            let scale = usize::BITS - nodes.saturating_sub(1).leading_zeros();
+            if kind == "rmat" {
+                ssr_gen::random::rmat(scale, edges, ssr_gen::random::RmatParams::default(), seed)
+            } else {
+                ssr_gen::random::webgraph(scale, edges, 0.5, seed)
+            }
+        }
+        "citation" => ssr_gen::citation::citation_graph(
+            ssr_gen::citation::CitationParams {
+                nodes,
+                avg_out_degree: edges as f64 / nodes as f64,
+                ..Default::default()
+            },
+            seed,
+        ),
+        "coauthor" => {
+            ssr_gen::community::community_graph(
+                ssr_gen::community::CommunityParams {
+                    nodes,
+                    papers: (edges / 8).max(nodes / 2),
+                    communities: (nodes / 40).max(4),
+                    ..Default::default()
+                },
+                seed,
+            )
+            .graph
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown --kind `{other}` (er|rmat|web|citation|coauthor)"
+            )))
+        }
+    };
+    let text = gio::to_edge_list_string(&g);
+    write_or_return(&args, text)
+}
+
+fn write_or_return(args: &Args, content: String) -> Result<String, ArgError> {
+    match args.opt("output", "") {
+        "" => Ok(content),
+        path => {
+            let mut f = std::fs::File::create(path)
+                .map_err(|e| ArgError(format!("creating `{path}`: {e}")))?;
+            f.write_all(content.as_bytes())
+                .map_err(|e| ArgError(format!("writing `{path}`: {e}")))?;
+            Ok(format!("wrote {} bytes to {path}\n", content.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tmp_graph() -> String {
+        let dir = std::env::temp_dir().join("simstar_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.txt");
+        let g = ssr_gen::fixtures::figure1_graph();
+        std::fs::write(&path, gio::to_edge_list_string(&g)).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run("help", &[]).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run("frobnicate", &[]).is_err());
+    }
+
+    #[test]
+    fn stats_on_generated_graph() {
+        let p = tmp_graph();
+        let out = run("stats", &toks(&format!("--input {p}"))).unwrap();
+        assert!(out.contains("nodes"));
+        assert!(out.contains("compressed edges"));
+    }
+
+    #[test]
+    fn compute_all_algos() {
+        let p = tmp_graph();
+        for algo in ["gsr", "esr", "memo-gsr", "memo-esr", "sr", "prank", "rwr"] {
+            let out =
+                run("compute", &toks(&format!("--input {p} --algo {algo} --k 3"))).unwrap();
+            assert!(out.contains("simstar compute"), "{algo}");
+        }
+    }
+
+    #[test]
+    fn compute_rejects_bad_c() {
+        let p = tmp_graph();
+        assert!(run("compute", &toks(&format!("--input {p} --c 1.5"))).is_err());
+    }
+
+    #[test]
+    fn query_returns_ranked_rows() {
+        let p = tmp_graph();
+        let out = run("query", &toks(&format!("--input {p} --node 8 --top 3"))).unwrap();
+        let rows: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn query_requires_node() {
+        let p = tmp_graph();
+        assert!(run("query", &toks(&format!("--input {p}"))).is_err());
+    }
+
+    #[test]
+    fn query_bounds_checked() {
+        let p = tmp_graph();
+        assert!(run("query", &toks(&format!("--input {p} --node 999"))).is_err());
+    }
+
+    #[test]
+    fn audit_reports_percentages() {
+        let p = tmp_graph();
+        let out = run("audit", &toks(&format!("--input {p} --samples 200"))).unwrap();
+        assert!(out.contains("SimRank"));
+        assert!(out.contains("RWR"));
+    }
+
+    #[test]
+    fn generate_round_trips() {
+        for kind in ["er", "rmat", "web", "citation", "coauthor"] {
+            let out = run(
+                "generate",
+                &toks(&format!("--kind {kind} --nodes 64 --edges 256 --seed 1")),
+            )
+            .unwrap();
+            let g = ssr_graph::io::graph_from_edge_list(&out).unwrap();
+            assert!(g.edge_count() > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn generate_to_file() {
+        let dir = std::env::temp_dir().join("simstar_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.txt");
+        let out = run(
+            "generate",
+            &toks(&format!(
+                "--kind er --nodes 32 --edges 64 --output {}",
+                path.to_string_lossy()
+            )),
+        )
+        .unwrap();
+        assert!(out.contains("wrote"));
+        assert!(path.exists());
+    }
+
+    #[test]
+    fn missing_input_file_errors() {
+        assert!(run("stats", &toks("--input /nonexistent/graph.txt")).is_err());
+    }
+}

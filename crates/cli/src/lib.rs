@@ -1,0 +1,11 @@
+//! # ssr-cli — the `simstar` command-line tool
+//!
+//! A thin, dependency-free CLI over the SimRank\* suite. See
+//! [`commands::USAGE`] for the command reference; the binary entry point is
+//! `src/main.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

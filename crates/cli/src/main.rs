@@ -1,0 +1,16 @@
+//! `simstar` binary entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", ssr_cli::commands::USAGE);
+        std::process::exit(2);
+    };
+    match ssr_cli::commands::run(command, rest) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Convergence bounds of the two SimRank\* series (Lemma 3 and Eq. 12).
+//!
+//! * geometric: `‖Ŝ − Ŝ_k‖_max ≤ C^{k+1}`
+//! * exponential: `‖Ŝ' − Ŝ'_k‖_max ≤ C^{k+1} / (k+1)!`
+//!
+//! The factorial term is why memo-eSR\* needs "a tiny fraction of the partial
+//! sums" (paper §3.2): at `C = 0.6, ε = 10⁻³`, geometric needs 13 iterations,
+//! exponential needs 5.
+
+/// The geometric tail bound `C^{k+1}` after `k` iterations.
+pub fn geometric_bound(c: f64, k: usize) -> f64 {
+    c.powi(k as i32 + 1)
+}
+
+/// The exponential tail bound `C^{k+1}/(k+1)!` after `k` iterations.
+pub fn exponential_bound(c: f64, k: usize) -> f64 {
+    let mut b = 1.0;
+    for i in 1..=(k + 1) {
+        b *= c / i as f64;
+    }
+    b
+}
+
+/// Smallest `K` with `geometric_bound(c, K) ≤ eps` — the paper's
+/// `K = ⌈log_C ε⌉` (as an iteration count, i.e. `C^{K+1} ≤ ε`).
+pub fn geometric_iterations_for(c: f64, eps: f64) -> usize {
+    assert!(c > 0.0 && c < 1.0 && eps > 0.0);
+    let mut k = 0;
+    while geometric_bound(c, k) > eps {
+        k += 1;
+        if k > 10_000 {
+            break; // eps denormal-small; cap defensively
+        }
+    }
+    k
+}
+
+/// Smallest `K'` with `exponential_bound(c, K') ≤ eps`. Always
+/// `≤ geometric_iterations_for(c, eps)`.
+pub fn exponential_iterations_for(c: f64, eps: f64) -> usize {
+    assert!(c > 0.0 && c < 1.0 && eps > 0.0);
+    let mut k = 0;
+    while exponential_bound(c, k) > eps {
+        k += 1;
+        if k > 10_000 {
+            break;
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_bound_values() {
+        assert!((geometric_bound(0.6, 0) - 0.6).abs() < 1e-15);
+        assert!((geometric_bound(0.6, 4) - 0.6f64.powi(5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exponential_bound_values() {
+        // C^{1}/1! = C for k=0; C^3/3! for k=2.
+        assert!((exponential_bound(0.8, 0) - 0.8).abs() < 1e-15);
+        assert!((exponential_bound(0.8, 2) - 0.8f64.powi(3) / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exponential_dominates_geometric() {
+        for k in 0..20 {
+            assert!(exponential_bound(0.6, k) <= geometric_bound(0.6, k) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn iteration_counts_at_paper_settings() {
+        // ε = 10⁻³, C = 0.6: geometric 13, exponential far fewer.
+        let kg = geometric_iterations_for(0.6, 1e-3);
+        let ke = exponential_iterations_for(0.6, 1e-3);
+        assert_eq!(kg, 13);
+        assert!(ke <= 6, "exponential should converge much faster, got {ke}");
+        assert!(ke < kg);
+    }
+
+    #[test]
+    fn bounds_actually_bound() {
+        // Sanity: bound(K) <= eps at the returned K, and > eps just before.
+        for &(c, eps) in &[(0.6, 1e-3), (0.8, 1e-4), (0.3, 1e-6)] {
+            let k = geometric_iterations_for(c, eps);
+            assert!(geometric_bound(c, k) <= eps);
+            if k > 0 {
+                assert!(geometric_bound(c, k - 1) > eps);
+            }
+            let k = exponential_iterations_for(c, eps);
+            assert!(exponential_bound(c, k) <= eps);
+            if k > 0 {
+                assert!(exponential_bound(c, k - 1) > eps);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Exact SimRank\* by direct linear solve — a ground-truth oracle.
+//!
+//! The geometric fixed point `Ŝ = (C/2)(Q Ŝ + Ŝ Qᵀ) + (1−C)·I` is a
+//! Sylvester-type equation; vectorising with `vec(A X B) = (Bᵀ ⊗ A)·vec(X)`
+//! gives the `n²×n²` linear system
+//!
+//! ```text
+//! (I_{n²} − (C/2)·(I ⊗ Q + Q ⊗ I)) · vec(Ŝ) = (1−C)·vec(I)
+//! ```
+//!
+//! solved here by Gaussian elimination. `O(n⁶)` — strictly a validation
+//! oracle for graphs of a few dozen nodes, pinning the *limit* of the
+//! iterative algorithms (which tests otherwise only compare to deep
+//! truncations of themselves).
+
+use crate::{SimStarParams, SimilarityMatrix};
+use ssr_graph::DiGraph;
+use ssr_linalg::{solve::solve_dense, Csr, Dense};
+
+/// Solves the SimRank\* fixed point exactly. Panics if the `n²×n²` system is
+/// singular (cannot happen for `0 < C < 1`: the operator norm of
+/// `(C/2)(I⊗Q + Q⊗I)` is at most `C < 1`).
+///
+/// Intended for `n ≲ 30`; memory is `n⁴` f64.
+pub fn solve_exact(g: &DiGraph, params: &SimStarParams) -> SimilarityMatrix {
+    params.validate();
+    let n = g.node_count();
+    if n == 0 {
+        return SimilarityMatrix::from_dense(Dense::zeros(0, 0));
+    }
+    let c = params.c;
+    let q = Csr::backward_transition(g).to_dense();
+    let nn = n * n;
+    // A = I − (C/2)(I ⊗ Q + Q ⊗ I), under vec(S)[i*n + j] = S[i][j]
+    // (row-major "vec"): (Q S)[i][j] = Σ_k Q[i][k] S[k][j] couples (i,j) to
+    // (k,j); (S Qᵀ)[i][j] = Σ_k S[i][k] Q[j][k] couples (i,j) to (i,k).
+    let mut a = Dense::identity(nn);
+    for i in 0..n {
+        for j in 0..n {
+            let row = i * n + j;
+            for k in 0..n {
+                let qik = q.get(i, k);
+                if qik != 0.0 {
+                    a.add_to(row, k * n + j, -c / 2.0 * qik);
+                }
+                let qjk = q.get(j, k);
+                if qjk != 0.0 {
+                    a.add_to(row, i * n + k, -c / 2.0 * qjk);
+                }
+            }
+        }
+    }
+    let mut b = vec![0.0; nn];
+    for i in 0..n {
+        b[i * n + i] = 1.0 - c;
+    }
+    let x = solve_dense(&a, &b).expect("SimRank* fixed-point system is non-singular for C<1");
+    SimilarityMatrix::from_dense(Dense::from_vec(n, n, x))
+}
+
+/// Exact SimRank (not \*) by the same construction, for baseline tests:
+/// `S = C·Q S Qᵀ + (1−C)·I` ⇒ `(I − C·(Q ⊗ Q))·vec(S) = (1−C)·vec(I)`.
+pub fn solve_exact_simrank(g: &DiGraph, c: f64) -> SimilarityMatrix {
+    assert!(c > 0.0 && c < 1.0, "damping factor must be in (0,1)");
+    let n = g.node_count();
+    if n == 0 {
+        return SimilarityMatrix::from_dense(Dense::zeros(0, 0));
+    }
+    let q = Csr::backward_transition(g).to_dense();
+    let nn = n * n;
+    // (Q S Qᵀ)[i][j] = Σ_{k,l} Q[i][k]·S[k][l]·Q[j][l].
+    let mut a = Dense::identity(nn);
+    for i in 0..n {
+        for j in 0..n {
+            let row = i * n + j;
+            for k in 0..n {
+                let qik = q.get(i, k);
+                if qik == 0.0 {
+                    continue;
+                }
+                for l in 0..n {
+                    let qjl = q.get(j, l);
+                    if qjl != 0.0 {
+                        a.add_to(row, k * n + l, -c * qik * qjl);
+                    }
+                }
+            }
+        }
+    }
+    let mut b = vec![0.0; nn];
+    for i in 0..n {
+        b[i * n + i] = 1.0 - c;
+    }
+    let x = solve_dense(&a, &b).expect("SimRank fixed-point system is non-singular for C<1");
+    SimilarityMatrix::from_dense(Dense::from_vec(n, n, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometric;
+
+    fn graphs() -> Vec<DiGraph> {
+        vec![
+            DiGraph::from_edges(4, &[(1, 0), (2, 0), (3, 1), (3, 2), (0, 3)]).unwrap(),
+            DiGraph::from_edges(5, &[(2, 1), (1, 0), (2, 3), (3, 4)]).unwrap(),
+            DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn exact_satisfies_fixed_point() {
+        for g in graphs() {
+            let p = SimStarParams { c: 0.7, iterations: 0 };
+            let s = solve_exact(&g, &p);
+            // Check Ŝ = (C/2)(Q Ŝ + Ŝ Qᵀ) + (1−C) I directly.
+            let kernel = crate::kernel::PlainRightMultiplier::new(&g);
+            use crate::kernel::RightMultiplier;
+            let mut rhs = kernel.apply(s.matrix());
+            rhs.add_transpose_inplace();
+            rhs.scale(p.c / 2.0);
+            rhs.add_diagonal(1.0 - p.c);
+            assert!(
+                s.matrix().approx_eq(&rhs, 1e-10),
+                "fixed point violated by {}",
+                s.matrix().max_diff(&rhs)
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_converges_to_exact() {
+        for g in graphs() {
+            let c = 0.6;
+            let exact = solve_exact(&g, &SimStarParams { c, iterations: 0 });
+            let deep = geometric::iterate(&g, &SimStarParams { c, iterations: 60 });
+            assert!(
+                exact.matrix().approx_eq(deep.matrix(), 1e-12),
+                "diff = {}",
+                exact.matrix().max_diff(deep.matrix())
+            );
+        }
+    }
+
+    #[test]
+    fn lemma3_bound_against_true_limit() {
+        // The real Lemma 3 statement: ‖Ŝ − Ŝ_k‖ ≤ C^{k+1} against the exact
+        // limit (not a deep truncation).
+        let g = &graphs()[0];
+        let c = 0.8;
+        let exact = solve_exact(g, &SimStarParams { c, iterations: 0 });
+        for k in 0..10 {
+            let sk = geometric::iterate(g, &SimStarParams { c, iterations: k });
+            let gap = exact.max_diff(&sk);
+            assert!(
+                gap <= crate::convergence::geometric_bound(c, k) + 1e-12,
+                "k={k}: {gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_simrank_matches_iterated() {
+        for g in graphs() {
+            let exact = solve_exact_simrank(&g, 0.6);
+            let series = crate::series::simrank_partial_sum(&g, 0.6, 80);
+            assert!(
+                exact.matrix().approx_eq(&series, 1e-10),
+                "diff = {}",
+                exact.matrix().max_diff(&series)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_symmetric_unit_range() {
+        for g in graphs() {
+            let s = solve_exact(&g, &SimStarParams { c: 0.9, iterations: 0 });
+            assert!(s.matrix().is_symmetric(1e-10));
+            assert!(s.max_norm() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, &[]).unwrap();
+        let s = solve_exact(&g, &SimStarParams::default());
+        assert_eq!(s.node_count(), 0);
+    }
+}

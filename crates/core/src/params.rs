@@ -1,0 +1,74 @@
+/// Parameters shared by every SimRank\* algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimStarParams {
+    /// Damping factor `C ∈ (0, 1)`; the paper uses 0.6 in experiments
+    /// (0.8 in the Figure 1 walk-through).
+    pub c: f64,
+    /// Number of fixed-point iterations `K` (equivalently, the partial-sum
+    /// truncation index). The paper's experimental default is 5.
+    pub iterations: usize,
+}
+
+impl Default for SimStarParams {
+    fn default() -> Self {
+        SimStarParams { c: 0.6, iterations: 5 }
+    }
+}
+
+impl SimStarParams {
+    /// Builds parameters, panicking on invalid `c`.
+    pub fn new(c: f64, iterations: usize) -> Self {
+        let p = SimStarParams { c, iterations };
+        p.validate();
+        p
+    }
+
+    /// Panics unless `0 < c < 1`.
+    pub fn validate(&self) {
+        assert!(
+            self.c > 0.0 && self.c < 1.0,
+            "damping factor must be in (0, 1), got {}",
+            self.c
+        );
+    }
+
+    /// Parameters whose geometric iteration count guarantees
+    /// `‖Ŝ − Ŝ_K‖_max ≤ eps` (Lemma 3: `K = ⌈log_C eps⌉`).
+    pub fn for_accuracy(c: f64, eps: f64) -> Self {
+        let p = SimStarParams { c, iterations: 0 };
+        p.validate();
+        assert!(eps > 0.0 && eps < 1.0, "accuracy must be in (0, 1)");
+        SimStarParams { c, iterations: crate::convergence::geometric_iterations_for(c, eps) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = SimStarParams::default();
+        assert_eq!(p.c, 0.6);
+        assert_eq!(p.iterations, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping factor")]
+    fn c_zero_rejected() {
+        SimStarParams::new(0.0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping factor")]
+    fn c_one_rejected() {
+        SimStarParams::new(1.0, 5);
+    }
+
+    #[test]
+    fn accuracy_constructor() {
+        let p = SimStarParams::for_accuracy(0.6, 1e-3);
+        // 0.6^{K+1} <= 1e-3 => K+1 >= ln(1e-3)/ln(0.6) ≈ 13.5 => K = 13.
+        assert_eq!(p.iterations, 13);
+    }
+}

@@ -1,0 +1,288 @@
+use ssr_graph::NodeId;
+use ssr_linalg::Dense;
+
+/// A dense all-pairs similarity matrix with ranking helpers.
+///
+/// Wraps the `n × n` symmetric score matrix every algorithm in this workspace
+/// produces (SimRank\*, SimRank, P-Rank — RWR's matrix is *not* symmetric and
+/// also uses this type, which is why symmetry is checked by callers, not
+/// enforced here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityMatrix {
+    m: Dense,
+}
+
+impl SimilarityMatrix {
+    /// Wraps a square score matrix. Panics if not square.
+    pub fn from_dense(m: Dense) -> Self {
+        assert_eq!(m.rows(), m.cols(), "similarity matrix must be square");
+        SimilarityMatrix { m }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.m.rows()
+    }
+
+    /// The score `s(a, b)`.
+    #[inline]
+    pub fn score(&self, a: NodeId, b: NodeId) -> f64 {
+        self.m.get(a as usize, b as usize)
+    }
+
+    /// Borrow of the underlying matrix.
+    pub fn matrix(&self) -> &Dense {
+        &self.m
+    }
+
+    /// Consumes into the underlying matrix.
+    pub fn into_dense(self) -> Dense {
+        self.m
+    }
+
+    /// The full score row of a query node.
+    pub fn row(&self, q: NodeId) -> &[f64] {
+        self.m.row(q as usize)
+    }
+
+    /// Top-`k` most similar nodes to `q`, excluding `q` itself, ties broken
+    /// by ascending node id (deterministic).
+    pub fn top_k(&self, q: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        let mut scored: Vec<(NodeId, f64)> = self
+            .row(q)
+            .iter()
+            .enumerate()
+            .filter(|&(v, _)| v != q as usize)
+            .map(|(v, &s)| (v as NodeId, s))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// All nodes ranked by similarity to `q` (descending), excluding `q`.
+    pub fn ranking(&self, q: NodeId) -> Vec<NodeId> {
+        self.top_k(q, self.node_count().saturating_sub(1))
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Zeroes every entry `< threshold` — the paper's "threshold-sieved
+    /// similarities" (the one Lizorkin optimisation that ports to SimRank\*;
+    /// experiments clip at 10⁻⁴). Returns the number of entries kept.
+    pub fn clip_below(&mut self, threshold: f64) -> usize {
+        let mut kept = 0usize;
+        for v in self.m.as_mut_slice() {
+            if *v < threshold {
+                *v = 0.0;
+            } else {
+                kept += 1;
+            }
+        }
+        kept
+    }
+
+    /// Number of ordered off-diagonal pairs with score strictly above `t`.
+    pub fn pairs_above(&self, t: f64) -> usize {
+        let n = self.node_count();
+        let mut count = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && self.m.get(i, j) > t {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// The top-`k` unordered off-diagonal pairs by score (for the Fig. 6(b)
+    /// "top x% most similar pairs" analysis).
+    pub fn top_pairs(&self, k: usize) -> Vec<(NodeId, NodeId, f64)> {
+        let n = self.node_count();
+        let mut pairs = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push((i as NodeId, j as NodeId, self.m.get(i, j)));
+            }
+        }
+        pairs.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2).expect("finite scores").then((a.0, a.1).cmp(&(b.0, b.1)))
+        });
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// Maximum absolute entry (diagnostics; `≤ 1` for all paper measures).
+    pub fn max_norm(&self) -> f64 {
+        self.m.max_norm()
+    }
+
+    /// Largest entry-wise difference to another matrix.
+    pub fn max_diff(&self, other: &SimilarityMatrix) -> f64 {
+        self.m.max_diff(&other.m)
+    }
+
+    /// Estimated resident bytes (Fig. 6(h) accounting).
+    pub fn estimated_bytes(&self) -> usize {
+        self.m.estimated_bytes()
+    }
+
+    /// Writes the matrix in sieved text form — one `a b score` line per
+    /// entry `≥ threshold` (the paper's 10⁻⁴ storage protocol), with a
+    /// header carrying `n` and the threshold. Diagonal included.
+    pub fn write_sieved<W: std::io::Write>(
+        &self,
+        w: &mut W,
+        threshold: f64,
+    ) -> std::io::Result<()> {
+        let n = self.node_count();
+        writeln!(w, "# simrank-star sieved similarity: n={n} threshold={threshold:e}")?;
+        for a in 0..n {
+            for b in 0..n {
+                let s = self.m.get(a, b);
+                if s >= threshold {
+                    writeln!(w, "{a}\t{b}\t{s:.17e}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a matrix written by [`SimilarityMatrix::write_sieved`]. Entries
+    /// absent from the file are zero.
+    pub fn read_sieved<R: std::io::BufRead>(r: R) -> std::io::Result<SimilarityMatrix> {
+        use std::io::{Error, ErrorKind};
+        let bad = |msg: String| Error::new(ErrorKind::InvalidData, msg);
+        let mut lines = r.lines();
+        let header = lines.next().ok_or_else(|| bad("empty file".into()))??;
+        let n: usize = header
+            .split("n=")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|tok| tok.parse().ok())
+            .ok_or_else(|| bad(format!("malformed header `{header}`")))?;
+        let mut m = Dense::zeros(n, n);
+        for (idx, line) in lines.enumerate() {
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let mut it = t.split_whitespace();
+            let mut next_tok = || {
+                it.next().ok_or_else(|| bad(format!("truncated line {}", idx + 2)))
+            };
+            let a: usize = next_tok()?
+                .parse()
+                .map_err(|_| bad(format!("bad node id on line {}", idx + 2)))?;
+            let b: usize = next_tok()?
+                .parse()
+                .map_err(|_| bad(format!("bad node id on line {}", idx + 2)))?;
+            let s: f64 = next_tok()?
+                .parse()
+                .map_err(|_| bad(format!("bad score on line {}", idx + 2)))?;
+            if a >= n || b >= n {
+                return Err(bad(format!("node id out of range on line {}", idx + 2)));
+            }
+            m.set(a, b, s);
+        }
+        Ok(SimilarityMatrix::from_dense(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimilarityMatrix {
+        SimilarityMatrix::from_dense(Dense::from_rows(&[
+            vec![1.0, 0.5, 0.2],
+            vec![0.5, 1.0, 0.7],
+            vec![0.2, 0.7, 1.0],
+        ]))
+    }
+
+    #[test]
+    fn top_k_excludes_self_and_sorts() {
+        let s = sample();
+        let top = s.top_k(1, 2);
+        assert_eq!(top[0].0, 2);
+        assert_eq!(top[1].0, 0);
+    }
+
+    #[test]
+    fn ranking_is_full_ordering() {
+        let s = sample();
+        assert_eq!(s.ranking(0), vec![1, 2]);
+    }
+
+    #[test]
+    fn tie_break_by_id() {
+        let s = SimilarityMatrix::from_dense(Dense::from_rows(&[
+            vec![1.0, 0.5, 0.5],
+            vec![0.5, 1.0, 0.5],
+            vec![0.5, 0.5, 1.0],
+        ]));
+        assert_eq!(s.ranking(0), vec![1, 2]);
+    }
+
+    #[test]
+    fn clip_below_zeroes_and_counts() {
+        let mut s = sample();
+        let kept = s.clip_below(0.5);
+        // Entries >= 0.5: diagonal (3) + (0,1),(1,0),(1,2),(2,1) = 7.
+        assert_eq!(kept, 7);
+        assert_eq!(s.score(0, 2), 0.0);
+        assert_eq!(s.score(0, 1), 0.5);
+    }
+
+    #[test]
+    fn top_pairs_order() {
+        let s = sample();
+        let pairs = s.top_pairs(2);
+        assert_eq!((pairs[0].0, pairs[0].1), (1, 2));
+        assert_eq!((pairs[1].0, pairs[1].1), (0, 1));
+    }
+
+    #[test]
+    fn pairs_above_counts_ordered_pairs() {
+        let s = sample();
+        assert_eq!(s.pairs_above(0.6), 2); // (1,2) and (2,1)
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        SimilarityMatrix::from_dense(Dense::zeros(2, 3));
+    }
+
+    #[test]
+    fn sieved_round_trip_exact_above_threshold() {
+        let s = sample();
+        let mut buf = Vec::new();
+        s.write_sieved(&mut buf, 0.0).unwrap();
+        let back = SimilarityMatrix::read_sieved(buf.as_slice()).unwrap();
+        assert!(s.matrix().approx_eq(back.matrix(), 0.0));
+    }
+
+    #[test]
+    fn sieved_drops_small_entries() {
+        let s = sample();
+        let mut buf = Vec::new();
+        s.write_sieved(&mut buf, 0.5).unwrap();
+        let back = SimilarityMatrix::read_sieved(buf.as_slice()).unwrap();
+        assert_eq!(back.score(0, 2), 0.0); // 0.2 dropped
+        assert_eq!(back.score(1, 2), 0.7); // 0.7 kept, exact
+    }
+
+    #[test]
+    fn read_sieved_rejects_garbage() {
+        assert!(SimilarityMatrix::read_sieved(&b"no header"[..]).is_err());
+        let bad = b"# simrank-star sieved similarity: n=2 threshold=0e0\n5 0 1.0\n";
+        assert!(SimilarityMatrix::read_sieved(&bad[..]).is_err());
+        let bad = b"# simrank-star sieved similarity: n=2 threshold=0e0\n0 0\n";
+        assert!(SimilarityMatrix::read_sieved(&bad[..]).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Single-source SimRank\* queries — one row `ŝ(q, ·)` without the all-pairs
+//! matrix.
+//!
+//! The paper's evaluation issues *single-node queries* (500 per graph), yet
+//! its algorithms are all-pairs. The series form makes a per-query algorithm
+//! immediate: the `q`-th row of Eq. (9) is
+//!
+//! ```text
+//! [Ŝ_K]_{q,·} = (1−C) Σ_{l=0}^{K} (C^l/2^l) Σ_{θ=0}^{l} binom(l,θ) · u_θ (Qᵀ)^{l−θ}
+//! with  u_θ = e_qᵀ Q^θ
+//! ```
+//!
+//! Sweeping the `(θ, λ)` lattice with vector recurrences costs `O(K²·m)` per
+//! query — independent of `n²`, so a handful of queries is *far* cheaper
+//! than any all-pairs run. The result is **exactly** the corresponding row
+//! of [`crate::geometric::iterate`] (same truncation `K`, by Lemma 4), which
+//! the tests pin.
+
+use crate::series::binomial;
+use crate::SimStarParams;
+use ssr_graph::{DiGraph, NodeId};
+use ssr_linalg::Csr;
+
+/// Geometric single-source scores: the `q`-th row of `Ŝ_K`.
+///
+/// ```
+/// use simrank_star::{geometric, single_source, SimStarParams};
+/// use ssr_graph::DiGraph;
+/// let g = DiGraph::from_edges(4, &[(1, 0), (2, 0), (3, 1), (3, 2)]).unwrap();
+/// let p = SimStarParams::default();
+/// let row = single_source::single_source(&g, 1, &p);
+/// let full = geometric::iterate(&g, &p);
+/// for v in 0..4u32 {
+///     assert!((row[v as usize] - full.score(1, v)).abs() < 1e-12);
+/// }
+/// ```
+pub fn single_source(g: &DiGraph, q: NodeId, params: &SimStarParams) -> Vec<f64> {
+    params.validate();
+    lattice_sweep(g, q, params.iterations, |l| {
+        (1.0 - params.c) * params.c.powi(l as i32) / 2f64.powi(l as i32)
+    })
+}
+
+/// Exponential single-source scores: the `q`-th row of the Eq. (18) partial
+/// sum `Ŝ'_K` (series truncation — matches
+/// [`crate::series::exponential_partial_sum`], not the squared closed form).
+pub fn single_source_exponential(g: &DiGraph, q: NodeId, params: &SimStarParams) -> Vec<f64> {
+    params.validate();
+    let c = params.c;
+    lattice_sweep(g, q, params.iterations, move |l| {
+        let mut w = (-c).exp();
+        for i in 1..=l {
+            w *= c / i as f64;
+        }
+        w / 2f64.powi(l as i32)
+    })
+}
+
+/// Shared `(θ, λ)` lattice sweep:
+/// `row = Σ_θ Σ_λ weight(θ+λ)·binom(θ+λ, θ) · (e_qᵀ Q^θ)(Qᵀ)^λ`.
+fn lattice_sweep(
+    g: &DiGraph,
+    q: NodeId,
+    k: usize,
+    length_weight: impl Fn(usize) -> f64,
+) -> Vec<f64> {
+    let n = g.node_count();
+    assert!((q as usize) < n, "query node out of range");
+    let qmat = Csr::backward_transition(g);
+    let mut row = vec![0.0; n];
+    // u_θ = e_qᵀ Q^θ, advanced by θ (left-multiplication).
+    let mut u = vec![0.0; n];
+    u[q as usize] = 1.0;
+    for theta in 0..=k {
+        // Inner sweep over λ: w = u_θ (Qᵀ)^λ, advanced by right-multiplying
+        // by Qᵀ — which is Q.mul_vec (since (w Qᵀ)[j] = Σ_i w[i]·Q[j][i]).
+        let mut w = u.clone();
+        for lambda in 0..=(k - theta) {
+            let l = theta + lambda;
+            let coeff = length_weight(l) * binomial(l, theta);
+            if coeff != 0.0 {
+                for (r, &wv) in row.iter_mut().zip(&w) {
+                    *r += coeff * wv;
+                }
+            }
+            if lambda < k - theta {
+                w = qmat.mul_vec(&w);
+            }
+        }
+        if theta < k {
+            u = qmat.vec_mul(&u);
+        }
+        // Early exit: once u is numerically zero (e.g. DAG roots reached),
+        // all further θ terms vanish.
+        if u.iter().all(|&v| v == 0.0) {
+            break;
+        }
+    }
+    row
+}
+
+/// Top-`k` most-similar nodes to `q` by single-source geometric SimRank\*
+/// (excluding `q` itself, ties broken by ascending id).
+pub fn top_k_query(
+    g: &DiGraph,
+    q: NodeId,
+    k: usize,
+    params: &SimStarParams,
+) -> Vec<(NodeId, f64)> {
+    let row = single_source(g, q, params);
+    let mut scored: Vec<(NodeId, f64)> = row
+        .into_iter()
+        .enumerate()
+        .filter(|&(v, _)| v != q as usize)
+        .map(|(v, s)| (v as NodeId, s))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{geometric, series};
+
+    fn graphs() -> Vec<DiGraph> {
+        vec![
+            DiGraph::from_edges(4, &[(1, 0), (2, 0), (3, 1), (3, 2), (0, 3)]).unwrap(),
+            DiGraph::from_edges(5, &[(2, 1), (1, 0), (2, 3), (3, 4)]).unwrap(),
+            DiGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (0, 3), (4, 5), (5, 6), (6, 4)])
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn geometric_row_matches_full_matrix() {
+        for g in graphs() {
+            let p = SimStarParams { c: 0.7, iterations: 6 };
+            let full = geometric::iterate(&g, &p);
+            for q in 0..g.node_count() as NodeId {
+                let row = single_source(&g, q, &p);
+                for (v, &rv) in row.iter().enumerate() {
+                    assert!(
+                        (rv - full.score(q, v as NodeId)).abs() < 1e-10,
+                        "q={q}, v={v}: {} vs {}",
+                        rv,
+                        full.score(q, v as NodeId)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_row_matches_series() {
+        for g in graphs() {
+            let p = SimStarParams { c: 0.6, iterations: 6 };
+            let brute = series::exponential_partial_sum(&g, &p);
+            for q in 0..g.node_count() as NodeId {
+                let row = single_source_exponential(&g, q, &p);
+                for (v, &rv) in row.iter().enumerate() {
+                    assert!(
+                        (rv - brute.get(q as usize, v)).abs() < 1e-10,
+                        "q={q}, v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_matches_matrix_top_k() {
+        let g = &graphs()[0];
+        let p = SimStarParams { c: 0.8, iterations: 8 };
+        let full = geometric::iterate(g, &p);
+        for q in 0..g.node_count() as NodeId {
+            let fast = top_k_query(g, q, 3, &p);
+            let slow = full.top_k(q, 3);
+            for ((v1, s1), (v2, s2)) in fast.iter().zip(&slow) {
+                assert_eq!(v1, v2, "q={q}");
+                assert!((s1 - s2).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_query_scores_only_itself() {
+        let g = DiGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let p = SimStarParams::default();
+        let row = single_source(&g, 2, &p);
+        assert!(row[2] > 0.0);
+        assert_eq!(row[0], 0.0);
+        assert_eq!(row[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn query_bounds_checked() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let _ = single_source(&g, 5, &SimStarParams::default());
+    }
+}

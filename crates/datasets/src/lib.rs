@@ -1,0 +1,339 @@
+//! # ssr-datasets — scaled synthetic stand-ins for the paper's datasets
+//!
+//! The paper's Figure 5 datasets (SNAP + DBLP dumps) are unavailable
+//! offline. Each stand-in is generated deterministically at the *same
+//! density* (`|E|/|V|`) as the original, with the node count divided by a
+//! configurable scale factor so the all-pairs algorithms fit a laptop
+//! (DESIGN.md §4 argues why density + degree skew + DAG-ness/undirectedness
+//! are the operative properties).
+//!
+//! | Paper dataset | `|V|`, `|E|`, density (Fig. 5) | Stand-in generator |
+//! |---|---|---|
+//! | CitHepTh | 33K, 418K, 12.6 | preferential-attachment citation DAG |
+//! | DBLP | 15K, 87K, 5.8 | planted-community co-authorship |
+//! | D05 / D08 / D11 | 4K/17K · 13K/72K · 14K/89K | planted-community co-authorship |
+//! | Web-Google | 873K, 4.9M, 5.6 | R-MAT |
+//! | CitPatent | 3.6M, 16.2M, 4.5 | preferential-attachment citation DAG |
+//!
+//! Every dataset carries a *role* vector (the paper's #citations / H-index
+//! proxy used in Figures 6(b)/(c)) and, for co-authorship graphs, the
+//! planted community structure used as ranking ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ssr_gen::citation::{citation_graph, CitationParams};
+use ssr_gen::community::{community_graph, CommunityGraph, CommunityParams};
+use ssr_graph::{stats::graph_stats, DiGraph};
+
+/// Identifiers of the paper's seven datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// arXiv HEP-TH citation network (directed DAG-like).
+    CitHepTh,
+    /// DBLP 2002–2007 co-authorship graph (undirected).
+    Dblp,
+    /// DBLP 2003–2005 slice.
+    D05,
+    /// DBLP 2003–2008 slice.
+    D08,
+    /// DBLP 2003–2011 slice.
+    D11,
+    /// Google web graph (directed, heavy-tailed).
+    WebGoogle,
+    /// US patent citation network (directed DAG).
+    CitPatent,
+}
+
+impl DatasetId {
+    /// All seven, in the paper's Figure 5 order.
+    pub const ALL: [DatasetId; 7] = [
+        DatasetId::CitHepTh,
+        DatasetId::Dblp,
+        DatasetId::D05,
+        DatasetId::D08,
+        DatasetId::D11,
+        DatasetId::WebGoogle,
+        DatasetId::CitPatent,
+    ];
+
+    /// The paper's name for the dataset.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::CitHepTh => "CitHepTh",
+            DatasetId::Dblp => "DBLP",
+            DatasetId::D05 => "D05",
+            DatasetId::D08 => "D08",
+            DatasetId::D11 => "D11",
+            DatasetId::WebGoogle => "Web-Google",
+            DatasetId::CitPatent => "CitPatent",
+        }
+    }
+
+    /// `(|V|, |E|)` as reported in Figure 5.
+    pub fn paper_size(self) -> (usize, usize) {
+        match self {
+            DatasetId::CitHepTh => (33_000, 418_000),
+            DatasetId::Dblp => (15_000, 87_000),
+            DatasetId::D05 => (4_000, 17_000),
+            DatasetId::D08 => (13_000, 72_000),
+            DatasetId::D11 => (14_000, 89_000),
+            DatasetId::WebGoogle => (873_000, 4_900_000),
+            DatasetId::CitPatent => (3_600_000, 16_200_000),
+        }
+    }
+
+    /// Density `|E|/|V|` from Figure 5.
+    pub fn paper_density(self) -> f64 {
+        let (n, m) = self.paper_size();
+        m as f64 / n as f64
+    }
+
+    /// What family of generator models this dataset.
+    pub fn kind(self) -> DatasetKind {
+        match self {
+            DatasetId::CitHepTh | DatasetId::CitPatent => DatasetKind::Citation,
+            DatasetId::Dblp | DatasetId::D05 | DatasetId::D08 | DatasetId::D11 => {
+                DatasetKind::CoAuthorship
+            }
+            DatasetId::WebGoogle => DatasetKind::Web,
+        }
+    }
+}
+
+/// Structural family of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Directed, (near-)acyclic, heavy-tailed in-degree.
+    Citation,
+    /// Undirected, clique-rich, community-structured.
+    CoAuthorship,
+    /// Directed, cyclic, heavy-tailed both ways.
+    Web,
+}
+
+/// A loaded dataset: graph + role metadata (+ planted truth when available).
+pub struct Dataset {
+    /// Which paper dataset this stands in for.
+    pub id: DatasetId,
+    /// The generated graph.
+    pub graph: DiGraph,
+    /// Role proxy per node (#citations for citation/web graphs, H-index for
+    /// co-authorship graphs) — the Fig. 6(b)/(c) grouping signal.
+    pub roles: Vec<f64>,
+    /// Planted community structure (co-authorship stand-ins only); carries
+    /// the generator-known ground truth for ranking quality.
+    pub community: Option<CommunityGraph>,
+    /// The scale divisor the dataset was generated at.
+    pub scale_divisor: usize,
+}
+
+impl Dataset {
+    /// One Figure 5 row for this dataset: paper-reported vs generated
+    /// `(|V|, |E|, density)`.
+    pub fn figure5_row(&self) -> String {
+        let (pn, pm) = self.id.paper_size();
+        let s = graph_stats(&self.graph);
+        format!(
+            "{:<11} paper: |V|={:>8} |E|={:>9} d={:>5.1} | stand-in (/{}): |V|={:>7} |E|={:>8} d={:>5.1}",
+            self.id.name(),
+            pn,
+            pm,
+            self.id.paper_density(),
+            self.scale_divisor,
+            s.nodes,
+            s.edges,
+            s.density,
+        )
+    }
+}
+
+/// Loads a dataset scaled down by `divisor` (node count divided by it,
+/// density preserved). `divisor = 1` reproduces paper-scale sizes — only
+/// sensible for the smaller DBLP slices.
+pub fn load(id: DatasetId, divisor: usize) -> Dataset {
+    assert!(divisor >= 1, "divisor must be >= 1");
+    let (pn, pm) = id.paper_size();
+    let n = (pn / divisor).max(64);
+    let m = (pm / divisor).max(4 * n);
+    let density = id.paper_density();
+    let seed = 0xD5EA_5E00 ^ (id as u64) << 8 ^ divisor as u64;
+    match id.kind() {
+        DatasetKind::Citation => {
+            let g = citation_graph(
+                CitationParams {
+                    nodes: n,
+                    avg_out_degree: density,
+                    preferential_prob: 0.6,
+                    recency_window: (n / 5).max(50),
+                    template_prob: 0.35,
+                },
+                seed,
+            );
+            let roles = g.nodes().map(|v| g.in_degree(v) as f64).collect();
+            Dataset { id, graph: g, roles, community: None, scale_divisor: divisor }
+        }
+        DatasetKind::CoAuthorship => {
+            // A paper with 2..=4 authors yields ~6 directed edges before
+            // clique overlap, and dropping paperless authors shrinks the
+            // node count — so the achieved density is hard to predict in
+            // closed form. Calibrate with one deterministic probe pass:
+            // generate, measure the kept-subgraph density, rescale the
+            // paper count toward the Figure 5 target, regenerate.
+            let gen_with = |papers: usize| {
+                let cg = community_graph(
+                    CommunityParams {
+                        nodes: n,
+                        communities: (n / 40).max(4),
+                        papers,
+                        max_authors: 4,
+                        crossover_prob: 0.15,
+                    },
+                    seed,
+                );
+                // Real DBLP has no isolated authors (every node comes from
+                // at least one publication); drop the generator's paperless
+                // nodes and renumber the planted metadata accordingly.
+                drop_isolated_authors(cg)
+            };
+            let probe_papers = (m / 6).max(8);
+            let probe = gen_with(probe_papers);
+            let d0 = probe.graph.edge_count() as f64 / probe.graph.node_count().max(1) as f64;
+            let calibrated =
+                ((probe_papers as f64) * density / d0.max(0.1)).round().max(8.0) as usize;
+            let cg = gen_with(calibrated);
+            let n2 = cg.graph.node_count();
+            let roles = (0..n2 as u32).map(|v| cg.h_index(v) as f64).collect();
+            Dataset {
+                id,
+                graph: cg.graph.clone(),
+                roles,
+                community: Some(cg),
+                scale_divisor: divisor,
+            }
+        }
+        DatasetKind::Web => {
+            let scale = usize::BITS - (n - 1).leading_zeros(); // ceil log2
+            // Half the edge budget goes to boilerplate blocks — see
+            // `ssr_gen::random::webgraph` for why real web graphs need this.
+            let g = ssr_gen::random::webgraph(scale, m, 0.5, seed);
+            let roles = g.nodes().map(|v| g.in_degree(v) as f64).collect();
+            Dataset { id, graph: g, roles, community: None, scale_divisor: divisor }
+        }
+    }
+}
+
+/// Removes nodes with no co-authorship edges, renumbering the community
+/// metadata, paper lists and paper counts consistently.
+fn drop_isolated_authors(cg: CommunityGraph) -> CommunityGraph {
+    let g = &cg.graph;
+    let keep: Vec<u32> =
+        g.nodes().filter(|&v| g.in_degree(v) + g.out_degree(v) > 0).collect();
+    if keep.len() == g.node_count() {
+        return cg;
+    }
+    let (sub, remap) = g.induced_subgraph(&keep);
+    let community = keep.iter().map(|&v| cg.community[v as usize]).collect();
+    let paper_count = keep.iter().map(|&v| cg.paper_count[v as usize]).collect();
+    let papers = cg
+        .papers
+        .iter()
+        .map(|p| {
+            let mut q: Vec<u32> =
+                p.iter().filter_map(|&v| remap[v as usize]).collect();
+            q.sort_unstable();
+            q
+        })
+        .filter(|p| !p.is_empty())
+        .collect();
+    CommunityGraph { graph: sub, community, paper_count, papers }
+}
+
+/// The default scale used by the experiment harness: small enough for
+/// all-pairs dense similarity on a laptop, large enough to show the
+/// asymptotic trends. Chosen per dataset (bigger originals shrink more).
+pub fn default_divisor(id: DatasetId) -> usize {
+    match id {
+        DatasetId::CitHepTh => 16,
+        DatasetId::Dblp => 8,
+        DatasetId::D05 => 2,
+        DatasetId::D08 => 6,
+        DatasetId::D11 => 7,
+        DatasetId::WebGoogle => 256,
+        DatasetId::CitPatent => 1024,
+    }
+}
+
+/// Loads a dataset at its default experiment scale.
+pub fn load_default(id: DatasetId) -> Dataset {
+    load(id, default_divisor(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn citation_standins_are_dags() {
+        let d = load(DatasetId::CitHepTh, 64);
+        assert!(d.graph.edges().all(|(u, v)| u > v));
+        assert!(d.community.is_none());
+    }
+
+    #[test]
+    fn coauthor_standins_are_undirected_with_truth() {
+        let d = load(DatasetId::D05, 4);
+        assert!(d.graph.is_symmetric());
+        assert!(d.community.is_some());
+        assert_eq!(d.roles.len(), d.graph.node_count());
+    }
+
+    #[test]
+    fn densities_roughly_match_paper() {
+        for id in [DatasetId::CitHepTh, DatasetId::D08, DatasetId::WebGoogle] {
+            let d = load(id, 64);
+            let s = graph_stats(&d.graph);
+            let target = id.paper_density();
+            // Within a factor of 2.5 either way (generators are stochastic
+            // and co-author graphs count both directions).
+            assert!(
+                s.density > target / 2.5 && s.density < target * 2.5,
+                "{}: density {} vs target {target}",
+                id.name(),
+                s.density
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_divisor() {
+        let a = load(DatasetId::D05, 8);
+        let b = load(DatasetId::D05, 8);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.roles, b.roles);
+    }
+
+    #[test]
+    fn scaling_shrinks_nodes() {
+        let big = load(DatasetId::CitHepTh, 16);
+        let small = load(DatasetId::CitHepTh, 64);
+        assert!(big.graph.node_count() > small.graph.node_count());
+    }
+
+    #[test]
+    fn roles_nonnegative_and_sized() {
+        for id in DatasetId::ALL {
+            let d = load(id, 512);
+            assert_eq!(d.roles.len(), d.graph.node_count());
+            assert!(d.roles.iter().all(|&r| r >= 0.0));
+        }
+    }
+
+    #[test]
+    fn figure5_row_formats() {
+        let d = load(DatasetId::Dblp, 64);
+        let row = d.figure5_row();
+        assert!(row.contains("DBLP"));
+        assert!(row.contains("paper:"));
+    }
+}

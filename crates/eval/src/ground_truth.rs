@@ -1,0 +1,161 @@
+//! Ground-truth relevance proxies.
+//!
+//! The paper validates ranking quality against human judges (20+ database
+//! experts for DBLP co-authors, 15+ physicists for CitHepTh co-citations).
+//! Offline we substitute *structural* relevance signals that are *not*
+//! computed by any of the competing measures (DESIGN.md §4):
+//!
+//! * For co-authorship graphs the generator knows the planted truth —
+//!   shared papers and community co-membership (`ssr_gen::community`).
+//! * For citation graphs, [`citation_relevance`] scores a candidate against
+//!   a query by neighborhood evidence a human judge would consult: shared
+//!   reference lists (bibliographic-coupling Jaccard), shared citers
+//!   (co-citation Jaccard), direct citation links, and two-hop ancestry
+//!   overlap — a *set-overlap* signal, not a random-walk score, so it favors
+//!   none of SR/SR\*/RWR a priori.
+
+use ssr_graph::{DiGraph, NodeId};
+
+/// Relevance of every node w.r.t. query `q` on a citation-style graph.
+///
+/// Weighted sum of the evidence a human judge consults when deciding two
+/// papers are related (each component in `[0, 1]`):
+///
+/// * 0.20 · Jaccard of in-neighbor sets (co-cited together — *symmetric*
+///   evidence),
+/// * 0.20 · Jaccard of out-neighbor sets (cite the same literature),
+/// * 0.20 · citation-chain proximity: `1/d` for a directed path of length
+///   `d ≤ 3` in either orientation (a paper and the work it builds on are
+///   related — *dissymmetric* evidence that SimRank structurally drops),
+/// * 0.20 · cross-generation overlap: `I(q)` vs the 2-hop back-set of `v`
+///   and vice versa (the "uncle" relations of the paper's Figure 3),
+/// * 0.20 · Jaccard of 2-hop backward sets (shared citing community).
+///
+/// Mixing symmetric and dissymmetric components keeps the signal neutral:
+/// no single competing measure's path family dominates it by construction.
+pub fn citation_relevance(g: &DiGraph, q: NodeId) -> Vec<f64> {
+    let n = g.node_count();
+    let q_in = g.in_neighbors(q);
+    let q_out = g.out_neighbors(q);
+    let q_back2 = two_hop_backward(g, q);
+    let fwd_q = ssr_graph::paths::forward_level_sets(g, q, 3);
+    let mut chain = vec![0.0f64; n];
+    for (d, level) in fwd_q.iter().enumerate().skip(1) {
+        for &v in level {
+            let w = 1.0 / d as f64;
+            if chain[v as usize] < w {
+                chain[v as usize] = w;
+            }
+        }
+    }
+    let mut rel = vec![0.0; n];
+    for v in 0..n as NodeId {
+        if v == q {
+            continue;
+        }
+        let v_back2 = two_hop_backward(g, v);
+        let mut score = 0.0;
+        score += 0.20 * jaccard(q_in, g.in_neighbors(v));
+        score += 0.20 * jaccard(q_out, g.out_neighbors(v));
+        // Chain proximity in either orientation (forward sets from q cover
+        // q ⇝ v; the reverse direction is probed per candidate).
+        let mut prox = chain[v as usize];
+        if prox == 0.0 {
+            let back_q = [&[q][..], q_in, &q_back2];
+            for (d, set) in back_q.iter().enumerate().skip(1) {
+                if set.binary_search(&v).is_ok() {
+                    prox = 1.0 / d as f64;
+                    break;
+                }
+            }
+        }
+        score += 0.20 * prox;
+        let cross = 0.5 * jaccard(q_in, &v_back2) + 0.5 * jaccard(&q_back2, g.in_neighbors(v));
+        score += 0.20 * cross;
+        score += 0.20 * jaccard(&q_back2, &v_back2);
+        rel[v as usize] = score;
+    }
+    rel
+}
+
+/// Sorted union of nodes at backward distance exactly 2.
+fn two_hop_backward(g: &DiGraph, v: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for &u in g.in_neighbors(v) {
+        out.extend_from_slice(g.in_neighbors(u));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Jaccard similarity of two sorted slices.
+pub fn jaccard(xs: &[NodeId], ys: &[NodeId]) -> f64 {
+    if xs.is_empty() && ys.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < xs.len() && j < ys.len() {
+        match xs[i].cmp(&ys[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = xs.len() + ys.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Role proxy on citation graphs: #citations = in-degree.
+pub fn citation_counts(g: &DiGraph) -> Vec<f64> {
+    g.nodes().map(|v| g.in_degree(v) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&[1, 2, 3], &[2, 3, 4]), 0.5);
+        assert_eq!(jaccard(&[], &[]), 0.0);
+        assert_eq!(jaccard(&[1], &[1]), 1.0);
+        assert_eq!(jaccard(&[1], &[2]), 0.0);
+    }
+
+    #[test]
+    fn relevance_rewards_shared_citers() {
+        // 0 and 1 both cited by {2, 3}; 4 unrelated.
+        let g = DiGraph::from_edges(5, &[(2, 0), (2, 1), (3, 0), (3, 1)]).unwrap();
+        let rel = citation_relevance(&g, 0);
+        assert!(rel[1] > rel[4]);
+        assert_eq!(rel[0], 0.0, "self relevance excluded");
+    }
+
+    #[test]
+    fn relevance_rewards_direct_links() {
+        let g = DiGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let rel = citation_relevance(&g, 0);
+        assert!(rel[1] > 0.0);
+        assert_eq!(rel[2], 0.0);
+    }
+
+    #[test]
+    fn two_hop_component() {
+        // 4 -> 2 -> 0 and 4 -> 3 -> 1: 0 and 1 share the 2-hop ancestor 4.
+        let g = DiGraph::from_edges(5, &[(4, 2), (2, 0), (4, 3), (3, 1)]).unwrap();
+        let rel = citation_relevance(&g, 0);
+        assert!(rel[1] > 0.0, "two-hop ancestry must count");
+    }
+
+    #[test]
+    fn citation_counts_match_in_degree() {
+        let g = DiGraph::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        assert_eq!(citation_counts(&g), vec![0.0, 0.0, 2.0]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # ssr-eval — evaluation toolkit for the SimRank\* experiments
+//!
+//! Everything Section 5 of the paper needs that is not an algorithm:
+//!
+//! * [`metrics`] — Kendall's τ (the paper's concordance variant *and*
+//!   standard τ-b with `O(n log n)` inversion counting), Spearman's ρ
+//!   (tie-safe, Pearson-on-ranks), and NDCG with the paper's
+//!   `(2^s − 1)/log₂(1+i)` gain.
+//! * [`queries`] — the test-query protocol: stratify nodes into in-degree
+//!   groups, sample a fixed number per group (paper: 5 × 100).
+//! * [`zero_sim`] — the Figure 6(d) census: sampled classification of pairs
+//!   into *completely dissimilar* / *partially missing* / fully captured,
+//!   for both SimRank and RWR semantics.
+//! * [`roles`] — Figure 6(b)/(c): role difference of top-ranked pairs
+//!   (with the RAN random baseline) and within/cross role-decile average
+//!   similarities.
+//! * [`ground_truth`] — generator-independent relevance proxies standing in
+//!   for the paper's human judges (see `DESIGN.md` §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ground_truth;
+pub mod metrics;
+pub mod queries;
+pub mod roles;
+pub mod zero_sim;

@@ -1,0 +1,354 @@
+//! Rank-agreement metrics (paper §5, "Effectiveness Metrics").
+//!
+//! All three metrics compare a *predicted* score vector against a *reference*
+//! (ground-truth) score vector over the same items.
+
+/// Counts strict inversions of `vals` (pairs `i < j` with
+/// `vals[i] > vals[j]`) by merge sort, `O(n log n)`.
+fn count_inversions(vals: &mut [f64]) -> u64 {
+    let n = vals.len();
+    if n < 2 {
+        return 0;
+    }
+    let mut buf = vals.to_vec();
+    merge_count(vals, &mut buf)
+}
+
+fn merge_count(v: &mut [f64], buf: &mut [f64]) -> u64 {
+    let n = v.len();
+    if n < 2 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = v.split_at_mut(mid);
+    let (bl, br) = buf.split_at_mut(mid);
+    let mut inv = merge_count(left, bl) + merge_count(right, br);
+    // Merge, counting right-elements that jump over remaining left-elements.
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            buf[k] = left[i];
+            i += 1;
+        } else {
+            buf[k] = right[j];
+            inv += (left.len() - i) as u64;
+            j += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        buf[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        buf[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    v.copy_from_slice(&buf[..n]);
+    inv
+}
+
+/// Tie statistics needed by τ-b and the paper's concordance fraction.
+struct PairCounts {
+    n0: u64, // all pairs
+    n1: u64, // pairs tied in a
+    n2: u64, // pairs tied in b
+    n3: u64, // pairs tied in both
+    discordant: u64,
+}
+
+fn pair_counts(a: &[f64], b: &[f64]) -> PairCounts {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    let n = a.len() as u64;
+    let n0 = n * n.saturating_sub(1) / 2;
+    let mut idx: Vec<usize> = (0..a.len()).collect();
+    idx.sort_by(|&i, &j| {
+        a[i].partial_cmp(&a[j])
+            .expect("finite scores")
+            .then(b[i].partial_cmp(&b[j]).expect("finite scores"))
+    });
+    let tie_pairs = |key: &dyn Fn(usize) -> (u64, u64), order: &[usize]| -> u64 {
+        // assumes `order` sorted so equal keys are adjacent
+        let mut total = 0u64;
+        let mut run = 1u64;
+        for w in order.windows(2) {
+            if key(w[0]) == key(w[1]) {
+                run += 1;
+            } else {
+                total += run * (run - 1) / 2;
+                run = 1;
+            }
+        }
+        total + run * (run - 1) / 2
+    };
+    let abits = |i: usize| (a[i].to_bits(), 0u64);
+    let bbits = |i: usize| (b[i].to_bits(), 0u64);
+    let abbits = |i: usize| (a[i].to_bits(), b[i].to_bits());
+    let n1 = tie_pairs(&abits, &idx);
+    let n3 = tie_pairs(&abbits, &idx);
+    let mut b_sorted: Vec<usize> = (0..b.len()).collect();
+    b_sorted.sort_by(|&i, &j| b[i].partial_cmp(&b[j]).expect("finite scores"));
+    let n2 = tie_pairs(&bbits, &b_sorted);
+    // Discordant: inversions of b in (a asc, b asc) order.
+    let mut bvals: Vec<f64> = idx.iter().map(|&i| b[i]).collect();
+    let discordant = count_inversions(&mut bvals);
+    PairCounts { n0, n1, n2, n3, discordant }
+}
+
+/// The **paper's** Kendall measure: the fraction of item pairs ordered the
+/// same way by both score vectors (`K_{i,j} = 1` if same order, else 0),
+/// in `[0, 1]`. Pairs tied in both vectors count as agreeing.
+pub fn kendall_concordance(a: &[f64], b: &[f64]) -> f64 {
+    let pc = pair_counts(a, b);
+    if pc.n0 == 0 {
+        return 1.0;
+    }
+    // Signed intermediates: with heavy ties n1 + n2 can exceed n0 + n3
+    // mid-expression even though the final count is non-negative.
+    let concordant =
+        pc.n0 as i128 - pc.n1 as i128 - pc.n2 as i128 + pc.n3 as i128 - pc.discordant as i128;
+    (concordant + pc.n3 as i128) as f64 / pc.n0 as f64
+}
+
+/// Standard Kendall τ-b in `[-1, 1]`, tie-corrected.
+pub fn kendall_tau_b(a: &[f64], b: &[f64]) -> f64 {
+    let pc = pair_counts(a, b);
+    if pc.n0 == 0 {
+        return 1.0;
+    }
+    let concordant = (pc.n0 as i128 - pc.n1 as i128 - pc.n2 as i128 + pc.n3 as i128
+        - pc.discordant as i128) as f64;
+    let d = pc.discordant as f64;
+    let denom = (((pc.n0 - pc.n1) as f64) * ((pc.n0 - pc.n2) as f64)).sqrt();
+    if denom == 0.0 {
+        return if concordant >= d { 1.0 } else { -1.0 };
+    }
+    (concordant - d) / denom
+}
+
+/// Fractional (average) ranks, 1-based, ties share the mean rank.
+pub fn average_ranks(vals: &[f64]) -> Vec<f64> {
+    let n = vals.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| vals[i].partial_cmp(&vals[j]).expect("finite scores"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && vals[idx[j + 1]] == vals[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j + 2) as f64 / 2.0; // mean of 1-based ranks i+1..=j+1
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman's ρ: Pearson correlation of average ranks, in `[-1, 1]`. (The
+/// paper quotes the `1 − 6Σd²/(N(N²−1))` form, which this equals when there
+/// are no ties and which stays well-defined when there are.)
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    if a.len() < 2 {
+        return 1.0;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (xi, yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        // A constant ranking carries no order information; treat as perfect
+        // agreement only if both are constant.
+        return if sxx == syy { 1.0 } else { 0.0 };
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// NDCG at position `p` (paper §5):
+/// `NDCG_p = (1/IDCG_p) Σ_{i=1}^{p} (2^{rel_i} − 1) / log₂(1+i)`,
+/// where `rel_i` is the true relevance of the item the *predicted* ranking
+/// places at position `i`, and `IDCG_p` is the same sum under the ideal
+/// (true-relevance-sorted) ordering. Returns 1.0 when the ideal DCG is 0
+/// (nothing relevant to find ⇒ any ranking is vacuously perfect).
+pub fn ndcg_at(true_relevance: &[f64], predicted_scores: &[f64], p: usize) -> f64 {
+    assert_eq!(true_relevance.len(), predicted_scores.len(), "length mismatch");
+    let order_by = |scores: &[f64]| {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&i, &j| {
+            scores[j].partial_cmp(&scores[i]).expect("finite scores").then(i.cmp(&j))
+        });
+        idx
+    };
+    let dcg = |order: &[usize]| {
+        order
+            .iter()
+            .take(p)
+            .enumerate()
+            .map(|(i, &item)| {
+                (2f64.powf(true_relevance[item]) - 1.0) / (1.0 + (i as f64 + 1.0)).log2()
+            })
+            .sum::<f64>()
+    };
+    let pred = dcg(&order_by(predicted_scores));
+    let ideal = dcg(&order_by(true_relevance));
+    if ideal == 0.0 {
+        1.0
+    } else {
+        pred / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inversions_basic() {
+        let mut v = vec![3.0, 1.0, 2.0];
+        assert_eq!(count_inversions(&mut v), 2);
+        let mut v = vec![1.0, 2.0, 3.0];
+        assert_eq!(count_inversions(&mut v), 0);
+        let mut v = vec![3.0, 2.0, 1.0];
+        assert_eq!(count_inversions(&mut v), 3);
+    }
+
+    #[test]
+    fn kendall_perfect_and_reversed() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(kendall_concordance(&a, &b), 1.0);
+        assert_eq!(kendall_tau_b(&a, &b), 1.0);
+        let r: Vec<f64> = b.iter().rev().copied().collect();
+        assert_eq!(kendall_concordance(&a, &r), 0.0);
+        assert_eq!(kendall_tau_b(&a, &r), -1.0);
+    }
+
+    #[test]
+    fn kendall_matches_bruteforce_with_ties() {
+        let a = vec![1.0, 1.0, 2.0, 3.0, 3.0, 0.0];
+        let b = vec![2.0, 1.0, 1.0, 4.0, 4.0, 0.5];
+        // Brute force concordance fraction.
+        let n = a.len();
+        let mut same = 0u64;
+        let mut total = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                let sa = (a[i] - a[j]).partial_cmp(&0.0).unwrap();
+                let sb = (b[i] - b[j]).partial_cmp(&0.0).unwrap();
+                if sa == sb {
+                    same += 1;
+                }
+            }
+        }
+        let expect = same as f64 / total as f64;
+        assert!((kendall_concordance(&a, &b) - expect).abs() < 1e-12);
+        // Brute-force tau-b.
+        let mut c = 0i64;
+        let mut d = 0i64;
+        let mut ta = 0i64;
+        let mut tb = 0i64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let da = a[i] - a[j];
+                let db = b[i] - b[j];
+                if da == 0.0 && db == 0.0 {
+                } else if da == 0.0 {
+                    ta += 1;
+                } else if db == 0.0 {
+                    tb += 1;
+                } else if (da > 0.0) == (db > 0.0) {
+                    c += 1;
+                } else {
+                    d += 1;
+                }
+            }
+        }
+        let denom = (((c + d + ta) as f64) * ((c + d + tb) as f64)).sqrt();
+        let expect_tb = (c - d) as f64 / denom;
+        assert!((kendall_tau_b(&a, &b) - expect_tb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_perfect_monotone() {
+        let a = vec![1.0, 5.0, 3.0, 4.0];
+        let b: Vec<f64> = a.iter().map(|x| x * x).collect(); // monotone map
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_classic_formula_no_ties() {
+        let a = vec![3.0, 1.0, 4.0, 2.0];
+        let b = vec![2.0, 1.0, 4.0, 3.0];
+        let ra = average_ranks(&a);
+        let rb = average_ranks(&b);
+        let d2: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - y) * (x - y)).sum();
+        let n = 4.0;
+        let classic = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+        assert!((spearman_rho(&a, &b) - classic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_ranks_with_ties() {
+        let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn ndcg_perfect_is_one() {
+        let rel = vec![3.0, 2.0, 1.0, 0.0];
+        let pred = vec![0.9, 0.5, 0.3, 0.1];
+        assert!((ndcg_at(&rel, &pred, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_worst_ordering_below_one() {
+        let rel = vec![3.0, 2.0, 1.0, 0.0];
+        let pred = vec![0.1, 0.3, 0.5, 0.9]; // reversed
+        let v = ndcg_at(&rel, &pred, 4);
+        assert!(v < 1.0 && v > 0.0);
+    }
+
+    #[test]
+    fn ndcg_empty_relevance_vacuous() {
+        let rel = vec![0.0, 0.0];
+        let pred = vec![0.3, 0.9];
+        assert_eq!(ndcg_at(&rel, &pred, 2), 1.0);
+    }
+
+    #[test]
+    fn ndcg_truncation_matters() {
+        // Relevant item at rank 3: NDCG@2 misses it, NDCG@3 catches it.
+        let rel = vec![1.0, 0.0, 0.0];
+        let pred = vec![0.1, 0.9, 0.5]; // predicted order: 1, 2, 0
+        assert_eq!(ndcg_at(&rel, &pred, 2), 0.0);
+        assert!(ndcg_at(&rel, &pred, 3) > 0.0);
+    }
+
+    #[test]
+    fn metrics_on_empty_and_singleton() {
+        assert_eq!(kendall_concordance(&[], &[]), 1.0);
+        assert_eq!(spearman_rho(&[1.0], &[2.0]), 1.0);
+        assert_eq!(kendall_tau_b(&[1.0], &[1.0]), 1.0);
+    }
+}

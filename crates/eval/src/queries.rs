@@ -1,0 +1,73 @@
+//! Test-query selection (paper §5, "Test Queries"): sort nodes by in-degree
+//! into strata, then sample a fixed number from each stratum so queries
+//! "systematically cover a broad range" of degrees. The paper uses 5 strata
+//! × 100 queries.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use ssr_graph::{stats::in_degree_strata, DiGraph, NodeId};
+
+/// Selects up to `groups × per_group` query nodes by stratified sampling.
+/// Strata smaller than `per_group` contribute all their nodes. Deterministic
+/// per seed; the returned list is sorted for reproducible iteration.
+pub fn select_queries(g: &DiGraph, groups: usize, per_group: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked = Vec::with_capacity(groups * per_group);
+    for stratum in in_degree_strata(g, groups) {
+        let mut s = stratum;
+        s.shuffle(&mut rng);
+        s.truncate(per_group);
+        picked.extend(s);
+    }
+    picked.sort_unstable();
+    picked.dedup();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_graph() -> DiGraph {
+        // Node 0 has high in-degree, the rest a chain.
+        let mut edges = vec![(1u32, 2u32), (2, 3), (3, 4), (4, 5)];
+        for v in 1..=20u32 {
+            edges.push((v, 0));
+        }
+        DiGraph::from_edges(21, &edges).unwrap()
+    }
+
+    #[test]
+    fn respects_budget() {
+        let g = skewed_graph();
+        let q = select_queries(&g, 5, 2, 1);
+        assert!(q.len() <= 10);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn covers_high_and_low_degree() {
+        let g = skewed_graph();
+        let q = select_queries(&g, 5, 4, 2);
+        // The hub (in-degree 20) sits alone atop stratum 0 and must appear.
+        assert!(q.contains(&0), "hub not selected: {q:?}");
+        // Some zero-in-degree node must appear too (last stratum).
+        assert!(q.iter().any(|&v| g.in_degree(v) == 0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = skewed_graph();
+        assert_eq!(select_queries(&g, 5, 3, 7), select_queries(&g, 5, 3, 7));
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let g = skewed_graph();
+        let q = select_queries(&g, 3, 10, 3);
+        let mut d = q.clone();
+        d.dedup();
+        assert_eq!(q, d);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ssr-gen — seeded synthetic graph generators
+//!
+//! The paper evaluates on SNAP/DBLP datasets and GTgraph synthetics, none of
+//! which are available offline. This crate provides deterministic (seeded)
+//! generators whose outputs preserve the *operative* properties of those
+//! inputs — size, density, degree skew, DAG-ness, community overlap — as
+//! argued in `DESIGN.md` §4:
+//!
+//! * [`fixtures`] — exact reconstructions of the paper's worked examples:
+//!   the Figure 1 citation graph, the Figure 3 family tree, the two-arm path
+//!   graph of Section 1.
+//! * [`random`] — Erdős–Rényi `G(n, m)` and R-MAT (the generator family
+//!   behind GTgraph, used for the Figure 6(g) density sweep).
+//! * [`citation`] — preferential-attachment citation DAGs (CitHepTh /
+//!   CitPatent stand-ins).
+//! * [`community`] — planted-community undirected co-authorship graphs with
+//!   power-law community sizes (DBLP / D05 / D08 / D11 stand-ins).
+//! * [`special`] — paths, cycles, stars, complete bipartite graphs for tests
+//!   and adversarial cases.
+//!
+//! All generators take an explicit `u64` seed and are reproducible across
+//! runs and platforms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod citation;
+pub mod community;
+pub mod fixtures;
+pub mod random;
+pub mod special;

@@ -1,0 +1,233 @@
+//! Uniform and R-MAT random graph generators.
+//!
+//! R-MAT (recursive matrix) is the model behind GTgraph, the synthetic
+//! generator the paper uses for its density sweep (Figure 6(g)). Each edge
+//! recursively picks a quadrant of the adjacency matrix with probabilities
+//! `(a, b, c, d)`; skewed quadrant weights produce the heavy-tailed degree
+//! distributions that make biclique compression effective.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssr_graph::{DiGraph, GraphBuilder, NodeId};
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct directed edges chosen
+/// uniformly among the `n(n-1)` non-loop pairs. Panics if `m` exceeds that.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> DiGraph {
+    assert!(n >= 2 || m == 0, "need at least 2 nodes for edges");
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= max_edges, "requested {m} edges but only {max_edges} possible");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        if chosen.insert((u, v)) {
+            edges.push((u, v));
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(m).reserve_nodes(n);
+    b.extend_edges(edges);
+    b.build().expect("no self-loops generated")
+}
+
+/// Quadrant probabilities of the R-MAT model. Must sum to ~1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant weight (self-similar "rich get richer" corner).
+    pub a: f64,
+    /// Top-right quadrant weight.
+    pub b: f64,
+    /// Bottom-left quadrant weight.
+    pub c: f64,
+    /// Bottom-right quadrant weight.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    /// The canonical skew used by GTgraph and the Graph500 benchmark.
+    fn default() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+    }
+}
+
+impl RmatParams {
+    fn validate(&self) {
+        let s = self.a + self.b + self.c + self.d;
+        assert!((s - 1.0).abs() < 1e-6, "R-MAT quadrant weights must sum to 1, got {s}");
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "negative quadrant weight"
+        );
+    }
+}
+
+/// R-MAT graph on `2^scale` nodes aiming for `m` distinct non-loop edges.
+///
+/// Because R-MAT naturally produces duplicates, we oversample until `m`
+/// distinct edges are found (or a generous attempt budget is exhausted, in
+/// which case the graph has slightly fewer edges — matching GTgraph's own
+/// behaviour of emitting duplicates that downstream tools dedup).
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> DiGraph {
+    params.validate();
+    let n: usize = 1 << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    let budget = m.saturating_mul(20).max(1024);
+    let mut attempts = 0usize;
+    while edges.len() < m && attempts < budget {
+        attempts += 1;
+        let (u, v) = rmat_edge(scale, &params, &mut rng);
+        if u == v {
+            continue;
+        }
+        if chosen.insert((u, v)) {
+            edges.push((u, v));
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(edges.len()).reserve_nodes(n);
+    b.extend_edges(edges);
+    b.build().expect("self-loops filtered above")
+}
+
+/// Web-graph generator: R-MAT plus **boilerplate link blocks**.
+///
+/// Real web graphs are dominated by templated pages: navigation bars,
+/// footers and mirrored sections give large groups of pages *identical
+/// in-link blocks* — the very structure Buehrer & Chellapilla's compressor
+/// (and this paper's edge concentration) exploits. Pure R-MAT lacks it, so a
+/// `template_fraction` of the edge budget is spent on planted blocks: a
+/// random "template" set of source pages is linked wholesale to a group of
+/// member pages.
+pub fn webgraph(scale: u32, m: usize, template_fraction: f64, seed: u64) -> DiGraph {
+    assert!((0.0..=1.0).contains(&template_fraction), "fraction must be in [0,1]");
+    let n: usize = 1 << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let template_budget = (m as f64 * template_fraction) as usize;
+    let base = rmat(scale, m - template_budget, RmatParams::default(), seed ^ 0x1234_5678);
+    let mut edges: Vec<(NodeId, NodeId)> = base.edges().collect();
+    let mut spent = 0usize;
+    while spent < template_budget {
+        // Template block: 3-12 source pages linked into 4-40 member pages.
+        let srcs = rng.gen_range(3..=12usize);
+        let members = rng.gen_range(4..=40usize);
+        let template: Vec<NodeId> =
+            (0..srcs).map(|_| rng.gen_range(0..n as NodeId)).collect();
+        for _ in 0..members {
+            let page = rng.gen_range(0..n as NodeId);
+            for &s in &template {
+                if s != page {
+                    edges.push((s, page));
+                    spent += 1;
+                }
+            }
+            if spent >= template_budget {
+                break;
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(edges.len()).reserve_nodes(n);
+    b.extend_edges(edges);
+    b.build().expect("self-links filtered")
+}
+
+fn rmat_edge(scale: u32, p: &RmatParams, rng: &mut StdRng) -> (NodeId, NodeId) {
+    let mut u: NodeId = 0;
+    let mut v: NodeId = 0;
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        // Add ±10% per-level noise to the quadrant weights, as GTgraph does,
+        // so the degree sequence is not perfectly self-similar.
+        let jitter = |w: f64, r: &mut StdRng| w * (0.9 + 0.2 * r.gen::<f64>());
+        let (a, b, c, d) =
+            (jitter(p.a, rng), jitter(p.b, rng), jitter(p.c, rng), jitter(p.d, rng));
+        let total = a + b + c + d;
+        let roll = rng.gen::<f64>() * total;
+        if roll < a {
+            // top-left: no bits set
+        } else if roll < a + b {
+            v |= 1;
+        } else if roll < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(50, 200, 1);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 200);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        let g1 = erdos_renyi_gnm(30, 80, 42);
+        let g2 = erdos_renyi_gnm(30, 80, 42);
+        assert_eq!(g1, g2);
+        let g3 = erdos_renyi_gnm(30, 80, 43);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn gnm_no_self_loops() {
+        let g = erdos_renyi_gnm(20, 100, 7);
+        assert!(g.edges().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn gnm_too_many_edges_panics() {
+        let _ = erdos_renyi_gnm(3, 10, 0);
+    }
+
+    #[test]
+    fn rmat_reaches_target_and_is_deterministic() {
+        let g1 = rmat(8, 1000, RmatParams::default(), 5);
+        let g2 = rmat(8, 1000, RmatParams::default(), 5);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.node_count(), 256);
+        assert_eq!(g1.edge_count(), 1000);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(9, 4000, RmatParams::default(), 9);
+        let max_in = g.nodes().map(|v| g.in_degree(v)).max().unwrap();
+        let avg = g.edge_count() as f64 / g.node_count() as f64;
+        // Heavy tail: the hub should far exceed the mean degree.
+        assert!(
+            (max_in as f64) > 4.0 * avg,
+            "expected skew, max_in={max_in}, avg={avg:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_params_validated() {
+        let _ = rmat(4, 10, RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }, 0);
+    }
+
+    #[test]
+    fn uniform_rmat_is_roughly_er() {
+        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let g = rmat(8, 2000, p, 3);
+        let max_in = g.nodes().map(|v| g.in_degree(v)).max().unwrap();
+        let avg = g.edge_count() as f64 / g.node_count() as f64;
+        // Unskewed quadrants: hub degree stays within a small factor of mean.
+        assert!((max_in as f64) < 4.0 * avg, "max_in={max_in}, avg={avg:.2}");
+    }
+}

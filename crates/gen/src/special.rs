@@ -1,0 +1,122 @@
+//! Deterministic special-structure graphs for tests and adversarial cases.
+
+use ssr_graph::{DiGraph, NodeId};
+
+/// Directed chain `0 → 1 → … → n-1`.
+pub fn directed_path(n: usize) -> DiGraph {
+    let edges: Vec<(NodeId, NodeId)> =
+        (0..n.saturating_sub(1)).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+    DiGraph::from_edges(n, &edges).expect("chain is well-formed")
+}
+
+/// Directed cycle `0 → 1 → … → n-1 → 0`. Panics for `n < 2`.
+pub fn directed_cycle(n: usize) -> DiGraph {
+    assert!(n >= 2, "cycle needs at least 2 nodes");
+    let mut edges: Vec<(NodeId, NodeId)> =
+        (0..n - 1).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+    edges.push((n as NodeId - 1, 0));
+    DiGraph::from_edges(n, &edges).expect("cycle is well-formed")
+}
+
+/// In-star: `leaves` nodes all pointing at a hub (node 0). The hub's
+/// in-neighborhood is the whole leaf set — the best case for SimRank's
+/// common-in-neighbor base case and the worst case for its "similarity
+/// decreases as common in-neighbors grow" quirk.
+pub fn in_star(leaves: usize) -> DiGraph {
+    let edges: Vec<(NodeId, NodeId)> = (1..=leaves).map(|i| (i as NodeId, 0)).collect();
+    DiGraph::from_edges(leaves + 1, &edges).expect("star is well-formed")
+}
+
+/// Out-star: hub (node 0) pointing at `leaves` nodes. All leaves share the
+/// single in-neighbor 0 and are maximally SimRank-similar to each other.
+pub fn out_star(leaves: usize) -> DiGraph {
+    let edges: Vec<(NodeId, NodeId)> = (1..=leaves).map(|i| (0, i as NodeId)).collect();
+    DiGraph::from_edges(leaves + 1, &edges).expect("star is well-formed")
+}
+
+/// Complete bipartite digraph `K_{t,b}`: top nodes `0..t` each pointing at
+/// every bottom node `t..t+b`. One maximal biclique — edge concentration
+/// compresses its `t·b` edges to `t+b`, the crate's best case.
+pub fn complete_bipartite(t: usize, b: usize) -> DiGraph {
+    let mut edges = Vec::with_capacity(t * b);
+    for u in 0..t {
+        for v in 0..b {
+            edges.push((u as NodeId, (t + v) as NodeId));
+        }
+    }
+    DiGraph::from_edges(t + b, &edges).expect("bipartite is well-formed")
+}
+
+/// Perfect binary in-tree of `depth` levels: every child points at its
+/// parent (citation-style), root is node 0. `2^depth - 1` nodes.
+pub fn binary_in_tree(depth: u32) -> DiGraph {
+    let n = (1usize << depth) - 1;
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n {
+        let parent = (v - 1) / 2;
+        edges.push((v as NodeId, parent as NodeId));
+    }
+    DiGraph::from_edges(n, &edges).expect("tree is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = directed_path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(4), 0);
+    }
+
+    #[test]
+    fn single_node_path() {
+        let g = directed_path(1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_every_degree_one() {
+        let g = directed_cycle(6);
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), 1);
+            assert_eq!(g.out_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn stars() {
+        let g_in = in_star(4);
+        assert_eq!(g_in.in_degree(0), 4);
+        assert_eq!(g_in.out_degree(0), 0);
+        let g_out = out_star(4);
+        assert_eq!(g_out.out_degree(0), 4);
+        for v in 1..=4 {
+            assert_eq!(g_out.in_neighbors(v), &[0]);
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        for v in 3..7 {
+            assert_eq!(g.in_degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_in_tree(3);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.in_degree(0), 2); // root referenced by its two children
+        assert_eq!(g.out_degree(0), 0);
+        // Leaves cite their parents.
+        assert!(g.has_edge(3, 1) && g.has_edge(4, 1));
+    }
+}

@@ -1,0 +1,231 @@
+//! Connected components.
+//!
+//! *Weakly* connected components (union-find over the undirected skeleton)
+//! explain the baseline "completely dissimilar" rates in the Figure 6(d)
+//! census — no similarity measure relates nodes in different components.
+//! *Strongly* connected components (iterative Tarjan) characterise cyclic
+//! structure: a citation DAG is all-singleton SCCs, a web graph is not.
+
+use crate::{DiGraph, NodeId};
+
+/// Weakly connected component labels, dense in `0..count`, numbered in
+/// order of first appearance by node id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component label per node.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Whether two nodes share a component.
+    pub fn same(&self, a: NodeId, b: NodeId) -> bool {
+        self.label[a as usize] == self.label[b as usize]
+    }
+
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.count];
+        for &l in &self.label {
+            s[l as usize] += 1;
+        }
+        s
+    }
+
+    /// Fraction of ordered off-diagonal node pairs in *different* components
+    /// (a hard floor for every measure's zero rate).
+    pub fn disconnected_pair_fraction(&self) -> f64 {
+        let n = self.label.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let same: usize = self.sizes().iter().map(|&s| s * s.saturating_sub(1)).sum();
+        1.0 - same as f64 / (n * (n - 1)) as f64
+    }
+}
+
+/// Computes weakly connected components by union-find with path halving.
+pub fn weakly_connected_components(g: &DiGraph) -> Components {
+    let n = g.node_count();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for (u, v) in g.edges() {
+        let ru = find(&mut parent, u);
+        let rv = find(&mut parent, v);
+        if ru != rv {
+            // Union by id (smaller id wins) keeps labels deterministic.
+            let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+            parent[hi as usize] = lo;
+        }
+    }
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    for v in 0..n as u32 {
+        let root = find(&mut parent, v);
+        if label[root as usize] == u32::MAX {
+            label[root as usize] = count;
+            count += 1;
+        }
+        label[v as usize] = label[root as usize];
+    }
+    Components { label, count: count as usize }
+}
+
+/// Computes strongly connected components with an iterative Tarjan
+/// algorithm. Labels are dense in `0..count` (reverse-topological discovery
+/// order, renumbered by first appearance for determinism).
+pub fn strongly_connected_components(g: &DiGraph) -> Components {
+    let n = g.node_count();
+    let mut index = vec![u32::MAX; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut scc = vec![u32::MAX; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut scc_count = 0u32;
+    // Explicit DFS frames: (node, next-child position).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+    for start in 0..n as NodeId {
+        if index[start as usize] != u32::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            let out = g.out_neighbors(v);
+            if *child < out.len() {
+                let w = out[*child];
+                *child += 1;
+                if index[w as usize] == u32::MAX {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (p, _)) = frames.last_mut() {
+                    lowlink[p as usize] = lowlink[p as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w as usize] = false;
+                        scc[w as usize] = scc_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+            }
+        }
+    }
+    // Renumber by first appearance for a deterministic, id-ordered labelling.
+    let mut remap = vec![u32::MAX; scc_count as usize];
+    let mut label = vec![0u32; n];
+    let mut count = 0u32;
+    for v in 0..n {
+        let old = scc[v];
+        if remap[old as usize] == u32::MAX {
+            remap[old as usize] = count;
+            count += 1;
+        }
+        label[v] = remap[old as usize];
+    }
+    Components { label, count: count as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wcc_two_islands() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count, 3); // {0,1,2}, {3,4}, {5}
+        assert!(c.same(0, 2));
+        assert!(!c.same(2, 3));
+        assert_eq!(c.sizes(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn wcc_direction_ignored() {
+        let g = DiGraph::from_edges(3, &[(1, 0), (1, 2)]).unwrap();
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn disconnected_fraction() {
+        // Components of sizes 2 and 2: same-component ordered pairs = 4,
+        // total = 12 ⇒ 8/12 disconnected.
+        let g = DiGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let c = weakly_connected_components(&g);
+        assert!((c.disconnected_pair_fraction() - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scc_on_dag_all_singletons() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let c = strongly_connected_components(&g);
+        assert_eq!(c.count, 4);
+    }
+
+    #[test]
+    fn scc_finds_cycle() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]).unwrap();
+        let c = strongly_connected_components(&g);
+        assert_eq!(c.count, 3); // {0,1,2}, {3}, {4}
+        assert!(c.same(0, 1) && c.same(1, 2));
+        assert!(!c.same(2, 3));
+    }
+
+    #[test]
+    fn scc_two_cycles_bridge() {
+        let g = DiGraph::from_edges(
+            6,
+            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5), (5, 4)],
+        )
+        .unwrap();
+        let c = strongly_connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert!(c.same(0, 1));
+        assert!(c.same(2, 3));
+        assert!(c.same(4, 5));
+        assert!(!c.same(1, 2));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = DiGraph::from_edges(0, &[]).unwrap();
+        assert_eq!(weakly_connected_components(&g).count, 0);
+        assert_eq!(strongly_connected_components(&g).count, 0);
+        let g = DiGraph::from_edges(1, &[]).unwrap();
+        assert_eq!(weakly_connected_components(&g).count, 1);
+        assert_eq!(strongly_connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn self_loop_is_singleton_scc() {
+        let g = DiGraph::from_edges(2, &[(0, 0), (0, 1)]).unwrap();
+        let c = strongly_connected_components(&g);
+        assert_eq!(c.count, 2);
+    }
+}

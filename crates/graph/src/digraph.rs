@@ -1,0 +1,319 @@
+use crate::{GraphError, NodeId};
+
+/// An immutable directed graph in compressed-sparse-row (CSR) form.
+///
+/// Both directions of adjacency are materialised:
+///
+/// * `out_*` — for each node `v`, the sorted list `O(v)` of successors,
+/// * `in_*` — for each node `v`, the sorted list `I(v)` of predecessors.
+///
+/// Link-based similarity measures walk edges *against* their direction
+/// ("two nodes are similar if they are referenced by similar nodes"), so the
+/// in-adjacency is the hot structure; the out-adjacency is needed by P-Rank
+/// and by RWR's forward walks.
+///
+/// Parallel edges are collapsed at construction; adjacency lists are sorted,
+/// enabling `O(log d)` [`DiGraph::has_edge`] queries and deterministic
+/// iteration order everywhere downstream.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    n: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+}
+
+impl DiGraph {
+    /// Builds a graph with `n` nodes from an edge list. Duplicate edges are
+    /// collapsed; self-loops are kept (callers that must forbid them use
+    /// [`crate::GraphBuilder`]).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::NodeOutOfRange`] if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        for &(u, v) in edges {
+            if (u as usize) >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, node_count: n });
+            }
+            if (v as usize) >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, node_count: n });
+            }
+        }
+        let mut sorted: Vec<(NodeId, NodeId)> = edges.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Ok(Self::from_sorted_deduped(n, &sorted))
+    }
+
+    /// Builds a graph from edges that are already sorted by `(source, target)`
+    /// and deduplicated. Internal fast path shared by the builder.
+    pub(crate) fn from_sorted_deduped(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let m = edges.len();
+        let mut out_offsets = vec![0usize; n + 1];
+        let mut in_degree = vec![0usize; n];
+        for &(u, v) in edges {
+            out_offsets[u as usize + 1] += 1;
+            in_degree[v as usize] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = vec![0 as NodeId; m];
+        {
+            let mut cursor = out_offsets.clone();
+            for &(u, v) in edges {
+                out_targets[cursor[u as usize]] = v;
+                cursor[u as usize] += 1;
+            }
+        }
+        let mut in_offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            in_offsets[v + 1] = in_offsets[v] + in_degree[v];
+        }
+        let mut in_sources = vec![0 as NodeId; m];
+        {
+            let mut cursor = in_offsets.clone();
+            // Edges are sorted by source, so each in-list fills in ascending
+            // source order and ends up sorted without an extra pass.
+            for &(u, v) in edges {
+                in_sources[cursor[v as usize]] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        DiGraph { n, out_offsets, out_targets, in_offsets, in_sources }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (distinct) directed edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// The sorted successor list `O(v)`.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// The sorted predecessor list `I(v)`.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// `|O(v)|`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// `|I(v)|`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Whether the directed edge `u -> v` exists. `O(log |O(u)|)`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates all edges `(u, v)` in `(source, target)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n as NodeId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterates node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n as NodeId
+    }
+
+    /// The transpose graph `Gᵀ` (every edge reversed).
+    pub fn transpose(&self) -> DiGraph {
+        let mut edges: Vec<(NodeId, NodeId)> = self.edges().map(|(u, v)| (v, u)).collect();
+        edges.sort_unstable();
+        // Transposing cannot introduce duplicates.
+        Self::from_sorted_deduped(self.n, &edges)
+    }
+
+    /// The symmetrised graph: for every edge `u -> v`, both `u -> v` and
+    /// `v -> u` are present. Models undirected graphs (e.g. DBLP
+    /// co-authorship) in the directed framework, exactly as the paper does.
+    pub fn symmetrized(&self) -> DiGraph {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.edge_count() * 2);
+        for (u, v) in self.edges() {
+            edges.push((u, v));
+            edges.push((v, u));
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Self::from_sorted_deduped(self.n, &edges)
+    }
+
+    /// True when for every edge `u -> v` the reverse edge also exists.
+    pub fn is_symmetric(&self) -> bool {
+        self.edges().all(|(u, v)| self.has_edge(v, u))
+    }
+
+    /// The subgraph induced by `keep` (nodes renumbered densely in the order
+    /// they appear in `keep`). Returns the subgraph and the old-id → new-id
+    /// mapping (`None` for dropped nodes).
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (DiGraph, Vec<Option<NodeId>>) {
+        let mut remap: Vec<Option<NodeId>> = vec![None; self.n];
+        for (new, &old) in keep.iter().enumerate() {
+            remap[old as usize] = Some(new as NodeId);
+        }
+        let mut edges = Vec::new();
+        for &old_u in keep {
+            let new_u = remap[old_u as usize].expect("keep node mapped");
+            for &old_v in self.out_neighbors(old_u) {
+                if let Some(new_v) = remap[old_v as usize] {
+                    edges.push((new_u, new_v));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        (Self::from_sorted_deduped(keep.len(), &edges), remap)
+    }
+
+    /// Estimated resident bytes of the CSR arrays (used by the Fig. 6(h)
+    /// memory experiment).
+    pub fn estimated_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<usize>()
+            + self.in_offsets.len() * std::mem::size_of::<usize>()
+            + self.out_targets.len() * std::mem::size_of::<NodeId>()
+            + self.in_sources.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+impl std::fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiGraph")
+            .field("nodes", &self.n)
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_correct() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[] as &[NodeId]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[] as &[NodeId]);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let err = DiGraph::from_edges(2, &[(0, 2)]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 2, node_count: 2 });
+    }
+
+    #[test]
+    fn has_edge_both_ways() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn transpose_reverses() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            assert!(t.has_edge(v, u));
+        }
+        // Transposing twice is the identity.
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn symmetrized_has_both_directions() {
+        let g = diamond().symmetrized();
+        assert!(g.is_symmetric());
+        assert_eq!(g.edge_count(), 8);
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_are_fine() {
+        let g = DiGraph::from_edges(5, &[(0, 1)]).unwrap();
+        assert_eq!(g.in_degree(4), 0);
+        assert_eq!(g.out_degree(4), 0);
+    }
+
+    #[test]
+    fn self_loop_allowed_at_digraph_level() {
+        let g = DiGraph::from_edges(2, &[(0, 0), (0, 1)]).unwrap();
+        assert!(g.has_edge(0, 0));
+        assert_eq!(g.in_neighbors(0), &[0]);
+    }
+
+    #[test]
+    fn edges_iterator_in_order() {
+        let g = diamond();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = diamond();
+        let (sub, remap) = g.induced_subgraph(&[0, 1, 3]);
+        assert_eq!(sub.node_count(), 3);
+        // surviving edges: 0->1, 1->3 (node 2 dropped)
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(remap[2], None);
+        let n0 = remap[0].unwrap();
+        let n1 = remap[1].unwrap();
+        let n3 = remap[3].unwrap();
+        assert!(sub.has_edge(n0, n1));
+        assert!(sub.has_edge(n1, n3));
+    }
+}

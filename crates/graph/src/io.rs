@@ -1,0 +1,171 @@
+//! Plain-text edge-list I/O.
+//!
+//! The paper's real datasets (SNAP's CitHepTh, Web-Google, CitPatent) ship as
+//! whitespace-separated `source target` lines with `#`-prefixed comment
+//! headers; this module reads and writes exactly that dialect (also accepting
+//! `%` comments, as used by some mirrors).
+
+use crate::{DiGraph, GraphBuilder, GraphError, NodeId};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Parses edge-list text: one `u v` pair per line, `#`/`%` comments and blank
+/// lines ignored.
+///
+/// # Errors
+/// [`GraphError::Parse`] with a 1-based line number on any malformed line.
+pub fn parse_edge_list(text: &str) -> Result<Vec<(NodeId, NodeId)>, GraphError> {
+    let mut edges = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u = parse_node(it.next(), idx + 1, "missing source")?;
+        let v = parse_node(it.next(), idx + 1, "missing target")?;
+        if it.next().is_some() {
+            return Err(GraphError::Parse {
+                line: idx + 1,
+                message: format!("trailing tokens after edge `{line}`"),
+            });
+        }
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+fn parse_node(tok: Option<&str>, line: usize, missing: &str) -> Result<NodeId, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse { line, message: missing.to_string() })?;
+    tok.parse::<NodeId>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("`{tok}` is not a valid node id"),
+    })
+}
+
+/// Parses edge-list text straight into a [`DiGraph`] (self-loops permitted,
+/// duplicates collapsed).
+pub fn graph_from_edge_list(text: &str) -> Result<DiGraph, GraphError> {
+    let edges = parse_edge_list(text)?;
+    let mut b = GraphBuilder::with_capacity(edges.len()).allow_self_loops(true);
+    b.extend_edges(edges);
+    b.build()
+}
+
+/// Reads a graph from an edge-list file.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DiGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut text = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut text)?;
+    graph_from_edge_list(&text)
+}
+
+/// Writes a graph as an edge list (with a small comment header) to `w`.
+pub fn write_edge_list<W: Write>(g: &DiGraph, w: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# nodes: {}", g.node_count())?;
+    writeln!(w, "# edges: {}", g.edge_count())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a graph to an edge-list file.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &DiGraph, path: P) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, file)
+}
+
+/// Serialises a graph to edge-list text (round-trips through
+/// [`graph_from_edge_list`]).
+pub fn to_edge_list_string(g: &DiGraph) -> String {
+    let mut buf = Vec::new();
+    write_edge_list(g, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("edge list is ASCII")
+}
+
+/// Reads a line-oriented stream incrementally (for very large files); calls
+/// `f(u, v)` per edge without materialising the whole text.
+pub fn for_each_edge_in_reader<R: BufRead>(
+    reader: R,
+    mut f: impl FnMut(NodeId, NodeId),
+) -> Result<(), GraphError> {
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u = parse_node(it.next(), idx + 1, "missing source")?;
+        let v = parse_node(it.next(), idx + 1, "missing target")?;
+        f(u, v);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let text = "# header\n\n0 1\n% another comment\n1\t2\n";
+        let edges = parse_edge_list(text).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nfoo bar\n";
+        match parse_edge_list(text).unwrap_err() {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_target_is_error() {
+        assert!(matches!(parse_edge_list("7\n"), Err(GraphError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn trailing_tokens_are_error() {
+        assert!(matches!(parse_edge_list("0 1 2\n"), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn negative_node_is_error() {
+        assert!(matches!(parse_edge_list("-1 2\n"), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let text = to_edge_list_string(&g);
+        let g2 = graph_from_edge_list(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn streaming_reader_matches_parse() {
+        let text = "# c\n0 1\n2 3\n";
+        let mut got = Vec::new();
+        for_each_edge_in_reader(text.as_bytes(), |u, v| got.push((u, v))).unwrap();
+        assert_eq!(got, parse_edge_list(text).unwrap());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let dir = std::env::temp_dir().join("ssr_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Degree and density summaries, used to regenerate Figure 5 of the paper
+//! (the dataset-detail table) and to sanity-check generated graphs against
+//! their real-data targets.
+
+use crate::DiGraph;
+
+/// Summary statistics of a directed graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// `|E| / |V|` (the paper's "Density" column in Figure 5).
+    pub density: f64,
+    /// Mean in-degree (equals density).
+    pub avg_in_degree: f64,
+    /// Largest in-degree.
+    pub max_in_degree: usize,
+    /// Largest out-degree.
+    pub max_out_degree: usize,
+    /// Nodes with no in-edges (`I(v) = ∅` — their SimRank row is all-zero off
+    /// the diagonal).
+    pub sources: usize,
+    /// Nodes with no out-edges.
+    pub sinks: usize,
+    /// Nodes with neither in- nor out-edges.
+    pub isolated: usize,
+}
+
+/// Computes [`GraphStats`] in one pass over the nodes.
+pub fn graph_stats(g: &DiGraph) -> GraphStats {
+    let n = g.node_count();
+    let m = g.edge_count();
+    let mut max_in = 0usize;
+    let mut max_out = 0usize;
+    let mut sources = 0usize;
+    let mut sinks = 0usize;
+    let mut isolated = 0usize;
+    for v in g.nodes() {
+        let din = g.in_degree(v);
+        let dout = g.out_degree(v);
+        max_in = max_in.max(din);
+        max_out = max_out.max(dout);
+        if din == 0 {
+            sources += 1;
+        }
+        if dout == 0 {
+            sinks += 1;
+        }
+        if din == 0 && dout == 0 {
+            isolated += 1;
+        }
+    }
+    let density = if n == 0 { 0.0 } else { m as f64 / n as f64 };
+    GraphStats {
+        nodes: n,
+        edges: m,
+        density,
+        avg_in_degree: density,
+        max_in_degree: max_in,
+        max_out_degree: max_out,
+        sources,
+        sinks,
+        isolated,
+    }
+}
+
+/// In-degree histogram: `hist[d]` = number of nodes with in-degree `d`
+/// (truncated at `max_bucket`, with an overflow bucket at the end).
+pub fn in_degree_histogram(g: &DiGraph, max_bucket: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_bucket + 2];
+    for v in g.nodes() {
+        let d = g.in_degree(v).min(max_bucket + 1);
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Splits nodes into `groups` in-degree strata of (near-)equal size, highest
+/// in-degree first — the paper's test-query protocol sorts nodes by
+/// in-degree into 5 groups and samples 100 per group.
+pub fn in_degree_strata(g: &DiGraph, groups: usize) -> Vec<Vec<crate::NodeId>> {
+    assert!(groups > 0);
+    let mut nodes: Vec<crate::NodeId> = g.nodes().collect();
+    nodes.sort_by_key(|&v| std::cmp::Reverse((g.in_degree(v), v)));
+    let n = nodes.len();
+    let mut strata = Vec::with_capacity(groups);
+    for gidx in 0..groups {
+        let lo = gidx * n / groups;
+        let hi = (gidx + 1) * n / groups;
+        strata.push(nodes[lo..hi].to_vec());
+    }
+    strata
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_diamond() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 4);
+        assert!((s.density - 0.8).abs() < 1e-12);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.sources, 2); // node 0 and isolated node 4
+        assert_eq!(s.sinks, 2); // node 3 and node 4
+        assert_eq!(s.isolated, 1);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let h = in_degree_histogram(&g, 4);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[0], 2); // nodes 0 and 4
+        assert_eq!(h[1], 2); // nodes 1 and 2
+        assert_eq!(h[2], 1); // node 3
+    }
+
+    #[test]
+    fn strata_partition_all_nodes() {
+        let g = DiGraph::from_edges(10, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
+        let strata = in_degree_strata(&g, 3);
+        let total: usize = strata.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 10);
+        // First stratum holds the highest in-degree node (4, in-degree 2).
+        assert!(strata[0].contains(&4));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = DiGraph::from_edges(0, &[]).unwrap();
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.density, 0.0);
+    }
+}

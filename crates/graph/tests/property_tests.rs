@@ -1,0 +1,141 @@
+//! Property-based tests of the graph substrate.
+
+use proptest::prelude::*;
+use ssr_graph::components::{strongly_connected_components, weakly_connected_components};
+use ssr_graph::{io, paths, DiGraph, GraphBuilder};
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m)
+            .prop_map(move |edges| (n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Degree sums: Σ out-degree = Σ in-degree = |E|.
+    #[test]
+    fn degree_sums_match_edge_count((n, edges) in arb_edges(20, 60)) {
+        let g = DiGraph::from_edges(n, &edges).unwrap();
+        let out_sum: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.edge_count());
+        prop_assert_eq!(in_sum, g.edge_count());
+    }
+
+    /// in_neighbors/out_neighbors are mutually consistent.
+    #[test]
+    fn adjacency_consistency((n, edges) in arb_edges(16, 50)) {
+        let g = DiGraph::from_edges(n, &edges).unwrap();
+        for (u, v) in g.edges() {
+            prop_assert!(g.in_neighbors(v).contains(&u));
+            prop_assert!(g.out_neighbors(u).contains(&v));
+        }
+    }
+
+    /// Transpose swaps in- and out-adjacency exactly.
+    #[test]
+    fn transpose_swaps_adjacency((n, edges) in arb_edges(16, 50)) {
+        let g = DiGraph::from_edges(n, &edges).unwrap();
+        let t = g.transpose();
+        for v in g.nodes() {
+            prop_assert_eq!(g.in_neighbors(v), t.out_neighbors(v));
+            prop_assert_eq!(g.out_neighbors(v), t.in_neighbors(v));
+        }
+    }
+
+    /// Edge-list text round-trips the graph exactly.
+    #[test]
+    fn io_round_trip((n, edges) in arb_edges(16, 50)) {
+        let mut b = GraphBuilder::with_capacity(edges.len())
+            .allow_self_loops(true)
+            .reserve_nodes(n);
+        b.extend_edges(edges.iter().copied());
+        let g = b.build().unwrap();
+        let text = io::to_edge_list_string(&g);
+        let mut g2 = io::graph_from_edge_list(&text).unwrap();
+        // reserve_nodes information is not in the text; compare up to
+        // trailing isolated nodes by re-reserving.
+        if g2.node_count() < g.node_count() {
+            let mut b = GraphBuilder::with_capacity(g2.edge_count())
+                .allow_self_loops(true)
+                .reserve_nodes(g.node_count());
+            b.extend_edges(g2.edges());
+            g2 = b.build().unwrap();
+        }
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Symmetrised graphs are symmetric and preserve reachability.
+    #[test]
+    fn symmetrize_idempotent((n, edges) in arb_edges(12, 40)) {
+        let g = DiGraph::from_edges(n, &edges).unwrap();
+        let s = g.symmetrized();
+        prop_assert!(s.is_symmetric());
+        prop_assert_eq!(s.symmetrized(), s.clone());
+    }
+
+    /// WCC is coarser than SCC: same SCC ⇒ same WCC, and counts order.
+    #[test]
+    fn wcc_coarser_than_scc((n, edges) in arb_edges(14, 40)) {
+        let g = DiGraph::from_edges(n, &edges).unwrap();
+        let wcc = weakly_connected_components(&g);
+        let scc = strongly_connected_components(&g);
+        prop_assert!(wcc.count <= scc.count);
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                if scc.same(a, b) {
+                    prop_assert!(wcc.same(a, b));
+                }
+            }
+        }
+    }
+
+    /// SCC is correct against a reachability oracle: same SCC ⟺ mutually
+    /// reachable.
+    #[test]
+    fn scc_matches_mutual_reachability((n, edges) in arb_edges(10, 26)) {
+        let g = DiGraph::from_edges(n, &edges).unwrap();
+        let scc = strongly_connected_components(&g);
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                if a == b { continue; }
+                let fwd = paths::has_directed_path(&g, a, b, n);
+                let back = paths::has_directed_path(&g, b, a, n);
+                prop_assert_eq!(scc.same(a, b), fwd && back, "({}, {})", a, b);
+            }
+        }
+    }
+
+    /// Symmetric in-link path probing is symmetric in its arguments.
+    #[test]
+    fn symmetric_probe_commutes((n, edges) in arb_edges(10, 26)) {
+        let g = DiGraph::from_edges(n, &edges).unwrap();
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                prop_assert_eq!(
+                    paths::has_symmetric_inlink_path(&g, a, b, 4),
+                    paths::has_symmetric_inlink_path(&g, b, a, 4)
+                );
+            }
+        }
+    }
+
+    /// Level sets: every node in level d actually has a path of length d.
+    #[test]
+    fn level_sets_sound((n, edges) in arb_edges(10, 26)) {
+        let g = DiGraph::from_edges(n, &edges).unwrap();
+        for v in 0..n as u32 {
+            let levels = paths::backward_level_sets(&g, v, 3);
+            for (d, level) in levels.iter().enumerate().skip(1) {
+                for &src in level {
+                    // src reaches v in exactly d steps: verify by forward
+                    // level sets from src.
+                    let fwd = paths::forward_level_sets(&g, src, d);
+                    prop_assert!(fwd[d].contains(&v), "src={src} v={v} d={d}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # ssr-linalg — dense and sparse linear algebra for the SimRank\* suite
+//!
+//! No linear-algebra crates are available offline, so this crate implements
+//! exactly the kernel set the paper's algorithms need:
+//!
+//! * [`Dense`] — row-major dense `f64` matrices with the operations the
+//!   matrix forms of SimRank/SimRank\* use: mat-mul (crossbeam-parallel over
+//!   row blocks), transpose, axpy-style updates, the max-norm
+//!   `‖X‖_max = max |x_ij|` of Lemma 3, and symmetry checks.
+//! * [`Csr`] — compressed-sparse-row matrices, built from graphs:
+//!   [`Csr::backward_transition`] is the paper's `Q` (row-normalised `Aᵀ`),
+//!   [`Csr::forward_transition`] is RWR's `W` (row-normalised `A`). The hot
+//!   kernel is [`Csr::mul_dense`] (`sparse · dense`), the single
+//!   multiplication per SimRank\* iteration of Theorem 2.
+//! * [`svd`] — truncated SVD by block power iteration with Gram–Schmidt
+//!   re-orthonormalisation, for the mtx-SR baseline (Li et al., EDBT'10).
+//! * [`solve`] — dense Gaussian elimination with partial pivoting for the
+//!   small `r×r` fixed-point systems mtx-SR produces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dense;
+pub mod solve;
+mod sparse;
+pub mod svd;
+
+pub use dense::Dense;
+pub use sparse::Csr;
+
+/// Tolerance used by approximate comparisons in tests and convergence checks.
+pub const DEFAULT_TOL: f64 = 1e-9;

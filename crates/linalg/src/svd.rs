@@ -1,0 +1,343 @@
+//! Truncated SVD by block power iteration.
+//!
+//! The mtx-SR baseline (Li et al., EDBT'10) factors the transition matrix
+//! `Q ≈ U Σ Vᵀ` at a small rank `r` and solves SimRank in the compressed
+//! space. No LAPACK is available offline, so we implement the classic
+//! subspace-iteration scheme:
+//!
+//! 1. start from a deterministic pseudo-random block `X ∈ ℝ^{n×r}`;
+//! 2. repeat: `X ← Aᵀ(A X)`, re-orthonormalising with modified Gram–Schmidt
+//!    (this drives `X` to the top right-singular subspace of `A`);
+//! 3. recover `σ_i = ‖A v_i‖` and `u_i = A v_i / σ_i`.
+//!
+//! Accuracy is what subspace iteration gives — fine for mtx-SR, whose whole
+//! point in the paper's evaluation is that low-rank approximation is slow and
+//! memory-hungry, not bit-exact.
+
+use crate::{Csr, Dense};
+
+/// Result of a truncated SVD `A ≈ U Σ Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// Left singular vectors, `n × r` (columns orthonormal).
+    pub u: Dense,
+    /// Singular values, descending, length `r`.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `n × r` (columns orthonormal).
+    pub v: Dense,
+}
+
+/// Computes a rank-`r` truncated SVD of the sparse matrix `a` using the
+/// randomized range-finder scheme (Halko–Martinsson–Tropp structure):
+///
+/// 1. `Y = A·Ω` for a seeded random block `Ω`, orthonormalised to `Qm`;
+/// 2. `power_iters` rounds of `Qm ← orth(A·orth(Aᵀ·Qm))` to sharpen the
+///    range (2–8 rounds suffice for graph transition matrices);
+/// 3. Rayleigh–Ritz on `Bᵀ = Aᵀ·Qm`: eigendecompose the small `r×r` Gram
+///    matrix `B Bᵀ` with cyclic Jacobi and rotate back.
+///
+/// `seed` makes the start block — and hence the output — deterministic.
+pub fn truncated_svd(a: &Csr, r: usize, power_iters: usize, seed: u64) -> TruncatedSvd {
+    let n_rows = a.rows();
+    let n_cols = a.cols();
+    let r = r.min(n_cols).min(n_rows).max(1);
+    let at = a.transpose();
+
+    // Deterministic random start block Ω (SplitMix64 stream), n_cols × r.
+    let mut omega = Dense::zeros(n_cols, r);
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    for i in 0..n_cols {
+        for j in 0..r {
+            omega.set(i, j, next());
+        }
+    }
+
+    // Range finder with power iterations.
+    let mut qm = a.mul_dense(&omega); // n_rows × r
+    orthonormalize_columns(&mut qm);
+    for _ in 0..power_iters {
+        let mut z = at.mul_dense(&qm); // n_cols × r
+        orthonormalize_columns(&mut z);
+        qm = a.mul_dense(&z);
+        orthonormalize_columns(&mut qm);
+    }
+
+    // Project: Bᵀ = Aᵀ·Qm (n_cols × r), so B = Qmᵀ·A (r × n_cols).
+    let bt = at.mul_dense(&qm);
+    // Small eigenproblem on B·Bᵀ = (Bᵀ)ᵀ(Bᵀ), r×r.
+    let g = gram(&bt);
+    let (evals, evecs) = jacobi_eigen_symmetric(&g, 64);
+    let mut order: Vec<usize> = (0..evals.len()).collect();
+    order.sort_by(|&i, &j| evals[j].partial_cmp(&evals[i]).expect("finite eigenvalues"));
+
+    let mut sigma = Vec::with_capacity(r);
+    let mut u = Dense::zeros(n_rows, r);
+    let mut v = Dense::zeros(n_cols, r);
+    for (new_idx, &old_idx) in order.iter().enumerate() {
+        let lam = evals[old_idx].max(0.0);
+        let s = lam.sqrt();
+        sigma.push(s);
+        // u_new = Qm · w  (w = eigenvector of B Bᵀ)
+        for row in 0..n_rows {
+            let mut acc = 0.0;
+            for k in 0..r {
+                acc += qm.get(row, k) * evecs.get(k, old_idx);
+            }
+            u.set(row, new_idx, acc);
+        }
+        // v_new = Bᵀ · w / σ
+        for row in 0..n_cols {
+            let mut acc = 0.0;
+            for k in 0..r {
+                acc += bt.get(row, k) * evecs.get(k, old_idx);
+            }
+            v.set(row, new_idx, if s > 1e-12 { acc / s } else { 0.0 });
+        }
+    }
+    TruncatedSvd { u, sigma, v }
+}
+
+/// Modified Gram–Schmidt on the columns of `m`. A column that becomes
+/// (numerically) zero — the block exceeded the matrix rank — is replaced by
+/// the first canonical basis vector that survives orthogonalisation against
+/// the already-finished columns, keeping the block exactly orthonormal.
+fn orthonormalize_columns(m: &mut Dense) {
+    let (rows, cols) = (m.rows(), m.cols());
+    for j in 0..cols {
+        project_out_previous(m, j);
+        if !try_normalize(m, j) {
+            // Deflated column: substitute basis vectors until one sticks.
+            let mut replaced = false;
+            for basis in 0..rows {
+                for i in 0..rows {
+                    m.set(i, j, if i == basis { 1.0 } else { 0.0 });
+                }
+                project_out_previous(m, j);
+                if try_normalize(m, j) {
+                    replaced = true;
+                    break;
+                }
+            }
+            if !replaced {
+                // rows < cols: no orthogonal direction left; leave zero.
+                for i in 0..rows {
+                    m.set(i, j, 0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Subtracts the projections of column `j` onto columns `0..j`.
+fn project_out_previous(m: &mut Dense, j: usize) {
+    let rows = m.rows();
+    for k in 0..j {
+        let mut dot = 0.0;
+        for i in 0..rows {
+            dot += m.get(i, j) * m.get(i, k);
+        }
+        if dot != 0.0 {
+            for i in 0..rows {
+                let v = m.get(i, j) - dot * m.get(i, k);
+                m.set(i, j, v);
+            }
+        }
+    }
+}
+
+/// Normalises column `j`; returns false when its norm is numerically zero.
+fn try_normalize(m: &mut Dense, j: usize) -> bool {
+    let rows = m.rows();
+    let mut norm = 0.0;
+    for i in 0..rows {
+        norm += m.get(i, j) * m.get(i, j);
+    }
+    let norm = norm.sqrt();
+    if norm <= 1e-10 {
+        return false;
+    }
+    for i in 0..rows {
+        m.set(i, j, m.get(i, j) / norm);
+    }
+    true
+}
+
+/// `G = MᵀM` (small `r×r`).
+fn gram(m: &Dense) -> Dense {
+    let (rows, cols) = (m.rows(), m.cols());
+    let mut g = Dense::zeros(cols, cols);
+    for i in 0..cols {
+        for j in i..cols {
+            let mut acc = 0.0;
+            for k in 0..rows {
+                acc += m.get(k, i) * m.get(k, j);
+            }
+            g.set(i, j, acc);
+            g.set(j, i, acc);
+        }
+    }
+    g
+}
+
+/// Cyclic Jacobi eigendecomposition of a small symmetric matrix. Returns
+/// `(eigenvalues, eigenvector-columns)`.
+pub fn jacobi_eigen_symmetric(a: &Dense, max_sweeps: usize) -> (Vec<f64>, Dense) {
+    assert_eq!(a.rows(), a.cols(), "square required");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Dense::identity(n);
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m.get(i, j).abs();
+            }
+        }
+        if off < 1e-14 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    let evals = (0..n).map(|i| m.get(i, i)).collect();
+    (evals, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_on_diagonal_is_identity() {
+        let a = Dense::from_rows(&[vec![3.0, 0.0], vec![0.0, 1.0]]);
+        let (evals, _) = jacobi_eigen_symmetric(&a, 8);
+        let mut e = evals.clone();
+        e.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        assert!((e[0] - 3.0).abs() < 1e-12);
+        assert!((e[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_2x2_known() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Dense::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let (evals, evecs) = jacobi_eigen_symmetric(&a, 16);
+        let mut e = evals.clone();
+        e.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        assert!((e[0] - 3.0).abs() < 1e-10);
+        assert!((e[1] - 1.0).abs() < 1e-10);
+        // Eigenvector columns are orthonormal.
+        let mut dot = 0.0;
+        for k in 0..2 {
+            dot += evecs.get(k, 0) * evecs.get(k, 1);
+        }
+        assert!(dot.abs() < 1e-10);
+    }
+
+    #[test]
+    fn svd_reconstructs_low_rank_matrix() {
+        // Rank-2 matrix built from two outer products.
+        let n = 12;
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let v = (i as f64 + 1.0) * (j as f64 + 1.0) / (n as f64 * n as f64)
+                    + if (i + j) % 2 == 0 { 0.05 } else { -0.05 };
+                triplets.push((i as u32, j as u32, v));
+            }
+        }
+        let a = Csr::from_triplets(n, n, &triplets);
+        let svd = truncated_svd(&a, 2, 30, 42);
+        // Reconstruct and compare to the dense original.
+        let dense = a.to_dense();
+        let mut recon = Dense::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..2 {
+                    acc += svd.u.get(i, k) * svd.sigma[k] * svd.v.get(j, k);
+                }
+                recon.set(i, j, acc);
+            }
+        }
+        assert!(
+            dense.max_diff(&recon) < 1e-6,
+            "rank-2 matrix should reconstruct exactly, err = {}",
+            dense.max_diff(&recon)
+        );
+    }
+
+    #[test]
+    fn singular_values_descend_and_nonneg() {
+        let g = ssr_graph::DiGraph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 0)],
+        )
+        .unwrap();
+        let q = Csr::backward_transition(&g);
+        let svd = truncated_svd(&q, 4, 25, 7);
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn u_and_v_columns_orthonormal() {
+        let g = ssr_graph::DiGraph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 4), (2, 6)],
+        )
+        .unwrap();
+        let q = Csr::backward_transition(&g);
+        let svd = truncated_svd(&q, 3, 25, 11);
+        for a in 0..3 {
+            for b in 0..3 {
+                let mut dot_v = 0.0;
+                for k in 0..8 {
+                    dot_v += svd.v.get(k, a) * svd.v.get(k, b);
+                }
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((dot_v - expect).abs() < 1e-6, "Vᵀ V != I at ({a},{b})");
+            }
+        }
+    }
+}

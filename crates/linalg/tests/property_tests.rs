@@ -1,0 +1,171 @@
+//! Property-based tests of the linear-algebra substrate: algebraic
+//! identities that must hold for arbitrary matrices, exercised with
+//! proptest-generated inputs.
+
+use proptest::prelude::*;
+use ssr_linalg::{solve::solve_dense, svd::truncated_svd, Csr, Dense};
+
+/// Strategy: a dense matrix with entries in [-1, 1].
+fn arb_dense(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Dense> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1.0f64..1.0, r * c)
+            .prop_map(move |data| Dense::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: a square dense matrix.
+fn arb_square(max_n: usize) -> impl Strategy<Value = Dense> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-1.0f64..1.0, n * n)
+            .prop_map(move |data| Dense::from_vec(n, n, data))
+    })
+}
+
+/// Strategy: a sparse matrix from random triplets.
+fn arb_csr(max_n: usize) -> impl Strategy<Value = Csr> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(
+            (0..n as u32, 0..n as u32, -1.0f64..1.0),
+            0..(3 * n),
+        )
+        .prop_map(move |t| Csr::from_triplets(n, n, &t))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (Aᵀ)ᵀ = A.
+    #[test]
+    fn transpose_involution(a in arb_dense(12, 12)) {
+        prop_assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ (dimensions drawn jointly so the product is defined).
+    #[test]
+    fn matmul_transpose_identity(
+        (a, b) in (1usize..=7, 1usize..=7, 1usize..=7).prop_flat_map(|(r, k, c)| {
+            (
+                proptest::collection::vec(-1.0f64..1.0, r * k)
+                    .prop_map(move |d| Dense::from_vec(r, k, d)),
+                proptest::collection::vec(-1.0f64..1.0, k * c)
+                    .prop_map(move |d| Dense::from_vec(k, c, d)),
+            )
+        })
+    ) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    /// A·I = I·A = A.
+    #[test]
+    fn identity_neutral(a in arb_square(10)) {
+        let i = Dense::identity(a.rows());
+        prop_assert!(a.matmul(&i).approx_eq(&a, 0.0));
+        prop_assert!(i.matmul(&a).approx_eq(&a, 0.0));
+    }
+
+    /// Max-norm triangle inequality under addition.
+    #[test]
+    fn max_norm_triangle(a in arb_square(10), s in -2.0f64..2.0) {
+        let mut b = a.clone();
+        b.scale(s);
+        prop_assert!((b.max_norm() - s.abs() * a.max_norm()).abs() < 1e-10);
+    }
+
+    /// Sparse mat-mul agrees with densified mat-mul.
+    #[test]
+    fn csr_mul_dense_agrees(m in arb_csr(10)) {
+        let x = Dense::identity(m.cols());
+        let via_sparse = m.mul_dense(&x);
+        prop_assert!(via_sparse.approx_eq(&m.to_dense(), 1e-12));
+    }
+
+    /// Sparse transpose agrees with dense transpose.
+    #[test]
+    fn csr_transpose_agrees(m in arb_csr(10)) {
+        prop_assert!(m.transpose().to_dense().approx_eq(&m.to_dense().transpose(), 0.0));
+    }
+
+    /// mul_vec is the first column of mul_dense on a basis vector.
+    #[test]
+    fn csr_mul_vec_agrees(m in arb_csr(8)) {
+        let n = m.cols();
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let y = m.mul_vec(&e);
+            let dense = m.to_dense();
+            for (i, &yi) in y.iter().enumerate() {
+                prop_assert!((yi - dense.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// vec_mul is mul_vec on the transpose.
+    #[test]
+    fn csr_vec_mul_is_transposed_mul_vec(m in arb_csr(8), seed in 0u64..1000) {
+        let n = m.rows();
+        let x: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 7) as f64 - 3.0).collect();
+        let a = m.vec_mul(&x);
+        let b = m.transpose().mul_vec(&x);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    /// Gaussian elimination: A·x = b round-trips for well-conditioned A
+    /// (diagonally dominated by construction).
+    #[test]
+    fn solve_round_trip(a in arb_square(8), bvec in proptest::collection::vec(-1.0f64..1.0, 8)) {
+        let n = a.rows();
+        let mut m = a.clone();
+        // Force diagonal dominance so the system is well-conditioned.
+        for i in 0..n {
+            m.add_to(i, i, 4.0);
+        }
+        let b = &bvec[..n];
+        let x = solve_dense(&m, b).expect("diagonally dominant is non-singular");
+        // Check A·x = b.
+        for (i, &bi) in b.iter().enumerate() {
+            let mut acc = 0.0;
+            for (j, &xj) in x.iter().enumerate() {
+                acc += m.get(i, j) * xj;
+            }
+            prop_assert!((acc - bi).abs() < 1e-8, "row {}: {} vs {}", i, acc, bi);
+        }
+    }
+
+    /// Truncated SVD at full rank reconstructs the matrix.
+    #[test]
+    fn svd_full_rank_reconstructs(m in arb_csr(7)) {
+        let n = m.rows();
+        let svd = truncated_svd(&m, n, 40, 99);
+        let mut recon = Dense::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..svd.sigma.len() {
+                    acc += svd.u.get(i, k) * svd.sigma[k] * svd.v.get(j, k);
+                }
+                recon.set(i, j, acc);
+            }
+        }
+        prop_assert!(
+            m.to_dense().max_diff(&recon) < 1e-6,
+            "reconstruction error {}",
+            m.to_dense().max_diff(&recon)
+        );
+    }
+
+    /// Singular values are non-negative and descending.
+    #[test]
+    fn svd_sigma_sorted(m in arb_csr(8)) {
+        let svd = truncated_svd(&m, 5, 25, 7);
+        for w in svd.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+}

@@ -1,0 +1,61 @@
+//! Collaborator recommendation on a DBLP-style co-authorship graph — the
+//! paper's collaborative-filtering motivation. On *undirected* graphs the
+//! paper observes RWR degenerates to SimRank\*'s ranking while plain SimRank
+//! still drops odd-length paths; this example shows both effects plus the
+//! planted-community ground truth.
+//!
+//! Run with: `cargo run --release --example coauthor_recommendation`
+
+use simrank_star::{geometric, SimStarParams};
+use ssr_baselines::simrank::simrank;
+use ssr_datasets::{load, DatasetId};
+use ssr_eval::metrics::ndcg_at;
+
+fn main() {
+    let d = load(DatasetId::D05, 8);
+    let g = &d.graph;
+    let cg = d.community.as_ref().expect("co-authorship stand-ins carry planted truth");
+    println!("{}\n", d.figure5_row());
+
+    let params = SimStarParams::default();
+    let star = geometric::iterate(g, &params);
+    let sr = simrank(g, params.c, params.iterations);
+
+    // Recommend collaborators for the five most prolific authors.
+    let mut prolific: Vec<u32> = (0..g.node_count() as u32).collect();
+    prolific.sort_by(|&a, &b| {
+        cg.paper_count[b as usize]
+            .cmp(&cg.paper_count[a as usize])
+            .then(a.cmp(&b))
+    });
+    let mut star_ndcg = 0.0;
+    let mut sr_ndcg = 0.0;
+    for &author in prolific.iter().take(5) {
+        let truth: Vec<f64> =
+            (0..g.node_count() as u32).map(|v| cg.true_relevance(author, v)).collect();
+        star_ndcg += ndcg_at(&truth, star.row(author), 10);
+        sr_ndcg += ndcg_at(&truth, sr.row(author), 10);
+
+        println!(
+            "author #{author} (papers: {}, h-index: {}) — top recommendations:",
+            cg.paper_count[author as usize],
+            cg.h_index(author)
+        );
+        for (v, s) in star.top_k(author, 3) {
+            let status = if cg.true_relevance(author, v) >= 1.0 {
+                "co-author"
+            } else if cg.community[author as usize] == cg.community[v as usize] {
+                "same community"
+            } else {
+                "outside community"
+            };
+            println!("    #{v:<6} SR* {s:.4}  [{status}]");
+        }
+    }
+    println!("\nmean NDCG@10 over 5 queries:  SR* {:.3}   SR {:.3}", star_ndcg / 5.0, sr_ndcg / 5.0);
+
+    // Undirectedness check the paper leans on: every edge has its reverse,
+    // so odd-length in-link paths abound and SimRank's zero-pairs shrink —
+    // but SimRank* still aggregates strictly more paths.
+    assert!(g.is_symmetric());
+}

@@ -1,0 +1,50 @@
+//! Explainable similarity: *why* does SimRank\* consider two papers related?
+//!
+//! Decomposes scores on the paper's own Figure 1 graph into individual
+//! in-link paths with their exact contributions — reproducing the §3.2
+//! worked example (`h ← e ← a → d`, rate 0.0384 before in-degree dilution)
+//! and showing what SimRank throws away on each pair.
+//!
+//! Run with: `cargo run --release --example explain_similarity`
+
+use simrank_star::{explain, geometric, SimStarParams};
+use ssr_gen::fixtures::{fig1::*, figure1_graph, FIG1_LABELS};
+
+fn main() {
+    let g = figure1_graph();
+    let params = SimStarParams::new(0.8, 6);
+    let sim = geometric::iterate(&g, &params);
+    let label = |v: u32| FIG1_LABELS[v as usize].to_string();
+
+    for (a, b) in [(H, D), (G, B), (I, H)] {
+        let score = sim.score(a, b);
+        let paths = explain::explain_pair(&g, a, b, &params, 6, 5);
+        let mass = explain::explained_mass(&paths);
+        println!(
+            "ŝ({}, {}) = {:.4}   ({} paths shown, {:.0}% of score explained)",
+            label(a),
+            label(b),
+            score,
+            paths.len(),
+            100.0 * mass / score
+        );
+        for p in &paths {
+            println!(
+                "    {:<28} {}  contributes {:.5}",
+                p.render(label),
+                if p.is_symmetric() { "[symmetric — SimRank sees it] " } else { "[dissymmetric — SimRank drops]" },
+                p.contribution
+            );
+        }
+        println!();
+    }
+
+    // The paper's §3.2 headline: for (h, d) every path is dissymmetric, so
+    // SimRank scores exactly 0 while SimRank* explains its score path by path.
+    let paths = explain::explain_pair(&g, H, D, &params, 6, usize::MAX);
+    assert!(paths.iter().all(|p| !p.is_symmetric()));
+    println!(
+        "(h, d) has {} in-link paths within length 6 — all dissymmetric, all invisible to SimRank.",
+        paths.len()
+    );
+}

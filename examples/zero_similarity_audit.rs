@@ -1,0 +1,63 @@
+//! Audit a graph for "zero-similarity" pathologies before trusting SimRank
+//! or RWR on it — the practical upshot of the paper's Figure 6(d): on
+//! citation-like DAGs, *most* node pairs are invisible or half-visible to
+//! SimRank. The audit samples pairs, classifies them with exact in-link-path
+//! oracles, and reports how much similarity mass each measure would drop.
+//!
+//! Run with: `cargo run --release --example zero_similarity_audit`
+
+use simrank_star::{geometric, SimStarParams};
+use ssr_baselines::simrank::simrank;
+use ssr_datasets::{load, DatasetId};
+use ssr_eval::zero_sim::{rwr_census, simrank_census};
+
+fn main() {
+    println!("{:<12} {:>10} {:>14} {:>12} | {:>10} {:>14}", "dataset", "SR zero", "SR partial", "SR issue%", "RWR zero", "RWR partial");
+    for (id, div) in [
+        (DatasetId::CitHepTh, 64),
+        (DatasetId::Dblp, 32),
+        (DatasetId::WebGoogle, 1024),
+    ] {
+        let d = load(id, div);
+        let g = &d.graph;
+        let sr = simrank_census(g, 2_000, 6, 7);
+        let rw = rwr_census(g, 2_000, 6, 7);
+        println!(
+            "{:<12} {:>9.1}% {:>13.1}% {:>11.1}% | {:>9.1}% {:>13.1}%",
+            id.name(),
+            100.0 * sr.completely_dissimilar,
+            100.0 * sr.partially_missing,
+            100.0 * sr.any_issue(),
+            100.0 * rw.completely_dissimilar,
+            100.0 * rw.partially_missing,
+        );
+    }
+
+    // Concretely: on the CitHepTh stand-in, count pairs SimRank zeroes that
+    // SimRank* ranks confidently.
+    let d = load(DatasetId::CitHepTh, 128);
+    let g = &d.graph;
+    let p = SimStarParams::default();
+    let star = geometric::iterate(g, &p);
+    let sr = simrank(g, p.c, p.iterations);
+    let n = g.node_count();
+    let mut rescued = 0usize;
+    let mut best: Option<(u32, u32, f64)> = None;
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if sr.score(a, b) == 0.0 && star.score(a, b) > 1e-4 {
+                rescued += 1;
+                if best.is_none_or(|(_, _, s)| star.score(a, b) > s) {
+                    best = Some((a, b, star.score(a, b)));
+                }
+            }
+        }
+    }
+    println!(
+        "\nCitHepTh stand-in (n = {n}): {rescued} unordered pairs have SimRank = 0 \
+         but SimRank* > 1e-4"
+    );
+    if let Some((a, b, s)) = best {
+        println!("strongest rescued pair: (#{a}, #{b}) with SR* = {s:.4}");
+    }
+}

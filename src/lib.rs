@@ -1,0 +1,15 @@
+//! Umbrella crate for the SimRank\* reproduction workspace.
+//!
+//! Re-exports every member crate under one roof so the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/` can depend
+//! on a single package. Library users should depend on the individual crates
+//! (`simrank-star`, `ssr-graph`, …) directly.
+
+pub use simrank_star;
+pub use ssr_baselines;
+pub use ssr_compress;
+pub use ssr_datasets;
+pub use ssr_eval;
+pub use ssr_gen;
+pub use ssr_graph;
+pub use ssr_linalg;

@@ -1,0 +1,113 @@
+//! Cross-measure invariants on realistic generated graphs — the containment
+//! relations §3 of the paper derives between the path families each measure
+//! aggregates.
+
+use simrank_star::{exponential, geometric, single_source, SimStarParams, SimilarityMatrix};
+use ssr_baselines::{rwr::rwr_matrix, simrank::simrank};
+use ssr_gen::citation::{citation_graph, CitationParams};
+
+fn test_graph() -> ssr_graph::DiGraph {
+    citation_graph(
+        CitationParams { nodes: 120, avg_out_degree: 4.0, ..Default::default() },
+        0xCAFE,
+    )
+}
+
+/// SimRank\* aggregates a superset of both SimRank's (symmetric) and RWR's
+/// (unidirectional) path families, so its support contains both supports.
+#[test]
+fn star_support_contains_simrank_and_rwr() {
+    let g = test_graph();
+    let k = 8;
+    let c = 0.7;
+    let star = geometric::iterate(&g, &SimStarParams::new(c, k));
+    let sr = simrank(&g, c, k);
+    let rw = rwr_matrix(&g, c, k);
+    for a in 0..g.node_count() as u32 {
+        for b in 0..g.node_count() as u32 {
+            if a == b {
+                continue;
+            }
+            if sr.score(a, b) > 1e-12 {
+                assert!(star.score(a, b) > 0.0, "SR support not contained at ({a},{b})");
+            }
+            if rw.score(a, b) > 1e-12 {
+                assert!(star.score(a, b) > 0.0, "RWR support not contained at ({a},{b})");
+            }
+        }
+    }
+}
+
+/// Geometric and exponential SimRank\* order node pairs almost identically
+/// (the Fig. 6(a) "relative order well maintained" claim), quantified with
+/// Kendall concordance over a sampled row set.
+#[test]
+fn exponential_preserves_geometric_order() {
+    let g = test_graph();
+    let p = SimStarParams { c: 0.6, iterations: 8 };
+    let geo = geometric::iterate(&g, &p);
+    let exp = exponential::closed_form(&g, &p);
+    for q in [0u32, 40, 80, 119] {
+        let tau = ssr_eval::metrics::kendall_concordance(geo.row(q), exp.row(q));
+        assert!(tau > 0.9, "query {q}: order agreement {tau} too low");
+    }
+}
+
+/// The sieved serialization round-trips rankings: top-k from a reloaded
+/// matrix equals top-k from the original wherever scores clear the sieve.
+#[test]
+fn sieved_io_preserves_rankings() {
+    let g = test_graph();
+    let sim = geometric::iterate(&g, &SimStarParams::default());
+    let mut buf = Vec::new();
+    sim.write_sieved(&mut buf, 1e-4).unwrap();
+    let back = SimilarityMatrix::read_sieved(buf.as_slice()).unwrap();
+    for q in [3u32, 77] {
+        let orig: Vec<_> =
+            sim.top_k(q, 5).into_iter().filter(|&(_, s)| s >= 1e-4).collect();
+        let reload = back.top_k(q, orig.len());
+        assert_eq!(
+            orig.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+            reload.iter().map(|&(v, _)| v).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Single-source agrees with the all-pairs matrix on a realistic graph (not
+/// just the unit-test toys).
+#[test]
+fn single_source_matches_matrix_on_citation_graph() {
+    let g = test_graph();
+    let p = SimStarParams { c: 0.6, iterations: 6 };
+    let full = geometric::iterate(&g, &p);
+    for q in [0u32, 59, 119] {
+        let row = single_source::single_source(&g, q, &p);
+        for (v, &rv) in row.iter().enumerate() {
+            assert!(
+                (rv - full.score(q, v as u32)).abs() < 1e-10,
+                "q={q} v={v}: {rv} vs {}",
+                full.score(q, v as u32)
+            );
+        }
+    }
+}
+
+/// Threshold clipping never reorders surviving entries.
+#[test]
+fn clipping_preserves_order_of_survivors() {
+    let g = test_graph();
+    let sim = geometric::iterate(&g, &SimStarParams::default());
+    let mut clipped = sim.clone();
+    clipped.clip_below(1e-4);
+    for q in [10u32, 100] {
+        let before: Vec<u32> = sim
+            .top_k(q, 10)
+            .into_iter()
+            .filter(|&(_, s)| s >= 1e-4)
+            .map(|(v, _)| v)
+            .collect();
+        let after: Vec<u32> =
+            clipped.top_k(q, before.len()).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(before, after, "query {q}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Guards on the dataset stand-ins' structural claims (DESIGN.md §4): each
+//! substitution argument rests on specific graph properties — if a generator
+//! change breaks one, the experiments silently stop testing what they claim
+//! to test. These tests make that breakage loud.
+
+use ssr_datasets::{load, DatasetId};
+use ssr_graph::components::strongly_connected_components;
+use ssr_graph::stats::graph_stats;
+
+#[test]
+fn citation_standins_are_dags_with_skewed_indegree() {
+    for id in [DatasetId::CitHepTh, DatasetId::CitPatent] {
+        let d = load(id, 64);
+        let g = &d.graph;
+        // DAG: all SCCs singletons.
+        let scc = strongly_connected_components(g);
+        assert_eq!(scc.count, g.node_count(), "{} must be acyclic", id.name());
+        // Heavy-tailed in-degree: hub ≫ mean.
+        let s = graph_stats(g);
+        assert!(
+            s.max_in_degree as f64 > 5.0 * s.density,
+            "{}: max_in {} vs mean {}",
+            id.name(),
+            s.max_in_degree,
+            s.density
+        );
+    }
+}
+
+#[test]
+fn web_standin_is_cyclic_and_compressible() {
+    let d = load(DatasetId::WebGoogle, 512);
+    let g = &d.graph;
+    let scc = strongly_connected_components(g);
+    assert!(scc.count < g.node_count(), "web graphs have cycles");
+    // Boilerplate blocks must make it strongly compressible — the operative
+    // property behind the Fig. 6(e)/(f) memo results.
+    let cg = ssr_compress::compress(g, &ssr_compress::CompressOptions::default());
+    assert!(
+        cg.compression_ratio() > 0.25,
+        "web stand-in compresses only {:.1}%",
+        100.0 * cg.compression_ratio()
+    );
+}
+
+#[test]
+fn coauthor_standins_undirected_no_isolated_with_truth() {
+    for id in [DatasetId::Dblp, DatasetId::D05, DatasetId::D08, DatasetId::D11] {
+        let d = load(id, 16);
+        let g = &d.graph;
+        assert!(g.is_symmetric(), "{} must be undirected", id.name());
+        let s = graph_stats(g);
+        assert_eq!(s.isolated, 0, "{} must have no isolated authors", id.name());
+        let cg = d.community.as_ref().expect("planted truth present");
+        assert_eq!(cg.community.len(), g.node_count());
+        assert_eq!(cg.paper_count.len(), g.node_count());
+        // Every paper's author list references valid nodes.
+        for p in &cg.papers {
+            for &a in p {
+                assert!((a as usize) < g.node_count());
+            }
+        }
+    }
+}
+
+#[test]
+fn densities_track_figure5_targets() {
+    for id in DatasetId::ALL {
+        let d = load(id, 64);
+        let s = graph_stats(&d.graph);
+        let target = id.paper_density();
+        assert!(
+            s.density > target / 2.0 && s.density < target * 2.0,
+            "{}: density {:.2} vs Figure 5 target {:.2}",
+            id.name(),
+            s.density,
+            target
+        );
+    }
+}
+
+#[test]
+fn default_scales_fit_dense_similarity() {
+    // The all-pairs experiments hold up to 3 dense n² matrices; keep every
+    // default-scale stand-in under ~440MB of peak similarity state.
+    for id in DatasetId::ALL {
+        let d = ssr_datasets::load_default(id);
+        let n = d.graph.node_count();
+        assert!(
+            3 * n * n * 8 < 450_000_000,
+            "{} default scale too large: n = {n}",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn determinism_across_loads() {
+    for id in [DatasetId::CitHepTh, DatasetId::Dblp, DatasetId::WebGoogle] {
+        let a = load(id, 128);
+        let b = load(id, 128);
+        assert_eq!(a.graph, b.graph, "{} not deterministic", id.name());
+        assert_eq!(a.roles, b.roles);
+    }
+}

@@ -1,0 +1,78 @@
+//! The Figure 3 family-tree semantics: "the more symmetric the in-link
+//! paths are, the larger contributions they will have to similarity", plus
+//! the §3.1 comparison of which relations each measure can see at all.
+
+use simrank_star::{geometric, SimStarParams};
+use ssr_baselines::{rwr::rwr_matrix, simrank::simrank};
+use ssr_gen::fixtures::{family::*, family_tree};
+
+const DAMP: f64 = 0.8;
+const K: usize = 20;
+
+#[test]
+fn symmetry_ordering_rho_a_b_c() {
+    // ρ_A: Me↔Cousin (source Grandpa at distance 2/2, symmetric)
+    // ρ_B: Uncle↔Son (source Grandpa at distance 1/3)
+    // ρ_C: Grandpa↔Grandson (source Grandpa at distance 0/4)
+    // All have length-4 in-link paths; SimRank* must order them
+    // ρ_A > ρ_B > ρ_C by the binomial symmetry weights 6 > 4 > 1.
+    let g = family_tree();
+    let s = geometric::iterate(&g, &SimStarParams::new(DAMP, K));
+    let rho_a = s.score(ME, COUSIN);
+    let rho_b = s.score(UNCLE, SON);
+    let rho_c = s.score(GRANDPA, GRANDSON);
+    assert!(rho_a > rho_b, "ρ_A={rho_a} must exceed ρ_B={rho_b}");
+    assert!(rho_b > rho_c, "ρ_B={rho_b} must exceed ρ_C={rho_c}");
+    assert!(rho_c > 0.0, "even the fully dissymmetric path must contribute");
+}
+
+#[test]
+fn all_family_pairs_are_related_under_star() {
+    // §3.1: "all nodes in the family tree G should have some relevances."
+    let g = family_tree();
+    let s = geometric::iterate(&g, &SimStarParams::new(DAMP, K));
+    for a in 0..g.node_count() as u32 {
+        for b in 0..g.node_count() as u32 {
+            if a == b {
+                continue;
+            }
+            assert!(s.score(a, b) > 0.0, "family pair ({a},{b}) scored 0 under SimRank*");
+        }
+    }
+}
+
+#[test]
+fn simrank_sees_cousin_but_not_father() {
+    // SimRank accommodates "Me and Cousin" (symmetric) but neglects
+    // "Me and Father" (odd length) and "Me and Uncle".
+    let g = family_tree();
+    let s = simrank(&g, DAMP, K);
+    assert!(s.score(ME, COUSIN) > 0.0);
+    assert_eq!(s.score(ME, FATHER), 0.0);
+    assert_eq!(s.score(ME, UNCLE), 0.0);
+}
+
+#[test]
+fn rwr_sees_father_but_not_cousin_and_is_asymmetric() {
+    // RWR considers "Father and Me" (downward path) but ignores "Me and
+    // Cousin"; and since no path runs from Me to Father,
+    // s(Me, Father) = 0 ≠ s(Father, Me).
+    let g = family_tree();
+    let s = rwr_matrix(&g, DAMP, 2 * K);
+    assert!(s.score(FATHER, ME) > 0.0);
+    assert_eq!(s.score(ME, FATHER), 0.0);
+    assert_eq!(s.score(ME, COUSIN), 0.0);
+    assert_eq!(s.score(ME, UNCLE), 0.0);
+}
+
+#[test]
+fn star_unifies_both_views() {
+    // The "unified measure" motivation: SimRank* covers the union of what
+    // SimRank and RWR each see, symmetrically.
+    let g = family_tree();
+    let s = geometric::iterate(&g, &SimStarParams::new(DAMP, K));
+    assert!(s.score(ME, COUSIN) > 0.0); // SimRank's territory
+    assert!(s.score(ME, FATHER) > 0.0); // RWR's territory
+    assert!(s.score(ME, UNCLE) > 0.0); // neither's territory
+    assert!((s.score(ME, FATHER) - s.score(FATHER, ME)).abs() < 1e-12);
+}
