@@ -140,8 +140,7 @@ mod tests {
         .unwrap();
         let pr = prank_default(&g, 0.8, 12);
         assert_eq!(pr.score(7, 3), 0.0, "P-Rank must lose (h, d) after inserting l");
-        let star =
-            simrank_star::geometric::iterate(&g, &simrank_star::SimStarParams::new(0.8, 12));
+        let star = simrank_star::geometric::iterate(&g, &simrank_star::SimStarParams::new(0.8, 12));
         assert!(star.score(7, 3) > 0.0, "SimRank* keeps (h, d) similar");
     }
 

@@ -51,8 +51,7 @@ pub fn rwr_single(g: &DiGraph, c: f64, q: NodeId, tol: f64, max_iters: usize) ->
             *v *= c;
         }
         next[q as usize] += 1.0 - c;
-        let diff =
-            r.iter().zip(&next).fold(0.0f64, |acc, (a, b)| acc.max((a - b).abs()));
+        let diff = r.iter().zip(&next).fold(0.0f64, |acc, (a, b)| acc.max((a - b).abs()));
         r = next;
         if diff <= tol {
             break;
@@ -63,13 +62,7 @@ pub fn rwr_single(g: &DiGraph, c: f64, q: NodeId, tol: f64, max_iters: usize) ->
 
 /// Personalized PageRank with restart distribution `personalization`
 /// (must sum to 1). RWR is the special case of a single-point distribution.
-pub fn ppr(
-    g: &DiGraph,
-    c: f64,
-    personalization: &[f64],
-    tol: f64,
-    max_iters: usize,
-) -> Vec<f64> {
+pub fn ppr(g: &DiGraph, c: f64, personalization: &[f64], tol: f64, max_iters: usize) -> Vec<f64> {
     assert!(c > 0.0 && c < 1.0, "restart damping must be in (0,1)");
     let n = g.node_count();
     assert_eq!(personalization.len(), n, "personalization length mismatch");
@@ -82,8 +75,7 @@ pub fn ppr(
         for (v, p) in next.iter_mut().zip(personalization) {
             *v = *v * c + (1.0 - c) * p;
         }
-        let diff =
-            r.iter().zip(&next).fold(0.0f64, |acc, (a, b)| acc.max((a - b).abs()));
+        let diff = r.iter().zip(&next).fold(0.0f64, |acc, (a, b)| acc.max((a - b).abs()));
         r = next;
         if diff <= tol {
             break;

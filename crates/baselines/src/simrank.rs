@@ -125,11 +125,7 @@ mod tests {
     fn matrix_form_reproduces_paper_value() {
         // Figure 1 table: SR(i, h) = .044 at C = 0.8 (i = 8, h = 7).
         let s = simrank(&fig1(), 0.8, 15);
-        assert!(
-            (s.score(8, 7) - 0.044).abs() < 0.0015,
-            "s(i, h) = {}, want ≈ .044",
-            s.score(8, 7)
-        );
+        assert!((s.score(8, 7) - 0.044).abs() < 0.0015, "s(i, h) = {}, want ≈ .044", s.score(8, 7));
     }
 
     #[test]

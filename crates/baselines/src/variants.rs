@@ -32,10 +32,8 @@ pub fn simrank_plus_plus(g: &DiGraph, c: f64, k: usize) -> SimilarityMatrix {
             if a == b {
                 continue;
             }
-            let common = sorted_intersection_size(
-                g.in_neighbors(a as NodeId),
-                g.in_neighbors(b as NodeId),
-            );
+            let common =
+                sorted_intersection_size(g.in_neighbors(a as NodeId), g.in_neighbors(b as NodeId));
             let evidence = 1.0 - 0.5f64.powi(common as i32);
             m.set(a, b, evidence * m.get(a, b));
         }
@@ -195,8 +193,7 @@ mod tests {
         // common in-neighbors (3/4) > evidence with 1 (1/2).
         // 0,1 -> {2,3}; 4 -> {5} ... compare (2,3) [2 common] against a pair
         // sharing one predecessor.
-        let g =
-            DiGraph::from_edges(7, &[(0, 2), (0, 3), (1, 2), (1, 3), (4, 5), (4, 6)]).unwrap();
+        let g = DiGraph::from_edges(7, &[(0, 2), (0, 3), (1, 2), (1, 3), (4, 5), (4, 6)]).unwrap();
         let spp = simrank_plus_plus(&g, 0.8, 8);
         let sr = crate::simrank::simrank(&g, 0.8, 8);
         // evidence(2,3) = 1 - 2^-2 = .75; evidence(5,6) = .5
@@ -237,11 +234,7 @@ mod tests {
             &[(0, 1), (1, 2), (2, 3), (0, 3), (3, 4), (4, 5), (5, 0), (2, 5)],
         )
         .unwrap();
-        for s in [
-            simrank_plus_plus(&g, 0.6, 6),
-            p_simrank(&g, 0.6, 6),
-            matchsim_greedy(&g, 6),
-        ] {
+        for s in [simrank_plus_plus(&g, 0.6, 6), p_simrank(&g, 0.6, 6), matchsim_greedy(&g, 6)] {
             assert!(s.matrix().is_symmetric(1e-12));
             assert!(s.max_norm() <= 1.0 + 1e-12);
         }

@@ -20,15 +20,11 @@ fn bench_micro(c: &mut Criterion) {
     // One spmm Q·S (the SimRank-side kernel).
     let q = Csr::backward_transition(g);
     let s = Dense::identity(n);
-    group.bench_function(BenchmarkId::new("spmm_q_dense", n), |b| {
-        b.iter(|| q.mul_dense(&s))
-    });
+    group.bench_function(BenchmarkId::new("spmm_q_dense", n), |b| b.iter(|| q.mul_dense(&s)));
 
     // One right-kernel application S·Qᵀ (the SimRank*-side kernel).
     let kernel = PlainRightMultiplier::new(g);
-    group.bench_function(BenchmarkId::new("right_kernel", n), |b| {
-        b.iter(|| kernel.apply(&s))
-    });
+    group.bench_function(BenchmarkId::new("right_kernel", n), |b| b.iter(|| kernel.apply(&s)));
 
     // Edge concentration (Figure 6(f)'s preprocessing phase).
     group.bench_function(BenchmarkId::new("edge_concentration", g.edge_count()), |b| {

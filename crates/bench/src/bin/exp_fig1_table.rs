@@ -1,2 +1,4 @@
 //! Regenerates the Figure 1 similarity table.
-fn main() { ssr_bench::experiments::fig1_table(); }
+fn main() {
+    ssr_bench::experiments::fig1_table();
+}

@@ -1,2 +1,4 @@
 //! Regenerates the Figure 5 dataset table.
-fn main() { ssr_bench::experiments::fig5_datasets(); }
+fn main() {
+    ssr_bench::experiments::fig5_datasets();
+}

@@ -1,2 +1,4 @@
 //! Regenerates Figure 6(a): semantic effectiveness.
-fn main() { ssr_bench::experiments::fig6a_semantics(); }
+fn main() {
+    ssr_bench::experiments::fig6a_semantics();
+}

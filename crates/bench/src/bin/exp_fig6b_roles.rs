@@ -1,2 +1,4 @@
 //! Regenerates Figure 6(b): role difference of top-ranked node pairs.
-fn main() { ssr_bench::experiments::fig6b_roles(); }
+fn main() {
+    ssr_bench::experiments::fig6b_roles();
+}

@@ -1,2 +1,4 @@
 //! Regenerates Figure 6(c): average similarity of role-grouped pairs.
-fn main() { ssr_bench::experiments::fig6c_groups(); }
+fn main() {
+    ssr_bench::experiments::fig6c_groups();
+}

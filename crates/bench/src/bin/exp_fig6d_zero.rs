@@ -1,2 +1,4 @@
 //! Regenerates Figure 6(d): the zero-similarity census.
-fn main() { ssr_bench::experiments::fig6d_zero(); }
+fn main() {
+    ssr_bench::experiments::fig6d_zero();
+}

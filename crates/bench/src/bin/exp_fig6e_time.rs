@@ -1,2 +1,4 @@
 //! Regenerates Figure 6(e): elapsed time across algorithms and datasets.
-fn main() { ssr_bench::experiments::fig6e_time(); }
+fn main() {
+    ssr_bench::experiments::fig6e_time();
+}

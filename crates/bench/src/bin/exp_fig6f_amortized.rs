@@ -1,2 +1,4 @@
 //! Regenerates Figure 6(f): amortized phase time of the memoized variants.
-fn main() { ssr_bench::experiments::fig6f_amortized(); }
+fn main() {
+    ssr_bench::experiments::fig6f_amortized();
+}

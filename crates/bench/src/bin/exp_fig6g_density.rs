@@ -1,2 +1,4 @@
 //! Regenerates Figure 6(g): the density sweep on R-MAT synthetics.
-fn main() { ssr_bench::experiments::fig6g_density(); }
+fn main() {
+    ssr_bench::experiments::fig6g_density();
+}

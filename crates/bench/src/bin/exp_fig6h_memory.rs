@@ -1,2 +1,4 @@
 //! Regenerates Figure 6(h): memory accounting per algorithm.
-fn main() { ssr_bench::experiments::fig6h_memory(); }
+fn main() {
+    ssr_bench::experiments::fig6h_memory();
+}

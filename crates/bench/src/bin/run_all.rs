@@ -1,3 +1,5 @@
 //! Runs every experiment in paper order (Figures 1, 5, 6(a)-(h) + the
 //! convergence table). Output is quoted in EXPERIMENTS.md.
-fn main() { ssr_bench::experiments::run_all(); }
+fn main() {
+    ssr_bench::experiments::run_all();
+}

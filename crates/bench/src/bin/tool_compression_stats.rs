@@ -9,9 +9,13 @@ fn main() {
         let (cg, t) = timed(|| compress(&d.graph, &CompressOptions::default()));
         println!(
             "{:<12} n={:>6} m={:>7} m~={:>7} ratio={:>5.1}% conc={:>6} time={:?}",
-            id.name(), d.graph.node_count(), d.graph.edge_count(),
-            cg.compressed_edge_count(), 100.0 * cg.compression_ratio(),
-            cg.concentrator_count(), t
+            id.name(),
+            d.graph.node_count(),
+            d.graph.edge_count(),
+            cg.compressed_edge_count(),
+            100.0 * cg.compression_ratio(),
+            cg.concentrator_count(),
+            t
         );
     }
 }

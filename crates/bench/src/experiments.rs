@@ -29,7 +29,10 @@ pub fn fig1_table() {
     let pr = prank_default(&g, c, k);
     let star = geometric::iterate(&g, &SimStarParams::new(c, k));
     let rwr = rwr_matrix(&g, c, 2 * k);
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}   (paper: SR PR SR* RWR)", "pair", "SR", "PR", "SR*", "RWR");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}   (paper: SR PR SR* RWR)",
+        "pair", "SR", "PR", "SR*", "RWR"
+    );
     let rows = [
         ((H, D), ".000 .049 .010 .000"),
         ((A, F), ".000 .075 .032 .032"),
@@ -81,9 +84,7 @@ fn quality_measures(g: &ssr_graph::DiGraph) -> Vec<QualityRun> {
 /// Ground-truth relevance vector for query `q` on a dataset.
 fn truth_for(d: &Dataset, q: u32) -> Vec<f64> {
     match &d.community {
-        Some(cg) => {
-            (0..d.graph.node_count() as u32).map(|v| cg.true_relevance(q, v)).collect()
-        }
+        Some(cg) => (0..d.graph.node_count() as u32).map(|v| cg.true_relevance(q, v)).collect(),
         None => citation_relevance(&d.graph, q),
     }
 }
@@ -91,10 +92,10 @@ fn truth_for(d: &Dataset, q: u32) -> Vec<f64> {
 /// FIG6A: semantic effectiveness (Kendall, Spearman, NDCG) on CitHepTh and
 /// DBLP stand-ins, averaged over in-degree-stratified queries.
 pub fn fig6a_semantics() {
-    banner("FIG6A: semantic effectiveness (paper: SR* highest on CitHepTh; RWR=SR* and PR=SR on DBLP)");
-    for (id, div, queries_per_group) in
-        [(DatasetId::CitHepTh, 32, 8), (DatasetId::Dblp, 16, 8)]
-    {
+    banner(
+        "FIG6A: semantic effectiveness (paper: SR* highest on CitHepTh; RWR=SR* and PR=SR on DBLP)",
+    );
+    for (id, div, queries_per_group) in [(DatasetId::CitHepTh, 32, 8), (DatasetId::Dblp, 16, 8)] {
         let d = load(id, div);
         let g = &d.graph;
         println!("\n[{}] n={} m={}", id.name(), g.node_count(), g.edge_count());
@@ -114,13 +115,7 @@ pub fn fig6a_semantics() {
         let nq = queries.len() as f64;
         println!("{:<8} {:>9} {:>9} {:>9}", "measure", "Kendall", "Spearman", "NDCG@20");
         for (r, a) in runs.iter().zip(&agg) {
-            println!(
-                "{:<8} {:>9.3} {:>9.3} {:>9.3}",
-                r.name,
-                a[0] / nq,
-                a[1] / nq,
-                a[2] / nq
-            );
+            println!("{:<8} {:>9.3} {:>9.3} {:>9.3}", r.name, a[0] / nq, a[1] / nq, a[2] / nq);
         }
     }
 }
@@ -128,7 +123,9 @@ pub fn fig6a_semantics() {
 /// FIG6B: average role difference among the top-x% most similar pairs
 /// (lower = measure finds genuinely similar-role pairs), plus RAN.
 pub fn fig6b_roles() {
-    banner("FIG6B: role difference of top-ranked pairs (paper: SR* lowest, SR -> random as x grows)");
+    banner(
+        "FIG6B: role difference of top-ranked pairs (paper: SR* lowest, SR -> random as x grows)",
+    );
     for (id, div, fractions) in [
         (DatasetId::CitHepTh, 32, [0.0002, 0.002, 0.02, 0.2]),
         (DatasetId::Dblp, 16, [0.001, 0.005, 0.05, 0.1]),
@@ -162,7 +159,9 @@ pub fn fig6b_roles() {
 
 /// FIG6C: average similarity of within-decile vs cross-decile pairs.
 pub fn fig6c_groups() {
-    banner("FIG6C: avg similarity of role-grouped pairs (paper: within stable-high, cross decreasing)");
+    banner(
+        "FIG6C: avg similarity of role-grouped pairs (paper: within stable-high, cross decreasing)",
+    );
     for (id, div) in [(DatasetId::CitHepTh, 32), (DatasetId::Dblp, 16)] {
         let d = load(id, div);
         println!("\n[{}]", id.name());
@@ -179,16 +178,15 @@ pub fn fig6c_groups() {
 
 /// FIG6D: the zero-similarity census.
 pub fn fig6d_zero() {
-    banner("FIG6D: % of zero-similarity pairs (paper: 99.92/69.91/97.13 SR; 99.84/69.91/96.42 RWR)");
+    banner(
+        "FIG6D: % of zero-similarity pairs (paper: 99.92/69.91/97.13 SR; 99.84/69.91/96.42 RWR)",
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>10} | {:>12} {:>12} {:>10}",
         "dataset", "SR-dissim", "SR-partial", "SR-any", "RWR-dissim", "RWR-partial", "RWR-any"
     );
-    for (id, div) in [
-        (DatasetId::CitHepTh, 16),
-        (DatasetId::Dblp, 8),
-        (DatasetId::WebGoogle, 256),
-    ] {
+    for (id, div) in [(DatasetId::CitHepTh, 16), (DatasetId::Dblp, 8), (DatasetId::WebGoogle, 256)]
+    {
         let d = load(id, div);
         let sr = simrank_census(&d.graph, 3_000, 6, 0xF16D);
         let rw = rwr_census(&d.graph, 3_000, 6, 0xF16D);
@@ -242,11 +240,7 @@ pub fn fig6e_time() {
         let g = &d.graph;
         println!("\n{label}  (n={} m={})", g.node_count(), g.edge_count());
         let algos = [Algo::MemoESr, Algo::MemoGSr, Algo::IterGSr, Algo::PsumSr];
-        println!(
-            "{:<6} {}",
-            "K",
-            algos.map(|a| format!("{:>12}", a.name())).join("")
-        );
+        println!("{:<6} {}", "K", algos.map(|a| format!("{:>12}", a.name())).join(""));
         for &k in &ks {
             print!("{k:<6}");
             for algo in algos {
@@ -332,7 +326,8 @@ pub fn fig6h_memory() {
         "n",
         Algo::ALL.map(|a| format!("{:>12}", a.name())).join("")
     );
-    for id in [DatasetId::D05, DatasetId::D08, DatasetId::D11, DatasetId::WebGoogle, DatasetId::CitPatent]
+    for id in
+        [DatasetId::D05, DatasetId::D08, DatasetId::D11, DatasetId::WebGoogle, DatasetId::CitPatent]
     {
         let d = load_default(id);
         print!("{:<10} {:>6}", id.name(), d.graph.node_count());
@@ -341,8 +336,10 @@ pub fn fig6h_memory() {
         }
         println!();
     }
-    println!("
-threshold-sieved result storage at 1e-4 (the paper's storage model):");
+    println!(
+        "
+threshold-sieved result storage at 1e-4 (the paper's storage model):"
+    );
     println!(
         "{:<10} {:>6} {}",
         "dataset",

@@ -89,37 +89,21 @@ pub fn run(algo: Algo, g: &DiGraph, c: f64, k: usize) -> RunOutcome {
             // The paper clips all similarities at 1e-4 for storage (§5);
             // sieving the Taylor factor at the same threshold makes the
             // final product sparse instead of a dense n³ multiply.
-            let (sim, it) =
-                timed(|| memo.run_sieved(&SimStarParams { c, iterations: k }, 1e-4));
+            let (sim, it) = timed(|| memo.run_sieved(&SimStarParams { c, iterations: k }, 1e-4));
             RunOutcome { sim, preprocess: pre, iterate: it, compression_ratio: ratio }
         }
         Algo::IterGSr => {
             let (sim, it) = timed(|| geometric::iterate(g, &SimStarParams { c, iterations: k }));
-            RunOutcome {
-                sim,
-                preprocess: Duration::ZERO,
-                iterate: it,
-                compression_ratio: 0.0,
-            }
+            RunOutcome { sim, preprocess: Duration::ZERO, iterate: it, compression_ratio: 0.0 }
         }
         Algo::PsumSr => {
             let (sim, it) = timed(|| simrank(g, c, k));
-            RunOutcome {
-                sim,
-                preprocess: Duration::ZERO,
-                iterate: it,
-                compression_ratio: 0.0,
-            }
+            RunOutcome { sim, preprocess: Duration::ZERO, iterate: it, compression_ratio: 0.0 }
         }
         Algo::MtxSr => {
             let params = MtxSrParams { c, rank: mtx_rank_for(g), ..Default::default() };
             let (sim, it) = timed(|| mtx_simrank(g, &params));
-            RunOutcome {
-                sim,
-                preprocess: Duration::ZERO,
-                iterate: it,
-                compression_ratio: 0.0,
-            }
+            RunOutcome { sim, preprocess: Duration::ZERO, iterate: it, compression_ratio: 0.0 }
         }
     }
 }
@@ -141,11 +125,7 @@ mod tests {
         let g = figure1_graph();
         for algo in [Algo::MemoESr, Algo::MemoGSr, Algo::IterGSr, Algo::PsumSr] {
             let out = run(algo, &g, 0.6, 5);
-            assert!(
-                out.sim.matrix().is_symmetric(1e-9),
-                "{} asymmetric",
-                algo.name()
-            );
+            assert!(out.sim.matrix().is_symmetric(1e-9), "{} asymmetric", algo.name());
             assert_eq!(out.sim.node_count(), 11);
         }
     }
@@ -167,6 +147,8 @@ mod tests {
 
     #[test]
     fn iterations_for_exponential_fewer() {
-        assert!(iterations_for(Algo::MemoESr, 0.6, 1e-3) < iterations_for(Algo::MemoGSr, 0.6, 1e-3));
+        assert!(
+            iterations_for(Algo::MemoESr, 0.6, 1e-3) < iterations_for(Algo::MemoGSr, 0.6, 1e-3)
+        );
     }
 }

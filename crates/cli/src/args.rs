@@ -64,9 +64,9 @@ impl Args {
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse::<T>()
-                .map_err(|_| ArgError(format!("flag `--{key}`: cannot parse `{v}`"))),
+            Some(v) => {
+                v.parse::<T>().map_err(|_| ArgError(format!("flag `--{key}`: cannot parse `{v}`")))
+            }
         }
     }
 

@@ -272,8 +272,7 @@ mod tests {
     fn compute_all_algos() {
         let p = tmp_graph();
         for algo in ["gsr", "esr", "memo-gsr", "memo-esr", "sr", "prank", "rwr"] {
-            let out =
-                run("compute", &toks(&format!("--input {p} --algo {algo} --k 3"))).unwrap();
+            let out = run("compute", &toks(&format!("--input {p} --algo {algo} --k 3"))).unwrap();
             assert!(out.contains("simstar compute"), "{algo}");
         }
     }
@@ -315,11 +314,9 @@ mod tests {
     #[test]
     fn generate_round_trips() {
         for kind in ["er", "rmat", "web", "citation", "coauthor"] {
-            let out = run(
-                "generate",
-                &toks(&format!("--kind {kind} --nodes 64 --edges 256 --seed 1")),
-            )
-            .unwrap();
+            let out =
+                run("generate", &toks(&format!("--kind {kind} --nodes 64 --edges 256 --seed 1")))
+                    .unwrap();
             let g = ssr_graph::io::graph_from_edge_list(&out).unwrap();
             assert!(g.edge_count() > 0, "{kind}");
         }
@@ -332,10 +329,7 @@ mod tests {
         let path = dir.join("gen.txt");
         let out = run(
             "generate",
-            &toks(&format!(
-                "--kind er --nodes 32 --edges 64 --output {}",
-                path.to_string_lossy()
-            )),
+            &toks(&format!("--kind er --nodes 32 --edges 64 --output {}", path.to_string_lossy())),
         )
         .unwrap();
         assert!(out.contains("wrote"));

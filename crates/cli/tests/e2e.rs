@@ -55,8 +55,17 @@ fn full_pipeline() {
     let sims_path = tmp("sims.txt");
     let sims = sims_path.to_str().unwrap();
     run_ok(&[
-        "compute", "--input", graph, "--algo", "memo-gsr", "--k", "5", "--threshold", "1e-4",
-        "--output", sims,
+        "compute",
+        "--input",
+        graph,
+        "--algo",
+        "memo-gsr",
+        "--k",
+        "5",
+        "--threshold",
+        "1e-4",
+        "--output",
+        sims,
     ]);
     let content = std::fs::read_to_string(&sims_path).unwrap();
     assert!(content.contains("simstar compute"));

@@ -135,8 +135,7 @@ impl CompressedGraph {
 
     /// `|I(x)|` without materialising the set.
     pub fn in_degree(&self, x: NodeId) -> usize {
-        self.direct_in(x).len()
-            + self.via(x).iter().map(|&c| self.fanin(c).len()).sum::<usize>()
+        self.direct_in(x).len() + self.via(x).iter().map(|&c| self.fanin(c).len()).sum::<usize>()
     }
 
     /// Iterates concentrator ids.

@@ -54,7 +54,8 @@ pub fn compress_with_bicliques(
     opts: &CompressOptions,
 ) -> (CompressedGraph, Vec<Biclique>) {
     let n = g.node_count();
-    let mut remaining: Vec<Vec<NodeId>> = (0..n as NodeId).map(|v| g.in_neighbors(v).to_vec()).collect();
+    let mut remaining: Vec<Vec<NodeId>> =
+        (0..n as NodeId).map(|v| g.in_neighbors(v).to_vec()).collect();
     let mut via_per_node: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut fanins: Vec<Vec<NodeId>> = Vec::new();
     // Dedup concentrators by fan-in set so identical bicliques share one.

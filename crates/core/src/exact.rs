@@ -153,10 +153,7 @@ mod tests {
         for k in 0..10 {
             let sk = geometric::iterate(g, &SimStarParams { c, iterations: k });
             let gap = exact.max_diff(&sk);
-            assert!(
-                gap <= crate::convergence::geometric_bound(c, k) + 1e-12,
-                "k={k}: {gap}"
-            );
+            assert!(gap <= crate::convergence::geometric_bound(c, k) + 1e-12, "k={k}: {gap}");
         }
     }
 

@@ -97,8 +97,8 @@ pub fn explain_pair(
                     for (fw, w_fwd) in &forward {
                         if *fw.last().expect("non-empty walk") == b {
                             let l = l1 + l2;
-                            let rate =
-                                (1.0 - c) * c.powi(l as i32) * binomial(l, l1) / 2f64.powi(l as i32);
+                            let rate = (1.0 - c) * c.powi(l as i32) * binomial(l, l1)
+                                / 2f64.powi(l as i32);
                             let mut ordered = bw.clone(); // a, v1, …, source
                             ordered.extend_from_slice(&fw[1..]); // …, b
                             paths.push(ExplainedPath {
@@ -199,8 +199,24 @@ mod tests {
         let g = DiGraph::from_edges(
             11,
             &[
-                (0, 1), (0, 3), (0, 4), (1, 2), (1, 5), (1, 6), (1, 8), (3, 2), (3, 6),
-                (3, 8), (4, 7), (4, 8), (5, 3), (7, 8), (9, 7), (9, 8), (10, 7), (10, 8),
+                (0, 1),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 5),
+                (1, 6),
+                (1, 8),
+                (3, 2),
+                (3, 6),
+                (3, 8),
+                (4, 7),
+                (4, 8),
+                (5, 3),
+                (7, 8),
+                (9, 7),
+                (9, 8),
+                (10, 7),
+                (10, 8),
             ],
         )
         .unwrap();
@@ -222,11 +238,7 @@ mod tests {
 
     #[test]
     fn render_uses_paper_notation() {
-        let p = ExplainedPath {
-            nodes: vec![7, 4, 0, 3],
-            source_index: 2,
-            contribution: 0.1,
-        };
+        let p = ExplainedPath { nodes: vec![7, 4, 0, 3], source_index: 2, contribution: 0.1 };
         let labels = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k"];
         assert_eq!(p.render(|v| labels[v as usize].to_string()), "h <- e <- a -> d");
     }

@@ -97,17 +97,16 @@ pub fn closed_form_sieved_with_kernel(
     let scale = (-params.c).exp();
     let threads = std::thread::available_parallelism().map_or(1, |t| t.get()).min(16);
     let rows_per = n.div_ceil(threads.max(1)).max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, chunk) in s.as_mut_slice().chunks_mut(rows_per * n).enumerate() {
             let lo = (t * rows_per) as u32;
             let hi = lo + (chunk.len() / n) as u32;
             let lists = &entry_lists;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 // S[i][j] = scale · Σ_a T[i,a]·T[j,a] = Σ_a tt[a][i]·tt[a][j].
                 for list in lists {
                     for &(i, vi) in list.iter().filter(|&&(i, _)| i >= lo && i < hi) {
-                        let row =
-                            &mut chunk[(i - lo) as usize * n..((i - lo) as usize + 1) * n];
+                        let row = &mut chunk[(i - lo) as usize * n..((i - lo) as usize + 1) * n];
                         for &(j, vj) in list {
                             row[j as usize] += vi * vj;
                         }
@@ -118,8 +117,7 @@ pub fn closed_form_sieved_with_kernel(
                 }
             });
         }
-    })
-    .expect("sieved-product worker panicked");
+    });
     SimilarityMatrix::from_dense(s)
 }
 
@@ -252,14 +250,10 @@ mod tests {
             k_geo += 1;
         }
         let mut k_exp = 0;
-        while exp_exact.max_diff(&closed_form(g, &SimStarParams { c, iterations: k_exp })) > eps
-        {
+        while exp_exact.max_diff(&closed_form(g, &SimStarParams { c, iterations: k_exp })) > eps {
             k_exp += 1;
         }
-        assert!(
-            k_exp < k_geo,
-            "exponential should converge faster: k_exp={k_exp}, k_geo={k_geo}"
-        );
+        assert!(k_exp < k_geo, "exponential should converge faster: k_exp={k_exp}, k_geo={k_geo}");
     }
 
     #[test]
@@ -267,9 +261,7 @@ mod tests {
         let g = &small_graphs()[1];
         let s = closed_form(g, &SimStarParams { c: 0.6, iterations: 0 });
         // T = I ⇒ Ŝ' = e^{−C}·I.
-        assert!(s
-            .matrix()
-            .approx_eq(&Dense::scaled_identity(5, (-0.6f64).exp()), 1e-12));
+        assert!(s.matrix().approx_eq(&Dense::scaled_identity(5, (-0.6f64).exp()), 1e-12));
     }
 
     #[test]

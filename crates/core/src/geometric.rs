@@ -51,10 +51,7 @@ pub fn iterate(g: &DiGraph, params: &SimStarParams) -> SimilarityMatrix {
 
 /// Like [`iterate`] but also returns `‖Ŝ_{k+1} − Ŝ_k‖_max` per iteration
 /// (for convergence plots and the Lemma 3 property tests).
-pub fn iterate_with_trace(
-    g: &DiGraph,
-    params: &SimStarParams,
-) -> (SimilarityMatrix, Vec<f64>) {
+pub fn iterate_with_trace(g: &DiGraph, params: &SimStarParams) -> (SimilarityMatrix, Vec<f64>) {
     params.validate();
     let kernel = PlainRightMultiplier::new(g);
     let mut s = Dense::scaled_identity(g.node_count(), 1.0 - params.c);

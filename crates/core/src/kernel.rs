@@ -27,7 +27,7 @@
 //! of [`BLOCK`] *lanes*: the block is transposed into an `n × B` buffer so
 //! each adjacency index is read once per block and the inner loop becomes a
 //! contiguous `B`-wide vector add — the standard blocked-SpMM layout. Blocks
-//! are independent and are distributed over crossbeam scoped threads.
+//! are independent and are distributed over std scoped threads.
 
 use ssr_compress::{compress, CompressOptions, CompressedGraph};
 use ssr_graph::DiGraph;
@@ -75,11 +75,10 @@ pub trait RightMultiplier: Sync {
         }
         // Parallel: hand each worker a contiguous range of blocks.
         let blocks_per = n_blocks.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (t, chunk) in out.as_mut_slice().chunks_mut(blocks_per * BLOCK * n).enumerate()
-            {
+        std::thread::scope(|scope| {
+            for (t, chunk) in out.as_mut_slice().chunks_mut(blocks_per * BLOCK * n).enumerate() {
                 let start_row = t * blocks_per * BLOCK;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut xb = vec![0.0; n * BLOCK];
                     let mut yb = vec![0.0; n * BLOCK];
                     let chunk_rows = chunk.len() / n;
@@ -97,8 +96,7 @@ pub trait RightMultiplier: Sync {
                     }
                 });
             }
-        })
-        .expect("kernel worker panicked");
+        });
         out
     }
 }
@@ -405,10 +403,7 @@ mod tests {
         let memo = CompressedRightMultiplier::new(&g, &CompressOptions::default());
         for rows in [1usize, 3, BLOCK, BLOCK + 1, 2 * BLOCK + 5] {
             let x = random_dense(rows, g.node_count(), 4 + rows as u64);
-            assert!(
-                memo.apply(&x).approx_eq(&plain.apply(&x), 1e-12),
-                "rows = {rows}"
-            );
+            assert!(memo.apply(&x).approx_eq(&plain.apply(&x), 1e-12), "rows = {rows}");
         }
     }
 

@@ -25,11 +25,7 @@ impl SimStarParams {
 
     /// Panics unless `0 < c < 1`.
     pub fn validate(&self) {
-        assert!(
-            self.c > 0.0 && self.c < 1.0,
-            "damping factor must be in (0, 1), got {}",
-            self.c
-        );
+        assert!(self.c > 0.0 && self.c < 1.0, "damping factor must be in (0, 1), got {}", self.c);
     }
 
     /// Parameters whose geometric iteration count guarantees

@@ -45,10 +45,8 @@ pub fn path_contribution(c: f64, l: usize, theta: usize) -> f64 {
 /// ```
 pub fn geometric_partial_sum(g: &DiGraph, params: &SimStarParams) -> Dense {
     params.validate();
-    series_sum(g, params.iterations, |l| {
-        params.c.powi(l as i32) / 2f64.powi(l as i32)
-    })
-    .scaled(1.0 - params.c)
+    series_sum(g, params.iterations, |l| params.c.powi(l as i32) / 2f64.powi(l as i32))
+        .scaled(1.0 - params.c)
 }
 
 /// The `k`-th exponential partial sum `Ŝ'_k` of Eq. (18):

@@ -62,10 +62,7 @@ impl SimilarityMatrix {
 
     /// All nodes ranked by similarity to `q` (descending), excluding `q`.
     pub fn ranking(&self, q: NodeId) -> Vec<NodeId> {
-        self.top_k(q, self.node_count().saturating_sub(1))
-            .into_iter()
-            .map(|(v, _)| v)
-            .collect()
+        self.top_k(q, self.node_count().saturating_sub(1)).into_iter().map(|(v, _)| v).collect()
     }
 
     /// Zeroes every entry `< threshold` — the paper's "threshold-sieved
@@ -171,18 +168,14 @@ impl SimilarityMatrix {
                 continue;
             }
             let mut it = t.split_whitespace();
-            let mut next_tok = || {
-                it.next().ok_or_else(|| bad(format!("truncated line {}", idx + 2)))
-            };
-            let a: usize = next_tok()?
-                .parse()
-                .map_err(|_| bad(format!("bad node id on line {}", idx + 2)))?;
-            let b: usize = next_tok()?
-                .parse()
-                .map_err(|_| bad(format!("bad node id on line {}", idx + 2)))?;
-            let s: f64 = next_tok()?
-                .parse()
-                .map_err(|_| bad(format!("bad score on line {}", idx + 2)))?;
+            let mut next_tok =
+                || it.next().ok_or_else(|| bad(format!("truncated line {}", idx + 2)));
+            let a: usize =
+                next_tok()?.parse().map_err(|_| bad(format!("bad node id on line {}", idx + 2)))?;
+            let b: usize =
+                next_tok()?.parse().map_err(|_| bad(format!("bad node id on line {}", idx + 2)))?;
+            let s: f64 =
+                next_tok()?.parse().map_err(|_| bad(format!("bad score on line {}", idx + 2)))?;
             if a >= n || b >= n {
                 return Err(bad(format!("node id out of range on line {}", idx + 2)));
             }

@@ -101,12 +101,7 @@ fn lattice_sweep(
 
 /// Top-`k` most-similar nodes to `q` by single-source geometric SimRank\*
 /// (excluding `q` itself, ties broken by ascending id).
-pub fn top_k_query(
-    g: &DiGraph,
-    q: NodeId,
-    k: usize,
-    params: &SimStarParams,
-) -> Vec<(NodeId, f64)> {
+pub fn top_k_query(g: &DiGraph, q: NodeId, k: usize, params: &SimStarParams) -> Vec<(NodeId, f64)> {
     let row = single_source(g, q, params);
     let mut scored: Vec<(NodeId, f64)> = row
         .into_iter()
@@ -160,10 +155,7 @@ mod tests {
             for q in 0..g.node_count() as NodeId {
                 let row = single_source_exponential(&g, q, &p);
                 for (v, &rv) in row.iter().enumerate() {
-                    assert!(
-                        (rv - brute.get(q as usize, v)).abs() < 1e-10,
-                        "q={q}, v={v}"
-                    );
+                    assert!((rv - brute.get(q as usize, v)).abs() < 1e-10, "q={q}, v={v}");
                 }
             }
         }

@@ -214,8 +214,8 @@ pub fn load(id: DatasetId, divisor: usize) -> Dataset {
         }
         DatasetKind::Web => {
             let scale = usize::BITS - (n - 1).leading_zeros(); // ceil log2
-            // Half the edge budget goes to boilerplate blocks — see
-            // `ssr_gen::random::webgraph` for why real web graphs need this.
+                                                               // Half the edge budget goes to boilerplate blocks — see
+                                                               // `ssr_gen::random::webgraph` for why real web graphs need this.
             let g = ssr_gen::random::webgraph(scale, m, 0.5, seed);
             let roles = g.nodes().map(|v| g.in_degree(v) as f64).collect();
             Dataset { id, graph: g, roles, community: None, scale_divisor: divisor }
@@ -227,8 +227,7 @@ pub fn load(id: DatasetId, divisor: usize) -> Dataset {
 /// metadata, paper lists and paper counts consistently.
 fn drop_isolated_authors(cg: CommunityGraph) -> CommunityGraph {
     let g = &cg.graph;
-    let keep: Vec<u32> =
-        g.nodes().filter(|&v| g.in_degree(v) + g.out_degree(v) > 0).collect();
+    let keep: Vec<u32> = g.nodes().filter(|&v| g.in_degree(v) + g.out_degree(v) > 0).collect();
     if keep.len() == g.node_count() {
         return cg;
     }
@@ -239,8 +238,7 @@ fn drop_isolated_authors(cg: CommunityGraph) -> CommunityGraph {
         .papers
         .iter()
         .map(|p| {
-            let mut q: Vec<u32> =
-                p.iter().filter_map(|&v| remap[v as usize]).collect();
+            let mut q: Vec<u32> = p.iter().filter_map(|&v| remap[v as usize]).collect();
             q.sort_unstable();
             q
         })

@@ -34,10 +34,7 @@ pub fn top_pair_role_difference(
     if top.is_empty() {
         return None;
     }
-    let sum: f64 = top
-        .iter()
-        .map(|&(a, b, _)| (role[a as usize] - role[b as usize]).abs())
-        .sum();
+    let sum: f64 = top.iter().map(|&(a, b, _)| (role[a as usize] - role[b as usize]).abs()).sum();
     Some(sum / top.len() as f64)
 }
 

@@ -117,15 +117,9 @@ pub fn rwr_census(g: &DiGraph, samples: usize, max_len: usize, seed: u64) -> Zer
 /// RWR counts only paths whose in-link "source" is `a` itself (`l1 = 0`).
 /// Any in-link path with `l1 > 0` is invisible to it: symmetric paths
 /// (SimRank's domain) and dissymmetric paths with an interior source alike.
-fn has_non_unidirectional_inlink_path(
-    g: &DiGraph,
-    a: u32,
-    b: u32,
-    max_len: usize,
-) -> bool {
+fn has_non_unidirectional_inlink_path(g: &DiGraph, a: u32, b: u32, max_len: usize) -> bool {
     use ssr_graph::paths::has_symmetric_inlink_path;
-    has_symmetric_inlink_path(g, a, b, max_len)
-        || interior_source_dissymmetric(g, a, b, max_len)
+    has_symmetric_inlink_path(g, a, b, max_len) || interior_source_dissymmetric(g, a, b, max_len)
 }
 
 /// A dissymmetric in-link path whose source is strictly interior
@@ -163,9 +157,13 @@ mod tests {
     fn fractions_sum_to_one() {
         let g = two_arm();
         let c = simrank_census(&g, 400, 5, 1);
-        assert!((c.completely_dissimilar + c.partially_missing + c.fully_captured - 1.0).abs() < 1e-12);
+        assert!(
+            (c.completely_dissimilar + c.partially_missing + c.fully_captured - 1.0).abs() < 1e-12
+        );
         let c = rwr_census(&g, 400, 5, 1);
-        assert!((c.completely_dissimilar + c.partially_missing + c.fully_captured - 1.0).abs() < 1e-12);
+        assert!(
+            (c.completely_dissimilar + c.partially_missing + c.fully_captured - 1.0).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -174,11 +172,7 @@ mod tests {
         // symmetric paths → 16/20 completely dissimilar.
         let g = two_arm();
         let c = simrank_census(&g, 4000, 6, 2);
-        assert!(
-            (c.completely_dissimilar - 0.8).abs() < 0.03,
-            "got {}",
-            c.completely_dissimilar
-        );
+        assert!((c.completely_dissimilar - 0.8).abs() < 0.03, "got {}", c.completely_dissimilar);
     }
 
     #[test]

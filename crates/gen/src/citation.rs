@@ -57,8 +57,8 @@ pub fn citation_graph(params: CitationParams, seed: u64) -> DiGraph {
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let n = params.nodes;
-    let mut b = GraphBuilder::with_capacity((params.avg_out_degree * n as f64) as usize)
-        .reserve_nodes(n);
+    let mut b =
+        GraphBuilder::with_capacity((params.avg_out_degree * n as f64) as usize).reserve_nodes(n);
     // cite_pool holds one entry per received citation plus one base entry per
     // paper — sampling from it uniformly implements "in-degree + 1"
     // preferential attachment.

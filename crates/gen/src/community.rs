@@ -220,8 +220,8 @@ mod tests {
     fn h_index_monotone_in_paper_count() {
         let cg = community_graph(CommunityParams::default(), 6);
         // An author on zero papers has h-index 0.
-        if let Some(v) = (0..cg.graph.node_count() as NodeId)
-            .find(|&v| cg.paper_count[v as usize] == 0)
+        if let Some(v) =
+            (0..cg.graph.node_count() as NodeId).find(|&v| cg.paper_count[v as usize] == 0)
         {
             assert_eq!(cg.h_index(v), 0);
         }

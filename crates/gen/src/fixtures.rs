@@ -87,7 +87,14 @@ pub fn family_tree() -> DiGraph {
     use family::*;
     DiGraph::from_edges(
         7,
-        &[(GRANDPA, FATHER), (GRANDPA, UNCLE), (FATHER, ME), (UNCLE, COUSIN), (ME, SON), (SON, GRANDSON)],
+        &[
+            (GRANDPA, FATHER),
+            (GRANDPA, UNCLE),
+            (FATHER, ME),
+            (UNCLE, COUSIN),
+            (ME, SON),
+            (SON, GRANDSON),
+        ],
     )
     .expect("family tree is well-formed")
 }

@@ -115,8 +115,7 @@ pub fn webgraph(scale: u32, m: usize, template_fraction: f64, seed: u64) -> DiGr
         // Template block: 3-12 source pages linked into 4-40 member pages.
         let srcs = rng.gen_range(3..=12usize);
         let members = rng.gen_range(4..=40usize);
-        let template: Vec<NodeId> =
-            (0..srcs).map(|_| rng.gen_range(0..n as NodeId)).collect();
+        let template: Vec<NodeId> = (0..srcs).map(|_| rng.gen_range(0..n as NodeId)).collect();
         for _ in 0..members {
             let page = rng.gen_range(0..n as NodeId);
             for &s in &template {
@@ -144,8 +143,7 @@ fn rmat_edge(scale: u32, p: &RmatParams, rng: &mut StdRng) -> (NodeId, NodeId) {
         // Add ±10% per-level noise to the quadrant weights, as GTgraph does,
         // so the degree sequence is not perfectly self-similar.
         let jitter = |w: f64, r: &mut StdRng| w * (0.9 + 0.2 * r.gen::<f64>());
-        let (a, b, c, d) =
-            (jitter(p.a, rng), jitter(p.b, rng), jitter(p.c, rng), jitter(p.d, rng));
+        let (a, b, c, d) = (jitter(p.a, rng), jitter(p.b, rng), jitter(p.c, rng), jitter(p.d, rng));
         let total = a + b + c + d;
         let roll = rng.gen::<f64>() * total;
         if roll < a {
@@ -209,10 +207,7 @@ mod tests {
         let max_in = g.nodes().map(|v| g.in_degree(v)).max().unwrap();
         let avg = g.edge_count() as f64 / g.node_count() as f64;
         // Heavy tail: the hub should far exceed the mean degree.
-        assert!(
-            (max_in as f64) > 4.0 * avg,
-            "expected skew, max_in={max_in}, avg={avg:.2}"
-        );
+        assert!((max_in as f64) > 4.0 * avg, "expected skew, max_in={max_in}, avg={avg:.2}");
     }
 
     #[test]

@@ -41,11 +41,7 @@ impl GraphBuilder {
 
     /// Pre-sizes the edge buffer.
     pub fn with_capacity(edges: usize) -> Self {
-        GraphBuilder {
-            edges: Vec::with_capacity(edges),
-            min_nodes: 0,
-            allow_self_loops: false,
-        }
+        GraphBuilder { edges: Vec::with_capacity(edges), min_nodes: 0, allow_self_loops: false }
     }
 
     /// Whether `v -> v` edges are accepted (default: no).

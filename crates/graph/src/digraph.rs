@@ -129,8 +129,7 @@ impl DiGraph {
 
     /// Iterates all edges `(u, v)` in `(source, target)` order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.n as NodeId)
-            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+        (0..self.n as NodeId).flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Iterates node ids `0..n`.

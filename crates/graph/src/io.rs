@@ -37,10 +37,8 @@ pub fn parse_edge_list(text: &str) -> Result<Vec<(NodeId, NodeId)>, GraphError> 
 
 fn parse_node(tok: Option<&str>, line: usize, missing: &str) -> Result<NodeId, GraphError> {
     let tok = tok.ok_or_else(|| GraphError::Parse { line, message: missing.to_string() })?;
-    tok.parse::<NodeId>().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("`{tok}` is not a valid node id"),
-    })
+    tok.parse::<NodeId>()
+        .map_err(|_| GraphError::Parse { line, message: format!("`{tok}` is not a valid node id") })
 }
 
 /// Parses edge-list text straight into a [`DiGraph`] (self-loops permitted,

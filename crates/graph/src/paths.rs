@@ -115,12 +115,7 @@ fn reaches(g: &DiGraph, from: NodeId, to: NodeId, budget: usize, seen: &mut [boo
 /// Whether `(a, b)` has a **symmetric** in-link path of half-length
 /// `1..=max_half_len` — i.e. an in-link "source" at equal backward distance
 /// `l` from both `a` and `b`.
-pub fn has_symmetric_inlink_path(
-    g: &DiGraph,
-    a: NodeId,
-    b: NodeId,
-    max_half_len: usize,
-) -> bool {
+pub fn has_symmetric_inlink_path(g: &DiGraph, a: NodeId, b: NodeId, max_half_len: usize) -> bool {
     let la = backward_level_sets(g, a, max_half_len);
     let lb = backward_level_sets(g, b, max_half_len);
     (1..=max_half_len).any(|l| sorted_intersects(&la[l], &lb[l]))
@@ -131,12 +126,7 @@ pub fn has_symmetric_inlink_path(
 /// from `b` with `l1 ≠ l2` (including the unidirectional cases `l1 = 0` or
 /// `l2 = 0`).
 #[allow(clippy::needless_range_loop)] // l1/l2 are path lengths, not positions
-pub fn has_dissymmetric_inlink_path(
-    g: &DiGraph,
-    a: NodeId,
-    b: NodeId,
-    max_arm_len: usize,
-) -> bool {
+pub fn has_dissymmetric_inlink_path(g: &DiGraph, a: NodeId, b: NodeId, max_arm_len: usize) -> bool {
     let la = backward_level_sets(g, a, max_arm_len);
     let lb = backward_level_sets(g, b, max_arm_len);
     for l1 in 0..=max_arm_len {

@@ -4,7 +4,7 @@ use std::fmt;
 ///
 /// Sized for similarity matrices: `n × n` with `n` up to a few tens of
 /// thousands on a laptop (8 bytes/entry). Multiplications above
-/// [`PARALLEL_THRESHOLD`] FLOPs are split over row blocks with crossbeam
+/// [`PARALLEL_THRESHOLD`] FLOPs are split over row blocks with std scoped threads
 /// scoped threads; results are bit-identical to the serial path because each
 /// output row is produced by exactly one thread with the same accumulation
 /// order.
@@ -190,17 +190,16 @@ impl Dense {
         let b_cols = other.cols;
         let a = &self.data;
         let b = &other.data;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, chunk) in out.data.chunks_mut(rows_per * b_cols).enumerate() {
                 let start_row = t * rows_per;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let nrows = chunk.len() / b_cols;
                     let a_block = &a[start_row * a_cols..(start_row + nrows) * a_cols];
                     matmul_rows(a_block, a_cols, b, b_cols, chunk, 0);
                 });
             }
-        })
-        .expect("matmul worker panicked");
+        });
         out
     }
 
@@ -212,10 +211,7 @@ impl Dense {
     /// `max |self - other|` entry-wise.
     pub fn max_diff(&self, other: &Dense) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0, |acc, (&a, &b)| acc.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0, |acc, (&a, &b)| acc.max((a - b).abs()))
     }
 
     /// Frobenius norm.

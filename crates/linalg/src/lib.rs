@@ -4,7 +4,7 @@
 //! exactly the kernel set the paper's algorithms need:
 //!
 //! * [`Dense`] — row-major dense `f64` matrices with the operations the
-//!   matrix forms of SimRank/SimRank\* use: mat-mul (crossbeam-parallel over
+//!   matrix forms of SimRank/SimRank\* use: mat-mul (thread-parallel over
 //!   row blocks), transpose, axpy-style updates, the max-norm
 //!   `‖X‖_max = max |x_ij|` of Lemma 3, and symmetry checks.
 //! * [`Csr`] — compressed-sparse-row matrices, built from graphs:

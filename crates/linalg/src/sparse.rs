@@ -172,17 +172,16 @@ impl Csr {
             return out;
         }
         let rows_per = self.rows.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, chunk) in out.as_mut_slice().chunks_mut(rows_per * bc).enumerate() {
                 let start = t * rows_per;
                 let me = &*self;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let nrows = chunk.len() / bc;
                     me.mul_dense_into(b, chunk, start, start + nrows);
                 });
             }
-        })
-        .expect("spmm worker panicked");
+        });
         out
     }
 
@@ -208,9 +207,7 @@ impl Csr {
     /// Dense matrix-vector product `self · x`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "dimension mismatch");
-        (0..self.rows)
-            .map(|r| self.row_entries(r).map(|(c, v)| v * x[c as usize]).sum())
-            .collect()
+        (0..self.rows).map(|r| self.row_entries(r).map(|(c, v)| v * x[c as usize]).sum()).collect()
     }
 
     /// `xᵀ · self` (left multiplication by a row vector).

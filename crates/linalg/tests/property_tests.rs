@@ -24,11 +24,8 @@ fn arb_square(max_n: usize) -> impl Strategy<Value = Dense> {
 /// Strategy: a sparse matrix from random triplets.
 fn arb_csr(max_n: usize) -> impl Strategy<Value = Csr> {
     (2..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec(
-            (0..n as u32, 0..n as u32, -1.0f64..1.0),
-            0..(3 * n),
-        )
-        .prop_map(move |t| Csr::from_triplets(n, n, &t))
+        proptest::collection::vec((0..n as u32, 0..n as u32, -1.0f64..1.0), 0..(3 * n))
+            .prop_map(move |t| Csr::from_triplets(n, n, &t))
     })
 }
 

@@ -40,13 +40,7 @@ fn main() {
     let nq = queries.len() as f64;
     println!("{:<8} {:>10} {:>10} {:>10}", "measure", "Kendall", "Spearman", "NDCG@20");
     for (name, row) in ["SR*", "SR", "RWR"].iter().zip(&agg) {
-        println!(
-            "{:<8} {:>10.3} {:>10.3} {:>10.3}",
-            name,
-            row[0] / nq,
-            row[1] / nq,
-            row[2] / nq
-        );
+        println!("{:<8} {:>10.3} {:>10.3} {:>10.3}", name, row[0] / nq, row[1] / nq, row[2] / nq);
     }
 
     // Show one concrete query's top related papers under SimRank*.

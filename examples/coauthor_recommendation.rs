@@ -24,9 +24,7 @@ fn main() {
     // Recommend collaborators for the five most prolific authors.
     let mut prolific: Vec<u32> = (0..g.node_count() as u32).collect();
     prolific.sort_by(|&a, &b| {
-        cg.paper_count[b as usize]
-            .cmp(&cg.paper_count[a as usize])
-            .then(a.cmp(&b))
+        cg.paper_count[b as usize].cmp(&cg.paper_count[a as usize]).then(a.cmp(&b))
     });
     let mut star_ndcg = 0.0;
     let mut sr_ndcg = 0.0;
@@ -52,7 +50,11 @@ fn main() {
             println!("    #{v:<6} SR* {s:.4}  [{status}]");
         }
     }
-    println!("\nmean NDCG@10 over 5 queries:  SR* {:.3}   SR {:.3}", star_ndcg / 5.0, sr_ndcg / 5.0);
+    println!(
+        "\nmean NDCG@10 over 5 queries:  SR* {:.3}   SR {:.3}",
+        star_ndcg / 5.0,
+        sr_ndcg / 5.0
+    );
 
     // Undirectedness check the paper leans on: every edge has its reverse,
     // so odd-length in-link paths abound and SimRank's zero-pairs shrink —

@@ -32,7 +32,11 @@ fn main() {
             println!(
                 "    {:<28} {}  contributes {:.5}",
                 p.render(label),
-                if p.is_symmetric() { "[symmetric — SimRank sees it] " } else { "[dissymmetric — SimRank drops]" },
+                if p.is_symmetric() {
+                    "[symmetric — SimRank sees it] "
+                } else {
+                    "[dissymmetric — SimRank drops]"
+                },
                 p.contribution
             );
         }

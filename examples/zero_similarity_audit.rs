@@ -12,12 +12,13 @@ use ssr_datasets::{load, DatasetId};
 use ssr_eval::zero_sim::{rwr_census, simrank_census};
 
 fn main() {
-    println!("{:<12} {:>10} {:>14} {:>12} | {:>10} {:>14}", "dataset", "SR zero", "SR partial", "SR issue%", "RWR zero", "RWR partial");
-    for (id, div) in [
-        (DatasetId::CitHepTh, 64),
-        (DatasetId::Dblp, 32),
-        (DatasetId::WebGoogle, 1024),
-    ] {
+    println!(
+        "{:<12} {:>10} {:>14} {:>12} | {:>10} {:>14}",
+        "dataset", "SR zero", "SR partial", "SR issue%", "RWR zero", "RWR partial"
+    );
+    for (id, div) in
+        [(DatasetId::CitHepTh, 64), (DatasetId::Dblp, 32), (DatasetId::WebGoogle, 1024)]
+    {
         let d = load(id, div);
         let g = &d.graph;
         let sr = simrank_census(g, 2_000, 6, 7);

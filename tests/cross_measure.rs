@@ -7,10 +7,7 @@ use ssr_baselines::{rwr::rwr_matrix, simrank::simrank};
 use ssr_gen::citation::{citation_graph, CitationParams};
 
 fn test_graph() -> ssr_graph::DiGraph {
-    citation_graph(
-        CitationParams { nodes: 120, avg_out_degree: 4.0, ..Default::default() },
-        0xCAFE,
-    )
+    citation_graph(CitationParams { nodes: 120, avg_out_degree: 4.0, ..Default::default() }, 0xCAFE)
 }
 
 /// SimRank\* aggregates a superset of both SimRank's (symmetric) and RWR's
@@ -63,8 +60,7 @@ fn sieved_io_preserves_rankings() {
     sim.write_sieved(&mut buf, 1e-4).unwrap();
     let back = SimilarityMatrix::read_sieved(buf.as_slice()).unwrap();
     for q in [3u32, 77] {
-        let orig: Vec<_> =
-            sim.top_k(q, 5).into_iter().filter(|&(_, s)| s >= 1e-4).collect();
+        let orig: Vec<_> = sim.top_k(q, 5).into_iter().filter(|&(_, s)| s >= 1e-4).collect();
         let reload = back.top_k(q, orig.len());
         assert_eq!(
             orig.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
@@ -100,14 +96,9 @@ fn clipping_preserves_order_of_survivors() {
     let mut clipped = sim.clone();
     clipped.clip_below(1e-4);
     for q in [10u32, 100] {
-        let before: Vec<u32> = sim
-            .top_k(q, 10)
-            .into_iter()
-            .filter(|&(_, s)| s >= 1e-4)
-            .map(|(v, _)| v)
-            .collect();
-        let after: Vec<u32> =
-            clipped.top_k(q, before.len()).into_iter().map(|(v, _)| v).collect();
+        let before: Vec<u32> =
+            sim.top_k(q, 10).into_iter().filter(|&(_, s)| s >= 1e-4).map(|(v, _)| v).collect();
+        let after: Vec<u32> = clipped.top_k(q, before.len()).into_iter().map(|(v, _)| v).collect();
         assert_eq!(before, after, "query {q}");
     }
 }

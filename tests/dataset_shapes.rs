@@ -86,11 +86,7 @@ fn default_scales_fit_dense_similarity() {
     for id in DatasetId::ALL {
         let d = ssr_datasets::load_default(id);
         let n = d.graph.node_count();
-        assert!(
-            3 * n * n * 8 < 450_000_000,
-            "{} default scale too large: n = {n}",
-            id.name()
-        );
+        assert!(3 * n * n * 8 < 450_000_000, "{} default scale too large: n = {n}", id.name());
     }
 }
 

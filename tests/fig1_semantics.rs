@@ -26,10 +26,7 @@ fn simrank_star_column_matches_paper() {
     ];
     for ((a, b), want) in expected {
         let got = s.score(a, b);
-        assert!(
-            (got - want).abs() <= 0.002,
-            "SR*({a},{b}) = {got:.4}, paper reports {want}"
-        );
+        assert!((got - want).abs() <= 0.002, "SR*({a},{b}) = {got:.4}, paper reports {want}");
     }
 }
 

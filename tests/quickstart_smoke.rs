@@ -1,0 +1,41 @@
+//! Smoke test: run `examples/quickstart.rs` end-to-end as a subprocess, the
+//! way a user would, so CI exercises the public API surface (graph fixture →
+//! SimRank\* scores → the example's own sanity assertions) and catches
+//! example bitrot that unit tests cannot see.
+
+use std::process::Command;
+
+#[test]
+fn quickstart_example_runs_end_to_end() {
+    // `cargo run --example` re-enters the build graph with the same cargo
+    // binary and an inherited environment, so an externally configured
+    // CARGO_TARGET_DIR (CI caches, shared build dirs) keeps pointing at the
+    // outer invocation's artifacts and nothing is rebuilt from scratch.
+    let cargo = env!("CARGO");
+    let out = Command::new(cargo)
+        .args(["run", "--quiet", "--example", "quickstart"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to spawn cargo run --example quickstart");
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "quickstart exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        stdout,
+        stderr
+    );
+
+    // The example prints the Figure 1 walk-through; spot-check the pieces a
+    // reader relies on. The 11-node/18-edge shape and the zero-SimRank
+    // headline line both come from assertions inside the example itself, so
+    // their presence means the whole pipeline ran.
+    assert!(
+        stdout.contains("Figure 1 graph: 11 nodes, 18 edges"),
+        "unexpected graph banner:\n{stdout}"
+    );
+    assert!(stdout.contains("Top-3 most similar papers"), "missing top-k section:\n{stdout}");
+    assert!(stdout.contains("more is simpler"), "missing zero-SimRank headline:\n{stdout}");
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], [`Throughput`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros and [`black_box`] — backed
+//! by a simple wall-clock harness: per benchmark it warms up once, picks an
+//! iteration count targeting ~100ms of work, and reports mean time per
+//! iteration (plus derived throughput when configured). No statistics, plots
+//! or persistence; the point is that `cargo bench` runs and `cargo bench
+//! --no-run` compiles in environments without crates.io access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `name` at parameter value `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id carrying only a parameter value, for per-input benches.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, parameter: None }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Measurement loop handle passed to benchmark closures.
+pub struct Bencher {
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock duration per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up call, also used to size the measurement loop.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / iters;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// No-op in the shim; real criterion parses CLI flags here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one("", &id.into(), None, f);
+        self
+    }
+
+    /// No-op in the shim; real criterion prints the summary here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes its own loops.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes its own loops.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used to derive rate numbers for later benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &BenchmarkId,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let label = if group.is_empty() { id.render() } else { format!("{}/{}", group, id.render()) };
+    let mut b = Bencher { mean: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.mean;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  {:.3} Melem/s", n as f64 / per_iter.as_secs_f64() / 1e6)
+        }
+        Throughput::Bytes(n) => {
+            format!("  {:.3} MiB/s", n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0))
+        }
+    });
+    println!("bench: {:<48} {:>12.3?}/iter{}", label, per_iter, rate.unwrap_or_default());
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ( name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; a wall-clock
+            // shim has nothing to configure, so arguments are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function(BenchmarkId::new("sum", 64), |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("plain", 10).render(), "plain/10");
+        assert_eq!(BenchmarkId::from("kendall_10k").render(), "kendall_10k");
+        assert_eq!(BenchmarkId::from_parameter(3).render(), "3");
+    }
+}

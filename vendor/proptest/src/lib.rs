@@ -1,0 +1,389 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API this workspace uses so the
+//! property tests compile and run without crates.io access:
+//!
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`, implemented for integer
+//!   and float ranges and for tuples of strategies;
+//! * [`collection::vec`] with `usize` / range size specifications;
+//! * the [`proptest!`] macro (function-style syntax with
+//!   `#![proptest_config(...)]`), plus [`prop_assert!`] and
+//!   [`prop_assert_eq!`];
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, deliberate for an offline shim: inputs are
+//! generated from a seed derived deterministically from the test name (fully
+//! reproducible runs, no persistence files), and there is **no shrinking** —
+//! a failing case panics with the assertion message directly.
+
+#![forbid(unsafe_code)]
+
+use rand::SampleRange;
+
+/// Configuration for a property test run.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Runner internals used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    pub use super::ProptestConfig;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic random source for one property test.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Builds the generator for the named test, seeded by an FNV-1a hash
+        /// of the name so every test gets a distinct, reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Uses each generated value to pick a dependent strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn new_value(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.clone().sample_single(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::test_runner::TestRng;
+    use super::Strategy;
+    use rand::SampleRange;
+
+    /// Length specification accepted by [`vec`]: an exact `usize` or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = (self.size.lo..=self.size.hi_inclusive).sample_single(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::test_runner::TestRng;
+    pub use super::{Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test, failing the case if false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// item expands to a `#[test]` that runs `body` over `config.cases` random
+/// inputs drawn from the strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `fn` item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( cfg = ($cfg:expr); ) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($params:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                $crate::__proptest_bind! { __rng, [ $($params)* ] }
+                $body
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds `pat in strategy` params.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( $rng:ident, [ ] ) => {};
+    ( $rng:ident, [ $p:pat in $($rest:tt)* ] ) => {
+        $crate::__proptest_bind_strategy! { $rng, ($p), [], $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: accumulates strategy tokens until
+/// a top-level comma (or end of input), then emits the `let` binding.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind_strategy {
+    // Top-level comma: bind the accumulated strategy, continue with the rest.
+    ( $rng:ident, ($p:pat), [ $($acc:tt)+ ], , $($rest:tt)* ) => {
+        let $p = $crate::Strategy::new_value(&( $($acc)+ ), &mut $rng);
+        $crate::__proptest_bind! { $rng, [ $($rest)* ] }
+    };
+    // End of input: bind the accumulated strategy.
+    ( $rng:ident, ($p:pat), [ $($acc:tt)+ ], ) => {
+        let $p = $crate::Strategy::new_value(&( $($acc)+ ), &mut $rng);
+    };
+    // Otherwise: move one token into the accumulator.
+    ( $rng:ident, ($p:pat), [ $($acc:tt)* ], $next:tt $($rest:tt)* ) => {
+        $crate::__proptest_bind_strategy! { $rng, ($p), [ $($acc)* $next ], $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair(max: usize) -> impl Strategy<Value = (usize, Vec<u32>)> {
+        (1usize..=max).prop_flat_map(move |n| {
+            crate::collection::vec(0..n as u32, 0..=2 * n).prop_map(move |v| (n, v))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3usize..10, b in -1.0f64..1.0, c in 0u32..=5) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!(c <= 5);
+        }
+
+        /// Flat-mapped vec lengths and elements respect the drawn size.
+        #[test]
+        fn flat_map_dependent((n, v) in arb_pair(9)) {
+            prop_assert!((1..=9).contains(&n));
+            prop_assert!(v.len() <= 2 * n);
+            for &x in &v {
+                prop_assert!((x as usize) < n, "{} out of bounds {}", x, n);
+            }
+        }
+
+        /// Tuple strategies produce per-component values.
+        #[test]
+        fn tuples_work((x, y, z) in (0u32..4, 0u32..4, -2.0f64..2.0)) {
+            prop_assert!(x < 4 && y < 4);
+            prop_assert!((-2.0..2.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_name() {
+        let mut a = TestRng::for_test("some::test");
+        let mut b = TestRng::for_test("some::test");
+        let s = 0u64..u64::MAX;
+        for _ in 0..10 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+}
