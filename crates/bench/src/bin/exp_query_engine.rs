@@ -1,0 +1,30 @@
+//! Query-engine perf trajectory: naive vs engine vs batched queries/sec and
+//! latency percentiles, written to `BENCH_query_engine.json`.
+//!
+//! Usage: `exp_query_engine [--smoke] [--out PATH]`
+
+use ssr_bench::query_bench::{run_query_bench, QueryBenchOptions};
+
+fn main() {
+    let mut opts = QueryBenchOptions {
+        smoke: false,
+        out_path: std::path::PathBuf::from("BENCH_query_engine.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => match args.next() {
+                Some(p) => opts.out_path = p.into(),
+                None => die("--out is missing its value"),
+            },
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    run_query_bench(&opts);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("exp_query_engine: {msg}\nusage: exp_query_engine [--smoke] [--out PATH]");
+    std::process::exit(1);
+}

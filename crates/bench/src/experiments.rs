@@ -406,6 +406,10 @@ pub fn run_all() {
         fig6g_density();
         fig6h_memory();
         convergence_table();
+        crate::query_bench::run_query_bench(&crate::query_bench::QueryBenchOptions {
+            smoke: false,
+            out_path: "BENCH_query_engine.json".into(),
+        });
     });
     println!("\ntotal experiment wall-clock: {}", secs(total));
 }

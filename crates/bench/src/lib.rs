@@ -14,6 +14,7 @@
 //! | `exp_fig6f_amortized` | Fig. 6(f) amortised phase time |
 //! | `exp_fig6g_density` | Fig. 6(g) density sweep |
 //! | `exp_fig6h_memory` | Fig. 6(h) memory space |
+//! | `exp_query_engine` | query-engine perf trajectory (`BENCH_query_engine.json`) |
 //! | `run_all` | everything above, in order |
 //!
 //! Criterion benches (`cargo bench`) cover the timing-sensitive kernels:
@@ -29,6 +30,7 @@
 
 pub mod experiments;
 pub mod memuse;
+pub mod query_bench;
 pub mod runners;
 
 use std::time::{Duration, Instant};

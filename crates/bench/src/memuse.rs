@@ -61,7 +61,7 @@ fn kernel_bytes_compressed(kernel: &CompressedRightMultiplier) -> usize {
 
 /// Per-thread concentrator partial-sum buffers (Algorithm 1's memo table).
 fn memo_buffer_bytes(kernel: &CompressedRightMultiplier) -> usize {
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get()).min(16);
+    let threads = ssr_linalg::available_threads();
     kernel.compressed().concentrator_count() * 8 * threads
 }
 

@@ -1,7 +1,7 @@
 //! The `simstar` subcommands.
 
 use crate::args::{ArgError, Args};
-use simrank_star::{exponential, geometric, single_source, SimStarParams};
+use simrank_star::{exponential, geometric, QueryEngine, QueryEngineOptions, SimStarParams};
 use ssr_baselines::{prank, rwr, simrank};
 use ssr_compress::{compress, CompressOptions};
 use ssr_graph::components::{strongly_connected_components, weakly_connected_components};
@@ -20,8 +20,11 @@ COMMANDS:
   compute   all-pairs similarities from an edge list
             --input FILE [--algo gsr|esr|memo-gsr|memo-esr|sr|prank|rwr]
             [--c 0.6] [--k 5] [--threshold 0] [--output FILE]
-  query     single-source SimRank* (no all-pairs cost)
-            --input FILE --node ID [--top 10] [--c 0.6] [--k 5]
+  query     single-source SimRank* through the amortized QueryEngine
+            --input FILE (--node ID | --nodes ID,ID,... | --batch N)
+            [--top-k 10] [--c 0.6] [--k 5] [--seed 0] [--compress false]
+            --nodes/--batch run the batched lane kernel; --batch samples N
+            in-degree-stratified queries (the paper's test-query protocol)
   stats     graph statistics + compression summary
             --input FILE
   audit     zero-similarity census (Fig. 6(d) style)
@@ -93,26 +96,77 @@ fn cmd_compute(rest: &[String]) -> Result<String, ArgError> {
 }
 
 fn cmd_query(rest: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(rest, &["input", "node", "top", "c", "k"])?;
+    let args = Args::parse(
+        rest,
+        &["input", "node", "nodes", "batch", "top", "top-k", "c", "k", "seed", "compress"],
+    )?;
     let g = load_graph(&args)?;
-    let node: u32 = args.get("node", u32::MAX)?;
-    if !args.has("node") {
-        return Err(ArgError("missing required flag `--node`".into()));
+    let modes = ["node", "nodes", "batch"].iter().filter(|m| args.has(m)).count();
+    if modes != 1 {
+        return Err(ArgError(
+            "exactly one of `--node ID`, `--nodes ID,ID,...`, `--batch N` is required".into(),
+        ));
     }
-    if node as usize >= g.node_count() {
-        return Err(ArgError(format!(
-            "--node {node} out of range (graph has {} nodes)",
-            g.node_count()
-        )));
-    }
-    let top = args.get("top", 10usize)?;
+    // `--top` is kept as an alias of `--top-k`.
+    let top =
+        if args.has("top-k") { args.get("top-k", 10usize)? } else { args.get("top", 10usize)? };
     let params = SimStarParams { c: args.get("c", 0.6)?, iterations: args.get("k", 5usize)? };
-    let results = single_source::top_k_query(&g, node, top, &params);
-    let mut out = format!("# top-{top} SimRank* matches for node {node}\n");
-    for (v, s) in results {
-        out.push_str(&format!("{v}\t{s:.6}\n"));
+    if !(0.0..1.0).contains(&params.c) || params.c == 0.0 {
+        return Err(ArgError(format!("--c must be in (0,1), got {}", params.c)));
     }
-    Ok(out)
+    let queries: Vec<u32> = if args.has("node") {
+        vec![args.get("node", 0u32)?]
+    } else if args.has("nodes") {
+        args.req("nodes")?
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<u32>()
+                    .map_err(|_| ArgError(format!("--nodes: cannot parse `{t}`")))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        let n = args.get("batch", 64usize)?;
+        if n == 0 {
+            return Err(ArgError("--batch must be at least 1".into()));
+        }
+        let seed = args.get("seed", 0u64)?;
+        let mut sampled = ssr_eval::queries::select_queries(&g, 5, n.div_ceil(5), seed);
+        sampled.truncate(n);
+        sampled
+    };
+    for &q in &queries {
+        if q as usize >= g.node_count() {
+            return Err(ArgError(format!(
+                "query node {q} out of range (graph has {} nodes)",
+                g.node_count()
+            )));
+        }
+    }
+    let opts = QueryEngineOptions { compress: args.get("compress", false)?, ..Default::default() };
+    let engine = QueryEngine::with_options(&g, params, opts);
+    // The output format follows the flag, not the list arity: `--nodes 5`
+    // must emit the same 3-column batched format as `--nodes 5,6`.
+    if args.has("node") {
+        let node = queries[0];
+        let mut out = format!("# top-{top} SimRank* matches for node {node}\n");
+        for (v, s) in engine.top_k(node, top) {
+            out.push_str(&format!("{v}\t{s:.6}\n"));
+        }
+        Ok(out)
+    } else {
+        let ranked = engine.top_k_batch(&queries, top);
+        let mut out = format!(
+            "# batched top-{top} SimRank* matches for {} queries (query\tnode\tscore)\n",
+            queries.len()
+        );
+        for (q, rows) in queries.iter().zip(&ranked) {
+            for (v, s) in rows {
+                out.push_str(&format!("{q}\t{v}\t{s:.6}\n"));
+            }
+        }
+        Ok(out)
+    }
 }
 
 fn cmd_stats(rest: &[String]) -> Result<String, ArgError> {
@@ -295,6 +349,62 @@ mod tests {
     fn query_requires_node() {
         let p = tmp_graph();
         assert!(run("query", &toks(&format!("--input {p}"))).is_err());
+    }
+
+    #[test]
+    fn query_mode_flags_are_exclusive() {
+        let p = tmp_graph();
+        assert!(run("query", &toks(&format!("--input {p} --node 1 --batch 4"))).is_err());
+    }
+
+    #[test]
+    fn query_top_k_flag_matches_top_alias() {
+        let p = tmp_graph();
+        let a = run("query", &toks(&format!("--input {p} --node 8 --top 3"))).unwrap();
+        let b = run("query", &toks(&format!("--input {p} --node 8 --top-k 3"))).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn query_single_nodes_entry_keeps_batched_format() {
+        let p = tmp_graph();
+        let out = run("query", &toks(&format!("--input {p} --nodes 8 --top-k 2"))).unwrap();
+        assert!(out.contains("batched top-2"));
+        assert!(out.lines().skip(1).all(|l| l.starts_with("8\t")));
+    }
+
+    #[test]
+    fn query_nodes_runs_batched_and_matches_single() {
+        let p = tmp_graph();
+        let batched = run("query", &toks(&format!("--input {p} --nodes 8,3 --top-k 2"))).unwrap();
+        let rows: Vec<&str> = batched.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(rows.len(), 4);
+        // Batched rows for node 8 equal the single-query ranking.
+        let single = run("query", &toks(&format!("--input {p} --node 8 --top-k 2"))).unwrap();
+        let single_rows: Vec<&str> = single.lines().filter(|l| !l.starts_with('#')).collect();
+        for (b, s) in rows.iter().take(2).zip(&single_rows) {
+            assert_eq!(b.strip_prefix("8\t").unwrap(), *s);
+        }
+    }
+
+    #[test]
+    fn query_batch_samples_stratified_queries() {
+        let p = tmp_graph();
+        let out =
+            run("query", &toks(&format!("--input {p} --batch 4 --top-k 3 --seed 1"))).unwrap();
+        assert!(out.contains("batched top-3"));
+        let rows = out.lines().filter(|l| !l.starts_with('#')).count();
+        assert!(rows > 0 && rows <= 12, "{rows}");
+    }
+
+    #[test]
+    fn query_compressed_engine_matches_plain() {
+        let p = tmp_graph();
+        let plain = run("query", &toks(&format!("--input {p} --nodes 1,2 --top-k 3"))).unwrap();
+        let memo =
+            run("query", &toks(&format!("--input {p} --nodes 1,2 --top-k 3 --compress true")))
+                .unwrap();
+        assert_eq!(plain, memo);
     }
 
     #[test]

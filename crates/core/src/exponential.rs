@@ -95,7 +95,7 @@ pub fn closed_form_sieved_with_kernel(
         .collect();
     let mut s = Dense::zeros(n, n);
     let scale = (-params.c).exp();
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get()).min(16);
+    let threads = ssr_linalg::available_threads();
     let rows_per = n.div_ceil(threads.max(1)).max(1);
     std::thread::scope(|scope| {
         for (t, chunk) in s.as_mut_slice().chunks_mut(rows_per * n).enumerate() {

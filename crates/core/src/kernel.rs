@@ -31,7 +31,7 @@
 
 use ssr_compress::{compress, CompressOptions, CompressedGraph};
 use ssr_graph::DiGraph;
-use ssr_linalg::Dense;
+use ssr_linalg::{available_threads, Csr, Dense};
 
 /// Lanes per block. 16 f64 = two cache lines per accumulator row; large
 /// enough to amortise index reads, small enough to keep the transposed
@@ -53,14 +53,24 @@ pub trait RightMultiplier: Sync {
 
     /// Computes `Y = X · Qᵀ`.
     fn apply(&self, x: &Dense) -> Dense {
+        let mut out = Dense::zeros(x.rows(), self.node_count());
+        self.apply_into(x, &mut out);
+        out
+    }
+
+    /// Computes `Y = X · Qᵀ` into a caller-owned buffer. Every entry of
+    /// `out` is overwritten (the buffer may hold stale data), so the query
+    /// engine can ping-pong two batch buffers with no allocation on the hot
+    /// path.
+    fn apply_into(&self, x: &Dense, out: &mut Dense) {
         assert_eq!(x.cols(), self.node_count(), "dimension mismatch");
+        assert_eq!((out.rows(), out.cols()), (x.rows(), self.node_count()), "output shape");
         let rows = x.rows();
         let n = self.node_count();
-        let mut out = Dense::zeros(rows, n);
         let threads = available_threads();
         let n_blocks = rows.div_ceil(BLOCK).max(1);
         if rows == 0 || n == 0 {
-            return out;
+            return;
         }
         if threads == 1 || n_blocks == 1 || rows * self.work_per_row() < 1 << 20 {
             let mut xb = vec![0.0; n * BLOCK];
@@ -68,10 +78,10 @@ pub trait RightMultiplier: Sync {
             let mut r0 = 0;
             while r0 < rows {
                 let lanes = BLOCK.min(rows - r0);
-                self.run_block(x, &mut out, r0, lanes, &mut xb, &mut yb);
+                self.run_block(x, out, r0, lanes, &mut xb, &mut yb);
                 r0 += lanes;
             }
-            return out;
+            return;
         }
         // Parallel: hand each worker a contiguous range of blocks.
         let blocks_per = n_blocks.div_ceil(threads);
@@ -97,7 +107,6 @@ pub trait RightMultiplier: Sync {
                 });
             }
         });
-        out
     }
 }
 
@@ -157,10 +166,6 @@ fn transpose_into(x: &Dense, r0: usize, lanes: usize, xb: &mut [f64]) {
     }
 }
 
-fn available_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
-}
-
 /// Adds `src` into `dst`, `lanes`-wide.
 #[inline]
 fn lane_add(dst: &mut [f64], src: &[f64]) {
@@ -174,6 +179,14 @@ fn lane_add(dst: &mut [f64], src: &[f64]) {
 fn lane_scale(dst: &mut [f64], f: f64) {
     for d in dst.iter_mut() {
         *d *= f;
+    }
+}
+
+/// `dst += f * src`, `lanes`-wide.
+#[inline]
+fn lane_axpy(dst: &mut [f64], src: &[f64], f: f64) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += f * s;
     }
 }
 
@@ -302,6 +315,73 @@ impl RightMultiplier for CompressedRightMultiplier {
     }
 }
 
+/// Blocked kernel `Y = X · Aᵀ` over an arbitrary **weighted** square CSR
+/// matrix `A` — the same lane layout as the graph kernels, with explicit
+/// per-entry weights instead of the uniform `1/|I(x)|` scaling.
+///
+/// The query engine uses it with `A = Qᵀ` to advance batched `u_θ = e_qᵀQ^θ`
+/// state: `X · Q = X · (Qᵀ)ᵀ`, so adjacency indices are read once per
+/// 16-lane block in the θ direction too.
+pub struct CsrRightMultiplier {
+    a: Csr,
+}
+
+impl CsrRightMultiplier {
+    /// Wraps a square CSR matrix `A`; the kernel computes `X · Aᵀ`.
+    pub fn new(a: Csr) -> Self {
+        assert_eq!(a.rows(), a.cols(), "square matrix required");
+        CsrRightMultiplier { a }
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &Csr {
+        &self.a
+    }
+}
+
+impl RightMultiplier for CsrRightMultiplier {
+    fn node_count(&self) -> usize {
+        self.a.rows()
+    }
+
+    fn apply_block(&self, xb: &[f64], yb: &mut [f64], lanes: usize) {
+        if lanes == BLOCK {
+            // Full-width fast path: accumulate each output row in a
+            // fixed-size register block so the per-edge inner loop compiles
+            // to wide FMAs with no bounds checks — this is the hot kernel
+            // of the batched dense fallback.
+            for (xnode, dst) in yb.chunks_exact_mut(BLOCK).enumerate() {
+                let mut acc = [0.0f64; BLOCK];
+                let mut nonempty = false;
+                for (y, v) in self.a.row_entries(xnode) {
+                    let src: &[f64; BLOCK] =
+                        xb[y as usize * BLOCK..][..BLOCK].try_into().expect("BLOCK lanes");
+                    for (a, s) in acc.iter_mut().zip(src) {
+                        *a += v * s;
+                    }
+                    nonempty = true;
+                }
+                if nonempty {
+                    for (d, a) in dst.iter_mut().zip(acc) {
+                        *d += a;
+                    }
+                }
+            }
+            return;
+        }
+        for xnode in 0..self.a.rows() {
+            let acc = &mut yb[xnode * lanes..(xnode + 1) * lanes];
+            for (y, v) in self.a.row_entries(xnode) {
+                lane_axpy(acc, &xb[y as usize * lanes..(y as usize + 1) * lanes], v);
+            }
+        }
+    }
+
+    fn work_per_row(&self) -> usize {
+        self.a.nnz() + self.a.rows()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +485,34 @@ mod tests {
             let x = random_dense(rows, g.node_count(), 4 + rows as u64);
             assert!(memo.apply(&x).approx_eq(&plain.apply(&x), 1e-12), "rows = {rows}");
         }
+    }
+
+    #[test]
+    fn csr_kernel_matches_plain_on_q_and_transposes_to_left_mul() {
+        let g = fig1_like();
+        let n = g.node_count();
+        let x = random_dense(n, n, 5);
+        let q = Csr::backward_transition(&g);
+        // Wrapping Q computes X·Qᵀ, i.e. exactly the plain kernel.
+        let via_csr = CsrRightMultiplier::new(q.clone()).apply(&x);
+        let via_plain = PlainRightMultiplier::new(&g).apply(&x);
+        assert!(via_csr.approx_eq(&via_plain, 1e-12));
+        // Wrapping Qᵀ computes X·Q (the θ-direction advance).
+        let via_qt = CsrRightMultiplier::new(q.transpose()).apply(&x);
+        let reference = x.matmul(&q.to_dense());
+        assert!(via_qt.approx_eq(&reference, 1e-12));
+    }
+
+    #[test]
+    fn apply_into_overwrites_dirty_buffers() {
+        let g = fig1_like();
+        let n = g.node_count();
+        let x = random_dense(n, n, 6);
+        let kernel = PlainRightMultiplier::new(&g);
+        let clean = kernel.apply(&x);
+        let mut dirty = random_dense(n, n, 7);
+        kernel.apply_into(&x, &mut dirty);
+        assert!(dirty.approx_eq(&clean, 0.0));
     }
 
     #[test]

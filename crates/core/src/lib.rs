@@ -28,6 +28,7 @@
 //! | convergence bounds, Lemma 3 / Eq. (12) | [`convergence`] |
 //! | per-path contribution rates (§3.2 examples) | [`series::path_contribution`] |
 //! | single-source queries (the evaluation's workload) | [`single_source`] — `O(K²m)` per query |
+//! | amortized query serving (this repo's extension) | [`QueryEngine`] — precomputed state, sparse-frontier sweeps, batched lanes, top-k |
 //! | exact fixed point (Sylvester solve, ground truth) | [`exact::solve_exact`] |
 //! | per-path score decomposition (§3.2 rates) | [`explain::explain_pair`] |
 //!
@@ -56,10 +57,14 @@ pub mod exponential;
 pub mod geometric;
 mod kernel;
 mod params;
+pub mod query_engine;
 pub mod series;
 mod sim_matrix;
 pub mod single_source;
 
-pub use kernel::{CompressedRightMultiplier, PlainRightMultiplier, RightMultiplier};
+pub use kernel::{
+    CompressedRightMultiplier, CsrRightMultiplier, PlainRightMultiplier, RightMultiplier,
+};
 pub use params::SimStarParams;
+pub use query_engine::{QueryEngine, QueryEngineOptions, SeriesKind};
 pub use sim_matrix::SimilarityMatrix;

@@ -1,0 +1,985 @@
+//! Amortized single-source query engine — the serving path of the repo.
+//!
+//! The paper's evaluation is query-driven (500 single-node queries per
+//! graph), but [`crate::single_source`]'s original sweep rebuilt the CSR
+//! transition `Q` on every call, swept the full `(θ, λ)` lattice with
+//! dense `n`-vectors, and allocated fresh buffers per step.
+//! [`QueryEngine`] amortizes and restructures all of that:
+//!
+//! * **Precomputed state** — `Q` and `Qᵀ` (and, opt-in, the
+//!   edge-concentrated kernel from `ssr-compress`) are built once per graph
+//!   and shared by every query.
+//! * **Two-pass Horner sweep** — the lattice
+//!   `Σ_θ Σ_λ c[θ][λ]·u_θ(Qᵀ)^λ` is re-associated as `Σ_λ V_λ(Qᵀ)^λ`
+//!   with `V_λ = Σ_θ c[θ][λ]·u_θ`: a forward pass advances
+//!   `u_θ = e_qᵀQ^θ` and accumulates the `V_λ`, a Horner pass folds
+//!   `r ← r·Qᵀ + V_λ`. At most `2K` advances per query instead of the
+//!   lattice's `O(K²)`.
+//! * **Sparse frontiers** — every advance propagates only the active
+//!   support (push-style over CSR rows) with an epsilon threshold, falling
+//!   back to a dense step automatically once the frontier saturates past a
+//!   density cutoff. Per-query scratch lives in a pool; the hot path
+//!   allocates nothing after warmup.
+//! * **Batched lanes** — [`QueryEngine::query_batch`] runs the same
+//!   two-pass sweep over `BLOCK`-lane chunks (lane-major frontiers over
+//!   the chunk's union support, grouped by weakly-connected component so
+//!   lanes overlap), with the dense fallback in the blocked lane kernels
+//!   of [`crate::kernel`] — each adjacency index is read once per chunk
+//!   instead of once per query.
+//! * **Top-k** — [`QueryEngine::top_k`] selects the `k` best matches by
+//!   partial selection (`select_nth_unstable`) instead of sorting the full
+//!   row.
+//!
+//! Every path returns the same scores as the dense reference sweep
+//! ([`crate::single_source::single_source_dense`]) within `1e-10` — the
+//! Horner form is a pure re-association of the same non-negative terms —
+//! which the property tests pin against `geometric::iterate` rows
+//! (Lemma 4).
+
+use crate::kernel::{CompressedRightMultiplier, CsrRightMultiplier, RightMultiplier, BLOCK};
+use crate::series::{exponential_weights, geometric_weights, lattice_coeffs};
+use crate::SimStarParams;
+use ssr_compress::CompressOptions;
+use ssr_graph::components::weakly_connected_components;
+use ssr_graph::{DiGraph, NodeId};
+use ssr_linalg::{Csr, Dense};
+use std::sync::{Mutex, OnceLock};
+
+/// Which SimRank\* series the engine evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeriesKind {
+    /// Geometric length weight `(1−C)·C^l/2^l` (Eq. 9).
+    #[default]
+    Geometric,
+    /// Exponential length weight `e^{−C}·C^l/(l!·2^l)` (Eq. 18).
+    Exponential,
+}
+
+/// Tuning knobs of the [`QueryEngine`].
+#[derive(Debug, Clone)]
+pub struct QueryEngineOptions {
+    /// Series the engine evaluates (geometric by default).
+    pub kind: SeriesKind,
+    /// Frontier entries below this magnitude are dropped during sparse
+    /// propagation, and lattice cells whose remaining coefficient mass is
+    /// below it are skipped. Since every propagated value is non-negative
+    /// and bounded by 1, the per-entry output error is bounded by a small
+    /// multiple of this threshold — the default `1e-13` keeps results well
+    /// within the `1e-10` exactness the tests pin. `0.0` disables pruning.
+    pub frontier_epsilon: f64,
+    /// Once a frontier holds more than this fraction of all nodes, the
+    /// sweep switches that vector to the dense path (sparse bookkeeping
+    /// only pays while the support is genuinely small).
+    pub density_cutoff: f64,
+    /// The batched path's density cutoff. The blocked dense kernel's cost
+    /// is amortized over `BLOCK` lanes, so the union frontier profits from
+    /// staying sparse longer — the default (0.25) is higher than the
+    /// scalar `density_cutoff`.
+    pub batch_density_cutoff: f64,
+    /// Build the batched lane kernel over the edge-concentrated graph
+    /// (Algorithm 1's memoization) instead of raw adjacency. Compression is
+    /// a preprocessing phase — the paper times it separately — so it runs
+    /// eagerly at engine construction.
+    pub compress: bool,
+    /// Compression options used when `compress` is set.
+    pub compress_options: CompressOptions,
+}
+
+impl Default for QueryEngineOptions {
+    fn default() -> Self {
+        QueryEngineOptions {
+            kind: SeriesKind::Geometric,
+            frontier_epsilon: 1e-13,
+            density_cutoff: 0.125,
+            batch_density_cutoff: 0.25,
+            compress: false,
+            compress_options: CompressOptions::default(),
+        }
+    }
+}
+
+/// A sparse-or-dense `n`-vector: `vals` is always dense storage, but while
+/// `dense` is false only the indices in `active` are nonzero (everything
+/// else is guaranteed zero), so propagation touches only the support.
+struct Frontier {
+    vals: Vec<f64>,
+    active: Vec<u32>,
+    dense: bool,
+}
+
+impl Frontier {
+    fn new(n: usize) -> Self {
+        Frontier { vals: vec![0.0; n], active: Vec::new(), dense: false }
+    }
+
+    /// Resets to the all-zero sparse state.
+    fn clear(&mut self) {
+        if self.dense {
+            self.vals.fill(0.0);
+        } else {
+            for &i in &self.active {
+                self.vals[i as usize] = 0.0;
+            }
+        }
+        self.active.clear();
+        self.dense = false;
+    }
+
+    fn is_zero(&self) -> bool {
+        if self.dense {
+            self.vals.iter().all(|&v| v == 0.0)
+        } else {
+            self.active.is_empty()
+        }
+    }
+
+    /// `self += c·src`, preserving the zero-means-inactive invariant
+    /// (all propagated values are non-negative, so sums never cancel).
+    fn axpy_from(&mut self, src: &Frontier, c: f64) {
+        if c == 0.0 || src.is_zero() {
+            return;
+        }
+        if src.dense {
+            if !self.dense {
+                self.dense = true;
+                self.active.clear();
+            }
+            for (d, &sv) in self.vals.iter_mut().zip(&src.vals) {
+                *d += c * sv;
+            }
+        } else {
+            for &i in &src.active {
+                let add = c * src.vals[i as usize];
+                let slot = &mut self.vals[i as usize];
+                if !self.dense && *slot == 0.0 && add != 0.0 {
+                    self.active.push(i);
+                }
+                *slot += add;
+            }
+        }
+    }
+}
+
+/// The `BLOCK`-lane analogue of [`Frontier`] for the batched path:
+/// lane-major storage (`vals[node·BLOCK + lane]`), one active list for the
+/// **union** support of all lanes, and a membership bitmap so pushes can
+/// test "already active" in `O(1)` (the scalar "slot is still zero" trick
+/// doesn't work lane-wise — another lane may already hold the node).
+struct BlockFrontier {
+    vals: Vec<f64>,
+    active: Vec<u32>,
+    member: Vec<bool>,
+    dense: bool,
+}
+
+impl BlockFrontier {
+    fn new(n: usize) -> Self {
+        BlockFrontier {
+            vals: vec![0.0; n * BLOCK],
+            active: Vec::new(),
+            member: vec![false; n],
+            dense: false,
+        }
+    }
+
+    /// The `BLOCK` lane values of `node`, activating it if needed. The
+    /// fixed-size return type keeps the per-edge axpy vectorizable.
+    fn insert(&mut self, node: u32) -> &mut [f64; BLOCK] {
+        let i = node as usize;
+        if !self.dense && !self.member[i] {
+            self.member[i] = true;
+            self.active.push(node);
+        }
+        (&mut self.vals[i * BLOCK..(i + 1) * BLOCK]).try_into().expect("BLOCK lanes")
+    }
+
+    /// Resets to the all-zero sparse state.
+    fn clear(&mut self) {
+        if self.dense {
+            self.vals.fill(0.0);
+        } else {
+            for &i in &self.active {
+                self.vals[i as usize * BLOCK..(i as usize + 1) * BLOCK].fill(0.0);
+                self.member[i as usize] = false;
+            }
+        }
+        self.active.clear();
+        self.dense = false;
+    }
+
+    /// Drops the sparse bookkeeping, keeping `vals` as-is.
+    fn densify(&mut self) {
+        for &i in &self.active {
+            self.member[i as usize] = false;
+        }
+        self.active.clear();
+        self.dense = true;
+    }
+
+    fn is_zero(&self) -> bool {
+        if self.dense {
+            self.vals.iter().all(|&v| v == 0.0)
+        } else {
+            self.active.is_empty()
+        }
+    }
+
+    /// `self += c·src`, lane-wise, maintaining the membership bookkeeping.
+    fn axpy_from(&mut self, src: &BlockFrontier, c: f64) {
+        if c == 0.0 || src.is_zero() {
+            return;
+        }
+        if src.dense {
+            if !self.dense {
+                self.densify();
+            }
+            for (d, &sv) in self.vals.iter_mut().zip(&src.vals) {
+                *d += c * sv;
+            }
+        } else {
+            for &i in &src.active {
+                let ii = i as usize;
+                if !self.dense && !self.member[ii] {
+                    self.member[ii] = true;
+                    self.active.push(i);
+                }
+                let r = ii * BLOCK..(ii + 1) * BLOCK;
+                let srcv: &[f64; BLOCK] = src.vals[r.clone()].try_into().expect("BLOCK lanes");
+                let dst: &mut [f64; BLOCK] = (&mut self.vals[r]).try_into().expect("BLOCK lanes");
+                for (d, sv) in dst.iter_mut().zip(srcv) {
+                    *d += c * sv;
+                }
+            }
+        }
+    }
+}
+
+/// Reusable per-chunk state for the batched path (four lane-major block
+/// frontiers plus the lane-major result accumulator, ≈ `5·8·BLOCK·n`
+/// bytes), pooled like [`QueryScratch`].
+struct BlockScratch {
+    u: BlockFrontier,
+    u_next: BlockFrontier,
+    w: BlockFrontier,
+    w_next: BlockFrontier,
+    /// Lane-major `V_λ` accumulators (same lifecycle as
+    /// [`QueryScratch::vs`]).
+    vs: Vec<BlockFrontier>,
+}
+
+impl BlockScratch {
+    fn new(n: usize, k: usize) -> Self {
+        BlockScratch {
+            u: BlockFrontier::new(n),
+            u_next: BlockFrontier::new(n),
+            w: BlockFrontier::new(n),
+            w_next: BlockFrontier::new(n),
+            vs: (0..=k).map(|_| BlockFrontier::new(n)).collect(),
+        }
+    }
+}
+
+/// Reusable per-query state: the two lattice vectors plus their advance
+/// targets, a row buffer for top-k queries, and an index buffer for partial
+/// selection. Pooled by the engine — no allocation on the hot path after
+/// warmup.
+struct QueryScratch {
+    u: Frontier,
+    u_next: Frontier,
+    w: Frontier,
+    w_next: Frontier,
+    row: Vec<f64>,
+    idx: Vec<u32>,
+    /// `vs[λ]` accumulates `V_λ = Σ_θ c[θ][λ]·u_θ` during the sweep's
+    /// forward pass; cleared (cost proportional to support) by the Horner
+    /// pass that consumes them.
+    vs: Vec<Frontier>,
+}
+
+impl QueryScratch {
+    fn new(n: usize, k: usize) -> Self {
+        QueryScratch {
+            u: Frontier::new(n),
+            u_next: Frontier::new(n),
+            w: Frontier::new(n),
+            w_next: Frontier::new(n),
+            row: vec![0.0; n],
+            idx: Vec::new(),
+            vs: (0..=k).map(|_| Frontier::new(n)).collect(),
+        }
+    }
+}
+
+/// Lane kernel used by the batched path for the λ-direction advance. The
+/// plain variant is built lazily on the first batched call (it clones `Q`;
+/// scalar-only workloads never pay for it), while the compressed variant
+/// is built eagerly at engine construction — compression is a
+/// preprocessing phase the paper times separately.
+enum LaneKernel {
+    Plain(OnceLock<CsrRightMultiplier>),
+    Compressed(CompressedRightMultiplier),
+}
+
+/// Amortized single-source SimRank\* query engine. See the module docs.
+///
+/// ```
+/// use simrank_star::{geometric, QueryEngine, SimStarParams};
+/// use ssr_graph::DiGraph;
+/// let g = DiGraph::from_edges(4, &[(1, 0), (2, 0), (3, 1), (3, 2)]).unwrap();
+/// let p = SimStarParams::default();
+/// let engine = QueryEngine::new(&g, p);
+/// let full = geometric::iterate(&g, &p);
+/// let row = engine.query(1);
+/// for v in 0..4u32 {
+///     assert!((row[v as usize] - full.score(1, v)).abs() < 1e-10);
+/// }
+/// ```
+pub struct QueryEngine {
+    n: usize,
+    qmat: Csr,
+    qt: Csr,
+    /// `coeffs[θ][λ] = weight(θ+λ) · binom(θ+λ, θ)` — the Pascal rows and
+    /// length weights are computed once per engine, not per lattice cell.
+    coeffs: Vec<Vec<f64>>,
+    /// `theta_tail[θ] = Σ_{θ' ≥ θ} Σ_λ coeffs[θ'][λ]` — remaining
+    /// coefficient mass from row `θ` on; since propagated values are
+    /// bounded by 1, a tail below epsilon can be skipped.
+    theta_tail: Vec<f64>,
+    params: SimStarParams,
+    opts: QueryEngineOptions,
+    /// λ-direction lane kernel (`X·Qᵀ`) for the batched path; compressed
+    /// variant built eagerly when requested.
+    lambda_lanes: LaneKernel,
+    /// θ-direction lane kernel (`X·Q`), built on first batched call.
+    theta_lanes: OnceLock<CsrRightMultiplier>,
+    /// Weakly-connected component label per node: the batched path groups
+    /// queries by component so the lanes of a chunk share frontier support
+    /// (lanes outside a node's component are provably zero — packing
+    /// unrelated queries together wastes 15/16 of every lane operation).
+    component: Vec<u32>,
+    scratch: Mutex<Vec<QueryScratch>>,
+    block_scratch: Mutex<Vec<BlockScratch>>,
+}
+
+impl QueryEngine {
+    /// Builds an engine with default options.
+    pub fn new(g: &DiGraph, params: SimStarParams) -> Self {
+        Self::with_options(g, params, QueryEngineOptions::default())
+    }
+
+    /// Builds an engine, precomputing `Q`, `Qᵀ`, the lattice coefficient
+    /// table, and (if `opts.compress`) the edge-concentrated lane kernel.
+    pub fn with_options(g: &DiGraph, params: SimStarParams, opts: QueryEngineOptions) -> Self {
+        params.validate();
+        assert!(opts.frontier_epsilon >= 0.0, "epsilon must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&opts.density_cutoff),
+            "density cutoff must be a fraction in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&opts.batch_density_cutoff),
+            "batch density cutoff must be a fraction in [0, 1]"
+        );
+        let qmat = Csr::backward_transition(g);
+        let qt = qmat.transpose();
+        let k = params.iterations;
+        let weights = length_weights(&params, opts.kind);
+        let coeffs = lattice_coeffs(&weights);
+        let mut theta_tail = vec![0.0; k + 2];
+        for theta in (0..=k).rev() {
+            theta_tail[theta] = theta_tail[theta + 1] + coeffs[theta].iter().sum::<f64>();
+        }
+        let lambda_lanes = if opts.compress {
+            LaneKernel::Compressed(CompressedRightMultiplier::new(g, &opts.compress_options))
+        } else {
+            LaneKernel::Plain(OnceLock::new())
+        };
+        QueryEngine {
+            n: g.node_count(),
+            qmat,
+            qt,
+            coeffs,
+            theta_tail,
+            params,
+            opts,
+            lambda_lanes,
+            theta_lanes: OnceLock::new(),
+            component: weakly_connected_components(g).label,
+            scratch: Mutex::new(Vec::new()),
+            block_scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of nodes of the indexed graph.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The parameters the engine was built with.
+    pub fn params(&self) -> &SimStarParams {
+        &self.params
+    }
+
+    /// The options the engine was built with.
+    pub fn options(&self) -> &QueryEngineOptions {
+        &self.opts
+    }
+
+    /// Compression ratio of the batched lane kernel (0 when not compressed).
+    pub fn compression_ratio(&self) -> f64 {
+        match &self.lambda_lanes {
+            LaneKernel::Plain(_) => 0.0,
+            LaneKernel::Compressed(k) => k.compression_ratio(),
+        }
+    }
+
+    /// Single-source scores `ŝ(q, ·)` as a fresh vector.
+    pub fn query(&self, q: NodeId) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.query_into(q, &mut out);
+        out
+    }
+
+    /// Single-source scores written into a caller-owned buffer — the
+    /// zero-allocation hot path (after scratch warmup).
+    pub fn query_into(&self, q: NodeId, out: &mut [f64]) {
+        assert!((q as usize) < self.n, "query node out of range");
+        assert_eq!(out.len(), self.n, "output buffer size");
+        out.fill(0.0);
+        let mut s = self.take_scratch();
+        self.sweep(q, out, &mut s);
+        self.put_scratch(s);
+    }
+
+    /// Top-`k` most-similar nodes to `q` (excluding `q`, ties broken by
+    /// ascending id) by partial selection — no full-row sort.
+    pub fn top_k(&self, q: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        assert!((q as usize) < self.n, "query node out of range");
+        let mut s = self.take_scratch();
+        s.row.fill(0.0);
+        let mut row = std::mem::take(&mut s.row);
+        self.sweep(q, &mut row, &mut s);
+        let top = partial_top_k(&row, q, k, &mut s.idx);
+        s.row = row;
+        self.put_scratch(s);
+        top
+    }
+
+    /// Batched single-source scores: row `i` of the result is
+    /// `ŝ(queries[i], ·)`. Queries run through [`Self::sweep_block`] in
+    /// `BLOCK`-lane chunks, so adjacency indices are read once per chunk
+    /// instead of once per query — sparse pushes and the blocked dense lane
+    /// kernels alike.
+    pub fn query_batch(&self, queries: &[NodeId]) -> Dense {
+        for &q in queries {
+            assert!((q as usize) < self.n, "query node out of range");
+        }
+        let mut out = Dense::zeros(queries.len(), self.n);
+        if queries.is_empty() || self.n == 0 {
+            return out;
+        }
+        // Locality-aware chunking: group queries by weakly-connected
+        // component so the lanes of each chunk overlap in support. Each
+        // lane's sweep is independent, so reordering changes execution
+        // grouping only — row `i` of the result is bitwise identical.
+        let mut order: Vec<(usize, NodeId)> = queries.iter().copied().enumerate().collect();
+        order.sort_by_key(|&(i, q)| (self.component[q as usize], q, i));
+        let mut s = self.take_block_scratch();
+        for chunk in order.chunks(BLOCK) {
+            self.sweep_block(chunk, &mut out, &mut s);
+        }
+        self.put_block_scratch(s);
+        out
+    }
+
+    /// Batched top-`k`: one partial selection per result row.
+    pub fn top_k_batch(&self, queries: &[NodeId], k: usize) -> Vec<Vec<(NodeId, f64)>> {
+        let rows = self.query_batch(queries);
+        let mut idx = Vec::new();
+        queries
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| partial_top_k(rows.row(i), q, k, &mut idx))
+            .collect()
+    }
+
+    /// The sweep behind every query. The `(θ, λ)` lattice
+    /// `Σ_θ Σ_{λ≤K−θ} c[θ][λ]·u_θ(Qᵀ)^λ` is re-associated as
+    /// `Σ_λ V_λ(Qᵀ)^λ` with `V_λ = Σ_{θ≤K−λ} c[θ][λ]·u_θ`: a forward pass
+    /// advances `u_θ = e_qᵀQ^θ` and accumulates the `V_λ`, then a Horner
+    /// pass folds `r ← r·Qᵀ + V_λ` (λ descending). That is at most `2K`
+    /// frontier advances instead of the lattice's `O(K²)` — each advance
+    /// sparse with automatic dense fallback — and a pure re-association of
+    /// the same non-negative terms, so results match the dense lattice
+    /// reference ([`crate::single_source::single_source_dense`]) to a few
+    /// ulps per entry. `out` must be zeroed; scratch frontiers must be
+    /// cleared (the sweep restores that invariant before returning).
+    fn sweep(&self, q: NodeId, out: &mut [f64], s: &mut QueryScratch) {
+        let k = self.params.iterations;
+        let eps = self.opts.frontier_epsilon;
+        let cutoff = (self.opts.density_cutoff * self.n as f64) as usize;
+        // Forward pass: u_θ = e_qᵀQ^θ; V_λ += c[θ][λ]·u_θ for λ ≤ K−θ.
+        s.u.vals[q as usize] = 1.0;
+        s.u.active.push(q);
+        for theta in 0..=k {
+            if eps > 0.0 && self.theta_tail[theta] < eps {
+                break;
+            }
+            for (lambda, vl) in s.vs[..=(k - theta)].iter_mut().enumerate() {
+                vl.axpy_from(&s.u, self.coeffs[theta][lambda]);
+            }
+            if theta == k {
+                break;
+            }
+            // u ← u·Q: push over Q rows, or dense `uᵀ·Q`.
+            advance(&self.qmat, &mut s.u, &mut s.u_next, eps, cutoff, |x, y| {
+                self.qmat.vec_mul_into(x, y)
+            });
+            if s.u.is_zero() {
+                break;
+            }
+        }
+        s.u.clear();
+        // Horner pass (λ descending): r ← r·Qᵀ + V_λ, with r living in the
+        // w scratch. Skipping the advance while r is still zero makes the
+        // top-of-range V's (empty when the forward pass stopped early)
+        // free.
+        for lambda in (0..=k).rev() {
+            if !s.w.is_zero() {
+                // r ← r·Qᵀ: push over Qᵀ rows, or dense `Q·r`.
+                advance(&self.qt, &mut s.w, &mut s.w_next, eps, cutoff, |x, y| {
+                    self.qmat.mul_vec_into(x, y)
+                });
+            }
+            s.w.axpy_from(&s.vs[lambda], 1.0);
+            s.vs[lambda].clear();
+        }
+        accumulate(out, &s.w, 1.0);
+        s.w.clear();
+    }
+
+    /// The sweep for one chunk of at most `BLOCK` queries
+    /// (`chunk[lane] = (out_row, query node)`): identical two-pass
+    /// structure to [`Self::sweep`], but every frontier carries `BLOCK`
+    /// lanes (the union support of the chunk), and the dense fallback runs
+    /// the blocked lane kernels from [`crate::kernel`] so adjacency
+    /// indices are read once per chunk instead of once per query. `out`
+    /// must be zeroed.
+    fn sweep_block(&self, chunk: &[(usize, NodeId)], out: &mut Dense, s: &mut BlockScratch) {
+        debug_assert!(chunk.len() <= BLOCK);
+        let k = self.params.iterations;
+        let eps = self.opts.frontier_epsilon;
+        let cutoff = (self.opts.batch_density_cutoff * self.n as f64) as usize;
+        let lam: &dyn RightMultiplier = match &self.lambda_lanes {
+            LaneKernel::Compressed(k) => k,
+            LaneKernel::Plain(cell) => {
+                cell.get_or_init(|| CsrRightMultiplier::new(self.qmat.clone()))
+            }
+        };
+        let th = self.theta_lanes.get_or_init(|| CsrRightMultiplier::new(self.qt.clone()));
+        for (lane, &(_, q)) in chunk.iter().enumerate() {
+            s.u.insert(q)[lane] = 1.0;
+        }
+        for theta in 0..=k {
+            if eps > 0.0 && self.theta_tail[theta] < eps {
+                break;
+            }
+            for (lambda, vl) in s.vs[..=(k - theta)].iter_mut().enumerate() {
+                vl.axpy_from(&s.u, self.coeffs[theta][lambda]);
+            }
+            if theta == k {
+                break;
+            }
+            // u ← u·Q lane-wise: push over Q rows, or blocked Qᵀ·u.
+            advance_block(&self.qmat, &mut s.u, &mut s.u_next, eps, cutoff, th);
+            if s.u.is_zero() {
+                break;
+            }
+        }
+        s.u.clear();
+        for lambda in (0..=k).rev() {
+            if !s.w.is_zero() {
+                // r ← r·Qᵀ lane-wise: push over Qᵀ rows, or blocked Q·r.
+                advance_block(&self.qt, &mut s.w, &mut s.w_next, eps, cutoff, lam);
+            }
+            s.w.axpy_from(&s.vs[lambda], 1.0);
+            s.vs[lambda].clear();
+        }
+        // The folded r is the chunk's answer: transpose it straight into
+        // the (zeroed) result rows.
+        if s.w.dense {
+            for (lane, &(out_row, _)) in chunk.iter().enumerate() {
+                let row = out.row_mut(out_row);
+                for (rv, node_vals) in row.iter_mut().zip(s.w.vals.chunks_exact(BLOCK)) {
+                    *rv = node_vals[lane];
+                }
+            }
+        } else {
+            for (lane, &(out_row, _)) in chunk.iter().enumerate() {
+                let row = out.row_mut(out_row);
+                for &i in &s.w.active {
+                    row[i as usize] = s.w.vals[i as usize * BLOCK + lane];
+                }
+            }
+        }
+        s.w.clear();
+    }
+
+    fn take_scratch(&self) -> QueryScratch {
+        self.scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| QueryScratch::new(self.n, self.params.iterations))
+    }
+
+    fn put_scratch(&self, s: QueryScratch) {
+        self.scratch.lock().expect("scratch pool poisoned").push(s);
+    }
+
+    fn take_block_scratch(&self) -> BlockScratch {
+        self.block_scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| BlockScratch::new(self.n, self.params.iterations))
+    }
+
+    fn put_block_scratch(&self, s: BlockScratch) {
+        self.block_scratch.lock().expect("scratch pool poisoned").push(s);
+    }
+}
+
+/// Length weights `weight(l)` for `l ≤ K` of the selected series.
+fn length_weights(params: &SimStarParams, kind: SeriesKind) -> Vec<f64> {
+    match kind {
+        SeriesKind::Geometric => geometric_weights(params.c, params.iterations),
+        SeriesKind::Exponential => exponential_weights(params.c, params.iterations),
+    }
+}
+
+/// `out += coeff · f`, touching only the support when `f` is sparse.
+fn accumulate(out: &mut [f64], f: &Frontier, coeff: f64) {
+    if coeff == 0.0 {
+        return;
+    }
+    if f.dense {
+        for (o, &v) in out.iter_mut().zip(&f.vals) {
+            *o += coeff * v;
+        }
+    } else {
+        for &i in &f.active {
+            out[i as usize] += coeff * f.vals[i as usize];
+        }
+    }
+}
+
+/// Lane-wise analogue of [`advance`]: sparse push over `push_mat`'s rows
+/// (each adjacency index read once per `BLOCK` lanes) while the union
+/// support is small, switching to the blocked dense `dense_kernel` once it
+/// saturates past `cutoff` active nodes. `next` must be cleared on entry
+/// and is left cleared on exit.
+fn advance_block(
+    push_mat: &Csr,
+    cur: &mut BlockFrontier,
+    next: &mut BlockFrontier,
+    eps: f64,
+    cutoff: usize,
+    dense_kernel: &dyn RightMultiplier,
+) {
+    if cur.dense {
+        // `next` is cleared ⇒ all-zero, which `apply_block` accumulates into.
+        dense_kernel.apply_block(&cur.vals, &mut next.vals, BLOCK);
+        next.dense = true;
+    } else {
+        debug_assert!(!next.dense && next.active.is_empty());
+        for &i in &cur.active {
+            let src: [f64; BLOCK] =
+                cur.vals[i as usize * BLOCK..][..BLOCK].try_into().expect("BLOCK lanes");
+            for (j, v) in push_mat.row_entries(i as usize) {
+                let dst = next.insert(j);
+                for (d, sv) in dst.iter_mut().zip(src) {
+                    *d += v * sv;
+                }
+            }
+        }
+        if eps > 0.0 {
+            let BlockFrontier { vals, active, member, .. } = next;
+            active.retain(|&j| {
+                let r = j as usize * BLOCK..(j as usize + 1) * BLOCK;
+                if vals[r.clone()].iter().any(|&v| v >= eps) {
+                    true
+                } else {
+                    vals[r].fill(0.0);
+                    member[j as usize] = false;
+                    false
+                }
+            });
+        }
+        if next.active.len() > cutoff {
+            next.densify();
+        }
+    }
+    std::mem::swap(cur, next);
+    next.clear();
+}
+
+/// Advances `cur` one step: sparse push over `push_mat`'s rows while the
+/// frontier is small, switching to `dense_step` once it saturates past
+/// `cutoff` active nodes (and staying dense from then on). `next` must be
+/// cleared on entry and is left cleared on exit.
+fn advance(
+    push_mat: &Csr,
+    cur: &mut Frontier,
+    next: &mut Frontier,
+    eps: f64,
+    cutoff: usize,
+    dense_step: impl Fn(&[f64], &mut [f64]),
+) {
+    if cur.dense {
+        dense_step(&cur.vals, &mut next.vals);
+        next.dense = true;
+    } else {
+        debug_assert!(!next.dense && next.active.is_empty());
+        for &i in &cur.active {
+            let xv = cur.vals[i as usize];
+            for (j, v) in push_mat.row_entries(i as usize) {
+                let add = xv * v;
+                let slot = &mut next.vals[j as usize];
+                // Everything propagated is non-negative, so "still zero"
+                // exactly means "not yet in the active list".
+                if *slot == 0.0 && add != 0.0 {
+                    next.active.push(j);
+                }
+                *slot += add;
+            }
+        }
+        if eps > 0.0 {
+            let vals = &mut next.vals;
+            next.active.retain(|&j| {
+                if vals[j as usize] >= eps {
+                    true
+                } else {
+                    vals[j as usize] = 0.0;
+                    false
+                }
+            });
+        }
+        if next.active.len() > cutoff {
+            next.dense = true;
+            next.active.clear();
+        }
+    }
+    std::mem::swap(cur, next);
+    next.clear();
+}
+
+/// Top-`k` of `row` excluding `q`, by partial selection: `O(n + k log k)`
+/// instead of the `O(n log n)` full sort. The comparator (descending score,
+/// ascending id) is a total order, so the result is deterministic even with
+/// tied scores and matches the sort-based reference exactly.
+fn partial_top_k(row: &[f64], q: NodeId, k: usize, idx: &mut Vec<u32>) -> Vec<(NodeId, f64)> {
+    idx.clear();
+    idx.extend((0..row.len() as u32).filter(|&v| v != q));
+    let cmp = |a: &u32, b: &u32| {
+        row[*b as usize].partial_cmp(&row[*a as usize]).expect("finite scores").then(a.cmp(b))
+    };
+    let k = k.min(idx.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+    }
+    idx[..k].sort_unstable_by(cmp);
+    idx[..k].iter().map(|&v| (v, row[v as usize])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single_source::{single_source_dense, single_source_exponential_dense};
+    use crate::{geometric, series};
+
+    fn graphs() -> Vec<DiGraph> {
+        vec![
+            DiGraph::from_edges(4, &[(1, 0), (2, 0), (3, 1), (3, 2), (0, 3)]).unwrap(),
+            DiGraph::from_edges(5, &[(2, 1), (1, 0), (2, 3), (3, 4)]).unwrap(),
+            DiGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (0, 3), (4, 5), (5, 6), (6, 4)])
+                .unwrap(),
+        ]
+    }
+
+    fn assert_rows_close(a: &[f64], b: &[f64], tol: f64, tag: &str) {
+        for (v, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "{tag}: v={v}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn engine_matches_dense_sweep_and_matrix_row() {
+        for g in graphs() {
+            let p = SimStarParams { c: 0.7, iterations: 6 };
+            let engine = QueryEngine::new(&g, p);
+            let full = geometric::iterate(&g, &p);
+            for q in 0..g.node_count() as NodeId {
+                let row = engine.query(q);
+                let dense = single_source_dense(&g, q, &p);
+                assert_rows_close(&row, &dense, 1e-10, "vs dense");
+                for (v, &rv) in row.iter().enumerate() {
+                    assert!((rv - full.score(q, v as NodeId)).abs() < 1e-10, "q={q}, v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_engine_matches_series() {
+        for g in graphs() {
+            let p = SimStarParams { c: 0.6, iterations: 6 };
+            let opts = QueryEngineOptions { kind: SeriesKind::Exponential, ..Default::default() };
+            let engine = QueryEngine::with_options(&g, p, opts);
+            let brute = series::exponential_partial_sum(&g, &p);
+            for q in 0..g.node_count() as NodeId {
+                let row = engine.query(q);
+                let dense = single_source_exponential_dense(&g, q, &p);
+                assert_rows_close(&row, &dense, 1e-10, "vs dense");
+                for (v, &rv) in row.iter().enumerate() {
+                    assert!((rv - brute.get(q as usize, v)).abs() < 1e-10, "q={q}, v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_dense_fallback_is_exact() {
+        // cutoff 0 densifies after the first sparse step; eps 0 disables
+        // pruning — both paths must still match the reference exactly.
+        for g in graphs() {
+            let p = SimStarParams { c: 0.8, iterations: 5 };
+            let opts = QueryEngineOptions {
+                frontier_epsilon: 0.0,
+                density_cutoff: 0.0,
+                ..Default::default()
+            };
+            let engine = QueryEngine::with_options(&g, p, opts);
+            for q in 0..g.node_count() as NodeId {
+                let dense = single_source_dense(&g, q, &p);
+                assert_rows_close(&engine.query(q), &dense, 1e-12, "forced dense");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rows_match_single_queries() {
+        for compress in [false, true] {
+            for g in graphs() {
+                let p = SimStarParams { c: 0.7, iterations: 5 };
+                let opts = QueryEngineOptions { compress, ..Default::default() };
+                let engine = QueryEngine::with_options(&g, p, opts);
+                let queries: Vec<NodeId> = (0..g.node_count() as NodeId).rev().collect();
+                let batch = engine.query_batch(&queries);
+                for (i, &q) in queries.iter().enumerate() {
+                    let dense = single_source_dense(&g, q, &p);
+                    assert_rows_close(batch.row(i), &dense, 1e-10, "batch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_wider_than_block_is_consistent() {
+        // More rows than one 16-lane block, with repeated query ids.
+        let g = &graphs()[0];
+        let p = SimStarParams::default();
+        let engine = QueryEngine::new(g, p);
+        let queries: Vec<NodeId> = (0..40).map(|i| (i % g.node_count()) as NodeId).collect();
+        let batch = engine.query_batch(&queries);
+        for (i, &q) in queries.iter().enumerate() {
+            assert_rows_close(batch.row(i), &engine.query(q), 1e-10, "wide batch");
+        }
+    }
+
+    #[test]
+    fn top_k_matches_sorted_reference() {
+        for g in graphs() {
+            let p = SimStarParams { c: 0.8, iterations: 8 };
+            let engine = QueryEngine::new(&g, p);
+            for q in 0..g.node_count() as NodeId {
+                for k in [0, 1, 3, g.node_count(), g.node_count() + 5] {
+                    let fast = engine.top_k(q, k);
+                    let row = engine.query(q);
+                    let mut slow: Vec<(NodeId, f64)> = row
+                        .iter()
+                        .enumerate()
+                        .filter(|&(v, _)| v != q as usize)
+                        .map(|(v, &s)| (v as NodeId, s))
+                        .collect();
+                    slow.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                    slow.truncate(k);
+                    assert_eq!(fast.len(), slow.len());
+                    for ((v1, s1), (v2, s2)) in fast.iter().zip(&slow) {
+                        assert_eq!(v1, v2, "q={q}, k={k}");
+                        assert!((s1 - s2).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_batch_matches_top_k() {
+        let g = &graphs()[1];
+        let engine = QueryEngine::new(g, SimStarParams::default());
+        let queries: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+        let batched = engine.top_k_batch(&queries, 3);
+        for (&q, rows) in queries.iter().zip(&batched) {
+            let single = engine.top_k(q, 3);
+            assert_eq!(rows.len(), single.len());
+            for ((v1, s1), (v2, s2)) in rows.iter().zip(&single) {
+                assert_eq!(v1, v2, "q={q}");
+                assert!((s1 - s2).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_pool_is_reused_across_queries() {
+        let g = &graphs()[0];
+        let engine = QueryEngine::new(g, SimStarParams::default());
+        let first = engine.query(0);
+        for _ in 0..5 {
+            assert_eq!(engine.query(0), first);
+        }
+        // One sequential caller ⇒ exactly one pooled scratch.
+        assert_eq!(engine.scratch.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_batch_and_isolated_nodes() {
+        let g = DiGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let engine = QueryEngine::new(&g, SimStarParams::default());
+        assert_eq!(engine.query_batch(&[]).rows(), 0);
+        let row = engine.query(2); // isolated: only scores itself
+        assert!(row[2] > 0.0);
+        assert_eq!(row[0], 0.0);
+        assert_eq!(row[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn query_bounds_checked() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let _ = QueryEngine::new(&g, SimStarParams::default()).query(5);
+    }
+
+    #[test]
+    fn compression_ratio_reported() {
+        // K_{2,3} compresses; the plain engine reports zero.
+        let g = DiGraph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]).unwrap();
+        let p = SimStarParams::default();
+        assert_eq!(QueryEngine::new(&g, p).compression_ratio(), 0.0);
+        let opts = QueryEngineOptions { compress: true, ..Default::default() };
+        assert!(QueryEngine::with_options(&g, p, opts).compression_ratio() > 0.0);
+    }
+}

@@ -26,6 +26,60 @@ pub fn binomial(l: usize, theta: usize) -> f64 {
     acc
 }
 
+/// All Pascal rows `[binom(l, 0), …, binom(l, l)]` for `l ≤ k`, built by the
+/// additive recurrence — one addition per cell. The lattice sweeps index
+/// `binom(θ+λ, θ)` once per `(θ, λ)` cell, so precomputing the rows replaces
+/// `O(k)` multiplications per cell with a table lookup.
+pub fn pascal_rows(k: usize) -> Vec<Vec<f64>> {
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(k + 1);
+    rows.push(vec![1.0]);
+    for l in 1..=k {
+        let mut row = vec![1.0; l + 1];
+        let prev = &rows[l - 1];
+        for t in 1..l {
+            row[t] = prev[t - 1] + prev[t];
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// Geometric length weights `(1−C)·C^l/2^l` for `l ≤ k`, one
+/// multiplication per step.
+pub fn geometric_weights(c: f64, k: usize) -> Vec<f64> {
+    let mut w = Vec::with_capacity(k + 1);
+    w.push(1.0 - c);
+    for l in 1..=k {
+        w.push(w[l - 1] * (c / 2.0));
+    }
+    w
+}
+
+/// Exponential length weights `e^{−C}·C^l/(l!·2^l)` for `l ≤ k`, one
+/// multiplication per step.
+pub fn exponential_weights(c: f64, k: usize) -> Vec<f64> {
+    let mut w = Vec::with_capacity(k + 1);
+    w.push((-c).exp());
+    for l in 1..=k {
+        w.push(w[l - 1] * (c / (2.0 * l as f64)));
+    }
+    w
+}
+
+/// The `(θ, λ)` lattice coefficient table shared by the dense reference
+/// sweep and the query engine:
+/// `coeffs[θ][λ] = weights[θ+λ] · binom(θ+λ, θ)` for `θ+λ ≤ k`, with the
+/// Pascal rows built once (not one `binomial` call per cell).
+pub fn lattice_coeffs(weights: &[f64]) -> Vec<Vec<f64>> {
+    let k = weights.len() - 1;
+    let pascal = pascal_rows(k);
+    (0..=k)
+        .map(|theta| {
+            (0..=(k - theta)).map(|l| weights[theta + l] * pascal[theta + l][theta]).collect()
+        })
+        .collect()
+}
+
 /// Contribution rate of a single in-link path of length `l` with `θ` edges
 /// in one direction, under geometric SimRank\*:
 /// `(1−C) · C^l · binom(l, θ) / 2^l` — the quantity behind the paper's
@@ -159,6 +213,17 @@ mod tests {
         for l in 0..20 {
             let sum: f64 = (0..=l).map(|t| binomial(l, t)).sum();
             assert!((sum - 2f64.powi(l as i32)).abs() < 1e-9, "l={l}");
+        }
+    }
+
+    #[test]
+    fn pascal_rows_match_binomial() {
+        let rows = pascal_rows(20);
+        for (l, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), l + 1);
+            for (t, &v) in row.iter().enumerate() {
+                assert_eq!(v, binomial(l, t), "l={l}, t={t}");
+            }
         }
     }
 

@@ -16,12 +16,18 @@
 //! of [`crate::geometric::iterate`] (same truncation `K`, by Lemma 4), which
 //! the tests pin.
 
-use crate::series::binomial;
+use crate::query_engine::{QueryEngine, QueryEngineOptions, SeriesKind};
+use crate::series::{exponential_weights, geometric_weights, lattice_coeffs};
 use crate::SimStarParams;
 use ssr_graph::{DiGraph, NodeId};
 use ssr_linalg::Csr;
 
 /// Geometric single-source scores: the `q`-th row of `Ŝ_K`.
+///
+/// Thin exact-compatible wrapper over [`QueryEngine`] — it builds a
+/// throwaway engine per call. Workloads with more than one query should
+/// construct a [`QueryEngine`] once and reuse it (that is where the
+/// amortization lives).
 ///
 /// ```
 /// use simrank_star::{geometric, single_source, SimStarParams};
@@ -35,60 +41,72 @@ use ssr_linalg::Csr;
 /// }
 /// ```
 pub fn single_source(g: &DiGraph, q: NodeId, params: &SimStarParams) -> Vec<f64> {
-    params.validate();
-    lattice_sweep(g, q, params.iterations, |l| {
-        (1.0 - params.c) * params.c.powi(l as i32) / 2f64.powi(l as i32)
-    })
+    QueryEngine::new(g, *params).query(q)
 }
 
 /// Exponential single-source scores: the `q`-th row of the Eq. (18) partial
 /// sum `Ŝ'_K` (series truncation — matches
 /// [`crate::series::exponential_partial_sum`], not the squared closed form).
+/// Thin wrapper over [`QueryEngine`], like [`single_source`].
 pub fn single_source_exponential(g: &DiGraph, q: NodeId, params: &SimStarParams) -> Vec<f64> {
-    params.validate();
-    let c = params.c;
-    lattice_sweep(g, q, params.iterations, move |l| {
-        let mut w = (-c).exp();
-        for i in 1..=l {
-            w *= c / i as f64;
-        }
-        w / 2f64.powi(l as i32)
-    })
+    let opts = QueryEngineOptions { kind: SeriesKind::Exponential, ..Default::default() };
+    QueryEngine::with_options(g, *params, opts).query(q)
 }
 
-/// Shared `(θ, λ)` lattice sweep:
-/// `row = Σ_θ Σ_λ weight(θ+λ)·binom(θ+λ, θ) · (e_qᵀ Q^θ)(Qᵀ)^λ`.
-fn lattice_sweep(
-    g: &DiGraph,
-    q: NodeId,
-    k: usize,
-    length_weight: impl Fn(usize) -> f64,
-) -> Vec<f64> {
+/// Geometric single-source scores by the **dense** lattice sweep — the
+/// reference implementation the engine's sparse and batched paths are
+/// pinned against (and the "naive" baseline of the query-engine bench: it
+/// rebuilds the CSR transition on every call).
+pub fn single_source_dense(g: &DiGraph, q: NodeId, params: &SimStarParams) -> Vec<f64> {
+    params.validate();
+    lattice_sweep(g, q, &geometric_weights(params.c, params.iterations))
+}
+
+/// Exponential single-source scores by the dense lattice sweep (reference
+/// for [`single_source_exponential`]).
+pub fn single_source_exponential_dense(g: &DiGraph, q: NodeId, params: &SimStarParams) -> Vec<f64> {
+    params.validate();
+    lattice_sweep(g, q, &exponential_weights(params.c, params.iterations))
+}
+
+/// Shared dense `(θ, λ)` lattice sweep:
+/// `row = Σ_θ Σ_λ weight(θ+λ)·binom(θ+λ, θ) · (e_qᵀ Q^θ)(Qᵀ)^λ`,
+/// with `weights[l] = weight(l)` for `l ≤ K`.
+///
+/// The coefficient table comes from the shared
+/// [`crate::series::lattice_coeffs`] (one Pascal lookup per cell), and the
+/// two state vectors ping-pong through preallocated buffers instead of
+/// cloning per `θ` and allocating per advance.
+fn lattice_sweep(g: &DiGraph, q: NodeId, weights: &[f64]) -> Vec<f64> {
     let n = g.node_count();
+    let k = weights.len() - 1;
     assert!((q as usize) < n, "query node out of range");
     let qmat = Csr::backward_transition(g);
+    let coeffs = lattice_coeffs(weights);
     let mut row = vec![0.0; n];
     // u_θ = e_qᵀ Q^θ, advanced by θ (left-multiplication).
     let mut u = vec![0.0; n];
     u[q as usize] = 1.0;
-    for theta in 0..=k {
+    let mut w = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    for (theta, crow) in coeffs.iter().enumerate() {
         // Inner sweep over λ: w = u_θ (Qᵀ)^λ, advanced by right-multiplying
         // by Qᵀ — which is Q.mul_vec (since (w Qᵀ)[j] = Σ_i w[i]·Q[j][i]).
-        let mut w = u.clone();
-        for lambda in 0..=(k - theta) {
-            let l = theta + lambda;
-            let coeff = length_weight(l) * binomial(l, theta);
+        w.copy_from_slice(&u);
+        for (lambda, &coeff) in crow.iter().enumerate() {
             if coeff != 0.0 {
                 for (r, &wv) in row.iter_mut().zip(&w) {
                     *r += coeff * wv;
                 }
             }
-            if lambda < k - theta {
-                w = qmat.mul_vec(&w);
+            if lambda + 1 < crow.len() {
+                qmat.mul_vec_into(&w, &mut tmp);
+                std::mem::swap(&mut w, &mut tmp);
             }
         }
         if theta < k {
-            u = qmat.vec_mul(&u);
+            qmat.vec_mul_into(&u, &mut tmp);
+            std::mem::swap(&mut u, &mut tmp);
         }
         // Early exit: once u is numerically zero (e.g. DAG roots reached),
         // all further θ terms vanish.
@@ -100,18 +118,10 @@ fn lattice_sweep(
 }
 
 /// Top-`k` most-similar nodes to `q` by single-source geometric SimRank\*
-/// (excluding `q` itself, ties broken by ascending id).
+/// (excluding `q` itself, ties broken by ascending id). Thin wrapper over
+/// [`QueryEngine::top_k`] — reuse an engine for more than one query.
 pub fn top_k_query(g: &DiGraph, q: NodeId, k: usize, params: &SimStarParams) -> Vec<(NodeId, f64)> {
-    let row = single_source(g, q, params);
-    let mut scored: Vec<(NodeId, f64)> = row
-        .into_iter()
-        .enumerate()
-        .filter(|&(v, _)| v != q as usize)
-        .map(|(v, s)| (v as NodeId, s))
-        .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
-    scored.truncate(k);
-    scored
+    QueryEngine::new(g, *params).top_k(q, k)
 }
 
 #[cfg(test)]

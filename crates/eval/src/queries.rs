@@ -25,6 +25,21 @@ pub fn select_queries(g: &DiGraph, groups: usize, per_group: usize, seed: u64) -
     picked
 }
 
+/// Groups stratified queries into fixed-size batches for the
+/// `QueryEngine`'s batched execution path: the same `select_queries`
+/// sample, chunked so each batch packs into the blocked lane kernel (the
+/// final batch may be short). Deterministic per seed.
+pub fn select_query_batches(
+    g: &DiGraph,
+    groups: usize,
+    per_group: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<Vec<NodeId>> {
+    assert!(batch_size >= 1, "batch size must be at least 1");
+    select_queries(g, groups, per_group, seed).chunks(batch_size).map(<[NodeId]>::to_vec).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,6 +69,24 @@ mod tests {
         assert!(q.contains(&0), "hub not selected: {q:?}");
         // Some zero-in-degree node must appear too (last stratum).
         assert!(q.iter().any(|&v| g.in_degree(v) == 0));
+    }
+
+    #[test]
+    fn batches_partition_the_sample() {
+        let g = skewed_graph();
+        let flat = select_queries(&g, 5, 4, 9);
+        let batches = select_query_batches(&g, 5, 4, 3, 9);
+        assert!(batches.iter().all(|b| b.len() <= 3));
+        assert!(batches[..batches.len() - 1].iter().all(|b| b.len() == 3));
+        let rejoined: Vec<u32> = batches.concat();
+        assert_eq!(rejoined, flat);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let g = skewed_graph();
+        let _ = select_query_batches(&g, 5, 2, 0, 1);
     }
 
     #[test]

@@ -274,7 +274,7 @@ fn matmul_rows(
 }
 
 pub(crate) fn num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
+    crate::available_threads()
 }
 
 impl fmt::Debug for Dense {

@@ -30,3 +30,18 @@ pub use sparse::Csr;
 
 /// Tolerance used by approximate comparisons in tests and convergence checks.
 pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Worker-thread budget shared by every parallel kernel in the workspace
+/// (dense mat-mul, the blocked `X·Qᵀ` lane kernels, the sieved product).
+///
+/// Defaults to the machine's available parallelism capped at 16 — the
+/// kernels are memory-bound well before that. The `SSR_THREADS` environment
+/// variable overrides the default with an explicit positive thread count
+/// (useful for pinning benchmark runs or disabling parallelism entirely
+/// with `SSR_THREADS=1`).
+pub fn available_threads() -> usize {
+    match std::env::var("SSR_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(t) if t >= 1 => t,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()).min(16),
+    }
+}

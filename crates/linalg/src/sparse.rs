@@ -206,23 +206,43 @@ impl Csr {
 
     /// Dense matrix-vector product `self · x`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// `self · x` written into a caller-owned buffer (every entry of `out`
+    /// is overwritten; no allocation). Backs the query engine's reusable
+    /// scratch vectors.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(self.cols, x.len(), "dimension mismatch");
-        (0..self.rows).map(|r| self.row_entries(r).map(|(c, v)| v * x[c as usize]).sum()).collect()
+        assert_eq!(self.rows, out.len(), "output dimension mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.row_entries(r).map(|(c, v)| v * x[c as usize]).sum();
+        }
     }
 
     /// `xᵀ · self` (left multiplication by a row vector).
     pub fn vec_mul(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(self.rows, x.len(), "dimension mismatch");
         let mut y = vec![0.0; self.cols];
+        self.vec_mul_into(x, &mut y);
+        y
+    }
+
+    /// `xᵀ · self` written into a caller-owned buffer (every entry of `out`
+    /// is overwritten; no allocation).
+    pub fn vec_mul_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(self.rows, x.len(), "dimension mismatch");
+        assert_eq!(self.cols, out.len(), "output dimension mismatch");
+        out.fill(0.0);
         for (r, &xv) in x.iter().enumerate() {
             if xv == 0.0 {
                 continue;
             }
             for (c, v) in self.row_entries(r) {
-                y[c as usize] += xv * v;
+                out[c as usize] += xv * v;
             }
         }
-        y
     }
 
     /// Materialises the dense form (test/debug helper; `O(rows·cols)`).
