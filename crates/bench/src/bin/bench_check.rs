@@ -1,0 +1,116 @@
+//! Perf-regression gate: compares a freshly generated bench JSON against
+//! the committed baseline and exits non-zero when any `(dataset, mode)`
+//! median regressed past the threshold. See [`ssr_bench::check`].
+//!
+//! Usage:
+//! `bench_check --baseline FILE --current FILE [--threshold 0.25]
+//!              [--summary FILE] [--title NAME]`
+//!
+//! `--summary` appends a markdown table of the *current* run to FILE
+//! (`-` writes it to stdout) — CI points it at `$GITHUB_STEP_SUMMARY`.
+
+use ssr_bench::check::{compare, markdown_summary, parse_json, render_check_report, Json};
+use std::io::Write as _;
+
+struct Cli {
+    baseline: String,
+    current: String,
+    threshold: f64,
+    summary: Option<String>,
+    title: String,
+}
+
+fn parse_cli() -> Cli {
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold = 0.25;
+    let mut summary = None;
+    let mut title = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| die(&format!("{name} is missing its value")))
+        };
+        match a.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")),
+            "--current" => current = Some(value("--current")),
+            "--threshold" => {
+                threshold = value("--threshold")
+                    .parse()
+                    .unwrap_or_else(|_| die("--threshold: not a number"));
+                if !(0.0..10.0).contains(&threshold) {
+                    die("--threshold must be a fraction like 0.25");
+                }
+            }
+            "--summary" => summary = Some(value("--summary")),
+            "--title" => title = Some(value("--title")),
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let baseline = baseline.unwrap_or_else(|| die("--baseline is required"));
+    let current = current.unwrap_or_else(|| die("--current is required"));
+    let title = title.unwrap_or_else(|| current.clone());
+    Cli { baseline, current, threshold, summary, title }
+}
+
+fn load(path: &str) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading `{path}`: {e}")));
+    parse_json(&text).unwrap_or_else(|e| die(&format!("parsing `{path}`: {e}")))
+}
+
+fn main() {
+    let cli = parse_cli();
+    let baseline = load(&cli.baseline);
+    let current = load(&cli.current);
+
+    if let Some(dest) = &cli.summary {
+        let md = markdown_summary(&cli.title, &current);
+        if dest == "-" {
+            print!("{md}");
+        } else {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dest)
+                .unwrap_or_else(|e| die(&format!("opening `{dest}`: {e}")));
+            f.write_all(md.as_bytes()).unwrap_or_else(|e| die(&format!("writing `{dest}`: {e}")));
+        }
+    }
+
+    let rows = compare(&baseline, &current, cli.threshold);
+    print!("{}", render_check_report(&rows, cli.threshold));
+    if rows.is_empty() {
+        // Zero comparable pairs means schema or name drift, not health —
+        // exiting 0 here would silently turn the gate into a no-op.
+        eprintln!(
+            "bench_check: no (dataset, mode) medians comparable between `{}` and `{}` — \
+             re-baseline or fix the schema",
+            cli.baseline, cli.current
+        );
+        std::process::exit(1);
+    }
+    let regressions = rows.iter().filter(|r| r.regressed).count();
+    if regressions > 0 {
+        eprintln!(
+            "bench_check: {regressions} median(s) regressed more than {:.0}% vs `{}`",
+            cli.threshold * 100.0,
+            cli.baseline
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_check: {} pair(s) within +{:.0}% of `{}`",
+        rows.len(),
+        cli.threshold * 100.0,
+        cli.baseline
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!(
+        "bench_check: {msg}\nusage: bench_check --baseline FILE --current FILE \
+         [--threshold 0.25] [--summary FILE|-] [--title NAME]"
+    );
+    std::process::exit(2);
+}

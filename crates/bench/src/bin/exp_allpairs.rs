@@ -1,0 +1,30 @@
+//! All-pairs perf trajectory: serial vs blocked vs memoized full sweeps,
+//! streaming top-k, and partial-pairs rows, written to `BENCH_allpairs.json`.
+//!
+//! Usage: `exp_allpairs [--smoke] [--out PATH]`
+
+use ssr_bench::allpairs_bench::{run_allpairs_bench, AllPairsBenchOptions};
+
+fn main() {
+    let mut opts = AllPairsBenchOptions {
+        smoke: false,
+        out_path: std::path::PathBuf::from("BENCH_allpairs.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => match args.next() {
+                Some(p) => opts.out_path = p.into(),
+                None => die("--out is missing its value"),
+            },
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    run_allpairs_bench(&opts);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("exp_allpairs: {msg}\nusage: exp_allpairs [--smoke] [--out PATH]");
+    std::process::exit(1);
+}

@@ -1,0 +1,486 @@
+//! Perf-regression gate over the emitted bench JSONs (`bench_check`).
+//!
+//! CI's scheduled job re-runs each benchmark in `--smoke` mode and compares
+//! the fresh JSON against the committed baseline: for every
+//! `(dataset, mode)` pair present in both files, the median metric
+//! (`median_ms` for the all-pairs schema, `p50_us` for the query-engine
+//! schema) must not exceed the baseline by more than the threshold
+//! (default **25%**). Any regression fails the job. Units cancel in the
+//! ratio, so one gate covers both schemas.
+//!
+//! Caveat worth knowing: the committed baselines were produced on one
+//! machine and CI runners are heterogeneous, so the 25% threshold is a
+//! tripwire for *algorithmic* regressions (an accidental O(n²) or a lost
+//! fast path blows far past 25%), not a precision instrument. Re-baseline
+//! by committing a fresh `--smoke` JSON when hardware or workload changes
+//! legitimately move the numbers.
+//!
+//! The module also renders the step-summary table
+//! ([`markdown_summary`]) that the scheduled job appends to
+//! `$GITHUB_STEP_SUMMARY`, and hosts the minimal JSON parser (no JSON
+//! crate is available offline; the parser accepts standard JSON, which is
+//! a superset of what the benches emit).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (objects keep insertion order via the pair list).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (always carried as `f64`; bench metrics fit exactly).
+    Num(f64),
+    /// String
+    Str(String),
+    /// Array
+    Arr(Vec<Json>),
+    /// Object, as an ordered pair list.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects (`None` elsewhere / when absent).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document. Errors carry a byte offset and message.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("unsupported escape `\\{}`", other as char)),
+                }
+            }
+            other => out.push(other as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+/// One `(dataset, mode)` comparison between baseline and current.
+#[derive(Debug, Clone)]
+pub struct CheckRow {
+    /// Dataset name as emitted.
+    pub dataset: String,
+    /// Mode name (`serial`, `blocked`, `engine`, …).
+    pub mode: String,
+    /// Baseline median (`median_ms` or `p50_us`).
+    pub baseline: f64,
+    /// Current median in the same unit.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Whether the ratio exceeds `1 + threshold`.
+    pub regressed: bool,
+}
+
+/// The median metric of one mode object: `median_ms` (allpairs schema) or
+/// `p50_us` (query-engine schema).
+fn mode_median(mode: &Json) -> Option<f64> {
+    mode.get("median_ms").or_else(|| mode.get("p50_us")).and_then(Json::as_num)
+}
+
+/// Indexes a bench JSON as `dataset → mode → median`.
+fn median_index(doc: &Json) -> BTreeMap<String, BTreeMap<String, f64>> {
+    let mut out = BTreeMap::new();
+    let Some(datasets) = doc.get("datasets").and_then(Json::as_arr) else {
+        return out;
+    };
+    for d in datasets {
+        let Some(name) = d.get("name").and_then(Json::as_str) else { continue };
+        let Some(modes) = d.get("modes").and_then(Json::as_obj) else { continue };
+        let entry: &mut BTreeMap<String, f64> = out.entry(name.to_string()).or_default();
+        for (mode_name, mode) in modes {
+            if let Some(median) = mode_median(mode) {
+                entry.insert(mode_name.clone(), median);
+            }
+        }
+    }
+    out
+}
+
+/// Compares every `(dataset, mode)` median present in **both** documents.
+/// A current median above `baseline · (1 + threshold)` is a regression.
+/// Pairs without a baseline are skipped (new datasets/modes must not brick
+/// CI); medians of `0` in the baseline are skipped too (no signal).
+pub fn compare(baseline: &Json, current: &Json, threshold: f64) -> Vec<CheckRow> {
+    let base = median_index(baseline);
+    let cur = median_index(current);
+    let mut rows = Vec::new();
+    for (dataset, modes) in &cur {
+        let Some(base_modes) = base.get(dataset) else { continue };
+        for (mode, &current_median) in modes {
+            let Some(&baseline_median) = base_modes.get(mode) else { continue };
+            if baseline_median <= 0.0 {
+                continue;
+            }
+            let ratio = current_median / baseline_median;
+            rows.push(CheckRow {
+                dataset: dataset.clone(),
+                mode: mode.clone(),
+                baseline: baseline_median,
+                current: current_median,
+                ratio,
+                regressed: ratio > 1.0 + threshold,
+            });
+        }
+    }
+    rows
+}
+
+/// Human-readable check report (one line per compared pair).
+pub fn render_check_report(rows: &[CheckRow], threshold: f64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<12} {:<10} {:>12} {:>12} {:>8}  status (threshold +{:.0}%)",
+        "dataset",
+        "mode",
+        "baseline",
+        "current",
+        "ratio",
+        threshold * 100.0
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<12} {:<10} {:>12.3} {:>12.3} {:>7.2}x  {}",
+            r.dataset,
+            r.mode,
+            r.baseline,
+            r.current,
+            r.ratio,
+            if r.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    if rows.is_empty() {
+        s.push_str("no comparable (dataset, mode) pairs found\n");
+    }
+    s
+}
+
+/// Renders one bench JSON as a GitHub-flavored markdown table for
+/// `$GITHUB_STEP_SUMMARY`: dataset, mode, median, p95, and the headline
+/// speedup (`speedup_engine_vs_naive` / `speedup_blocked_vs_serial`,
+/// shown on the dataset's first row).
+pub fn markdown_summary(title: &str, doc: &Json) -> String {
+    let mut s = format!("### {title}\n\n");
+    let threads = doc.get("threads").and_then(Json::as_num).map(|t| t as usize).unwrap_or_default();
+    let smoke = matches!(doc.get("smoke"), Some(Json::Bool(true)));
+    let _ = writeln!(s, "threads: {threads}{}\n", if smoke { " · smoke mode" } else { "" });
+    // The tail column is p95 for the allpairs schema, p99 for the
+    // query-engine schema — the header names both.
+    s.push_str("| dataset | mode | median | p95/p99 | speedup vs naive |\n");
+    s.push_str("|---|---|---:|---:|---:|\n");
+    let Some(datasets) = doc.get("datasets").and_then(Json::as_arr) else {
+        return s;
+    };
+    for d in datasets {
+        let name = d.get("name").and_then(Json::as_str).unwrap_or("?");
+        let speedup = d
+            .get("speedup_blocked_vs_serial")
+            .or_else(|| d.get("speedup_engine_vs_naive"))
+            .and_then(Json::as_num);
+        let Some(modes) = d.get("modes").and_then(Json::as_obj) else { continue };
+        for (i, (mode_name, mode)) in modes.iter().enumerate() {
+            let (median, p95, unit) = match (mode.get("median_ms"), mode.get("p50_us")) {
+                (Some(m), _) => (m.as_num(), mode.get("p95_ms").and_then(Json::as_num), "ms"),
+                (None, Some(m)) => (m.as_num(), mode.get("p99_us").and_then(Json::as_num), "µs"),
+                _ => (None, None, ""),
+            };
+            let fmt =
+                |v: Option<f64>| v.map(|v| format!("{v:.2} {unit}")).unwrap_or_else(|| "—".into());
+            let speedup_cell = if i == 0 {
+                speedup.map(|v| format!("{v:.2}×")).unwrap_or_else(|| "—".into())
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                s,
+                "| {name} | {mode_name} | {} | {} | {speedup_cell} |",
+                fmt(median),
+                fmt(p95)
+            );
+        }
+    }
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "schema": "ssr-bench/allpairs/v1", "smoke": true, "threads": 1,
+      "datasets": [
+        {"name": "D05", "nodes": 10,
+         "modes": {
+            "serial":  {"runs": 3, "median_ms": 100.0, "p95_ms": 120.0},
+            "blocked": {"runs": 3, "median_ms": 40.0, "p95_ms": 44.0}
+         },
+         "speedup_blocked_vs_serial": 2.50}
+      ]
+    }"#;
+
+    fn current(serial_ms: f64) -> String {
+        SAMPLE.replace("\"median_ms\": 100.0", &format!("\"median_ms\": {serial_ms}"))
+    }
+
+    #[test]
+    fn parser_round_trips_sample() {
+        let doc = parse_json(SAMPLE).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("ssr-bench/allpairs/v1"));
+        let ds = doc.get("datasets").and_then(Json::as_arr).unwrap();
+        assert_eq!(ds[0].get("name").and_then(Json::as_str), Some("D05"));
+        let m = ds[0].get("modes").unwrap().get("serial").unwrap();
+        assert_eq!(m.get("median_ms").and_then(Json::as_num), Some(100.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("not json").is_err());
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("[1, 2").is_err());
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = parse_json(SAMPLE).unwrap();
+        // +20% on serial: inside the 25% gate.
+        let cur = parse_json(&current(120.0)).unwrap();
+        let rows = compare(&base, &cur, 0.25);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| !r.regressed), "{rows:?}");
+    }
+
+    #[test]
+    fn regression_over_threshold_fails() {
+        let base = parse_json(SAMPLE).unwrap();
+        // +30% on serial: must trip the 25% gate.
+        let cur = parse_json(&current(130.0)).unwrap();
+        let rows = compare(&base, &cur, 0.25);
+        let serial = rows.iter().find(|r| r.mode == "serial").unwrap();
+        assert!(serial.regressed);
+        assert!((serial.ratio - 1.3).abs() < 1e-9);
+        let blocked = rows.iter().find(|r| r.mode == "blocked").unwrap();
+        assert!(!blocked.regressed);
+    }
+
+    #[test]
+    fn improvement_never_fails() {
+        let base = parse_json(SAMPLE).unwrap();
+        let cur = parse_json(&current(10.0)).unwrap();
+        assert!(compare(&base, &cur, 0.25).iter().all(|r| !r.regressed));
+    }
+
+    #[test]
+    fn new_dataset_without_baseline_is_skipped() {
+        let base = parse_json(SAMPLE).unwrap();
+        let cur = parse_json(&SAMPLE.replace("\"D05\"", "\"D99\"")).unwrap();
+        assert!(compare(&base, &cur, 0.25).is_empty());
+    }
+
+    #[test]
+    fn query_engine_schema_uses_p50() {
+        let qe = r#"{"datasets": [{"name": "X", "modes": {
+            "naive": {"p50_us": 50.0, "p99_us": 80.0}}}]}"#;
+        let base = parse_json(qe).unwrap();
+        let cur = parse_json(&qe.replace("50.0", "90.0")).unwrap();
+        let rows = compare(&base, &cur, 0.25);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].regressed);
+    }
+
+    #[test]
+    fn summary_table_contains_all_modes() {
+        let doc = parse_json(SAMPLE).unwrap();
+        let md = markdown_summary("all-pairs", &doc);
+        assert!(md.contains("| D05 | serial |"));
+        assert!(md.contains("| D05 | blocked |"));
+        assert!(md.contains("2.50×"));
+        assert!(md.contains("smoke mode"));
+    }
+
+    #[test]
+    fn check_report_marks_regressions() {
+        let base = parse_json(SAMPLE).unwrap();
+        let cur = parse_json(&current(200.0)).unwrap();
+        let rows = compare(&base, &cur, 0.25);
+        let report = render_check_report(&rows, 0.25);
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("ok"));
+    }
+}

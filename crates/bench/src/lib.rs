@@ -15,6 +15,8 @@
 //! | `exp_fig6g_density` | Fig. 6(g) density sweep |
 //! | `exp_fig6h_memory` | Fig. 6(h) memory space |
 //! | `exp_query_engine` | query-engine perf trajectory (`BENCH_query_engine.json`) |
+//! | `exp_allpairs` | all-pairs perf trajectory (`BENCH_allpairs.json`) |
+//! | `bench_check` | CI perf-regression gate over the two trajectories |
 //! | `run_all` | everything above, in order |
 //!
 //! Criterion benches (`cargo bench`) cover the timing-sensitive kernels:
@@ -28,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allpairs_bench;
+pub mod check;
 pub mod experiments;
 pub mod memuse;
 pub mod query_bench;

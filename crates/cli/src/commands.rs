@@ -1,7 +1,10 @@
 //! The `simstar` subcommands.
 
 use crate::args::{ArgError, Args};
-use simrank_star::{exponential, geometric, QueryEngine, QueryEngineOptions, SimStarParams};
+use simrank_star::{
+    exponential, geometric, AllPairsEngine, AllPairsOptions, QueryEngine, QueryEngineOptions,
+    SimStarParams,
+};
 use ssr_baselines::{prank, rwr, simrank};
 use ssr_compress::{compress, CompressOptions};
 use ssr_graph::components::{strongly_connected_components, weakly_connected_components};
@@ -20,6 +23,14 @@ COMMANDS:
   compute   all-pairs similarities from an edge list
             --input FILE [--algo gsr|esr|memo-gsr|memo-esr|sr|prank|rwr]
             [--c 0.6] [--k 5] [--threshold 0] [--output FILE]
+  allpairs  block-parallel all-pairs SimRank* through the AllPairsEngine
+            --input FILE [--top-k K] [--subset ID,ID,...] [--compress false]
+            [--threads 0] [--blocks 0] [--c 0.6] [--k 5] [--threshold 0]
+            [--output FILE]
+            --subset computes only those rows (partial pairs); --top-k
+            streams per-row rankings without materializing the matrix;
+            --compress runs the memoized (edge-concentrated) kernel and
+            reports its compression stats
   query     single-source SimRank* through the amortized QueryEngine
             --input FILE (--node ID | --nodes ID,ID,... | --batch N)
             [--top-k 10] [--c 0.6] [--k 5] [--seed 0] [--compress false]
@@ -38,6 +49,7 @@ COMMANDS:
 pub fn run(command: &str, rest: &[String]) -> Result<String, ArgError> {
     match command {
         "compute" => cmd_compute(rest),
+        "allpairs" => cmd_allpairs(rest),
         "query" => cmd_query(rest),
         "stats" => cmd_stats(rest),
         "audit" => cmd_audit(rest),
@@ -89,6 +101,137 @@ fn cmd_compute(rest: &[String]) -> Result<String, ArgError> {
         for b in 0..n as u32 {
             if a != b && sim.score(a, b) > 0.0 {
                 out.push_str(&format!("{a}\t{b}\t{:.6e}\n", sim.score(a, b)));
+            }
+        }
+    }
+    write_or_return(&args, out)
+}
+
+fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(
+        rest,
+        &[
+            "input",
+            "c",
+            "k",
+            "top-k",
+            "subset",
+            "compress",
+            "threads",
+            "blocks",
+            "threshold",
+            "output",
+        ],
+    )?;
+    let g = load_graph(&args)?;
+    let params = SimStarParams { c: args.get("c", 0.6)?, iterations: args.get("k", 5usize)? };
+    if !(0.0..1.0).contains(&params.c) || params.c == 0.0 {
+        return Err(ArgError(format!("--c must be in (0,1), got {}", params.c)));
+    }
+    let threshold = args.get("threshold", 0.0)?;
+    let top = args.get("top-k", 0usize)?;
+    if top > 0 && args.has("threshold") {
+        return Err(ArgError(
+            "--threshold does not apply to --top-k output (rankings are score-ordered already)"
+                .into(),
+        ));
+    }
+    let opts = AllPairsOptions {
+        compress: args.get("compress", false)?,
+        threads: args.get("threads", 0usize)?,
+        block_rows: args.get("blocks", 0usize)?,
+        ..Default::default()
+    };
+    let subset: Option<Vec<u32>> = if args.has("subset") {
+        Some(
+            args.req("subset")?
+                .split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse::<u32>()
+                        .map_err(|_| ArgError(format!("--subset: cannot parse `{t}`")))
+                })
+                .collect::<Result<_, _>>()?,
+        )
+    } else {
+        None
+    };
+    if let Some(rows) = &subset {
+        if rows.is_empty() {
+            return Err(ArgError("--subset needs at least one node id".into()));
+        }
+        for &q in rows {
+            if q as usize >= g.node_count() {
+                return Err(ArgError(format!(
+                    "subset node {q} out of range (graph has {} nodes)",
+                    g.node_count()
+                )));
+            }
+        }
+    }
+    let engine = AllPairsEngine::with_options(&g, params, opts);
+    let mut out = format!(
+        "# simstar allpairs: c={} k={} n={} threads={}\n",
+        params.c,
+        params.iterations,
+        g.node_count(),
+        if engine.options().threads == 0 {
+            ssr_linalg::available_threads()
+        } else {
+            engine.options().threads
+        },
+    );
+    if let Some(r) = engine.compression() {
+        out.push_str(&format!(
+            "# compression: m={} m~={} ratio={:.1}% concentrators={} bytes={}\n",
+            r.original_edges,
+            r.compressed_edges,
+            100.0 * r.ratio,
+            r.concentrators,
+            r.estimated_bytes,
+        ));
+    }
+    if top > 0 {
+        // Streaming top-k: ranked rows, never materializing the matrix.
+        let rows: Vec<u32> = match &subset {
+            Some(r) => r.clone(),
+            None => (0..g.node_count() as u32).collect(),
+        };
+        let ranked = engine.top_k(&rows, top);
+        out.push_str(&format!("# top-{top} per row (query\tnode\tscore)\n"));
+        for (q, matches) in rows.iter().zip(&ranked) {
+            for (v, s) in matches {
+                out.push_str(&format!("{q}\t{v}\t{s:.6}\n"));
+            }
+        }
+    } else if let Some(rows) = &subset {
+        // Partial pairs: the requested rows of the matrix.
+        let m = engine.rows(rows);
+        out.push_str("# partial pairs (a b score, off-diagonal)\n");
+        for (i, &a) in rows.iter().enumerate() {
+            for b in 0..g.node_count() as u32 {
+                let s = m.get(i, b as usize);
+                // Same boundary semantics as the full-matrix path (which
+                // clips below the threshold, keeping equality): emit
+                // scores >= threshold, and only positive ones.
+                if a != b && s > 0.0 && (threshold <= 0.0 || s >= threshold) {
+                    out.push_str(&format!("{a}\t{b}\t{s:.6e}\n"));
+                }
+            }
+        }
+    } else {
+        let mut sim = engine.full();
+        let kept = if threshold > 0.0 { sim.clip_below(threshold) } else { 0 };
+        if threshold > 0.0 {
+            out.push_str(&format!("# threshold={threshold} kept={kept}\n"));
+        }
+        out.push_str("# a b score (off-diagonal, score > 0)\n");
+        let n = sim.node_count();
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                if a != b && sim.score(a, b) > 0.0 {
+                    out.push_str(&format!("{a}\t{b}\t{:.6e}\n", sim.score(a, b)));
+                }
             }
         }
     }
@@ -335,6 +478,83 @@ mod tests {
     fn compute_rejects_bad_c() {
         let p = tmp_graph();
         assert!(run("compute", &toks(&format!("--input {p} --c 1.5"))).is_err());
+    }
+
+    #[test]
+    fn allpairs_full_matches_compute_gsr() {
+        let p = tmp_graph();
+        let full = run("allpairs", &toks(&format!("--input {p} --k 4"))).unwrap();
+        let compute = run("compute", &toks(&format!("--input {p} --algo gsr --k 4"))).unwrap();
+        let strip = |s: &str| {
+            s.lines().filter(|l| !l.starts_with('#')).map(String::from).collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&full), strip(&compute));
+    }
+
+    #[test]
+    fn allpairs_subset_rows_only() {
+        let p = tmp_graph();
+        let out = run("allpairs", &toks(&format!("--input {p} --subset 8,3 --k 4"))).unwrap();
+        assert!(out.contains("partial pairs"));
+        for l in out.lines().filter(|l| !l.starts_with('#')) {
+            let a = l.split('\t').next().unwrap();
+            assert!(a == "8" || a == "3", "unexpected row {l}");
+        }
+    }
+
+    #[test]
+    fn allpairs_top_k_streams_rankings() {
+        let p = tmp_graph();
+        let out = run("allpairs", &toks(&format!("--input {p} --top-k 3 --threads 2 --blocks 8")))
+            .unwrap();
+        let rows = out.lines().filter(|l| !l.starts_with('#')).count();
+        // Figure-1 graph has 11 nodes; ≤ 3 matches per node.
+        assert!(rows > 11 && rows <= 33, "{rows}");
+        // Per-row rankings agree with the single-source query path.
+        let q = run("query", &toks(&format!("--input {p} --node 8 --top-k 3"))).unwrap();
+        let want: Vec<String> =
+            q.lines().filter(|l| !l.starts_with('#')).map(|l| format!("8\t{l}")).collect();
+        let got: Vec<&str> = out.lines().filter(|l| l.starts_with("8\t")).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn allpairs_compress_reports_stats() {
+        let p = tmp_graph();
+        let plain = run("allpairs", &toks(&format!("--input {p} --k 4"))).unwrap();
+        assert!(!plain.contains("# compression"));
+        let memo = run("allpairs", &toks(&format!("--input {p} --k 4 --compress true"))).unwrap();
+        assert!(memo.contains("# compression"), "{memo}");
+        assert!(memo.contains("ratio="));
+        assert!(memo.contains("bytes="));
+        // Same scores either way.
+        let strip = |s: &str| {
+            s.lines().filter(|l| !l.starts_with('#')).map(String::from).collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&plain), strip(&memo));
+    }
+
+    #[test]
+    fn allpairs_threshold_consistent_between_full_and_subset() {
+        let p = tmp_graph();
+        // Same rows survive the same threshold through both paths.
+        let full = run("allpairs", &toks(&format!("--input {p} --k 4 --threshold 1e-3"))).unwrap();
+        let part =
+            run("allpairs", &toks(&format!("--input {p} --k 4 --threshold 1e-3 --subset 8")))
+                .unwrap();
+        let rows_of = |s: &str| {
+            s.lines().filter(|l| l.starts_with("8\t")).map(String::from).collect::<Vec<_>>()
+        };
+        assert_eq!(rows_of(&full), rows_of(&part));
+        // Threshold is meaningless for rankings and is rejected.
+        assert!(run("allpairs", &toks(&format!("--input {p} --top-k 3 --threshold 0.5"))).is_err());
+    }
+
+    #[test]
+    fn allpairs_rejects_bad_subset() {
+        let p = tmp_graph();
+        assert!(run("allpairs", &toks(&format!("--input {p} --subset 999"))).is_err());
+        assert!(run("allpairs", &toks(&format!("--input {p} --subset x"))).is_err());
     }
 
     #[test]

@@ -73,6 +73,44 @@ fn full_pipeline() {
 }
 
 #[test]
+fn allpairs_pipeline() {
+    let graph_path = tmp("allpairs.txt");
+    let graph = graph_path.to_str().unwrap();
+    run_ok(&[
+        "generate", "--kind", "citation", "--nodes", "120", "--edges", "500", "--seed", "3",
+        "--output", graph,
+    ]);
+
+    // Streaming top-k over the memoized kernel, with compression stats.
+    let ranked = run_ok(&[
+        "allpairs",
+        "--input",
+        graph,
+        "--top-k",
+        "3",
+        "--compress",
+        "true",
+        "--threads",
+        "2",
+    ]);
+    assert!(ranked.contains("# compression"), "{ranked}");
+    assert!(ranked.lines().filter(|l| !l.starts_with('#')).count() > 0);
+
+    // Partial pairs for two rows must match the full matrix's rows.
+    let partial = run_ok(&["allpairs", "--input", graph, "--subset", "5,9", "--k", "4"]);
+    let full = run_ok(&["allpairs", "--input", graph, "--k", "4"]);
+    let rows_of = |text: &str, prefix: &str| {
+        text.lines()
+            .filter(|l| !l.starts_with('#') && l.starts_with(prefix))
+            .map(String::from)
+            .collect::<Vec<_>>()
+    };
+    for q in ["5\t", "9\t"] {
+        assert_eq!(rows_of(&partial, q), rows_of(&full, q), "rows for {q}");
+    }
+}
+
+#[test]
 fn no_args_prints_usage_and_exits_2() {
     let out = simstar().output().expect("spawn simstar");
     assert_eq!(out.status.code(), Some(2));

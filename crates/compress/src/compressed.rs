@@ -151,6 +151,35 @@ impl CompressedGraph {
             + (self.conc_fanin.len() + self.direct.len()) * size_of::<NodeId>()
             + self.via.len() * size_of::<u32>()
     }
+
+    /// One-stop cost accounting for reporting surfaces (CLI output, bench
+    /// JSON): edge counts, the footnote-15 ratio, and resident bytes — so
+    /// memoization wins are visible without running a benchmark.
+    pub fn size_report(&self) -> SizeReport {
+        SizeReport {
+            original_edges: self.original_edge_count(),
+            compressed_edges: self.compressed_edge_count(),
+            concentrators: self.concentrator_count(),
+            ratio: self.compression_ratio(),
+            estimated_bytes: self.estimated_bytes(),
+        }
+    }
+}
+
+/// Summary of what edge concentration bought on one graph
+/// (see [`CompressedGraph::size_report`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeReport {
+    /// `m`: edges of the original graph.
+    pub original_edges: usize,
+    /// `m̃`: edges of the compressed graph (the per-row kernel cost).
+    pub compressed_edges: usize,
+    /// `|V̂|`: concentrator nodes introduced.
+    pub concentrators: usize,
+    /// `(1 − m̃/m)` as a fraction in `[0, 1)`.
+    pub ratio: f64,
+    /// Estimated resident bytes of the compressed index.
+    pub estimated_bytes: usize,
 }
 
 #[cfg(test)]
@@ -186,6 +215,17 @@ mod tests {
         assert_eq!(cg.decompress_in_neighbors(3), vec![0, 1, 2]);
         assert_eq!(cg.decompress_in_neighbors(0), Vec::<NodeId>::new());
         assert_eq!(cg.in_degree(3), 3);
+    }
+
+    #[test]
+    fn size_report_is_consistent() {
+        let cg = tiny();
+        let r = cg.size_report();
+        assert_eq!(r.original_edges, cg.original_edge_count());
+        assert_eq!(r.compressed_edges, cg.compressed_edge_count());
+        assert_eq!(r.concentrators, cg.concentrator_count());
+        assert_eq!(r.ratio, cg.compression_ratio());
+        assert_eq!(r.estimated_bytes, cg.estimated_bytes());
     }
 
     #[test]

@@ -36,5 +36,5 @@
 mod compressed;
 mod mining;
 
-pub use compressed::CompressedGraph;
+pub use compressed::{CompressedGraph, SizeReport};
 pub use mining::{compress, compress_with_bicliques, Biclique, CompressOptions};

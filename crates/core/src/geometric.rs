@@ -13,6 +13,11 @@
 //! * [`Memoized`] — *memo-gSR\** over the edge-concentrated kernel,
 //!   `O(K·n·(m̃+n))`, with the compression phase separable for the
 //!   Figure 6(f) amortised-time experiment.
+//!
+//! Since PR 3 both are thin exact-compatible wrappers over the
+//! block-parallel sweep of [`crate::all_pairs`]; the pre-blocking textbook
+//! loop survives as [`iterate_serial`] (the benchmark baseline and the
+//! property-test oracle).
 
 use crate::kernel::{CompressedRightMultiplier, PlainRightMultiplier, RightMultiplier};
 use crate::{SimStarParams, SimilarityMatrix};
@@ -21,6 +26,7 @@ use ssr_graph::DiGraph;
 use ssr_linalg::Dense;
 
 /// One fixed-point step `Ŝ_{k+1} = (C/2)(Ŝ_k Qᵀ + (Ŝ_k Qᵀ)ᵀ) + (1−C) I`.
+/// Kept for [`iterate_with_trace`], which needs the intermediate matrices.
 fn step(kernel: &impl RightMultiplier, s: &Dense, c: f64) -> Dense {
     let mut p = kernel.apply(s); // P = S · Qᵀ
     p.add_transpose_inplace(); // P ← P + Pᵀ
@@ -29,24 +35,62 @@ fn step(kernel: &impl RightMultiplier, s: &Dense, c: f64) -> Dense {
     p
 }
 
-/// Runs `K` geometric iterations over an arbitrary kernel. Exposed so the
-/// benchmark harness can time plain vs memoized kernels uniformly.
+/// Runs `K` geometric iterations over an arbitrary kernel — since PR 3 the
+/// block-parallel fused sweep ([`crate::all_pairs`]), bit-identical to the
+/// textbook step loop. Exposed so the benchmark harness can time plain vs
+/// memoized kernels uniformly.
 pub fn iterate_with_kernel(
     kernel: &impl RightMultiplier,
     params: &SimStarParams,
 ) -> SimilarityMatrix {
-    params.validate();
-    let n = kernel.node_count();
-    let mut s = Dense::scaled_identity(n, 1.0 - params.c);
-    for _ in 0..params.iterations {
-        s = step(kernel, &s, params.c);
-    }
-    SimilarityMatrix::from_dense(s)
+    SimilarityMatrix::from_dense(crate::all_pairs::sweep_full(kernel, params, 0, 0))
 }
 
 /// *iter-gSR\**: geometric SimRank\* by plain iteration (§4.2).
 pub fn iterate(g: &DiGraph, params: &SimStarParams) -> SimilarityMatrix {
     iterate_with_kernel(&PlainRightMultiplier::new(g), params)
+}
+
+/// The textbook single-threaded sweep: one output row at a time over raw
+/// in-neighbor lists (no lane blocking, no threads), then the literal
+/// transpose-add / scale / diagonal update. `O(K·n·(m+n))` like
+/// [`iterate`], but re-reads the adjacency once per *row* instead of once
+/// per 16-lane block.
+///
+/// This is the all-pairs benchmark's `serial` baseline and the oracle the
+/// property tests pin [`crate::AllPairsEngine`] against — deliberately an
+/// independent re-implementation of Eq. (14).
+pub fn iterate_serial(g: &DiGraph, params: &SimStarParams) -> SimilarityMatrix {
+    params.validate();
+    let n = g.node_count();
+    let in_nb: Vec<&[u32]> = g.nodes().map(|v| g.in_neighbors(v)).collect();
+    let inv: Vec<f64> =
+        in_nb.iter().map(|nb| if nb.is_empty() { 0.0 } else { 1.0 / nb.len() as f64 }).collect();
+    let mut s = Dense::scaled_identity(n, 1.0 - params.c);
+    let mut p = Dense::zeros(n, n);
+    let c2 = params.c / 2.0;
+    let diag = 1.0 - params.c;
+    for _ in 0..params.iterations {
+        for a in 0..n {
+            let sa = s.row(a);
+            let pa = p.row_mut(a);
+            for x in 0..n {
+                let mut acc = 0.0;
+                for &y in in_nb[x] {
+                    acc += sa[y as usize];
+                }
+                pa[x] = acc * inv[x];
+            }
+        }
+        for i in 0..n {
+            let row = s.row_mut(i);
+            for (j, out) in row.iter_mut().enumerate() {
+                *out = (p.get(i, j) + p.get(j, i)) * c2;
+            }
+            row[i] += diag;
+        }
+    }
+    SimilarityMatrix::from_dense(s)
 }
 
 /// Like [`iterate`] but also returns `‖Ŝ_{k+1} − Ŝ_k‖_max` per iteration
@@ -144,6 +188,24 @@ mod tests {
             let plain = iterate(&g, &p);
             let memo = iterate_memo(&g, &p, &CompressOptions::default());
             assert!(plain.matrix().approx_eq(memo.matrix(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn serial_reference_matches_blocked_iterate() {
+        // The oracle must agree with the production sweep on every graph
+        // (independent re-implementation, so 1e-10 rather than bitwise).
+        for g in small_graphs() {
+            for k in [0, 1, 4, 9] {
+                let p = SimStarParams { c: 0.7, iterations: k };
+                let serial = iterate_serial(&g, &p);
+                let blocked = iterate(&g, &p);
+                assert!(
+                    serial.matrix().approx_eq(blocked.matrix(), 1e-10),
+                    "k={k}, diff={}",
+                    serial.matrix().max_diff(blocked.matrix())
+                );
+            }
         }
     }
 

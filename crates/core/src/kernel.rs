@@ -157,7 +157,8 @@ trait BlockRunner: RightMultiplier {
 impl<T: RightMultiplier + ?Sized> BlockRunner for T {}
 
 /// `xb[y·lanes + i] = x[r0+i][y]` — gathers `lanes` rows lane-contiguously.
-fn transpose_into(x: &Dense, r0: usize, lanes: usize, xb: &mut [f64]) {
+/// Shared with the all-pairs engine's own block dispatch.
+pub(crate) fn transpose_into(x: &Dense, r0: usize, lanes: usize, xb: &mut [f64]) {
     for i in 0..lanes {
         let row = x.row(r0 + i);
         for (y, &v) in row.iter().enumerate() {
@@ -216,12 +217,42 @@ impl PlainRightMultiplier {
     }
 }
 
+impl PlainRightMultiplier {
+    /// Fixed-width fast path: accumulate in an `L`-lane register block so
+    /// the per-edge inner loop compiles to wide vector adds with no bounds
+    /// checks and no per-edge stores to `yb` — the hot kernel of the
+    /// all-pairs sweep.
+    fn apply_block_fixed<const L: usize>(&self, xb: &[f64], yb: &mut [f64]) {
+        // `yb` may be an over-sized scratch buffer; only the first `n·L`
+        // entries are this block's output.
+        for (xnode, dst) in yb[..self.n * L].chunks_exact_mut(L).enumerate() {
+            let inv = self.inv_deg[xnode];
+            if inv == 0.0 {
+                continue; // yb already zeroed
+            }
+            let mut acc = [0.0f64; L];
+            for &y in &self.sources[self.offsets[xnode]..self.offsets[xnode + 1]] {
+                let src: &[f64; L] = xb[y as usize * L..][..L].try_into().expect("L lanes");
+                for (a, s) in acc.iter_mut().zip(src) {
+                    *a += s;
+                }
+            }
+            for (d, a) in dst.iter_mut().zip(acc) {
+                *d = a * inv;
+            }
+        }
+    }
+}
+
 impl RightMultiplier for PlainRightMultiplier {
     fn node_count(&self) -> usize {
         self.n
     }
 
     fn apply_block(&self, xb: &[f64], yb: &mut [f64], lanes: usize) {
+        if lanes == BLOCK {
+            return self.apply_block_fixed::<BLOCK>(xb, yb);
+        }
         for xnode in 0..self.n {
             let inv = self.inv_deg[xnode];
             if inv == 0.0 {
@@ -245,6 +276,12 @@ impl RightMultiplier for PlainRightMultiplier {
 pub struct CompressedRightMultiplier {
     cg: CompressedGraph,
     inv_deg: Vec<f64>,
+    /// Pool of per-block concentrator buffers (`|V̂| × BLOCK` f64 each).
+    /// At realistic concentrator counts the buffer crosses the allocator's
+    /// mmap threshold, and a fresh map + fault + unmap per block call costs
+    /// more than the memoization saves — pooling keeps one warm buffer per
+    /// concurrent caller.
+    conc_pool: std::sync::Mutex<Vec<Vec<f64>>>,
 }
 
 impl CompressedRightMultiplier {
@@ -263,7 +300,7 @@ impl CompressedRightMultiplier {
             let d = cg.in_degree(v);
             inv_deg.push(if d == 0 { 0.0 } else { 1.0 / d as f64 });
         }
-        CompressedRightMultiplier { cg, inv_deg }
+        CompressedRightMultiplier { cg, inv_deg, conc_pool: std::sync::Mutex::new(Vec::new()) }
     }
 
     /// The underlying compressed graph.
@@ -277,12 +314,63 @@ impl CompressedRightMultiplier {
     }
 }
 
+impl CompressedRightMultiplier {
+    /// Fixed-width fast path (see
+    /// [`PlainRightMultiplier::apply_block_fixed`]): both the concentrator
+    /// memoization and the assembly accumulate in `L`-lane register blocks.
+    fn apply_block_fixed<const L: usize>(&self, xb: &[f64], yb: &mut [f64]) {
+        let nc = self.cg.concentrator_count();
+        // Pooled buffer; no zeroing needed — every slot is overwritten by
+        // the memoization pass below (`copy_from_slice`, unconditionally).
+        let mut conc = self.conc_pool.lock().expect("conc pool poisoned").pop().unwrap_or_default();
+        conc.resize(nc * L, 0.0);
+        for (v, dst) in conc.chunks_exact_mut(L).enumerate() {
+            let mut acc = [0.0f64; L];
+            for &y in self.cg.fanin(v as u32) {
+                let src: &[f64; L] = xb[y as usize * L..][..L].try_into().expect("L lanes");
+                for (a, s) in acc.iter_mut().zip(src) {
+                    *a += s;
+                }
+            }
+            dst.copy_from_slice(&acc);
+        }
+        // `yb` may be an over-sized scratch buffer; only the first `n·L`
+        // entries are this block's output.
+        for (xnode, dst) in yb[..self.cg.node_count() * L].chunks_exact_mut(L).enumerate() {
+            let inv = self.inv_deg[xnode];
+            if inv == 0.0 {
+                continue;
+            }
+            let mut acc = [0.0f64; L];
+            for &y in self.cg.direct_in(xnode as u32) {
+                let src: &[f64; L] = xb[y as usize * L..][..L].try_into().expect("L lanes");
+                for (a, s) in acc.iter_mut().zip(src) {
+                    *a += s;
+                }
+            }
+            for &c in self.cg.via(xnode as u32) {
+                let src: &[f64; L] = conc[c as usize * L..][..L].try_into().expect("L lanes");
+                for (a, s) in acc.iter_mut().zip(src) {
+                    *a += s;
+                }
+            }
+            for (d, a) in dst.iter_mut().zip(acc) {
+                *d = a * inv;
+            }
+        }
+        self.conc_pool.lock().expect("conc pool poisoned").push(conc);
+    }
+}
+
 impl RightMultiplier for CompressedRightMultiplier {
     fn node_count(&self) -> usize {
         self.cg.node_count()
     }
 
     fn apply_block(&self, xb: &[f64], yb: &mut [f64], lanes: usize) {
+        if lanes == BLOCK {
+            return self.apply_block_fixed::<BLOCK>(xb, yb);
+        }
         // Algorithm 1 lines 5–7, lanes-wide: memoize Partial_{π(v)} for all
         // concentrators.
         let nc = self.cg.concentrator_count();

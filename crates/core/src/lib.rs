@@ -29,6 +29,7 @@
 //! | per-path contribution rates (§3.2 examples) | [`series::path_contribution`] |
 //! | single-source queries (the evaluation's workload) | [`single_source`] — `O(K²m)` per query |
 //! | amortized query serving (this repo's extension) | [`QueryEngine`] — precomputed state, sparse-frontier sweeps, batched lanes, top-k |
+//! | block-parallel all-pairs (this repo's extension) | [`AllPairsEngine`] — threaded row-block sweeps, memoized kernels, partial pairs, streaming top-k |
 //! | exact fixed point (Sylvester solve, ground truth) | [`exact::solve_exact`] |
 //! | per-path score decomposition (§3.2 rates) | [`explain::explain_pair`] |
 //!
@@ -50,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod all_pairs;
 pub mod convergence;
 pub mod exact;
 pub mod explain;
@@ -62,6 +64,7 @@ pub mod series;
 mod sim_matrix;
 pub mod single_source;
 
+pub use all_pairs::{AllPairsEngine, AllPairsOptions};
 pub use kernel::{
     CompressedRightMultiplier, CsrRightMultiplier, PlainRightMultiplier, RightMultiplier,
 };

@@ -24,8 +24,8 @@
 //!   two-pass sweep over `BLOCK`-lane chunks (lane-major frontiers over
 //!   the chunk's union support, grouped by weakly-connected component so
 //!   lanes overlap), with the dense fallback in the blocked lane kernels
-//!   of [`crate::kernel`] — each adjacency index is read once per chunk
-//!   instead of once per query.
+//!   behind [`crate::RightMultiplier`] — each adjacency index is read once
+//!   per chunk instead of once per query.
 //! * **Top-k** — [`QueryEngine::top_k`] selects the `k` best matches by
 //!   partial selection (`select_nth_unstable`) instead of sorting the full
 //!   row.
@@ -165,11 +165,11 @@ impl Frontier {
 /// **union** support of all lanes, and a membership bitmap so pushes can
 /// test "already active" in `O(1)` (the scalar "slot is still zero" trick
 /// doesn't work lane-wise — another lane may already hold the node).
-struct BlockFrontier {
-    vals: Vec<f64>,
-    active: Vec<u32>,
+pub(crate) struct BlockFrontier {
+    pub(crate) vals: Vec<f64>,
+    pub(crate) active: Vec<u32>,
     member: Vec<bool>,
-    dense: bool,
+    pub(crate) dense: bool,
 }
 
 impl BlockFrontier {
@@ -194,7 +194,7 @@ impl BlockFrontier {
     }
 
     /// Resets to the all-zero sparse state.
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         if self.dense {
             self.vals.fill(0.0);
         } else {
@@ -257,10 +257,12 @@ impl BlockFrontier {
 /// Reusable per-chunk state for the batched path (four lane-major block
 /// frontiers plus the lane-major result accumulator, ≈ `5·8·BLOCK·n`
 /// bytes), pooled like [`QueryScratch`].
-struct BlockScratch {
+pub(crate) struct BlockScratch {
     u: BlockFrontier,
     u_next: BlockFrontier,
-    w: BlockFrontier,
+    /// Holds the folded chunk result after [`QueryEngine::sweep_block_core`];
+    /// consumers read it lane-wise and must `clear()` it before reuse.
+    pub(crate) w: BlockFrontier,
     w_next: BlockFrontier,
     /// Lane-major `V_λ` accumulators (same lifecycle as
     /// [`QueryScratch::vs`]).
@@ -466,7 +468,7 @@ impl QueryEngine {
     }
 
     /// Batched single-source scores: row `i` of the result is
-    /// `ŝ(queries[i], ·)`. Queries run through [`Self::sweep_block`] in
+    /// `ŝ(queries[i], ·)`. Queries run through the block sweep in
     /// `BLOCK`-lane chunks, so adjacency indices are read once per chunk
     /// instead of once per query — sparse pushes and the blocked dense lane
     /// kernels alike.
@@ -559,14 +561,34 @@ impl QueryEngine {
     }
 
     /// The sweep for one chunk of at most `BLOCK` queries
-    /// (`chunk[lane] = (out_row, query node)`): identical two-pass
-    /// structure to [`Self::sweep`], but every frontier carries `BLOCK`
-    /// lanes (the union support of the chunk), and the dense fallback runs
-    /// the blocked lane kernels from [`crate::kernel`] so adjacency
-    /// indices are read once per chunk instead of once per query. `out`
-    /// must be zeroed.
+    /// (`chunk[lane] = (out_row, query node)`): runs
+    /// [`Self::sweep_block_core`] and transposes the folded result into the
+    /// (zeroed) rows of `out`.
     fn sweep_block(&self, chunk: &[(usize, NodeId)], out: &mut Dense, s: &mut BlockScratch) {
-        debug_assert!(chunk.len() <= BLOCK);
+        self.sweep_block_core(chunk.iter().map(|&(_, q)| q), s);
+        for (lane, &(out_row, _)) in chunk.iter().enumerate() {
+            copy_lane_into(&s.w, lane, out.row_mut(out_row));
+        }
+        s.w.clear();
+    }
+
+    /// The two-pass Horner sweep for one chunk of at most `BLOCK` queries,
+    /// identical in structure to [`Self::sweep`] but with every frontier
+    /// carrying `BLOCK` lanes (the union support of the chunk) and the
+    /// dense fallback running the blocked lane kernels from
+    /// [`crate::kernel`], so adjacency indices are read once per chunk
+    /// instead of once per query. Leaves the folded result in `s.w`
+    /// (lane-major); the caller reads it (e.g. via [`copy_lane_into`]) and
+    /// must `clear()` it before the scratch is reused. Shared by
+    /// [`Self::query_batch`] and the all-pairs engine's parallel workers
+    /// (`&self` only touches shared immutable state, so disjoint scratches
+    /// may sweep concurrently).
+    pub(crate) fn sweep_block_core(
+        &self,
+        queries: impl ExactSizeIterator<Item = NodeId>,
+        s: &mut BlockScratch,
+    ) {
+        debug_assert!(queries.len() <= BLOCK);
         let k = self.params.iterations;
         let eps = self.opts.frontier_epsilon;
         let cutoff = (self.opts.batch_density_cutoff * self.n as f64) as usize;
@@ -577,7 +599,7 @@ impl QueryEngine {
             }
         };
         let th = self.theta_lanes.get_or_init(|| CsrRightMultiplier::new(self.qt.clone()));
-        for (lane, &(_, q)) in chunk.iter().enumerate() {
+        for (lane, q) in queries.enumerate() {
             s.u.insert(q)[lane] = 1.0;
         }
         for theta in 0..=k {
@@ -605,24 +627,16 @@ impl QueryEngine {
             s.w.axpy_from(&s.vs[lambda], 1.0);
             s.vs[lambda].clear();
         }
-        // The folded r is the chunk's answer: transpose it straight into
-        // the (zeroed) result rows.
-        if s.w.dense {
-            for (lane, &(out_row, _)) in chunk.iter().enumerate() {
-                let row = out.row_mut(out_row);
-                for (rv, node_vals) in row.iter_mut().zip(s.w.vals.chunks_exact(BLOCK)) {
-                    *rv = node_vals[lane];
-                }
-            }
-        } else {
-            for (lane, &(out_row, _)) in chunk.iter().enumerate() {
-                let row = out.row_mut(out_row);
-                for &i in &s.w.active {
-                    row[i as usize] = s.w.vals[i as usize * BLOCK + lane];
-                }
-            }
+    }
+
+    /// The edge-concentrated lane kernel, when the engine was built with
+    /// `compress` (shared with the all-pairs engine so compression runs
+    /// once per graph).
+    pub(crate) fn compressed_kernel(&self) -> Option<&CompressedRightMultiplier> {
+        match &self.lambda_lanes {
+            LaneKernel::Compressed(k) => Some(k),
+            LaneKernel::Plain(_) => None,
         }
-        s.w.clear();
     }
 
     fn take_scratch(&self) -> QueryScratch {
@@ -637,7 +651,7 @@ impl QueryEngine {
         self.scratch.lock().expect("scratch pool poisoned").push(s);
     }
 
-    fn take_block_scratch(&self) -> BlockScratch {
+    pub(crate) fn take_block_scratch(&self) -> BlockScratch {
         self.block_scratch
             .lock()
             .expect("scratch pool poisoned")
@@ -645,8 +659,22 @@ impl QueryEngine {
             .unwrap_or_else(|| BlockScratch::new(self.n, self.params.iterations))
     }
 
-    fn put_block_scratch(&self, s: BlockScratch) {
+    pub(crate) fn put_block_scratch(&self, s: BlockScratch) {
         self.block_scratch.lock().expect("scratch pool poisoned").push(s);
+    }
+}
+
+/// Copies lane `lane` of a folded block frontier into a full row (`out`
+/// must be zeroed; only the support is written on the sparse path).
+pub(crate) fn copy_lane_into(w: &BlockFrontier, lane: usize, out: &mut [f64]) {
+    if w.dense {
+        for (rv, node_vals) in out.iter_mut().zip(w.vals.chunks_exact(BLOCK)) {
+            *rv = node_vals[lane];
+        }
+    } else {
+        for &i in &w.active {
+            out[i as usize] = w.vals[i as usize * BLOCK + lane];
+        }
     }
 }
 
@@ -778,7 +806,12 @@ fn advance(
 /// instead of the `O(n log n)` full sort. The comparator (descending score,
 /// ascending id) is a total order, so the result is deterministic even with
 /// tied scores and matches the sort-based reference exactly.
-fn partial_top_k(row: &[f64], q: NodeId, k: usize, idx: &mut Vec<u32>) -> Vec<(NodeId, f64)> {
+pub(crate) fn partial_top_k(
+    row: &[f64],
+    q: NodeId,
+    k: usize,
+    idx: &mut Vec<u32>,
+) -> Vec<(NodeId, f64)> {
     idx.clear();
     idx.extend((0..row.len() as u32).filter(|&v| v != q));
     let cmp = |a: &u32, b: &u32| {

@@ -218,9 +218,38 @@ pub fn ndcg_at(true_relevance: &[f64], predicted_scores: &[f64], p: usize) -> f6
     }
 }
 
+/// Fractional overlap `|A ∩ B| / max(|A|, |B|)` between two top-k id lists
+/// (order-insensitive; duplicates counted once). `1.0` means the lists name
+/// the same items, `0.0` disjoint; two empty lists agree vacuously.
+///
+/// Used to cross-check rankings produced by different execution paths
+/// (e.g. the all-pairs engine's streaming top-k against a materialized
+/// matrix) where near-tied scores may legitimately reorder items, so exact
+/// sequence equality is too strict but set agreement must stay high.
+pub fn top_k_overlap(a: &[u32], b: &[u32]) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<u32> = a.iter().copied().collect();
+    let sb: HashSet<u32> = b.iter().copied().collect();
+    let denom = sa.len().max(sb.len());
+    if denom == 0 {
+        return 1.0;
+    }
+    sa.intersection(&sb).count() as f64 / denom as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn top_k_overlap_counts_set_agreement() {
+        assert_eq!(top_k_overlap(&[1, 2, 3], &[3, 2, 1]), 1.0);
+        assert_eq!(top_k_overlap(&[1, 2, 3, 4], &[1, 2, 5, 6]), 0.5);
+        assert_eq!(top_k_overlap(&[1], &[2]), 0.0);
+        assert_eq!(top_k_overlap(&[], &[]), 1.0);
+        // Unequal lengths divide by the longer list.
+        assert_eq!(top_k_overlap(&[1, 2], &[1, 2, 3, 4]), 0.5);
+    }
 
     #[test]
     fn inversions_basic() {

@@ -4,8 +4,8 @@ use std::fmt;
 ///
 /// Sized for similarity matrices: `n × n` with `n` up to a few tens of
 /// thousands on a laptop (8 bytes/entry). Multiplications above
-/// [`PARALLEL_THRESHOLD`] FLOPs are split over row blocks with std scoped threads
-/// scoped threads; results are bit-identical to the serial path because each
+/// `PARALLEL_THRESHOLD` FLOPs are split over row blocks with std scoped
+/// threads; results are bit-identical to the serial path because each
 /// output row is produced by exactly one thread with the same accumulation
 /// order.
 #[derive(Clone, PartialEq)]

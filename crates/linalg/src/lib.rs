@@ -16,16 +16,20 @@
 //!   re-orthonormalisation, for the mtx-SR baseline (Li et al., EDBT'10).
 //! * [`solve`] — dense Gaussian elimination with partial pivoting for the
 //!   small `r×r` fixed-point systems mtx-SR produces.
+//! * [`parallel`] — the shared row-block work dispatcher behind every
+//!   blocked matrix sweep (kernel applications, the all-pairs engine).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod dense;
+pub mod parallel;
 pub mod solve;
 mod sparse;
 pub mod svd;
 
 pub use dense::Dense;
+pub use parallel::dispatch_row_blocks;
 pub use sparse::Csr;
 
 /// Tolerance used by approximate comparisons in tests and convergence checks.

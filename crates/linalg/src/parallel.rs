@@ -1,0 +1,109 @@
+//! Row-block work dispatch shared by the blocked matrix sweeps.
+//!
+//! Every all-pairs kernel in the workspace has the same parallel shape: an
+//! output buffer of `rows × cols` f64s is split into contiguous row blocks,
+//! and each block is produced independently (reading whatever shared state
+//! the caller closes over). [`dispatch_row_blocks`] owns that shape once —
+//! block slicing, the self-balancing work queue, the scoped-thread spawn,
+//! and the serial fast path — so callers only write the per-block kernel.
+
+/// Splits `out` (a row-major `rows × cols` buffer) into contiguous blocks of
+/// `block_rows` rows and runs `f(start_row, block)` on every block, using up
+/// to `threads` scoped worker threads. Generic over the cell type so both
+/// score buffers (`f64`) and per-row result slots (e.g. ranked lists) can
+/// be dispatched.
+///
+/// Blocks are handed out through a shared queue (last block first), so
+/// uneven per-block cost self-balances instead of stalling on the slowest
+/// pre-assigned range. With `threads <= 1`, or when there is only one
+/// block, everything runs inline on the caller's thread — no spawn cost on
+/// the serial path, and identical results either way (each block's output
+/// depends only on its own rows).
+///
+/// Panics if `out.len()` is not a multiple of `cols` (for `cols > 0`).
+pub fn dispatch_row_blocks<T, F>(
+    out: &mut [T],
+    cols: usize,
+    block_rows: usize,
+    threads: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    assert!(cols > 0, "cols must be positive for a non-empty buffer");
+    assert_eq!(out.len() % cols, 0, "buffer must hold whole rows");
+    let block_rows = block_rows.max(1);
+    let blocks: Vec<(usize, &mut [T])> = out
+        .chunks_mut(block_rows * cols)
+        .enumerate()
+        .map(|(i, chunk)| (i * block_rows, chunk))
+        .collect();
+    if threads <= 1 || blocks.len() == 1 {
+        for (start_row, block) in blocks {
+            f(start_row, block);
+        }
+        return;
+    }
+    let workers = threads.min(blocks.len());
+    let queue = std::sync::Mutex::new(blocks);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("work queue poisoned").pop();
+                let Some((start_row, block)) = job else { break };
+                f(start_row, block);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(rows: usize, cols: usize, block_rows: usize, threads: usize) -> Vec<f64> {
+        let mut out = vec![0.0; rows * cols];
+        dispatch_row_blocks(&mut out, cols, block_rows, threads, |start_row, block| {
+            for (r, row) in block.chunks_mut(cols).enumerate() {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = ((start_row + r) * cols + c) as f64;
+                }
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn covers_every_row_exactly_once() {
+        let want: Vec<f64> = (0..7 * 5).map(|i| i as f64).collect();
+        for threads in [1, 2, 4, 9] {
+            for block_rows in [1, 2, 3, 7, 100] {
+                assert_eq!(
+                    fill(7, 5, block_rows, threads),
+                    want,
+                    "threads={threads}, block_rows={block_rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_a_noop() {
+        dispatch_row_blocks::<f64, _>(&mut [], 4, 8, 4, |_, _| panic!("no blocks expected"));
+    }
+
+    #[test]
+    fn zero_block_rows_is_clamped() {
+        assert_eq!(fill(3, 2, 0, 2), (0..6).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn ragged_buffer_rejected() {
+        dispatch_row_blocks(&mut [0.0; 5], 2, 1, 1, |_, _| {});
+    }
+}

@@ -192,7 +192,8 @@ pub mod collection {
     use super::Strategy;
     use rand::SampleRange;
 
-    /// Length specification accepted by [`vec`]: an exact `usize` or a range.
+    /// Length specification accepted by [`vec()`]: an exact `usize` or a
+    /// range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
