@@ -9,7 +9,10 @@
 //! `--summary` appends a markdown table of the *current* run to FILE
 //! (`-` writes it to stdout) — CI points it at `$GITHUB_STEP_SUMMARY`.
 
-use ssr_bench::check::{compare, markdown_summary, parse_json, render_check_report, Json};
+use ssr_bench::check::{
+    compare, markdown_summary, parse_json, render_check_report, render_skipped_markdown,
+    skipped_pairs, Json,
+};
 use std::io::Write as _;
 
 struct Cli {
@@ -64,8 +67,16 @@ fn main() {
     let baseline = load(&cli.baseline);
     let current = load(&cli.current);
 
+    let skipped = skipped_pairs(&baseline, &current);
     if let Some(dest) = &cli.summary {
-        let md = markdown_summary(&cli.title, &current);
+        // The current run's table, then an explicit list of every pair the
+        // gate could not compare — schema drift must be visible, not
+        // silently ignored.
+        let md = format!(
+            "{}{}",
+            markdown_summary(&cli.title, &current),
+            render_skipped_markdown(&skipped)
+        );
         if dest == "-" {
             print!("{md}");
         } else {
@@ -80,6 +91,9 @@ fn main() {
 
     let rows = compare(&baseline, &current, cli.threshold);
     print!("{}", render_check_report(&rows, cli.threshold));
+    for p in &skipped {
+        println!("skipped: {} {} ({})", p.dataset, p.mode, p.reason);
+    }
     if rows.is_empty() {
         // Zero comparable pairs means schema or name drift, not health —
         // exiting 0 here would silently turn the gate into a no-op.

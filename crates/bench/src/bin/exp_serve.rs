@@ -1,0 +1,29 @@
+//! Serving-layer perf trajectory: serial vs micro-batched vs cached
+//! throughput of a real `ssr-serve` server under 16 concurrent clients,
+//! written to `BENCH_serve.json`.
+//!
+//! Usage: `exp_serve [--smoke] [--out PATH]`
+
+use ssr_bench::serve_bench::{run_serve_bench, ServeBenchOptions};
+
+fn main() {
+    let mut opts =
+        ServeBenchOptions { smoke: false, out_path: std::path::PathBuf::from("BENCH_serve.json") };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => match args.next() {
+                Some(p) => opts.out_path = p.into(),
+                None => die("--out is missing its value"),
+            },
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    run_serve_bench(&opts);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("exp_serve: {msg}\nusage: exp_serve [--smoke] [--out PATH]");
+    std::process::exit(1);
+}

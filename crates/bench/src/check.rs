@@ -15,218 +15,22 @@
 //! by committing a fresh `--smoke` JSON when hardware or workload changes
 //! legitimately move the numbers.
 //!
+//! Pairs the gate cannot compare are not silently dropped:
+//! [`skipped_pairs`] reports every `(dataset, mode)` that exists on one
+//! side only (or has a zero baseline) with its reason, and the CI step
+//! summary lists them next to the comparison table — schema drift shows up
+//! as an explicit "skipped" row instead of a quietly shrinking gate.
+//!
 //! The module also renders the step-summary table
 //! ([`markdown_summary`]) that the scheduled job appends to
-//! `$GITHUB_STEP_SUMMARY`, and hosts the minimal JSON parser (no JSON
-//! crate is available offline; the parser accepts standard JSON, which is
-//! a superset of what the benches emit).
+//! `$GITHUB_STEP_SUMMARY`. The JSON tree/parser it historically hosted
+//! moved to [`ssr_serve::json`] (the serve protocol needed it too) and is
+//! re-exported here unchanged.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// A parsed JSON value (objects keep insertion order via the pair list).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any number (always carried as `f64`; bench metrics fit exactly).
-    Num(f64),
-    /// String
-    Str(String),
-    /// Array
-    Arr(Vec<Json>),
-    /// Object, as an ordered pair list.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Member lookup on objects (`None` elsewhere / when absent).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// Numeric value, if this is a number.
-    pub fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// String value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// Array items, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Object pairs, if this is an object.
-    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Obj(pairs) => Some(pairs),
-            _ => None,
-        }
-    }
-}
-
-/// Parses a JSON document. Errors carry a byte offset and message.
-pub fn parse_json(text: &str) -> Result<Json, String> {
-    let bytes = text.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    skip_ws(b, pos);
-    if *pos < b.len() && b[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected `{}` at byte {}", c as char, pos))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut pairs = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(pairs));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = parse_string(b, pos)?;
-                expect(b, pos, b':')?;
-                let value = parse_value(b, pos)?;
-                pairs.push((key, value));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(pairs));
-                    }
-                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
-        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
-        Some(_) => parse_number(b, pos),
-    }
-}
-
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("bad literal at byte {pos}"))
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    if b.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}"));
-    }
-    *pos += 1;
-    let mut out = String::new();
-    while let Some(&c) = b.get(*pos) {
-        *pos += 1;
-        match c {
-            b'"' => return Ok(out),
-            b'\\' => {
-                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
-                *pos += 1;
-                match esc {
-                    b'"' => out.push('"'),
-                    b'\\' => out.push('\\'),
-                    b'/' => out.push('/'),
-                    b'n' => out.push('\n'),
-                    b't' => out.push('\t'),
-                    b'r' => out.push('\r'),
-                    b'u' => {
-                        let hex = b
-                            .get(*pos..*pos + 4)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or("bad \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                        *pos += 4;
-                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                    }
-                    other => return Err(format!("unsupported escape `\\{}`", other as char)),
-                }
-            }
-            other => out.push(other as char),
-        }
-    }
-    Err("unterminated string".into())
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-        *pos += 1;
-    }
-    std::str::from_utf8(&b[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(Json::Num)
-        .ok_or_else(|| format!("bad number at byte {start}"))
-}
+pub use ssr_serve::json::{parse_json, Json};
 
 /// One `(dataset, mode)` comparison between baseline and current.
 #[derive(Debug, Clone)]
@@ -299,6 +103,71 @@ pub fn compare(baseline: &Json, current: &Json, threshold: f64) -> Vec<CheckRow>
     rows
 }
 
+/// One `(dataset, mode)` pair the gate could not compare, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedPair {
+    /// Dataset name as emitted.
+    pub dataset: String,
+    /// Mode name.
+    pub mode: String,
+    /// Human-readable reason (`no baseline entry`, `zero baseline
+    /// median`, `missing from current run`).
+    pub reason: &'static str,
+}
+
+/// Every `(dataset, mode)` median present in only one document (or with a
+/// zero baseline), with the reason it was skipped by [`compare`]. CI
+/// renders these into the step summary so schema/name drift is visible
+/// instead of silently shrinking the gate.
+pub fn skipped_pairs(baseline: &Json, current: &Json) -> Vec<SkippedPair> {
+    let base = median_index(baseline);
+    let cur = median_index(current);
+    let mut rows = Vec::new();
+    for (dataset, modes) in &cur {
+        for mode in modes.keys() {
+            match base.get(dataset).and_then(|m| m.get(mode)) {
+                None => rows.push(SkippedPair {
+                    dataset: dataset.clone(),
+                    mode: mode.clone(),
+                    reason: "no baseline entry",
+                }),
+                Some(&median) if median <= 0.0 => rows.push(SkippedPair {
+                    dataset: dataset.clone(),
+                    mode: mode.clone(),
+                    reason: "zero baseline median",
+                }),
+                Some(_) => {}
+            }
+        }
+    }
+    for (dataset, modes) in &base {
+        for mode in modes.keys() {
+            if cur.get(dataset).and_then(|m| m.get(mode)).is_none() {
+                rows.push(SkippedPair {
+                    dataset: dataset.clone(),
+                    mode: mode.clone(),
+                    reason: "missing from current run",
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the skipped pairs as a markdown list for the step summary
+/// (empty string when nothing was skipped).
+pub fn render_skipped_markdown(skipped: &[SkippedPair]) -> String {
+    if skipped.is_empty() {
+        return String::new();
+    }
+    let mut s = String::from("**Skipped (dataset, mode) pairs:**\n\n");
+    for p in skipped {
+        let _ = writeln!(s, "- `{}` / `{}` — {}", p.dataset, p.mode, p.reason);
+    }
+    s.push('\n');
+    s
+}
+
 /// Human-readable check report (one line per compared pair).
 pub fn render_check_report(rows: &[CheckRow], threshold: f64) -> String {
     let mut s = String::new();
@@ -332,8 +201,8 @@ pub fn render_check_report(rows: &[CheckRow], threshold: f64) -> String {
 
 /// Renders one bench JSON as a GitHub-flavored markdown table for
 /// `$GITHUB_STEP_SUMMARY`: dataset, mode, median, p95, and the headline
-/// speedup (`speedup_engine_vs_naive` / `speedup_blocked_vs_serial`,
-/// shown on the dataset's first row).
+/// speedup (`speedup_engine_vs_naive` / `speedup_blocked_vs_serial` /
+/// `speedup_batched_vs_serial`, shown on the dataset's first row).
 pub fn markdown_summary(title: &str, doc: &Json) -> String {
     let mut s = format!("### {title}\n\n");
     let threads = doc.get("threads").and_then(Json::as_num).map(|t| t as usize).unwrap_or_default();
@@ -351,6 +220,7 @@ pub fn markdown_summary(title: &str, doc: &Json) -> String {
         let speedup = d
             .get("speedup_blocked_vs_serial")
             .or_else(|| d.get("speedup_engine_vs_naive"))
+            .or_else(|| d.get("speedup_batched_vs_serial"))
             .and_then(Json::as_num);
         let Some(modes) = d.get("modes").and_then(Json::as_obj) else { continue };
         for (i, (mode_name, mode)) in modes.iter().enumerate() {
@@ -447,10 +317,47 @@ mod tests {
     }
 
     #[test]
-    fn new_dataset_without_baseline_is_skipped() {
+    fn new_dataset_without_baseline_is_skipped_but_listed() {
         let base = parse_json(SAMPLE).unwrap();
         let cur = parse_json(&SAMPLE.replace("\"D05\"", "\"D99\"")).unwrap();
         assert!(compare(&base, &cur, 0.25).is_empty());
+        let skipped = skipped_pairs(&base, &cur);
+        // Two current modes with no baseline + two baseline modes missing
+        // from the current run.
+        assert_eq!(skipped.len(), 4);
+        assert!(skipped
+            .iter()
+            .any(|p| p.dataset == "D99" && p.mode == "serial" && p.reason == "no baseline entry"));
+        assert!(skipped.iter().any(|p| p.dataset == "D05"
+            && p.mode == "blocked"
+            && p.reason == "missing from current run"));
+        let md = render_skipped_markdown(&skipped);
+        assert!(md.contains("Skipped (dataset, mode) pairs"));
+        assert!(md.contains("`D99` / `serial` — no baseline entry"));
+    }
+
+    #[test]
+    fn zero_baseline_median_is_listed_as_skipped() {
+        let base = parse_json(&current(0.0)).unwrap();
+        let cur = parse_json(SAMPLE).unwrap();
+        let rows = compare(&base, &cur, 0.25);
+        assert_eq!(rows.len(), 1, "only the blocked mode is comparable");
+        let skipped = skipped_pairs(&base, &cur);
+        assert_eq!(
+            skipped,
+            vec![SkippedPair {
+                dataset: "D05".into(),
+                mode: "serial".into(),
+                reason: "zero baseline median"
+            }]
+        );
+    }
+
+    #[test]
+    fn identical_documents_skip_nothing() {
+        let doc = parse_json(SAMPLE).unwrap();
+        assert!(skipped_pairs(&doc, &doc).is_empty());
+        assert_eq!(render_skipped_markdown(&[]), "");
     }
 
     #[test]

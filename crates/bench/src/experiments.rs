@@ -410,6 +410,10 @@ pub fn run_all() {
             smoke: false,
             out_path: "BENCH_query_engine.json".into(),
         });
+        crate::serve_bench::run_serve_bench(&crate::serve_bench::ServeBenchOptions {
+            smoke: false,
+            out_path: "BENCH_serve.json".into(),
+        });
     });
     println!("\ntotal experiment wall-clock: {}", secs(total));
 }

@@ -16,7 +16,8 @@
 //! | `exp_fig6h_memory` | Fig. 6(h) memory space |
 //! | `exp_query_engine` | query-engine perf trajectory (`BENCH_query_engine.json`) |
 //! | `exp_allpairs` | all-pairs perf trajectory (`BENCH_allpairs.json`) |
-//! | `bench_check` | CI perf-regression gate over the two trajectories |
+//! | `exp_serve` | serving-layer perf trajectory (`BENCH_serve.json`) |
+//! | `bench_check` | CI perf-regression gate over the trajectories |
 //! | `run_all` | everything above, in order |
 //!
 //! Criterion benches (`cargo bench`) cover the timing-sensitive kernels:
@@ -36,6 +37,7 @@ pub mod experiments;
 pub mod memuse;
 pub mod query_bench;
 pub mod runners;
+pub mod serve_bench;
 
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,132 @@
+//! Serving-layer throughput benchmark (`exp_serve`), emitted as
+//! `BENCH_serve.json`.
+//!
+//! Starts a real [`ssr_serve::Server`] on an ephemeral loopback port and
+//! drives it with the closed-loop load generator through the three
+//! standard phases (one server, reconfigured between phases through the
+//! admin `config` op — exactly what `simstar bench-serve` does against an
+//! external server):
+//!
+//! * **serial** — batch window disabled, cache off: every request flushes
+//!   alone through the engine. The baseline.
+//! * **batched** — the coalescing window on, cache off: concurrent
+//!   requests ride the 16-lane blocked path together. The acceptance
+//!   metric is `speedup_batched_vs_serial ≥ 2×` at 16 concurrent clients
+//!   on CitHepTh.
+//! * **cached** — window on, cache on, hot node pool: adds the sharded
+//!   result cache (hit-rate reported).
+//!
+//! Queries come from the in-degree-stratified sample the paper's §5
+//! protocol uses. The JSON schema (`ssr-bench/serve/v1`) is rendered by
+//! [`ssr_serve::loadgen::render_serve_json`] and carries `p50_us` per
+//! mode, so `bench_check`'s median gate applies unchanged.
+
+use simrank_star::SimStarParams;
+use ssr_datasets::{load, DatasetId};
+use ssr_eval::queries::select_queries;
+use ssr_serve::batcher::BatcherOptions;
+use ssr_serve::loadgen::{run_standard_phases, LoadPlan, ServeBenchMeta};
+use ssr_serve::server::{Server, ServerOptions};
+
+/// Configuration of one serve-bench run.
+pub struct ServeBenchOptions {
+    /// Tiny dataset + few requests (the CI mode).
+    pub smoke: bool,
+    /// Where to write the JSON report.
+    pub out_path: std::path::PathBuf,
+}
+
+const C: f64 = 0.6;
+/// Serving depth, matching the query-engine bench (see its rationale).
+const K: usize = 8;
+const TOP_K: usize = 10;
+const CLIENTS: usize = 16;
+const WINDOW_US: u64 = 800;
+const SEED: u64 = 0x0BE7_C0DE;
+
+/// Runs the benchmark, prints a summary table, and writes the JSON report.
+pub fn run_serve_bench(opts: &ServeBenchOptions) {
+    // (dataset, divisor, requests per client). 16 clients × 140 requests
+    // = 2240 requests per phase on CitHepTh — enough for stable medians
+    // at ~ms-scale serial latency without a multi-minute run.
+    let (id, divisor, requests_per_client) =
+        if opts.smoke { (DatasetId::D05, 2, 25) } else { (DatasetId::CitHepTh, 2, 140) };
+    let d = load(id, divisor);
+    let g = &d.graph;
+    let params = SimStarParams { c: C, iterations: K };
+    let n_pool = (CLIENTS * requests_per_client).min(g.node_count());
+    let pool = {
+        let mut q = select_queries(g, 5, n_pool.div_ceil(5), SEED);
+        q.truncate(n_pool);
+        q
+    };
+    let hot: Vec<u32> = pool.iter().copied().take(64).collect();
+
+    let server = Server::start(
+        g.clone(),
+        "127.0.0.1",
+        0,
+        ServerOptions {
+            params,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            batch: BatcherOptions {
+                window_us: WINDOW_US,
+                max_batch: 64,
+                queue_capacity: 1024,
+                workers: 1,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral loopback port");
+    let addr = server.addr();
+
+    println!(
+        "SERVE BENCH {} (n={}, m={}, c={C}, k={K}, top-k={TOP_K}, {CLIENTS} clients, \
+         window={WINDOW_US}us)",
+        id.name(),
+        g.node_count(),
+        g.edge_count(),
+    );
+    let plan = LoadPlan { clients: CLIENTS, requests_per_client, top_k: TOP_K, nodes: pool };
+    let phases = run_standard_phases(addr, &plan, hot, WINDOW_US).expect("load run");
+    println!(
+        "{:<9} {:>9} {:>10} {:>10} {:>9} {:>6} {:>11}",
+        "mode", "qps", "p50_us", "p99_us", "hit_rate", "shed", "mean_flush"
+    );
+    for p in &phases {
+        println!(
+            "{:<9} {:>9.1} {:>10.1} {:>10.1} {:>8.1}% {:>6} {:>11.2}",
+            p.name,
+            p.report.qps(),
+            p.report.percentile_us(0.50),
+            p.report.percentile_us(0.99),
+            100.0 * p.hit_rate(),
+            p.shed,
+            p.mean_flush(),
+        );
+    }
+    let serial = phases.iter().find(|p| p.name == "serial").expect("serial phase");
+    let batched = phases.iter().find(|p| p.name == "batched").expect("batched phase");
+    println!(
+        "speedup batched vs serial: {:.2}x",
+        batched.report.qps() / serial.report.qps().max(1e-12)
+    );
+
+    let meta = ServeBenchMeta {
+        smoke: opts.smoke,
+        dataset: id.name().to_string(),
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        clients: CLIENTS,
+        window_us: WINDOW_US,
+        top_k: TOP_K,
+        c: C,
+        k: K,
+    };
+    let json = ssr_serve::loadgen::render_serve_json(&meta, &phases);
+    std::fs::write(&opts.out_path, json).expect("write bench JSON");
+    println!("wrote {}", opts.out_path.display());
+    server.shutdown();
+}

@@ -26,16 +26,33 @@ COMMANDS:
   allpairs  block-parallel all-pairs SimRank* through the AllPairsEngine
             --input FILE [--top-k K] [--subset ID,ID,...] [--compress false]
             [--threads 0] [--blocks 0] [--c 0.6] [--k 5] [--threshold 0]
-            [--output FILE]
+            [--json false] [--output FILE]
             --subset computes only those rows (partial pairs); --top-k
             streams per-row rankings without materializing the matrix;
             --compress runs the memoized (edge-concentrated) kernel and
-            reports its compression stats
+            reports its compression stats; --json emits machine-readable
+            output (rankings share the serve protocol's matches shape)
   query     single-source SimRank* through the amortized QueryEngine
             --input FILE (--node ID | --nodes ID,ID,... | --batch N)
             [--top-k 10] [--c 0.6] [--k 5] [--seed 0] [--compress false]
+            [--json false]
             --nodes/--batch run the batched lane kernel; --batch samples N
-            in-degree-stratified queries (the paper's test-query protocol)
+            in-degree-stratified queries (the paper's test-query protocol);
+            --json emits the serve protocol's machine-readable result shape
+  serve     concurrent query server (newline-JSON over TCP; see the
+            README's Serving layer section for the protocol)
+            --input FILE [--host 127.0.0.1] [--port 0] [--announce FILE]
+            [--c 0.6] [--k 5] [--compress false] [--window-us 500]
+            [--max-batch 64] [--workers 1] [--queue 1024] [--cache 4096]
+            [--shards 8] [--max-conns 256]
+            port 0 binds an ephemeral port; --announce writes the bound
+            address to FILE once listening
+  bench-serve  closed-loop load generator against a running serve instance
+            --addr HOST:PORT [--clients 16] [--requests 125] [--top-k 10]
+            [--window-us 800] [--name serve] [--out BENCH_serve.json]
+            [--smoke false] [--shutdown false]
+            runs the serial / batched / cached phases via the admin config
+            op and writes the ssr-bench/serve/v1 JSON
   stats     graph statistics + compression summary
             --input FILE
   audit     zero-similarity census (Fig. 6(d) style)
@@ -51,6 +68,8 @@ pub fn run(command: &str, rest: &[String]) -> Result<String, ArgError> {
         "compute" => cmd_compute(rest),
         "allpairs" => cmd_allpairs(rest),
         "query" => cmd_query(rest),
+        "serve" => crate::serve_cmd::cmd_serve(rest),
+        "bench-serve" => crate::serve_cmd::cmd_bench_serve(rest),
         "stats" => cmd_stats(rest),
         "audit" => cmd_audit(rest),
         "generate" => cmd_generate(rest),
@@ -59,7 +78,7 @@ pub fn run(command: &str, rest: &[String]) -> Result<String, ArgError> {
     }
 }
 
-fn load_graph(args: &Args) -> Result<DiGraph, ArgError> {
+pub(crate) fn load_graph(args: &Args) -> Result<DiGraph, ArgError> {
     let path = args.req("input")?;
     gio::read_edge_list_file(path).map_err(|e| ArgError(format!("reading `{path}`: {e}")))
 }
@@ -120,6 +139,7 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
             "threads",
             "blocks",
             "threshold",
+            "json",
             "output",
         ],
     )?;
@@ -191,6 +211,7 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
             r.estimated_bytes,
         ));
     }
+    let json_mode = args.get("json", false)?;
     if top > 0 {
         // Streaming top-k: ranked rows, never materializing the matrix.
         let rows: Vec<u32> = match &subset {
@@ -198,6 +219,12 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
             None => (0..g.node_count() as u32).collect(),
         };
         let ranked = engine.top_k(&rows, top);
+        if json_mode {
+            return write_or_return(
+                &args,
+                query_results_json("simstar/allpairs/v1", &params, top, &rows, &ranked),
+            );
+        }
         out.push_str(&format!("# top-{top} per row (query\tnode\tscore)\n"));
         for (q, matches) in rows.iter().zip(&ranked) {
             for (v, s) in matches {
@@ -207,7 +234,7 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
     } else if let Some(rows) = &subset {
         // Partial pairs: the requested rows of the matrix.
         let m = engine.rows(rows);
-        out.push_str("# partial pairs (a b score, off-diagonal)\n");
+        let mut entries: Vec<(u32, u32, f64)> = Vec::new();
         for (i, &a) in rows.iter().enumerate() {
             for b in 0..g.node_count() as u32 {
                 let s = m.get(i, b as usize);
@@ -215,18 +242,36 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
                 // clips below the threshold, keeping equality): emit
                 // scores >= threshold, and only positive ones.
                 if a != b && s > 0.0 && (threshold <= 0.0 || s >= threshold) {
-                    out.push_str(&format!("{a}\t{b}\t{s:.6e}\n"));
+                    entries.push((a, b, s));
                 }
             }
+        }
+        if json_mode {
+            return write_or_return(&args, entries_json(&params, threshold, &entries));
+        }
+        out.push_str("# partial pairs (a b score, off-diagonal)\n");
+        for (a, b, s) in entries {
+            out.push_str(&format!("{a}\t{b}\t{s:.6e}\n"));
         }
     } else {
         let mut sim = engine.full();
         let kept = if threshold > 0.0 { sim.clip_below(threshold) } else { 0 };
+        let n = sim.node_count();
+        if json_mode {
+            let mut entries: Vec<(u32, u32, f64)> = Vec::new();
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    if a != b && sim.score(a, b) > 0.0 {
+                        entries.push((a, b, sim.score(a, b)));
+                    }
+                }
+            }
+            return write_or_return(&args, entries_json(&params, threshold, &entries));
+        }
         if threshold > 0.0 {
             out.push_str(&format!("# threshold={threshold} kept={kept}\n"));
         }
         out.push_str("# a b score (off-diagonal, score > 0)\n");
-        let n = sim.node_count();
         for a in 0..n as u32 {
             for b in 0..n as u32 {
                 if a != b && sim.score(a, b) > 0.0 {
@@ -238,10 +283,34 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
     write_or_return(&args, out)
 }
 
+/// Machine-readable matrix output: `{"entries": [[a, b, score], ...]}`.
+fn entries_json(params: &SimStarParams, threshold: f64, entries: &[(u32, u32, f64)]) -> String {
+    use ssr_serve::json::Json;
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("simstar/allpairs/v1".into())),
+        ("c".into(), Json::Num(params.c)),
+        ("k".into(), Json::Num(params.iterations as f64)),
+        ("threshold".into(), Json::Num(threshold)),
+        (
+            "entries".into(),
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|&(a, b, s)| {
+                        Json::Arr(vec![Json::Num(a as f64), Json::Num(b as f64), Json::Num(s)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render()
+        + "\n"
+}
+
 fn cmd_query(rest: &[String]) -> Result<String, ArgError> {
     let args = Args::parse(
         rest,
-        &["input", "node", "nodes", "batch", "top", "top-k", "c", "k", "seed", "compress"],
+        &["input", "node", "nodes", "batch", "top", "top-k", "c", "k", "seed", "compress", "json"],
     )?;
     let g = load_graph(&args)?;
     let modes = ["node", "nodes", "batch"].iter().filter(|m| args.has(m)).count();
@@ -288,17 +357,25 @@ fn cmd_query(rest: &[String]) -> Result<String, ArgError> {
     }
     let opts = QueryEngineOptions { compress: args.get("compress", false)?, ..Default::default() };
     let engine = QueryEngine::with_options(&g, params, opts);
+    // `--node` keeps the scalar sweep; list modes run the batched lanes.
+    let ranked: Vec<Vec<(u32, f64)>> = if args.has("node") {
+        vec![engine.top_k(queries[0], top)]
+    } else {
+        engine.top_k_batch(&queries, top)
+    };
+    if args.get("json", false)? {
+        return Ok(query_results_json("simstar/query/v1", &params, top, &queries, &ranked));
+    }
     // The output format follows the flag, not the list arity: `--nodes 5`
     // must emit the same 3-column batched format as `--nodes 5,6`.
     if args.has("node") {
         let node = queries[0];
         let mut out = format!("# top-{top} SimRank* matches for node {node}\n");
-        for (v, s) in engine.top_k(node, top) {
+        for (v, s) in &ranked[0] {
             out.push_str(&format!("{v}\t{s:.6}\n"));
         }
         Ok(out)
     } else {
-        let ranked = engine.top_k_batch(&queries, top);
         let mut out = format!(
             "# batched top-{top} SimRank* matches for {} queries (query\tnode\tscore)\n",
             queries.len()
@@ -310,6 +387,41 @@ fn cmd_query(rest: &[String]) -> Result<String, ArgError> {
         }
         Ok(out)
     }
+}
+
+/// Machine-readable ranking output: the serve protocol's `matches` shape
+/// (`[[node, score], ...]` with shortest-round-trip scores), one result
+/// object per query. Shared by `query --json` and `allpairs --json
+/// --top-k`.
+fn query_results_json(
+    schema: &str,
+    params: &SimStarParams,
+    top: usize,
+    queries: &[u32],
+    ranked: &[Vec<(u32, f64)>],
+) -> String {
+    use ssr_serve::json::Json;
+    let results = Json::Arr(
+        queries
+            .iter()
+            .zip(ranked)
+            .map(|(&q, rows)| {
+                Json::Obj(vec![
+                    ("node".into(), Json::Num(q as f64)),
+                    ("matches".into(), ssr_serve::protocol::matches_json(rows)),
+                ])
+            })
+            .collect(),
+    );
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(schema.into())),
+        ("c".into(), Json::Num(params.c)),
+        ("k".into(), Json::Num(params.iterations as f64)),
+        ("top_k".into(), Json::Num(top as f64)),
+        ("results".into(), results),
+    ])
+    .render()
+        + "\n"
 }
 
 fn cmd_stats(rest: &[String]) -> Result<String, ArgError> {
@@ -631,6 +743,169 @@ mod tests {
     fn query_bounds_checked() {
         let p = tmp_graph();
         assert!(run("query", &toks(&format!("--input {p} --node 999"))).is_err());
+    }
+
+    #[test]
+    fn query_json_parses_and_matches_text_output() {
+        use ssr_serve::json::{parse_json, Json};
+        let p = tmp_graph();
+        let text = run("query", &toks(&format!("--input {p} --nodes 8,3 --top-k 2"))).unwrap();
+        let json =
+            run("query", &toks(&format!("--input {p} --nodes 8,3 --top-k 2 --json true"))).unwrap();
+        let doc = parse_json(json.trim()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("simstar/query/v1"));
+        let results = doc.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 2);
+        // Every (query, node, score) row of the text output appears in the
+        // JSON with at least the text format's precision.
+        let mut text_rows = text.lines().filter(|l| !l.starts_with('#'));
+        for r in results {
+            let q = r.get("node").and_then(Json::as_num).unwrap() as u32;
+            for m in r.get("matches").and_then(Json::as_arr).unwrap() {
+                let pair = m.as_arr().unwrap();
+                let (v, s) = (pair[0].as_num().unwrap() as u32, pair[1].as_num().unwrap());
+                assert_eq!(text_rows.next().unwrap(), format!("{q}\t{v}\t{s:.6}"));
+            }
+        }
+        assert!(text_rows.next().is_none());
+    }
+
+    #[test]
+    fn query_json_single_node_keeps_shape() {
+        use ssr_serve::json::{parse_json, Json};
+        let p = tmp_graph();
+        let json =
+            run("query", &toks(&format!("--input {p} --node 8 --top-k 3 --json true"))).unwrap();
+        let doc = parse_json(json.trim()).unwrap();
+        let results = doc.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("node").and_then(Json::as_num), Some(8.0));
+        assert_eq!(results[0].get("matches").and_then(Json::as_arr).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn allpairs_json_topk_and_entries_modes() {
+        use ssr_serve::json::{parse_json, Json};
+        let p = tmp_graph();
+        let ranked = run("allpairs", &toks(&format!("--input {p} --top-k 2 --json true"))).unwrap();
+        let doc = parse_json(ranked.trim()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("simstar/allpairs/v1"));
+        assert_eq!(doc.get("results").and_then(Json::as_arr).unwrap().len(), 11);
+        let matrix =
+            run("allpairs", &toks(&format!("--input {p} --subset 8 --threshold 1e-3 --json true")))
+                .unwrap();
+        let doc = parse_json(matrix.trim()).unwrap();
+        let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
+        assert!(!entries.is_empty());
+        // Entries agree with the text output rows.
+        let text =
+            run("allpairs", &toks(&format!("--input {p} --subset 8 --threshold 1e-3"))).unwrap();
+        assert_eq!(entries.len(), text.lines().filter(|l| !l.starts_with('#')).count());
+        for e in entries {
+            let t = e.as_arr().unwrap();
+            assert_eq!(t[0].as_num(), Some(8.0));
+            assert!(t[2].as_num().unwrap() >= 1e-3);
+        }
+    }
+
+    #[test]
+    fn serve_round_trip_via_announce_file() {
+        use ssr_serve::client::{Reply, ServeClient};
+        let p = tmp_graph();
+        let dir = std::env::temp_dir().join("simstar_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let announce = dir.join(format!("addr_{}.txt", std::process::id()));
+        std::fs::remove_file(&announce).ok();
+        let announce_str = announce.to_string_lossy().into_owned();
+        let serve_args =
+            toks(&format!("--input {p} --port 0 --announce {announce_str} --window-us 200"));
+        let server = std::thread::spawn(move || run("serve", &serve_args));
+        let addr = {
+            let mut waited = 0;
+            loop {
+                if let Ok(s) = std::fs::read_to_string(&announce) {
+                    if s.trim().contains(':') {
+                        break s.trim().to_string();
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                waited += 1;
+                assert!(waited < 500, "server never announced");
+            }
+        };
+        let mut client = ServeClient::connect(&addr).unwrap();
+        let Reply::Ok(reply) = client.query(8, 3).unwrap() else { panic!("query failed") };
+        assert_eq!(reply.epoch, 0);
+        assert_eq!(reply.matches.len(), 3);
+        // The ranked ids agree with the offline query command.
+        let text = run("query", &toks(&format!("--input {p} --node 8 --top-k 3"))).unwrap();
+        let offline: Vec<u32> = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| l.split('\t').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(reply.matches.iter().map(|&(v, _)| v).collect::<Vec<_>>(), offline);
+        client.shutdown().unwrap();
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("stopped"));
+        std::fs::remove_file(&announce).ok();
+    }
+
+    #[test]
+    fn bench_serve_runs_phases_and_writes_json() {
+        use ssr_serve::json::{parse_json, Json};
+        let p = tmp_graph();
+        let dir = std::env::temp_dir().join("simstar_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let announce = dir.join(format!("bench_addr_{}.txt", std::process::id()));
+        std::fs::remove_file(&announce).ok();
+        let out_path = dir.join(format!("bench_serve_{}.json", std::process::id()));
+        let announce_str = announce.to_string_lossy().into_owned();
+        let serve_args = toks(&format!("--input {p} --port 0 --announce {announce_str}"));
+        let server = std::thread::spawn(move || run("serve", &serve_args));
+        let addr = {
+            let mut waited = 0;
+            loop {
+                if let Ok(s) = std::fs::read_to_string(&announce) {
+                    if s.trim().contains(':') {
+                        break s.trim().to_string();
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                waited += 1;
+                assert!(waited < 500, "server never announced");
+            }
+        };
+        let out = run(
+            "bench-serve",
+            &toks(&format!(
+                "--addr {addr} --clients 3 --requests 4 --top-k 3 --window-us 300 \
+                 --name fig1 --out {} --shutdown true",
+                out_path.to_string_lossy()
+            )),
+        )
+        .unwrap();
+        assert!(out.contains("speedup batched vs serial"), "{out}");
+        assert!(out.contains("server asked to shut down"));
+        let doc = parse_json(std::fs::read_to_string(&out_path).unwrap().trim()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("ssr-bench/serve/v1"));
+        let ds = &doc.get("datasets").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(ds.get("name").and_then(Json::as_str), Some("fig1"));
+        let modes = ds.get("modes").unwrap();
+        for m in ["serial", "batched", "cached"] {
+            let mode = modes.get(m).unwrap();
+            assert_eq!(mode.get("requests").and_then(Json::as_num), Some(12.0), "{m}");
+            assert!(mode.get("p50_us").and_then(Json::as_num).unwrap() > 0.0, "{m}");
+        }
+        // The cached phase's hot pool (min(64, n) = all 11 nodes here)
+        // repeats nodes across 12 requests ⇒ hits are guaranteed.
+        assert!(
+            modes.get("cached").unwrap().get("cache_hit_rate").and_then(Json::as_num).unwrap()
+                > 0.0
+        );
+        server.join().unwrap().unwrap();
+        std::fs::remove_file(&announce).ok();
+        std::fs::remove_file(&out_path).ok();
     }
 
     #[test]

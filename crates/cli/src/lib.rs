@@ -9,3 +9,4 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve_cmd;

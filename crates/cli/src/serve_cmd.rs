@@ -1,0 +1,161 @@
+//! The `simstar serve` and `simstar bench-serve` subcommands: the serving
+//! layer's process entry point and its closed-loop load generator.
+
+use crate::args::{ArgError, Args};
+use simrank_star::{QueryEngineOptions, SimStarParams};
+use ssr_serve::batcher::BatcherOptions;
+use ssr_serve::client::ServeClient;
+use ssr_serve::json::Json;
+use ssr_serve::loadgen::{run_standard_phases, LoadPlan, ServeBenchMeta};
+use ssr_serve::server::{Server, ServerOptions};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::net::ToSocketAddrs;
+
+/// `simstar serve`: bind, announce, block until a `shutdown` op arrives.
+pub fn cmd_serve(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(
+        rest,
+        &[
+            "input",
+            "host",
+            "port",
+            "announce",
+            "c",
+            "k",
+            "compress",
+            "window-us",
+            "max-batch",
+            "workers",
+            "queue",
+            "cache",
+            "shards",
+            "max-conns",
+        ],
+    )?;
+    let g = crate::commands::load_graph(&args)?;
+    let params = SimStarParams { c: args.get("c", 0.6)?, iterations: args.get("k", 5usize)? };
+    if !(0.0..1.0).contains(&params.c) || params.c == 0.0 {
+        return Err(ArgError(format!("--c must be in (0,1), got {}", params.c)));
+    }
+    let opts = ServerOptions {
+        params,
+        engine: QueryEngineOptions { compress: args.get("compress", false)?, ..Default::default() },
+        cache_capacity: args.get("cache", 4096usize)?,
+        cache_shards: args.get("shards", 8usize)?,
+        batch: BatcherOptions {
+            window_us: args.get("window-us", 500u64)?,
+            max_batch: args.get("max-batch", 64usize)?,
+            queue_capacity: args.get("queue", 1024usize)?,
+            workers: args.get("workers", 1usize)?,
+        },
+        max_connections: args.get("max-conns", 256usize)?,
+    };
+    let host = args.opt("host", "127.0.0.1").to_string();
+    let port = args.get("port", 0u16)?;
+    let (nodes, edges) = (g.node_count(), g.edge_count());
+    let server = Server::start(g, &host, port, opts)
+        .map_err(|e| ArgError(format!("binding {host}:{port}: {e}")))?;
+    let addr = server.addr();
+    // The listening line goes out immediately (not via the returned
+    // string) so wrappers can scrape the ephemeral port while we block.
+    println!(
+        "serving SimRank* on {addr} (n={nodes}, m={edges}, c={}, k={}) — \
+         newline-JSON protocol; send {{\"op\":\"shutdown\"}} to stop",
+        params.c, params.iterations
+    );
+    let _ = std::io::stdout().flush();
+    if args.has("announce") {
+        let path = args.req("announce")?;
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| ArgError(format!("writing `{path}`: {e}")))?;
+    }
+    server.wait();
+    server.shutdown();
+    Ok(format!("server on {addr} stopped\n"))
+}
+
+/// `simstar bench-serve`: drive a running server through the three
+/// standard phases (serial / batched / cached) and emit the
+/// `ssr-bench/serve/v1` JSON that `bench_check` gates.
+pub fn cmd_bench_serve(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(
+        rest,
+        &["addr", "clients", "requests", "top-k", "window-us", "name", "out", "smoke", "shutdown"],
+    )?;
+    let smoke = args.get("smoke", false)?;
+    let clients = args.get("clients", 16usize)?;
+    let requests = args.get("requests", if smoke { 30usize } else { 125 })?;
+    let top_k = args.get("top-k", 10usize)?;
+    let window_us = args.get("window-us", 800u64)?;
+    let name = args.opt("name", "serve").to_string();
+    let out_path = args.opt("out", "BENCH_serve.json").to_string();
+    if clients == 0 || requests == 0 {
+        return Err(ArgError("--clients and --requests must be at least 1".into()));
+    }
+    let addr_str = args.req("addr")?;
+    let addr = addr_str
+        .to_socket_addrs()
+        .map_err(|e| ArgError(format!("resolving `{addr_str}`: {e}")))?
+        .next()
+        .ok_or_else(|| ArgError(format!("`{addr_str}` resolved to no address")))?;
+    let mut admin = ServeClient::connect(addr)
+        .map_err(|e| ArgError(format!("connecting to `{addr_str}`: {e}")))?;
+    let stats = admin.stats().map_err(|e| ArgError(format!("stats op failed: {e}")))?;
+    let get_num = |key: &str| stats.get(key).and_then(Json::as_num).unwrap_or(0.0);
+    let nodes = get_num("nodes") as usize;
+    let edges = get_num("edges") as usize;
+    if nodes == 0 {
+        return Err(ArgError("server reports an empty graph".into()));
+    }
+    let params = stats.get("params");
+    let c = params.and_then(|p| p.get("c")).and_then(Json::as_num).unwrap_or(0.0);
+    let k = params.and_then(|p| p.get("k")).and_then(Json::as_num).unwrap_or(0.0) as usize;
+
+    // Cache-off phases cycle every node (concurrent requests hit distinct
+    // nodes); the cached phase hammers a small hot set.
+    let pool: Vec<u32> = (0..nodes as u32).collect();
+    let hot: Vec<u32> = (0..nodes.min(64) as u32).collect();
+    let plan = LoadPlan { clients, requests_per_client: requests, top_k, nodes: pool };
+    let phases = run_standard_phases(addr, &plan, hot, window_us)
+        .map_err(|e| ArgError(format!("load run failed: {e}")))?;
+
+    let meta =
+        ServeBenchMeta { smoke, dataset: name, nodes, edges, clients, window_us, top_k, c, k };
+    let json = ssr_serve::loadgen::render_serve_json(&meta, &phases);
+    std::fs::write(&out_path, &json).map_err(|e| ArgError(format!("writing `{out_path}`: {e}")))?;
+
+    let mut out = format!(
+        "# bench-serve: {addr_str} n={nodes} m={edges} clients={clients} \
+         requests/client={requests} top-k={top_k} window={window_us}us\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<9} {:>9} {:>10} {:>10} {:>8} {:>6} {:>10}",
+        "mode", "qps", "p50_us", "p99_us", "hit_rate", "shed", "mean_flush"
+    );
+    for p in &phases {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>9.1} {:>10.1} {:>10.1} {:>7.1}% {:>6} {:>10.2}",
+            p.name,
+            p.report.qps(),
+            p.report.percentile_us(0.50),
+            p.report.percentile_us(0.99),
+            100.0 * p.hit_rate(),
+            p.shed,
+            p.mean_flush(),
+        );
+    }
+    let serial = phases.iter().find(|p| p.name == "serial").map_or(0.0, |p| p.report.qps());
+    let batched = phases.iter().find(|p| p.name == "batched").map_or(0.0, |p| p.report.qps());
+    if serial > 0.0 {
+        let _ = writeln!(out, "speedup batched vs serial: {:.2}x", batched / serial);
+    }
+    let _ = writeln!(out, "wrote {out_path}");
+    if args.get("shutdown", false)? {
+        admin.shutdown().map_err(|e| ArgError(format!("shutdown op failed: {e}")))?;
+        let _ = writeln!(out, "server asked to shut down");
+    }
+    Ok(out)
+}

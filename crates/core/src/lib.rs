@@ -68,6 +68,6 @@ pub use all_pairs::{AllPairsEngine, AllPairsOptions};
 pub use kernel::{
     CompressedRightMultiplier, CsrRightMultiplier, PlainRightMultiplier, RightMultiplier,
 };
-pub use params::SimStarParams;
+pub use params::{fnv1a, Fnv1a, SimStarParams};
 pub use query_engine::{QueryEngine, QueryEngineOptions, SeriesKind};
 pub use sim_matrix::SimilarityMatrix;

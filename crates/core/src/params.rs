@@ -1,3 +1,36 @@
+/// Incremental FNV-1a hash state over `u64` words. The algorithm is fixed
+/// by spec (offset basis `0xcbf29ce484222325`, prime `0x100000001b3`), so
+/// unlike `std::hash`, the digest is stable across processes, platforms,
+/// and releases — result caches keyed by it stay coherent between a server
+/// and its clients, and across restarts. Behind every `stable_key` in the
+/// workspace (params, engine options, serve cache keys).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(
+    /// The current digest value.
+    pub u64,
+);
+
+/// Starts an FNV-1a digest from `seed` (use [`Fnv1a::BASIS`] for the
+/// standard digest, or a previous digest to chain).
+pub fn fnv1a(seed: u64) -> Fnv1a {
+    Fnv1a(seed)
+}
+
+impl Fnv1a {
+    /// The spec's 64-bit offset basis.
+    pub const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+    /// Folds the little-endian bytes of one word into the digest.
+    pub fn push(self, word: u64) -> Fnv1a {
+        let mut h = self.0;
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Fnv1a(h)
+    }
+}
+
 /// Parameters shared by every SimRank\* algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimStarParams {
@@ -26,6 +59,15 @@ impl SimStarParams {
     /// Panics unless `0 < c < 1`.
     pub fn validate(&self) {
         assert!(self.c > 0.0 && self.c < 1.0, "damping factor must be in (0, 1), got {}", self.c);
+    }
+
+    /// A stable 64-bit key over the result-determining parameters (`c`'s
+    /// exact bits and `K`): FNV-1a, fixed by spec, so the digest is safe
+    /// to persist or share across processes. Result caches combine it
+    /// with [`crate::QueryEngineOptions::stable_key`] so entries computed
+    /// under one configuration are never served for another.
+    pub fn stable_key(&self) -> u64 {
+        fnv1a(Fnv1a::BASIS).push(self.c.to_bits()).push(self.iterations as u64).0
     }
 
     /// Parameters whose geometric iteration count guarantees
@@ -59,6 +101,27 @@ mod tests {
     #[should_panic(expected = "damping factor")]
     fn c_one_rejected() {
         SimStarParams::new(1.0, 5);
+    }
+
+    #[test]
+    fn stable_key_is_stable_and_separates_params() {
+        let p = SimStarParams { c: 0.6, iterations: 5 };
+        // FNV-1a of c.to_bits() then K, computed independently: the key
+        // must never drift across releases, or persisted caches silently
+        // serve results computed under different parameters.
+        let expect = {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for w in [0.6f64.to_bits(), 5u64] {
+                for b in w.to_le_bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            h
+        };
+        assert_eq!(p.stable_key(), expect);
+        assert_eq!(p.stable_key(), SimStarParams { c: 0.6, iterations: 5 }.stable_key());
+        assert_ne!(p.stable_key(), SimStarParams { c: 0.7, iterations: 5 }.stable_key());
+        assert_ne!(p.stable_key(), SimStarParams { c: 0.6, iterations: 6 }.stable_key());
     }
 
     #[test]

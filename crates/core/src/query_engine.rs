@@ -83,6 +83,17 @@ pub struct QueryEngineOptions {
     pub compress: bool,
     /// Compression options used when `compress` is set.
     pub compress_options: CompressOptions,
+    /// Batch-composition-independent arithmetic: every query produces the
+    /// same bits whether it runs alone, in any batch, or next to any other
+    /// lanes. The sweep stays on the sparse path (no dense fallback), active
+    /// lists are sorted before every advance so floating-point accumulation
+    /// order is canonical, and `frontier_epsilon` is forced to `0` (the
+    /// union-support pruning rule would let one lane's magnitude decide
+    /// another lane's support). Serving layers that cache results keyed by
+    /// `(node, params)` need this — otherwise a cache hit and a recompute
+    /// can disagree in the last ulps. Costs the pruning/densify speedups;
+    /// off by default.
+    pub deterministic: bool,
 }
 
 impl Default for QueryEngineOptions {
@@ -94,7 +105,30 @@ impl Default for QueryEngineOptions {
             batch_density_cutoff: 0.25,
             compress: false,
             compress_options: CompressOptions::default(),
+            deterministic: false,
         }
+    }
+}
+
+impl QueryEngineOptions {
+    /// A stable 64-bit key over every option that can change query
+    /// *results* (series kind, epsilon, cutoffs, compression, determinism).
+    /// Unlike `Hash`, the value is fixed across processes and releases of
+    /// the standard library, so it is safe to persist or to key a result
+    /// cache shared between runs. Combine with
+    /// [`SimStarParams::stable_key`] for a full result-identity key.
+    pub fn stable_key(&self) -> u64 {
+        let mut h = crate::params::fnv1a(crate::params::Fnv1a::BASIS);
+        h = h.push(match self.kind {
+            SeriesKind::Geometric => 1,
+            SeriesKind::Exponential => 2,
+        });
+        h = h.push(self.frontier_epsilon.to_bits());
+        h = h.push(self.density_cutoff.to_bits());
+        h = h.push(self.batch_density_cutoff.to_bits());
+        h = h.push(self.compress as u64);
+        h = h.push(self.deterministic as u64);
+        h.0
     }
 }
 
@@ -371,8 +405,14 @@ impl QueryEngine {
 
     /// Builds an engine, precomputing `Q`, `Qᵀ`, the lattice coefficient
     /// table, and (if `opts.compress`) the edge-concentrated lane kernel.
-    pub fn with_options(g: &DiGraph, params: SimStarParams, opts: QueryEngineOptions) -> Self {
+    pub fn with_options(g: &DiGraph, params: SimStarParams, mut opts: QueryEngineOptions) -> Self {
         params.validate();
+        if opts.deterministic {
+            // Pruning is the one knob that couples lanes (see the option
+            // docs); everything else deterministic mode needs is handled in
+            // the advance functions.
+            opts.frontier_epsilon = 0.0;
+        }
         assert!(opts.frontier_epsilon >= 0.0, "epsilon must be non-negative");
         assert!(
             (0.0..=1.0).contains(&opts.density_cutoff),
@@ -519,6 +559,7 @@ impl QueryEngine {
     fn sweep(&self, q: NodeId, out: &mut [f64], s: &mut QueryScratch) {
         let k = self.params.iterations;
         let eps = self.opts.frontier_epsilon;
+        let det = self.opts.deterministic;
         let cutoff = (self.opts.density_cutoff * self.n as f64) as usize;
         // Forward pass: u_θ = e_qᵀQ^θ; V_λ += c[θ][λ]·u_θ for λ ≤ K−θ.
         s.u.vals[q as usize] = 1.0;
@@ -534,7 +575,7 @@ impl QueryEngine {
                 break;
             }
             // u ← u·Q: push over Q rows, or dense `uᵀ·Q`.
-            advance(&self.qmat, &mut s.u, &mut s.u_next, eps, cutoff, |x, y| {
+            advance(&self.qmat, &mut s.u, &mut s.u_next, eps, cutoff, det, |x, y| {
                 self.qmat.vec_mul_into(x, y)
             });
             if s.u.is_zero() {
@@ -549,7 +590,7 @@ impl QueryEngine {
         for lambda in (0..=k).rev() {
             if !s.w.is_zero() {
                 // r ← r·Qᵀ: push over Qᵀ rows, or dense `Q·r`.
-                advance(&self.qt, &mut s.w, &mut s.w_next, eps, cutoff, |x, y| {
+                advance(&self.qt, &mut s.w, &mut s.w_next, eps, cutoff, det, |x, y| {
                     self.qmat.mul_vec_into(x, y)
                 });
             }
@@ -591,6 +632,7 @@ impl QueryEngine {
         debug_assert!(queries.len() <= BLOCK);
         let k = self.params.iterations;
         let eps = self.opts.frontier_epsilon;
+        let det = self.opts.deterministic;
         let cutoff = (self.opts.batch_density_cutoff * self.n as f64) as usize;
         let lam: &dyn RightMultiplier = match &self.lambda_lanes {
             LaneKernel::Compressed(k) => k,
@@ -613,7 +655,7 @@ impl QueryEngine {
                 break;
             }
             // u ← u·Q lane-wise: push over Q rows, or blocked Qᵀ·u.
-            advance_block(&self.qmat, &mut s.u, &mut s.u_next, eps, cutoff, th);
+            advance_block(&self.qmat, &mut s.u, &mut s.u_next, eps, cutoff, det, th);
             if s.u.is_zero() {
                 break;
             }
@@ -622,7 +664,7 @@ impl QueryEngine {
         for lambda in (0..=k).rev() {
             if !s.w.is_zero() {
                 // r ← r·Qᵀ lane-wise: push over Qᵀ rows, or blocked Q·r.
-                advance_block(&self.qt, &mut s.w, &mut s.w_next, eps, cutoff, lam);
+                advance_block(&self.qt, &mut s.w, &mut s.w_next, eps, cutoff, det, lam);
             }
             s.w.axpy_from(&s.vs[lambda], 1.0);
             s.vs[lambda].clear();
@@ -706,15 +748,24 @@ fn accumulate(out: &mut [f64], f: &Frontier, coeff: f64) {
 /// (each adjacency index read once per `BLOCK` lanes) while the union
 /// support is small, switching to the blocked dense `dense_kernel` once it
 /// saturates past `cutoff` active nodes. `next` must be cleared on entry
-/// and is left cleared on exit.
+/// and is left cleared on exit. With `det` set, the frontier stays sparse
+/// forever, pruning is skipped, and the active list is sorted before the
+/// push so the accumulation order into every slot is canonical (ascending
+/// source id) — lane results become independent of what the other lanes
+/// hold (see [`QueryEngineOptions::deterministic`]).
 fn advance_block(
     push_mat: &Csr,
     cur: &mut BlockFrontier,
     next: &mut BlockFrontier,
     eps: f64,
     cutoff: usize,
+    det: bool,
     dense_kernel: &dyn RightMultiplier,
 ) {
+    if det {
+        debug_assert!(!cur.dense, "deterministic sweeps never densify");
+        cur.active.sort_unstable();
+    }
     if cur.dense {
         // `next` is cleared ⇒ all-zero, which `apply_block` accumulates into.
         dense_kernel.apply_block(&cur.vals, &mut next.vals, BLOCK);
@@ -744,7 +795,7 @@ fn advance_block(
                 }
             });
         }
-        if next.active.len() > cutoff {
+        if !det && next.active.len() > cutoff {
             next.densify();
         }
     }
@@ -755,15 +806,23 @@ fn advance_block(
 /// Advances `cur` one step: sparse push over `push_mat`'s rows while the
 /// frontier is small, switching to `dense_step` once it saturates past
 /// `cutoff` active nodes (and staying dense from then on). `next` must be
-/// cleared on entry and is left cleared on exit.
+/// cleared on entry and is left cleared on exit. With `det` set, the
+/// frontier stays sparse and the active list is sorted before the push —
+/// the scalar counterpart of [`advance_block`]'s deterministic mode, so a
+/// solo [`QueryEngine::query`] reproduces a batch lane bit for bit.
 fn advance(
     push_mat: &Csr,
     cur: &mut Frontier,
     next: &mut Frontier,
     eps: f64,
     cutoff: usize,
+    det: bool,
     dense_step: impl Fn(&[f64], &mut [f64]),
 ) {
+    if det {
+        debug_assert!(!cur.dense, "deterministic sweeps never densify");
+        cur.active.sort_unstable();
+    }
     if cur.dense {
         dense_step(&cur.vals, &mut next.vals);
         next.dense = true;
@@ -793,7 +852,7 @@ fn advance(
                 }
             });
         }
-        if next.active.len() > cutoff {
+        if !det && next.active.len() > cutoff {
             next.dense = true;
             next.active.clear();
         }
@@ -1004,6 +1063,78 @@ mod tests {
     fn query_bounds_checked() {
         let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
         let _ = QueryEngine::new(&g, SimStarParams::default()).query(5);
+    }
+
+    #[test]
+    fn engine_is_a_shareable_snapshot_handle() {
+        // Serving layers publish engines behind `Arc` and query them from
+        // many threads at once; this pins the auto-traits that makes legal.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryEngine>();
+    }
+
+    #[test]
+    fn deterministic_engine_matches_reference() {
+        for g in graphs() {
+            let p = SimStarParams { c: 0.7, iterations: 6 };
+            let opts = QueryEngineOptions { deterministic: true, ..Default::default() };
+            let engine = QueryEngine::with_options(&g, p, opts);
+            for q in 0..g.node_count() as NodeId {
+                let dense = single_source_dense(&g, q, &p);
+                assert_rows_close(&engine.query(q), &dense, 1e-10, "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_results_are_batch_composition_independent() {
+        // The same query must produce the same bits alone, batched with
+        // itself, and batched next to arbitrary other queries — the
+        // property result caches in front of the engine rely on.
+        for g in graphs() {
+            let p = SimStarParams { c: 0.7, iterations: 6 };
+            let opts = QueryEngineOptions { deterministic: true, ..Default::default() };
+            let engine = QueryEngine::with_options(&g, p, opts);
+            let n = g.node_count() as NodeId;
+            for q in 0..n {
+                let solo = engine.query(q);
+                let solo_batch = engine.query_batch(&[q]);
+                assert_eq!(solo, solo_batch.row(0), "q={q} solo vs batch-of-1");
+                let mixed: Vec<NodeId> = (0..n).rev().chain([q, q]).collect();
+                let batch = engine.query_batch(&mixed);
+                for (i, &mq) in mixed.iter().enumerate() {
+                    if mq == q {
+                        assert_eq!(solo.as_slice(), batch.row(i), "q={q} lane {i}");
+                    }
+                }
+                // Top-k is a pure selection over those bits.
+                let top = engine.top_k(q, 4);
+                assert_eq!(top, engine.top_k_batch(&[q], 4)[0], "q={q} top-k");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_mode_forces_zero_epsilon() {
+        let g = &graphs()[0];
+        let opts = QueryEngineOptions {
+            deterministic: true,
+            frontier_epsilon: 1e-6,
+            ..Default::default()
+        };
+        let engine = QueryEngine::with_options(g, SimStarParams::default(), opts);
+        assert_eq!(engine.options().frontier_epsilon, 0.0);
+    }
+
+    #[test]
+    fn stable_keys_separate_result_identities() {
+        let a = QueryEngineOptions::default();
+        assert_eq!(a.stable_key(), QueryEngineOptions::default().stable_key());
+        let det = QueryEngineOptions { deterministic: true, ..Default::default() };
+        let exp = QueryEngineOptions { kind: SeriesKind::Exponential, ..Default::default() };
+        assert_ne!(a.stable_key(), det.stable_key());
+        assert_ne!(a.stable_key(), exp.stable_key());
+        assert_ne!(det.stable_key(), exp.stable_key());
     }
 
     #[test]

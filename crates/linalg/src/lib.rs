@@ -42,10 +42,68 @@ pub const DEFAULT_TOL: f64 = 1e-9;
 /// kernels are memory-bound well before that. The `SSR_THREADS` environment
 /// variable overrides the default with an explicit positive thread count
 /// (useful for pinning benchmark runs or disabling parallelism entirely
-/// with `SSR_THREADS=1`).
+/// with `SSR_THREADS=1`). `SSR_THREADS=0`, surrounding whitespace, and
+/// unparsable values all fall back to the detected core count — a zero or
+/// garbage override must never turn into "zero workers" or a panic; see
+/// [`threads_from_override`] for the exact rules.
 pub fn available_threads() -> usize {
-    match std::env::var("SSR_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+    threads_from_override(std::env::var("SSR_THREADS").ok().as_deref())
+}
+
+/// Resolves an `SSR_THREADS`-style override string to a thread count:
+/// a positive integer (after trimming whitespace) wins; everything else —
+/// unset, empty, `0`, negative, or unparsable — falls back to the detected
+/// available parallelism capped at 16. Factored out of
+/// [`available_threads`] so the fallback rules are unit-testable without
+/// racing on the process environment.
+pub fn threads_from_override(raw: Option<&str>) -> usize {
+    match raw.and_then(|v| v.trim().parse::<usize>().ok()) {
         Some(t) if t >= 1 => t,
-        _ => std::thread::available_parallelism().map_or(1, |n| n.get()).min(16),
+        _ => detected_threads(),
+    }
+}
+
+/// The machine's available parallelism, capped at 16 (see
+/// [`available_threads`]); `1` when detection fails.
+fn detected_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
+}
+
+#[cfg(test)]
+mod thread_budget_tests {
+    use super::*;
+
+    #[test]
+    fn positive_override_wins_and_is_uncapped() {
+        assert_eq!(threads_from_override(Some("3")), 3);
+        assert_eq!(threads_from_override(Some("1")), 1);
+        // An explicit override is allowed past the detection cap.
+        assert_eq!(threads_from_override(Some("64")), 64);
+    }
+
+    #[test]
+    fn whitespace_is_trimmed() {
+        assert_eq!(threads_from_override(Some(" 8 ")), 8);
+        assert_eq!(threads_from_override(Some("\t2\n")), 2);
+    }
+
+    #[test]
+    fn zero_falls_back_to_detected() {
+        assert_eq!(threads_from_override(Some("0")), detected_threads());
+        assert_eq!(threads_from_override(Some(" 0 ")), detected_threads());
+    }
+
+    #[test]
+    fn garbage_falls_back_to_detected() {
+        for bad in ["", "abc", "-2", "1.5", "2x", "٣"] {
+            assert_eq!(threads_from_override(Some(bad)), detected_threads(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn unset_falls_back_to_detected() {
+        let t = threads_from_override(None);
+        assert_eq!(t, detected_threads());
+        assert!((1..=16).contains(&t));
     }
 }

@@ -1,0 +1,185 @@
+//! Blocking client for the serve protocol: one TCP connection, one
+//! request/response line pair at a time. Used by the e2e tests, the
+//! `simstar bench-serve` load generator, and `examples/serve_roundtrip`.
+
+use crate::json::{parse_json, Json};
+use ssr_graph::NodeId;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A parsed query response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Epoch of the snapshot that produced the scores.
+    pub epoch: u64,
+    /// Whether the server answered from its result cache.
+    pub cached: bool,
+    /// Ranked `(node, score)` matches.
+    pub matches: Vec<(NodeId, f64)>,
+}
+
+/// What one request produced, protocol-wise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `status: ok` query response.
+    Ok(QueryReply),
+    /// `status: shed` — admission control turned the request away.
+    Shed,
+    /// `status: error` with the server's message.
+    Error(String),
+}
+
+/// A connected protocol client.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok(); // one-line requests: don't batch in the kernel
+        let writer = stream.try_clone()?;
+        Ok(ServeClient { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one raw request line and parses the one-line JSON response.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Json> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        parse_json(response.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Top-`k` query for `node`.
+    pub fn query(&mut self, node: NodeId, k: usize) -> std::io::Result<Reply> {
+        let doc = self.request(&format!(r#"{{"op":"query","node":{node},"k":{k}}}"#))?;
+        Ok(parse_reply(&doc))
+    }
+
+    /// Liveness probe; returns the current epoch.
+    pub fn ping(&mut self) -> std::io::Result<u64> {
+        let doc = self.request(r#"{"op":"ping"}"#)?;
+        Ok(doc.get("epoch").and_then(Json::as_num).unwrap_or(0.0) as u64)
+    }
+
+    /// Raw `stats` document.
+    pub fn stats(&mut self) -> std::io::Result<Json> {
+        self.request(r#"{"op":"stats"}"#)
+    }
+
+    /// Admin: publish a new epoch from an edge-list file on the server's
+    /// filesystem. Returns the new epoch.
+    pub fn reload(&mut self, path: &str) -> std::io::Result<u64> {
+        let line = Json::Obj(vec![
+            ("op".into(), Json::Str("reload".into())),
+            ("path".into(), Json::Str(path.into())),
+        ])
+        .render();
+        let doc = self.request(&line)?;
+        expect_ok(&doc)?;
+        Ok(doc.get("epoch").and_then(Json::as_num).unwrap_or(0.0) as u64)
+    }
+
+    /// Admin: apply an edge delta; returns the new epoch.
+    pub fn edge_delta(
+        &mut self,
+        add: &[(NodeId, NodeId)],
+        remove: &[(NodeId, NodeId)],
+    ) -> std::io::Result<u64> {
+        let pairs = |edges: &[(NodeId, NodeId)]| {
+            Json::Arr(
+                edges
+                    .iter()
+                    .map(|&(a, b)| Json::Arr(vec![Json::Num(a as f64), Json::Num(b as f64)]))
+                    .collect(),
+            )
+        };
+        let line = Json::Obj(vec![
+            ("op".into(), Json::Str("edge-delta".into())),
+            ("add".into(), pairs(add)),
+            ("remove".into(), pairs(remove)),
+        ])
+        .render();
+        let doc = self.request(&line)?;
+        expect_ok(&doc)?;
+        Ok(doc.get("epoch").and_then(Json::as_num).unwrap_or(0.0) as u64)
+    }
+
+    /// Admin: reconfigure batch window / flush cap / cache at runtime.
+    pub fn config(
+        &mut self,
+        window_us: Option<u64>,
+        max_batch: Option<usize>,
+        cache: Option<&str>,
+    ) -> std::io::Result<Json> {
+        let mut pairs = vec![("op".to_string(), Json::Str("config".into()))];
+        if let Some(w) = window_us {
+            pairs.push(("window_us".into(), Json::Num(w as f64)));
+        }
+        if let Some(m) = max_batch {
+            pairs.push(("max_batch".into(), Json::Num(m as f64)));
+        }
+        if let Some(c) = cache {
+            pairs.push(("cache".into(), Json::Str(c.into())));
+        }
+        let doc = self.request(&Json::Obj(pairs).render())?;
+        expect_ok(&doc)?;
+        Ok(doc)
+    }
+
+    /// Admin: ask the server to shut down.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        let doc = self.request(r#"{"op":"shutdown"}"#)?;
+        expect_ok(&doc)
+    }
+}
+
+fn expect_ok(doc: &Json) -> std::io::Result<()> {
+    match doc.get("status").and_then(Json::as_str) {
+        Some("ok") => Ok(()),
+        other => Err(std::io::Error::other(format!(
+            "server said {}: {}",
+            other.unwrap_or("?"),
+            doc.get("error").and_then(Json::as_str).unwrap_or("")
+        ))),
+    }
+}
+
+/// Parses a query response document into a [`Reply`].
+pub fn parse_reply(doc: &Json) -> Reply {
+    match doc.get("status").and_then(Json::as_str) {
+        Some("ok") => {
+            let matches = doc
+                .get("matches")
+                .and_then(Json::as_arr)
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|pair| {
+                            let p = pair.as_arr()?;
+                            Some((p.first()?.as_num()? as NodeId, p.get(1)?.as_num()?))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            Reply::Ok(QueryReply {
+                epoch: doc.get("epoch").and_then(Json::as_num).unwrap_or(0.0) as u64,
+                cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
+                matches,
+            })
+        }
+        Some("shed") => Reply::Shed,
+        _ => Reply::Error(
+            doc.get("error").and_then(Json::as_str).unwrap_or("malformed response").to_string(),
+        ),
+    }
+}

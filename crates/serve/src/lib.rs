@@ -1,0 +1,69 @@
+//! # ssr-serve — concurrent SimRank\* query serving
+//!
+//! The workspace's serving layer: everything between a TCP socket and the
+//! amortized [`simrank_star::QueryEngine`]. The batch engines (PR 2/3)
+//! made single queries and full sweeps fast; this crate makes them
+//! *servable* — many concurrent clients, work reuse across requests, and
+//! graph swaps without downtime:
+//!
+//! * [`epoch`] — **epoch snapshots**: graph + prepared engine behind an
+//!   atomically swappable `Arc`. Admin `reload`/`edge-delta` ops publish a
+//!   new epoch while in-flight queries finish on the old one; every
+//!   response and cache key carries its epoch, so answers are always
+//!   attributable to an exact graph version.
+//! * [`cache`] — a **sharded LRU result cache** keyed by
+//!   `(epoch, node, params, k)` with per-shard locks, lazy-LRU eviction,
+//!   and hit/miss/insert/eviction counters.
+//! * [`batcher`] — the **coalescing micro-batcher**: cache misses enter a
+//!   bounded queue (the admission-control point — overflow sheds instead
+//!   of queueing unboundedly) and flush workers park briefly to coalesce
+//!   concurrent requests into one 16-lane [`QueryEngine::top_k_batch`]
+//!   call, so server throughput inherits the batched path's speedup
+//!   instead of degrading to serial queries. Snapshots force the engine's
+//!   deterministic mode, making results bit-identical however requests
+//!   get coalesced — the invariant that lets cached, solo, and batched
+//!   answers interchange.
+//! * [`server`] / [`protocol`] — a thread-per-connection TCP server
+//!   speaking newline-delimited JSON (schema in README "Serving layer"),
+//!   with `stats` surfacing every counter and admin `config` retuning the
+//!   batcher/cache at runtime.
+//! * [`client`] / [`loadgen`] — the blocking protocol client and the
+//!   closed-loop load generator behind `simstar bench-serve` and
+//!   `ssr-bench`'s `exp_serve`.
+//! * [`json`] — the minimal JSON tree/parser/writer the protocol and the
+//!   bench reports share (re-exported by `ssr_bench::check`).
+//!
+//! ```no_run
+//! use ssr_serve::client::{Reply, ServeClient};
+//! use ssr_serve::server::{Server, ServerOptions};
+//! use ssr_graph::DiGraph;
+//!
+//! let g = DiGraph::from_edges(4, &[(1, 0), (2, 0), (3, 1), (3, 2)]).unwrap();
+//! let server = Server::start(g, "127.0.0.1", 0, ServerOptions::default()).unwrap();
+//! let mut client = ServeClient::connect(server.addr()).unwrap();
+//! if let Reply::Ok(reply) = client.query(1, 3).unwrap() {
+//!     println!("epoch {}: {:?}", reply.epoch, reply.matches);
+//! }
+//! server.shutdown();
+//! ```
+//!
+//! [`QueryEngine`]: simrank_star::QueryEngine
+//! [`QueryEngine::top_k_batch`]: simrank_star::QueryEngine::top_k_batch
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod client;
+pub mod epoch;
+pub mod json;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{Batcher, BatcherOptions, BatcherStats, QueryAnswer, SubmitError};
+pub use cache::{CacheKey, CacheStats, ShardedCache};
+pub use client::{Reply, ServeClient};
+pub use epoch::{EpochStore, Snapshot};
+pub use server::{Server, ServerOptions};

@@ -1,0 +1,397 @@
+//! Closed-loop load generation against a running server, plus the
+//! `ssr-bench/serve/v1` report renderer.
+//!
+//! One thread per simulated client, each with its own connection, sending
+//! its next request as soon as the previous response lands (closed loop:
+//! offered load tracks server capacity, the standard way to compare
+//! throughput of two server configurations). Shared by
+//! `simstar bench-serve` (external server) and `ssr-bench`'s `exp_serve`
+//! (in-process server) so both emit the exact same schema — which is what
+//! lets `bench_check` gate either against committed baselines.
+
+use crate::client::{Reply, ServeClient};
+use crate::json::Json;
+use ssr_graph::NodeId;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// One load phase: how many clients, how many requests each, which nodes.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// `k` for every query.
+    pub top_k: usize,
+    /// Query-node pool; client `c` cycles through
+    /// `nodes[c], nodes[c + clients], ...` so concurrent requests hit
+    /// distinct nodes (unless the pool is smaller than the client count —
+    /// the cache-phase setup).
+    pub nodes: Vec<NodeId>,
+}
+
+/// Aggregated result of one load phase.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests sent (ok + shed + error).
+    pub requests: usize,
+    /// `status: ok` responses.
+    pub ok: usize,
+    /// Responses served from the result cache.
+    pub cached: usize,
+    /// `status: shed` responses.
+    pub shed: usize,
+    /// `status: error` responses (plus transport failures).
+    pub errors: usize,
+    /// Wall-clock of the whole phase.
+    pub elapsed_ms: f64,
+    /// Per-request latencies in µs, sorted ascending.
+    pub lat_us: Vec<f64>,
+    /// Distinct epochs observed in ok responses.
+    pub epochs: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Completed requests per second (ok responses only).
+    pub fn qps(&self) -> f64 {
+        self.ok as f64 / (self.elapsed_ms / 1e3).max(1e-9)
+    }
+
+    /// Nearest-rank percentile of the latency samples.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        if self.lat_us.is_empty() {
+            return 0.0;
+        }
+        let rank = (self.lat_us.len() as f64 * p).ceil() as usize;
+        self.lat_us[rank.saturating_sub(1).min(self.lat_us.len() - 1)]
+    }
+}
+
+/// One client thread's tally, merged into the [`LoadReport`].
+#[derive(Default)]
+struct ClientTally {
+    ok: usize,
+    cached: usize,
+    shed: usize,
+    errors: usize,
+    lat_us: Vec<f64>,
+    epochs: Vec<u64>,
+}
+
+/// Runs one closed-loop phase against `addr`.
+pub fn run_load(addr: SocketAddr, plan: &LoadPlan) -> std::io::Result<LoadReport> {
+    assert!(plan.clients > 0 && !plan.nodes.is_empty(), "empty load plan");
+    let started = Instant::now();
+    let mut per_client: Vec<ClientTally> = Vec::new();
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let handles: Vec<_> = (0..plan.clients)
+            .map(|c| {
+                scope.spawn(move || -> std::io::Result<ClientTally> {
+                    let mut client = ServeClient::connect(addr)?;
+                    let mut tally = ClientTally::default();
+                    for i in 0..plan.requests_per_client {
+                        let node = plan.nodes[(c + i * plan.clients) % plan.nodes.len()];
+                        let t = Instant::now();
+                        match client.query(node, plan.top_k) {
+                            Ok(Reply::Ok(reply)) => {
+                                tally.ok += 1;
+                                tally.cached += reply.cached as usize;
+                                if tally.epochs.last() != Some(&reply.epoch) {
+                                    tally.epochs.push(reply.epoch);
+                                }
+                            }
+                            Ok(Reply::Shed) => tally.shed += 1,
+                            Ok(Reply::Error(_)) | Err(_) => tally.errors += 1,
+                        }
+                        tally.lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                    }
+                    Ok(tally)
+                })
+            })
+            .collect();
+        for h in handles {
+            per_client.push(h.join().expect("load client panicked")?);
+        }
+        Ok(())
+    })?;
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut report = LoadReport {
+        requests: 0,
+        ok: 0,
+        cached: 0,
+        shed: 0,
+        errors: 0,
+        elapsed_ms,
+        lat_us: Vec::new(),
+        epochs: Vec::new(),
+    };
+    for tally in per_client {
+        report.ok += tally.ok;
+        report.cached += tally.cached;
+        report.shed += tally.shed;
+        report.errors += tally.errors;
+        report.requests += tally.lat_us.len();
+        report.lat_us.extend(tally.lat_us);
+        report.epochs.extend(tally.epochs);
+    }
+    report.lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    report.epochs.sort_unstable();
+    report.epochs.dedup();
+    Ok(report)
+}
+
+/// One benchmarked phase: its name (the `modes` key in the JSON), the load
+/// result, and the server-side counter deltas observed across it.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// Mode name (`serial`, `batched`, `cached`).
+    pub name: String,
+    /// Client-side load report.
+    pub report: LoadReport,
+    /// Server-side cache hits − before-phase hits.
+    pub cache_hits: u64,
+    /// Server-side cache misses − before-phase misses.
+    pub cache_misses: u64,
+    /// Server-side load-shed count − before-phase count.
+    pub shed: u64,
+    /// Server-side flushes − before-phase flushes.
+    pub flushes: u64,
+    /// Server-side flushed jobs − before-phase flushed jobs.
+    pub flushed_jobs: u64,
+}
+
+impl PhaseResult {
+    /// Server-observed cache hit rate across the phase.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean flush size across the phase.
+    pub fn mean_flush(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.flushed_jobs as f64 / self.flushes as f64
+        }
+    }
+}
+
+/// The three standard phases every serve benchmark runs, in order, against
+/// one server (reconfigured between phases through the admin `config` op):
+///
+/// 1. `serial` — window 0 (no coalescing), cache off: the baseline.
+/// 2. `batched` — window `window_us`, cache off: isolates the micro-
+///    batching win.
+/// 3. `cached` — window `window_us`, cache on, hot node pool: adds the
+///    result cache.
+pub fn run_standard_phases(
+    addr: SocketAddr,
+    plan: &LoadPlan,
+    hot_nodes: Vec<NodeId>,
+    window_us: u64,
+) -> std::io::Result<Vec<PhaseResult>> {
+    let mut admin = ServeClient::connect(addr)?;
+    let mut results = Vec::new();
+    let phases: [(&str, u64, &str, Option<Vec<NodeId>>); 3] = [
+        ("serial", 0, "off", None),
+        ("batched", window_us, "off", None),
+        ("cached", window_us, "on", Some(hot_nodes)),
+    ];
+    for (name, window, cache, nodes) in phases {
+        admin.config(Some(window), None, Some(cache))?;
+        admin.config(None, None, Some("clear"))?;
+        let mut phase_plan = plan.clone();
+        if let Some(nodes) = nodes {
+            phase_plan.nodes = nodes;
+        }
+        let before = server_counters(&mut admin)?;
+        let report = run_load(addr, &phase_plan)?;
+        let after = server_counters(&mut admin)?;
+        results.push(PhaseResult {
+            name: name.to_string(),
+            report,
+            cache_hits: after.0 - before.0,
+            cache_misses: after.1 - before.1,
+            shed: after.2 - before.2,
+            flushes: after.3 - before.3,
+            flushed_jobs: after.4 - before.4,
+        });
+    }
+    Ok(results)
+}
+
+/// `(cache hits, cache misses, batcher shed, flushes, flushed jobs)`.
+fn server_counters(admin: &mut ServeClient) -> std::io::Result<(u64, u64, u64, u64, u64)> {
+    let stats = admin.stats()?;
+    let num = |outer: &str, key: &str| {
+        stats.get(outer).and_then(|o| o.get(key)).and_then(Json::as_num).unwrap_or(0.0) as u64
+    };
+    Ok((
+        num("cache", "hits"),
+        num("cache", "misses"),
+        num("batcher", "shed"),
+        num("batcher", "flushes"),
+        num("batcher", "flushed_jobs"),
+    ))
+}
+
+/// Metadata of one serve bench run, for the JSON header.
+#[derive(Debug, Clone)]
+pub struct ServeBenchMeta {
+    /// Whether this was the CI smoke variant.
+    pub smoke: bool,
+    /// Dataset name (the `datasets[].name` key `bench_check` compares on).
+    pub dataset: String,
+    /// Node count of the served graph.
+    pub nodes: usize,
+    /// Edge count of the served graph.
+    pub edges: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Coalescing window of the batched/cached phases, µs.
+    pub window_us: u64,
+    /// `k` of every query.
+    pub top_k: usize,
+    /// Damping factor.
+    pub c: f64,
+    /// Iteration count.
+    pub k: usize,
+}
+
+/// Renders the `ssr-bench/serve/v1` document. Modes carry `p50_us` so
+/// `bench_check`'s median gate applies unchanged; the headline ratio is
+/// `speedup_batched_vs_serial` (throughput), plus per-mode hit-rate and
+/// shed counters — the serving-layer acceptance metrics.
+pub fn render_serve_json(meta: &ServeBenchMeta, phases: &[PhaseResult]) -> String {
+    let mode = |p: &PhaseResult| {
+        Json::Obj(vec![
+            ("requests".into(), Json::Num(p.report.requests as f64)),
+            ("ok".into(), Json::Num(p.report.ok as f64)),
+            ("total_ms".into(), Json::Num(round3(p.report.elapsed_ms))),
+            ("qps".into(), Json::Num(round1(p.report.qps()))),
+            ("p50_us".into(), Json::Num(round1(p.report.percentile_us(0.50)))),
+            ("p99_us".into(), Json::Num(round1(p.report.percentile_us(0.99)))),
+            ("cached_responses".into(), Json::Num(p.report.cached as f64)),
+            ("shed".into(), Json::Num(p.shed as f64)),
+            ("cache_hit_rate".into(), Json::Num(round3(p.hit_rate()))),
+            ("flushes".into(), Json::Num(p.flushes as f64)),
+            ("mean_flush".into(), Json::Num(round3(p.mean_flush()))),
+        ])
+    };
+    let serial_qps = phases.iter().find(|p| p.name == "serial").map_or(0.0, |p| p.report.qps());
+    let batched_qps = phases.iter().find(|p| p.name == "batched").map_or(0.0, |p| p.report.qps());
+    let speedup = if serial_qps > 0.0 { batched_qps / serial_qps } else { 0.0 };
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("ssr-bench/serve/v1".into())),
+        ("smoke".into(), Json::Bool(meta.smoke)),
+        (
+            "params".into(),
+            Json::Obj(vec![
+                ("c".into(), Json::Num(meta.c)),
+                ("k".into(), Json::Num(meta.k as f64)),
+                ("top_k".into(), Json::Num(meta.top_k as f64)),
+                ("clients".into(), Json::Num(meta.clients as f64)),
+                ("window_us".into(), Json::Num(meta.window_us as f64)),
+            ]),
+        ),
+        ("threads".into(), Json::Num(ssr_linalg::available_threads() as f64)),
+        (
+            "datasets".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("name".into(), Json::Str(meta.dataset.clone())),
+                ("nodes".into(), Json::Num(meta.nodes as f64)),
+                ("edges".into(), Json::Num(meta.edges as f64)),
+                (
+                    "modes".into(),
+                    Json::Obj(phases.iter().map(|p| (p.name.clone(), mode(p))).collect()),
+                ),
+                ("speedup_batched_vs_serial".into(), Json::Num(round2(speedup))),
+            ])]),
+        ),
+    ]);
+    doc.render() + "\n"
+}
+
+fn round1(v: f64) -> f64 {
+    (v * 10.0).round() / 10.0
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(name: &str, qps_scale: f64) -> PhaseResult {
+        PhaseResult {
+            name: name.into(),
+            report: LoadReport {
+                requests: 100,
+                ok: 100,
+                cached: 0,
+                shed: 0,
+                errors: 0,
+                elapsed_ms: 1000.0 / qps_scale,
+                lat_us: (1..=100).map(|i| i as f64).collect(),
+                epochs: vec![0],
+            },
+            cache_hits: 30,
+            cache_misses: 70,
+            shed: 2,
+            flushes: 10,
+            flushed_jobs: 70,
+        }
+    }
+
+    #[test]
+    fn report_percentiles_and_qps() {
+        let p = phase("serial", 1.0);
+        assert!((p.report.qps() - 100.0).abs() < 1e-9);
+        assert!((p.report.percentile_us(0.5) - 50.0).abs() < 1e-9);
+        assert!((p.report.percentile_us(0.99) - 99.0).abs() < 1e-9);
+        assert!((p.hit_rate() - 0.3).abs() < 1e-12);
+        assert!((p.mean_flush() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rendered_json_is_bench_check_compatible() {
+        let meta = ServeBenchMeta {
+            smoke: true,
+            dataset: "D05".into(),
+            nodes: 100,
+            edges: 400,
+            clients: 16,
+            window_us: 500,
+            top_k: 10,
+            c: 0.6,
+            k: 8,
+        };
+        let phases = [phase("serial", 1.0), phase("batched", 2.5), phase("cached", 4.0)];
+        let text = render_serve_json(&meta, &phases);
+        let doc = crate::json::parse_json(text.trim()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("ssr-bench/serve/v1"));
+        let ds = &doc.get("datasets").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(ds.get("name").and_then(Json::as_str), Some("D05"));
+        let modes = ds.get("modes").unwrap();
+        for m in ["serial", "batched", "cached"] {
+            let mode = modes.get(m).unwrap();
+            assert!(mode.get("p50_us").and_then(Json::as_num).is_some(), "{m}");
+            assert!(mode.get("shed").and_then(Json::as_num).is_some(), "{m}");
+            assert!(mode.get("cache_hit_rate").and_then(Json::as_num).is_some(), "{m}");
+        }
+        let speedup = ds.get("speedup_batched_vs_serial").and_then(Json::as_num).unwrap();
+        assert!((speedup - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,294 @@
+//! The serve wire protocol: newline-delimited JSON, one request and one
+//! response per line.
+//!
+//! Every request is a JSON object with an `"op"` field; every response is
+//! a single-line JSON object with a `"status"` field (`"ok"`, `"shed"`, or
+//! `"error"`) and, on query responses, the `"epoch"` of the snapshot that
+//! produced the scores. The request/response shapes are documented in
+//! README.md ("Serving layer"); the CLI's `--json` output mode shares the
+//! same `matches` shape (`[[node, score], ...]`), so offline and served
+//! results are machine-comparable.
+
+use crate::json::{parse_json, Json};
+use ssr_graph::NodeId;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Top-`k` single-source query for `node`.
+    Query {
+        /// Query node id.
+        node: NodeId,
+        /// Number of ranked matches to return.
+        k: usize,
+    },
+    /// Liveness probe; echoes the current epoch.
+    Ping,
+    /// Cache / batcher / epoch metric snapshot.
+    Stats,
+    /// Admin: load a new graph from an edge-list file and publish it as a
+    /// new epoch. In-flight queries finish on the old snapshot.
+    Reload {
+        /// Path (as seen by the server process) of the edge-list file.
+        path: String,
+    },
+    /// Admin: apply an edge delta to the current graph and publish the
+    /// result as a new epoch.
+    EdgeDelta {
+        /// Edges to add.
+        add: Vec<(NodeId, NodeId)>,
+        /// Edges to remove (absent edges are ignored).
+        remove: Vec<(NodeId, NodeId)>,
+    },
+    /// Admin: reconfigure the batcher / cache at runtime.
+    Config {
+        /// New coalescing window in microseconds (`0` disables coalescing).
+        window_us: Option<u64>,
+        /// New flush-size cap.
+        max_batch: Option<usize>,
+        /// `"on"`, `"off"`, or `"clear"` for the result cache.
+        cache: Option<String>,
+    },
+    /// Admin: stop accepting connections and shut the server down.
+    Shutdown,
+}
+
+/// Parses one request line. Errors are user-facing protocol messages.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = parse_json(line.trim()).map_err(|e| format!("bad JSON: {e}"))?;
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string field `op`".to_string())?;
+    match op {
+        "query" => {
+            let node = node_id(field_u64(&doc, "node")?, "node")?;
+            let k = doc.get("k").map(|v| num_field(v, "k")).transpose()?.unwrap_or(10.0) as usize;
+            Ok(Request::Query { node, k })
+        }
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "reload" => {
+            let path = doc
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "reload needs a string field `path`".to_string())?;
+            Ok(Request::Reload { path: path.to_string() })
+        }
+        "edge-delta" => Ok(Request::EdgeDelta {
+            add: edge_list(&doc, "add")?,
+            remove: edge_list(&doc, "remove")?,
+        }),
+        "config" => {
+            let cache = match doc.get("cache") {
+                None => None,
+                Some(v) => {
+                    let s = v.as_str().ok_or("config field `cache` must be a string")?;
+                    if !matches!(s, "on" | "off" | "clear") {
+                        return Err(format!("config `cache` must be on|off|clear, got `{s}`"));
+                    }
+                    Some(s.to_string())
+                }
+            };
+            Ok(Request::Config {
+                window_us: doc
+                    .get("window_us")
+                    .map(|v| num_field(v, "window_us"))
+                    .transpose()?
+                    .map(|v| v as u64),
+                max_batch: doc
+                    .get("max_batch")
+                    .map(|v| num_field(v, "max_batch"))
+                    .transpose()?
+                    .map(|v| v as usize),
+                cache,
+            })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("missing field `{key}`"))
+        .and_then(|v| num_field(v, key))
+        .map(|v| v as u64)
+}
+
+/// Narrows a parsed integer to a [`NodeId`], rejecting (instead of
+/// truncating) values past `u32::MAX` — a wrapped id would silently pass
+/// the node-range check and serve a *different* node's results.
+fn node_id(raw: u64, key: &str) -> Result<NodeId, String> {
+    NodeId::try_from(raw).map_err(|_| format!("field `{key}`: node id {raw} is out of range"))
+}
+
+fn num_field(v: &Json, key: &str) -> Result<f64, String> {
+    let n = v.as_num().ok_or_else(|| format!("field `{key}` must be a number"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("field `{key}` must be a non-negative integer"));
+    }
+    Ok(n)
+}
+
+fn edge_list(doc: &Json, key: &str) -> Result<Vec<(NodeId, NodeId)>, String> {
+    let Some(v) = doc.get(key) else { return Ok(Vec::new()) };
+    let items = v.as_arr().ok_or_else(|| format!("field `{key}` must be an array of pairs"))?;
+    items
+        .iter()
+        .map(|pair| {
+            let p = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("field `{key}` must contain [from, to] pairs"))?;
+            let a = node_id(num_field(&p[0], key)? as u64, key)?;
+            let b = node_id(num_field(&p[1], key)? as u64, key)?;
+            Ok((a, b))
+        })
+        .collect()
+}
+
+/// The `matches` value shared by serve responses and the CLI's `--json`
+/// output: `[[node, score], ...]`, ranked. Scores use shortest-round-trip
+/// formatting, so the parsed value reproduces the computed bits exactly.
+pub fn matches_json(matches: &[(NodeId, f64)]) -> Json {
+    Json::Arr(
+        matches.iter().map(|&(v, s)| Json::Arr(vec![Json::Num(v as f64), Json::Num(s)])).collect(),
+    )
+}
+
+/// Renders a successful query response line.
+pub fn query_response(
+    epoch: u64,
+    node: NodeId,
+    k: usize,
+    cached: bool,
+    matches: &[(NodeId, f64)],
+) -> String {
+    Json::Obj(vec![
+        ("status".into(), Json::Str("ok".into())),
+        ("epoch".into(), Json::Num(epoch as f64)),
+        ("node".into(), Json::Num(node as f64)),
+        ("k".into(), Json::Num(k as f64)),
+        ("cached".into(), Json::Bool(cached)),
+        ("matches".into(), matches_json(matches)),
+    ])
+    .render()
+}
+
+/// Renders a load-shed response (admission control turned the request
+/// away; the client should back off and retry).
+pub fn shed_response(reason: &str) -> String {
+    Json::Obj(vec![
+        ("status".into(), Json::Str("shed".into())),
+        ("reason".into(), Json::Str(reason.into())),
+    ])
+    .render()
+}
+
+/// Renders an error response.
+pub fn error_response(message: &str) -> String {
+    Json::Obj(vec![
+        ("status".into(), Json::Str("error".into())),
+        ("error".into(), Json::Str(message.into())),
+    ])
+    .render()
+}
+
+/// Renders a generic `status: ok` response from extra fields.
+pub fn ok_response(fields: Vec<(String, Json)>) -> String {
+    let mut pairs = vec![("status".to_string(), Json::Str("ok".into()))];
+    pairs.extend(fields);
+    Json::Obj(pairs).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_with_default_k() {
+        assert_eq!(
+            parse_request(r#"{"op":"query","node":5}"#).unwrap(),
+            Request::Query { node: 5, k: 10 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"query","node":0,"k":3}"#).unwrap(),
+            Request::Query { node: 0, k: 3 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"node":5}"#).is_err());
+        assert!(parse_request(r#"{"op":"query"}"#).is_err());
+        assert!(parse_request(r#"{"op":"query","node":-1}"#).is_err());
+        assert!(parse_request(r#"{"op":"query","node":1.5}"#).is_err());
+        assert!(parse_request(r#"{"op":"frobnicate"}"#).is_err());
+    }
+
+    #[test]
+    fn node_ids_past_u32_are_rejected_not_truncated() {
+        // 2^32 + 1 would wrap to node 1 under a bare `as u32` cast and
+        // silently serve the wrong node's results.
+        assert!(parse_request(r#"{"op":"query","node":4294967297}"#).is_err());
+        assert!(parse_request(r#"{"op":"edge-delta","add":[[4294967297,0]]}"#).is_err());
+        // The exact boundary still parses.
+        assert_eq!(
+            parse_request(r#"{"op":"query","node":4294967295}"#).unwrap(),
+            Request::Query { node: u32::MAX, k: 10 }
+        );
+    }
+
+    #[test]
+    fn parses_admin_ops() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_request(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+        assert_eq!(
+            parse_request(r#"{"op":"reload","path":"g.txt"}"#).unwrap(),
+            Request::Reload { path: "g.txt".into() }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"edge-delta","add":[[1,2]],"remove":[[3,4],[5,6]]}"#).unwrap(),
+            Request::EdgeDelta { add: vec![(1, 2)], remove: vec![(3, 4), (5, 6)] }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"config","window_us":250,"max_batch":32,"cache":"clear"}"#)
+                .unwrap(),
+            Request::Config {
+                window_us: Some(250),
+                max_batch: Some(32),
+                cache: Some("clear".into())
+            }
+        );
+        assert!(parse_request(r#"{"op":"config","cache":"purge"}"#).is_err());
+        assert!(parse_request(r#"{"op":"edge-delta","add":[[1]]}"#).is_err());
+    }
+
+    #[test]
+    fn query_response_round_trips_scores() {
+        let matches = [(3u32, 0.12345678901234567), (1u32, 2.0 / 3.0)];
+        let line = query_response(7, 5, 2, true, &matches);
+        let doc = crate::json::parse_json(&line).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("epoch").and_then(Json::as_num), Some(7.0));
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
+        let parsed = doc.get("matches").and_then(Json::as_arr).unwrap();
+        for (&(v, s), m) in matches.iter().zip(parsed) {
+            let pair = m.as_arr().unwrap();
+            assert_eq!(pair[0].as_num(), Some(v as f64));
+            assert_eq!(pair[1].as_num().unwrap().to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn shed_and_error_responses_carry_status() {
+        let shed = crate::json::parse_json(&shed_response("queue full")).unwrap();
+        assert_eq!(shed.get("status").and_then(Json::as_str), Some("shed"));
+        let err = crate::json::parse_json(&error_response("nope")).unwrap();
+        assert_eq!(err.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(err.get("error").and_then(Json::as_str), Some("nope"));
+    }
+}

@@ -1,0 +1,392 @@
+//! The TCP server: accept loop, connection handlers, request dispatch.
+//!
+//! Thread-per-connection on `std::net::TcpListener` (no async runtime is
+//! available offline); connection threads only parse, consult the cache,
+//! and block on the batcher — all execution happens in the batcher's flush
+//! workers, so connection count never multiplies engine scratch memory.
+//! Admission control is layered: a connection cap sheds new sockets, the
+//! batcher's bounded queue sheds individual requests.
+
+use crate::batcher::{Batcher, BatcherOptions, SubmitError};
+use crate::cache::ShardedCache;
+use crate::epoch::EpochStore;
+use crate::json::Json;
+use crate::protocol::{self, Request};
+use simrank_star::{QueryEngineOptions, SimStarParams};
+use ssr_graph::{io as gio, DiGraph};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// SimRank\* parameters every snapshot is built with.
+    pub params: SimStarParams,
+    /// Engine options (deterministic mode is forced on by the epoch
+    /// store regardless of what this says — see
+    /// [`EpochStore::new`]).
+    pub engine: QueryEngineOptions,
+    /// Total result-cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Number of cache shards.
+    pub cache_shards: usize,
+    /// Micro-batcher configuration.
+    pub batch: BatcherOptions,
+    /// Concurrent-connection cap; sockets beyond it receive one shed
+    /// line and are closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            params: SimStarParams::default(),
+            engine: QueryEngineOptions::default(),
+            cache_capacity: 4096,
+            cache_shards: 8,
+            batch: BatcherOptions::default(),
+            max_connections: 256,
+        }
+    }
+}
+
+struct Inner {
+    store: Arc<EpochStore>,
+    cache: Arc<ShardedCache>,
+    batcher: Batcher,
+    addr: SocketAddr,
+    running: AtomicBool,
+    stopped: Mutex<bool>,
+    stopped_cv: std::sync::Condvar,
+    connections: AtomicUsize,
+    next_conn_id: AtomicU64,
+    shed_connections: AtomicU64,
+    requests: AtomicU64,
+    max_connections: usize,
+    /// Clones of live connections (keyed by connection id), so shutdown
+    /// can unblock readers; entries are pruned when the connection ends.
+    conn_registry: Mutex<Vec<(u64, TcpStream)>>,
+    started: Instant,
+}
+
+impl Inner {
+    /// Flips the running flag, wakes the blocked `accept()`, and signals
+    /// anyone parked in [`Server::wait`]. Idempotent; called by both the
+    /// `shutdown` op and the owning handle.
+    fn signal_stop(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        *self.stopped.lock().expect("stop flag poisoned") = true;
+        self.stopped_cv.notify_all();
+    }
+}
+
+/// A running serve instance. Dropping it (or calling [`Server::shutdown`])
+/// stops the accept loop, closes live connections, and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `host:port` (port 0 ⇒ ephemeral) and starts serving `graph`.
+    pub fn start(
+        graph: DiGraph,
+        host: &str,
+        port: u16,
+        opts: ServerOptions,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((host, port))?;
+        let addr = listener.local_addr()?;
+        let store = Arc::new(EpochStore::new(graph, opts.params, opts.engine.clone()));
+        let cache = Arc::new(ShardedCache::new(opts.cache_capacity, opts.cache_shards));
+        let batcher = Batcher::start(store.clone(), cache.clone(), opts.batch.clone());
+        let inner = Arc::new(Inner {
+            store,
+            cache,
+            batcher,
+            addr,
+            running: AtomicBool::new(true),
+            stopped: Mutex::new(false),
+            stopped_cv: std::sync::Condvar::new(),
+            connections: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(0),
+            shed_connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            max_connections: opts.max_connections.max(1),
+            conn_registry: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        });
+        let accept_inner = inner.clone();
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_inner));
+        Ok(Server { addr, inner, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server is asked to stop (a client `shutdown` op or
+    /// [`Server::shutdown`] from another thread/handle). The CLI parks its
+    /// main thread here.
+    pub fn wait(&self) {
+        let mut stopped = self.inner.stopped.lock().expect("stop flag poisoned");
+        while !*stopped {
+            stopped = self.inner.stopped_cv.wait(stopped).expect("stop flag poisoned");
+        }
+    }
+
+    /// Stops accepting, closes live connections, joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.inner.signal_stop();
+        let Some(t) = self.accept_thread.take() else { return }; // already stopped
+        let _ = t.join();
+        // Unblock connection readers; their threads exit on read error.
+        for (_, conn) in self.inner.conn_registry.lock().expect("registry poisoned").drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        self.inner.batcher.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    for stream in listener.incoming() {
+        if !inner.running.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // One-line responses must leave immediately: without this, Nagle
+        // vs delayed-ACK adds ~40ms to every request on loopback.
+        stream.set_nodelay(true).ok();
+        if inner.connections.load(Ordering::Relaxed) >= inner.max_connections {
+            inner.shed_connections.fetch_add(1, Ordering::Relaxed);
+            let mut s = stream;
+            let _ = writeln!(s, "{}", protocol::shed_response("connection limit reached"));
+            continue; // dropped ⇒ closed
+        }
+        inner.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            inner.conn_registry.lock().expect("registry poisoned").push((conn_id, clone));
+        }
+        let conn_inner = inner.clone();
+        std::thread::spawn(move || {
+            handle_connection(stream, &conn_inner);
+            conn_inner.connections.fetch_sub(1, Ordering::Relaxed);
+            conn_inner
+                .conn_registry
+                .lock()
+                .expect("registry poisoned")
+                .retain(|&(id, _)| id != conn_id);
+        });
+    }
+}
+
+fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client closed / socket torn down
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        inner.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, action) = dispatch(&line, inner);
+        if writeln!(writer, "{response}").and_then(|_| writer.flush()).is_err() {
+            return;
+        }
+        match action {
+            ConnAction::Continue => {}
+            ConnAction::Close => return,
+            // Signal only *after* the acknowledgement is flushed — the
+            // owning handle closes live connections on stop, and firing
+            // first would race it against this very response line.
+            ConnAction::ShutdownServer => {
+                inner.signal_stop();
+                return;
+            }
+        }
+    }
+}
+
+/// What the connection loop should do after writing a response.
+enum ConnAction {
+    Continue,
+    Close,
+    ShutdownServer,
+}
+
+/// Handles one request line; returns the response and the follow-up
+/// connection action.
+fn dispatch(line: &str, inner: &Arc<Inner>) -> (String, ConnAction) {
+    let request = match protocol::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (protocol::error_response(&e), ConnAction::Continue),
+    };
+    match request {
+        Request::Query { node, k } => match inner.batcher.serve(node, k) {
+            Ok(answer) => (
+                protocol::query_response(answer.epoch, node, k, answer.cached, &answer.matches),
+                ConnAction::Continue,
+            ),
+            Err(SubmitError::Shed) => (protocol::shed_response("queue full"), ConnAction::Continue),
+            Err(SubmitError::Closed) => {
+                (protocol::error_response("server shutting down"), ConnAction::Close)
+            }
+            Err(SubmitError::BadNode { nodes }) => (
+                protocol::error_response(&format!(
+                    "node {node} out of range (current graph has {nodes} nodes)"
+                )),
+                ConnAction::Continue,
+            ),
+        },
+        Request::Ping => (
+            protocol::ok_response(vec![
+                ("op".into(), Json::Str("ping".into())),
+                ("epoch".into(), Json::Num(inner.store.current().epoch as f64)),
+            ]),
+            ConnAction::Continue,
+        ),
+        Request::Stats => (stats_response(inner), ConnAction::Continue),
+        Request::Reload { path } => match gio::read_edge_list_file(&path) {
+            Err(e) => {
+                (protocol::error_response(&format!("reading `{path}`: {e}")), ConnAction::Continue)
+            }
+            Ok(graph) => {
+                let (nodes, edges) = (graph.node_count(), graph.edge_count());
+                let snap = inner.store.publish(graph);
+                (
+                    protocol::ok_response(vec![
+                        ("op".into(), Json::Str("reload".into())),
+                        ("epoch".into(), Json::Num(snap.epoch as f64)),
+                        ("nodes".into(), Json::Num(nodes as f64)),
+                        ("edges".into(), Json::Num(edges as f64)),
+                    ]),
+                    ConnAction::Continue,
+                )
+            }
+        },
+        Request::EdgeDelta { add, remove } => match inner.store.apply_delta(&add, &remove) {
+            Err(e) => (protocol::error_response(&e), ConnAction::Continue),
+            Ok((snap, added, removed)) => (
+                protocol::ok_response(vec![
+                    ("op".into(), Json::Str("edge-delta".into())),
+                    ("epoch".into(), Json::Num(snap.epoch as f64)),
+                    ("nodes".into(), Json::Num(snap.nodes as f64)),
+                    ("added".into(), Json::Num(added as f64)),
+                    ("removed".into(), Json::Num(removed as f64)),
+                ]),
+                ConnAction::Continue,
+            ),
+        },
+        Request::Config { window_us, max_batch, cache } => {
+            if let Some(w) = window_us {
+                inner.batcher.set_window_us(w);
+            }
+            if let Some(m) = max_batch {
+                inner.batcher.set_max_batch(m);
+            }
+            match cache.as_deref() {
+                Some("on") => inner.cache.set_enabled(true),
+                Some("off") => inner.cache.set_enabled(false),
+                Some("clear") => inner.cache.clear(),
+                _ => {}
+            }
+            let (window_us, max_batch) = inner.batcher.config();
+            (
+                protocol::ok_response(vec![
+                    ("op".into(), Json::Str("config".into())),
+                    ("window_us".into(), Json::Num(window_us as f64)),
+                    ("max_batch".into(), Json::Num(max_batch as f64)),
+                    ("cache_enabled".into(), Json::Bool(inner.cache.is_enabled())),
+                ]),
+                ConnAction::Continue,
+            )
+        }
+        Request::Shutdown => {
+            // The stop signal fires in the connection loop, after this
+            // acknowledgement is flushed (see [`ConnAction::ShutdownServer`]);
+            // the owning `Server` handle finishes the joins.
+            (
+                protocol::ok_response(vec![("op".into(), Json::Str("shutdown".into()))]),
+                ConnAction::ShutdownServer,
+            )
+        }
+    }
+}
+
+fn stats_response(inner: &Arc<Inner>) -> String {
+    let snapshot = inner.store.current();
+    let cache = inner.cache.stats();
+    let batch = inner.batcher.stats();
+    let (window_us, max_batch) = inner.batcher.config();
+    let num = Json::Num;
+    let params = inner.store.params();
+    protocol::ok_response(vec![
+        ("op".into(), Json::Str("stats".into())),
+        ("epoch".into(), num(snapshot.epoch as f64)),
+        ("epoch_swaps".into(), num(inner.store.swap_count() as f64)),
+        ("nodes".into(), num(snapshot.nodes as f64)),
+        ("edges".into(), num(snapshot.edges.len() as f64)),
+        (
+            "params".into(),
+            Json::Obj(vec![
+                ("c".into(), num(params.c)),
+                ("k".into(), num(params.iterations as f64)),
+            ]),
+        ),
+        ("uptime_ms".into(), num(inner.started.elapsed().as_secs_f64() * 1e3)),
+        ("requests".into(), num(inner.requests.load(Ordering::Relaxed) as f64)),
+        ("connections".into(), num(inner.connections.load(Ordering::Relaxed) as f64)),
+        ("shed_connections".into(), num(inner.shed_connections.load(Ordering::Relaxed) as f64)),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("enabled".into(), Json::Bool(inner.cache.is_enabled())),
+                ("hits".into(), num(cache.hits as f64)),
+                ("misses".into(), num(cache.misses as f64)),
+                ("hit_rate".into(), num(cache.hit_rate())),
+                ("inserts".into(), num(cache.inserts as f64)),
+                ("evictions".into(), num(cache.evictions as f64)),
+                ("entries".into(), num(cache.entries as f64)),
+            ]),
+        ),
+        (
+            "batcher".into(),
+            Json::Obj(vec![
+                ("window_us".into(), num(window_us as f64)),
+                ("max_batch".into(), num(max_batch as f64)),
+                ("submitted".into(), num(batch.submitted as f64)),
+                ("shed".into(), num(batch.shed as f64)),
+                ("flushes".into(), num(batch.flushes as f64)),
+                ("flushed_jobs".into(), num(batch.flushed_jobs as f64)),
+                ("unique_lanes".into(), num(batch.unique_lanes as f64)),
+                ("max_flush".into(), num(batch.max_flush as f64)),
+                ("mean_flush".into(), num(batch.mean_flush())),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,323 @@
+//! End-to-end tests over real TCP: protocol round-trips, runtime
+//! reconfiguration, admission control, and — the load-bearing one — an
+//! epoch swap under concurrent client load with no stale-epoch answers.
+
+use simrank_star::{QueryEngine, QueryEngineOptions, SimStarParams};
+use ssr_graph::{io as gio, DiGraph, NodeId};
+use ssr_serve::batcher::BatcherOptions;
+use ssr_serve::client::{Reply, ServeClient};
+use ssr_serve::json::Json;
+use ssr_serve::server::{Server, ServerOptions};
+
+fn graph_v0() -> DiGraph {
+    DiGraph::from_edges(8, &[(1, 0), (2, 0), (3, 1), (3, 2), (4, 3), (5, 4), (6, 5), (7, 6)])
+        .unwrap()
+}
+
+/// Same node count, different topology ⇒ different scores for the same
+/// queries — a swap the clients can detect.
+fn graph_v1() -> DiGraph {
+    DiGraph::from_edges(8, &[(0, 1), (0, 2), (1, 3), (2, 3), (4, 0), (5, 0), (6, 7), (7, 6)])
+        .unwrap()
+}
+
+fn det_engine(g: &DiGraph, params: SimStarParams) -> QueryEngine {
+    QueryEngine::with_options(
+        g,
+        params,
+        QueryEngineOptions { deterministic: true, ..Default::default() },
+    )
+}
+
+fn start(opts: ServerOptions) -> Server {
+    Server::start(graph_v0(), "127.0.0.1", 0, opts).expect("bind ephemeral port")
+}
+
+#[test]
+fn query_round_trip_matches_engine_bits_and_caches() {
+    let params = SimStarParams::default();
+    let server = start(ServerOptions { params, ..Default::default() });
+    let engine = det_engine(&graph_v0(), params);
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    for node in 0..8 {
+        let expect = engine.top_k(node, 5);
+        let Reply::Ok(first) = client.query(node, 5).unwrap() else {
+            panic!("query {node} failed")
+        };
+        assert_eq!(first.epoch, 0);
+        assert!(!first.cached);
+        assert_eq!(first.matches, expect, "wire round-trip must preserve bits");
+        let Reply::Ok(second) = client.query(node, 5).unwrap() else {
+            panic!("repeat {node} failed")
+        };
+        assert!(second.cached);
+        assert_eq!(second.matches, expect);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn stats_surface_cache_batcher_and_epoch_metrics() {
+    let server = start(ServerOptions::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let _ = client.query(1, 3).unwrap();
+    let _ = client.query(1, 3).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("epoch").and_then(Json::as_num), Some(0.0));
+    assert_eq!(stats.get("nodes").and_then(Json::as_num), Some(8.0));
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("hits").and_then(Json::as_num), Some(1.0));
+    assert_eq!(cache.get("misses").and_then(Json::as_num), Some(1.0));
+    let batcher = stats.get("batcher").unwrap();
+    assert_eq!(batcher.get("flushed_jobs").and_then(Json::as_num), Some(1.0));
+    assert!(batcher.get("mean_flush").and_then(Json::as_num).is_some());
+    server.shutdown();
+}
+
+#[test]
+fn config_op_retunes_batcher_and_cache() {
+    let server = start(ServerOptions::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let doc = client.config(Some(0), Some(7), Some("off")).unwrap();
+    assert_eq!(doc.get("window_us").and_then(Json::as_num), Some(0.0));
+    assert_eq!(doc.get("max_batch").and_then(Json::as_num), Some(7.0));
+    assert_eq!(doc.get("cache_enabled").and_then(Json::as_bool), Some(false));
+    // Cache off: repeats never hit.
+    let _ = client.query(2, 3).unwrap();
+    let Reply::Ok(second) = client.query(2, 3).unwrap() else { panic!() };
+    assert!(!second.cached);
+    let doc = client.config(None, None, Some("on")).unwrap();
+    assert_eq!(doc.get("cache_enabled").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_errors_not_disconnects() {
+    let server = start(ServerOptions::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    for bad in [
+        "not json",
+        r#"{"op":"nope"}"#,
+        r#"{"op":"query"}"#,
+        r#"{"op":"query","node":999}"#,
+        r#"{"op":"query","node":-3}"#,
+    ] {
+        let doc = client.request(bad).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("error"), "{bad}");
+    }
+    // The connection is still serviceable afterwards.
+    assert!(matches!(client.query(1, 2).unwrap(), Reply::Ok(_)));
+    server.shutdown();
+}
+
+#[test]
+fn bounded_queue_sheds_under_pressure() {
+    let server = start(ServerOptions {
+        batch: BatcherOptions { window_us: 100_000, max_batch: 2, queue_capacity: 2, workers: 1 },
+        cache_capacity: 0,
+        ..Default::default()
+    });
+    let addr = server.addr();
+    let outcomes: Vec<Reply> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8u32)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut c = ServeClient::connect(addr).unwrap();
+                    c.query(i % 8, 3).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let ok = outcomes.iter().filter(|r| matches!(r, Reply::Ok(_))).count();
+    let shed = outcomes.iter().filter(|r| matches!(r, Reply::Shed)).count();
+    assert!(ok > 0, "some requests must get through");
+    assert!(shed > 0, "8 concurrent one-shots into a 2-deep queue must shed");
+    assert_eq!(ok + shed, 8, "no errors expected: {outcomes:?}");
+    let mut admin = ServeClient::connect(addr).unwrap();
+    let stats = admin.stats().unwrap();
+    let counted = stats.get("batcher").and_then(|b| b.get("shed")).and_then(Json::as_num).unwrap();
+    assert!(counted >= shed as f64);
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_sheds_new_sockets() {
+    let server = start(ServerOptions { max_connections: 1, ..Default::default() });
+    let mut first = ServeClient::connect(server.addr()).unwrap();
+    assert!(matches!(first.query(1, 2).unwrap(), Reply::Ok(_)));
+    // The second socket gets one shed line, then EOF.
+    let mut second = ServeClient::connect(server.addr()).unwrap();
+    let doc = second.request(r#"{"op":"ping"}"#);
+    match doc {
+        Ok(doc) => assert_eq!(doc.get("status").and_then(Json::as_str), Some("shed")),
+        // The server closes the socket without reading; depending on
+        // timing the client sees EOF on read or a pipe error on write.
+        // All of them are valid shed behaviors.
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            ),
+            "unexpected error kind: {e}"
+        ),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_op_stops_the_server() {
+    let server = start(ServerOptions::default());
+    let addr = server.addr();
+    let mut client = ServeClient::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    server.wait(); // returns because the client asked for shutdown
+    server.shutdown();
+    assert!(
+        ServeClient::connect(addr).is_err() || {
+            // A connect may still succeed while the listener drains; a request
+            // on it must fail.
+            let mut c = ServeClient::connect(addr).unwrap();
+            c.ping().is_err()
+        }
+    );
+}
+
+/// The satellite's headline e2e: concurrent clients, an epoch swap (file
+/// reload + edge delta) mid-stream, and the assertion that every response
+/// is consistent with the epoch it claims — no stale-epoch answers.
+#[test]
+fn epoch_swap_under_concurrent_load_has_no_stale_answers() {
+    let params = SimStarParams { c: 0.6, iterations: 6 };
+    let server = Server::start(
+        graph_v0(),
+        "127.0.0.1",
+        0,
+        ServerOptions {
+            params,
+            batch: BatcherOptions { window_us: 300, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let k = 5;
+
+    // Ground truth per epoch, computed with independent deterministic
+    // engines: epoch 0 = v0, epoch 1 = v1 (reload), epoch 2 = v1 + delta.
+    let v0 = graph_v0();
+    let v1 = graph_v1();
+    let delta_add = [(3u32, 5u32), (5, 3)];
+    let v2 = {
+        let mut edges: Vec<(NodeId, NodeId)> = v1.edges().collect();
+        edges.extend(delta_add);
+        DiGraph::from_edges(8, &edges).unwrap()
+    };
+    let truth: Vec<Vec<Vec<(NodeId, f64)>>> = [&v0, &v1, &v2]
+        .iter()
+        .map(|g| {
+            let engine = det_engine(g, params);
+            (0..8).map(|q| engine.top_k(q, k)).collect()
+        })
+        .collect();
+
+    // Write v1 to a temp file for the reload op.
+    let dir = std::env::temp_dir().join("ssr_serve_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1_path = dir.join(format!("v1_{}.txt", std::process::id()));
+    std::fs::write(&v1_path, gio::to_edge_list_string(&v1)).unwrap();
+
+    // (epoch, node, matches) per ok response, one stream per client.
+    type Observed = Vec<(u64, NodeId, Vec<(NodeId, f64)>)>;
+    // Progress-based coordination (no sleep races): the admin waits for
+    // the clients to be mid-stream before each swap, the clients keep
+    // querying until they have seen the final epoch a few times.
+    let progress = std::sync::atomic::AtomicU32::new(0);
+    let responses: Vec<Observed> = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..4u32)
+            .map(|c| {
+                let progress = &progress;
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).unwrap();
+                    let mut seen = Vec::new();
+                    let mut final_epoch_hits = 0u32;
+                    for i in 0..5000u32 {
+                        let node = (c + i) % 8;
+                        match client.query(node, k).unwrap() {
+                            Reply::Ok(r) => {
+                                final_epoch_hits += (r.epoch == 2) as u32;
+                                seen.push((r.epoch, node, r.matches));
+                            }
+                            Reply::Shed => {}
+                            Reply::Error(e) => panic!("client {c}: {e}"),
+                        }
+                        progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if final_epoch_hits >= 10 {
+                            break;
+                        }
+                    }
+                    assert!(final_epoch_hits >= 10, "client {c} never reached epoch 2");
+                    seen
+                })
+            })
+            .collect();
+        // Admin thread: swap epochs twice while the clients hammer away,
+        // each swap only after the stream has demonstrably progressed.
+        let v1_path = &v1_path;
+        let progress = &progress;
+        let admin = scope.spawn(move || {
+            let wait_for = |target: u32| {
+                while progress.load(std::sync::atomic::Ordering::Relaxed) < target {
+                    std::thread::yield_now();
+                }
+            };
+            let mut admin = ServeClient::connect(addr).unwrap();
+            wait_for(40);
+            let e1 = admin.reload(&v1_path.to_string_lossy()).unwrap();
+            assert_eq!(e1, 1);
+            let mark = progress.load(std::sync::atomic::Ordering::Relaxed);
+            wait_for(mark + 40);
+            let e2 = admin.edge_delta(&delta_add, &[]).unwrap();
+            assert_eq!(e2, 2);
+        });
+        admin.join().unwrap();
+        clients.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut epochs_seen = std::collections::BTreeSet::new();
+    for (client_id, stream) in responses.iter().enumerate() {
+        assert!(!stream.is_empty());
+        let mut last_epoch = 0u64;
+        for (epoch, node, matches) in stream {
+            // Every answer must be exactly the ranking of the graph
+            // version its epoch tag names — a stale answer under a fresh
+            // tag (or vice versa) fails bitwise.
+            let expect = &truth[*epoch as usize][*node as usize];
+            assert_eq!(
+                matches, expect,
+                "client {client_id}: epoch {epoch} node {node} answer is stale or wrong"
+            );
+            // Per-connection epoch monotonicity: once a client sees epoch
+            // E, it never gets answers from an older snapshot.
+            assert!(
+                *epoch >= last_epoch,
+                "client {client_id}: epoch went backwards ({last_epoch} -> {epoch})"
+            );
+            last_epoch = *epoch;
+            epochs_seen.insert(*epoch);
+        }
+    }
+    // The swaps happened mid-stream: the final epoch must have been
+    // observed, and queries issued after the swap completed must be new.
+    assert!(epochs_seen.contains(&2), "swap never became visible: {epochs_seen:?}");
+    let mut late = ServeClient::connect(addr).unwrap();
+    let Reply::Ok(fresh) = late.query(3, k).unwrap() else { panic!() };
+    assert_eq!(fresh.epoch, 2, "post-swap queries must run on the new epoch");
+    assert_eq!(fresh.matches, truth[2][3]);
+
+    std::fs::remove_file(&v1_path).ok();
+    server.shutdown();
+}

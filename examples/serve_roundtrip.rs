@@ -1,0 +1,56 @@
+//! Serve round trip: start a query server in-process, talk the newline-
+//! JSON protocol to it, swap the graph mid-session, and read the metrics.
+//!
+//! Run with `cargo run --release --example serve_roundtrip`.
+
+use simrank_star_repro::ssr_gen::fixtures::figure1_graph;
+use simrank_star_repro::ssr_serve::client::{Reply, ServeClient};
+use simrank_star_repro::ssr_serve::json::Json;
+use simrank_star_repro::ssr_serve::server::{Server, ServerOptions};
+
+fn main() -> std::io::Result<()> {
+    // 1. Serve the paper's Figure 1 graph on an ephemeral loopback port.
+    let server = Server::start(figure1_graph(), "127.0.0.1", 0, ServerOptions::default())
+        .expect("bind an ephemeral port");
+    println!("server listening on {}", server.addr());
+
+    let mut client = ServeClient::connect(server.addr())?;
+
+    // 2. A top-k query; the response carries the epoch that computed it.
+    let Reply::Ok(first) = client.query(8, 3)? else { panic!("query failed") };
+    println!("\nepoch {}: top-3 for node 8 (computed):", first.epoch);
+    for (v, s) in &first.matches {
+        println!("  node {v:>2}  score {s:.6}");
+    }
+
+    // 3. The same query again is a cache hit — same bits, no recompute.
+    let Reply::Ok(again) = client.query(8, 3)? else { panic!("query failed") };
+    assert!(again.cached && again.matches == first.matches);
+    println!("repeat was served from the cache (bit-identical)");
+
+    // 4. An edge delta publishes a new epoch; queries after it see the new
+    //    graph, and the response epoch says so.
+    let epoch = client.edge_delta(&[(8, 4), (4, 8)], &[])?;
+    let Reply::Ok(fresh) = client.query(8, 3)? else { panic!("query failed") };
+    println!("\nafter edge-delta: epoch {epoch}, top-3 for node 8:");
+    for (v, s) in &fresh.matches {
+        println!("  node {v:>2}  score {s:.6}");
+    }
+    assert_eq!(fresh.epoch, epoch);
+
+    // 5. The stats op surfaces cache / batcher / epoch metrics.
+    let stats = client.stats()?;
+    let cache = stats.get("cache").expect("cache metrics");
+    println!(
+        "\nstats: epoch_swaps={}, cache hits={} misses={} entries={}",
+        stats.get("epoch_swaps").and_then(Json::as_num).unwrap_or(0.0),
+        cache.get("hits").and_then(Json::as_num).unwrap_or(0.0),
+        cache.get("misses").and_then(Json::as_num).unwrap_or(0.0),
+        cache.get("entries").and_then(Json::as_num).unwrap_or(0.0),
+    );
+
+    client.shutdown()?;
+    server.shutdown();
+    println!("server stopped");
+    Ok(())
+}

@@ -13,3 +13,4 @@ pub use ssr_eval;
 pub use ssr_gen;
 pub use ssr_graph;
 pub use ssr_linalg;
+pub use ssr_serve;
