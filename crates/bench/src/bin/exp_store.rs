@@ -1,0 +1,28 @@
+//! Graph-store load trajectory: text parse vs `.ssg` binary load (full
+//! and out-only), file sizes, and bits/id, written to `BENCH_store.json`.
+//!
+//! Usage: `exp_store [--smoke] [--out PATH]`
+
+use ssr_bench::store_bench::{run_store_bench, StoreBenchOptions};
+
+fn main() {
+    let mut opts =
+        StoreBenchOptions { smoke: false, out_path: std::path::PathBuf::from("BENCH_store.json") };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => match args.next() {
+                Some(p) => opts.out_path = p.into(),
+                None => die("--out is missing its value"),
+            },
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    run_store_bench(&opts);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("exp_store: {msg}\nusage: exp_store [--smoke] [--out PATH]");
+    std::process::exit(1);
+}

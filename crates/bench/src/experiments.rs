@@ -414,6 +414,10 @@ pub fn run_all() {
             smoke: false,
             out_path: "BENCH_serve.json".into(),
         });
+        crate::store_bench::run_store_bench(&crate::store_bench::StoreBenchOptions {
+            smoke: false,
+            out_path: "BENCH_store.json".into(),
+        });
     });
     println!("\ntotal experiment wall-clock: {}", secs(total));
 }

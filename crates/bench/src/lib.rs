@@ -17,6 +17,7 @@
 //! | `exp_query_engine` | query-engine perf trajectory (`BENCH_query_engine.json`) |
 //! | `exp_allpairs` | all-pairs perf trajectory (`BENCH_allpairs.json`) |
 //! | `exp_serve` | serving-layer perf trajectory (`BENCH_serve.json`) |
+//! | `exp_store` | graph-store load trajectory (`BENCH_store.json`) |
 //! | `bench_check` | CI perf-regression gate over the trajectories |
 //! | `run_all` | everything above, in order |
 //!
@@ -38,6 +39,7 @@ pub mod memuse;
 pub mod query_bench;
 pub mod runners;
 pub mod serve_bench;
+pub mod store_bench;
 
 use std::time::{Duration, Instant};
 

@@ -59,7 +59,15 @@ COMMANDS:
             --input FILE [--samples 2000] [--radius 6] [--seed 0]
   generate  synthetic graphs
             --kind er|rmat|web|citation|coauthor --nodes N [--edges M]
-            [--seed 0] [--output FILE]
+            [--seed 0] [--output FILE] [--store FILE.ssg]
+            --store writes the binary graph store directly (no text
+            round-trip); both flags may be given together
+  store     binary graph store (.ssg) tools — every command above also
+            accepts .ssg files for --input (format sniffed by content)
+            store build  --input FILE --output FILE.ssg
+                         [--dataset NAME] [--divisor N] [--build-params S]
+            store info   --input FILE.ssg
+            store verify --input FILE.ssg   (checksums + full decode)
 ";
 
 /// Runs one subcommand; returns the text to print.
@@ -73,6 +81,7 @@ pub fn run(command: &str, rest: &[String]) -> Result<String, ArgError> {
         "stats" => cmd_stats(rest),
         "audit" => cmd_audit(rest),
         "generate" => cmd_generate(rest),
+        "store" => crate::store_cmd::cmd_store(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(ArgError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -80,7 +89,9 @@ pub fn run(command: &str, rest: &[String]) -> Result<String, ArgError> {
 
 pub(crate) fn load_graph(args: &Args) -> Result<DiGraph, ArgError> {
     let path = args.req("input")?;
-    gio::read_edge_list_file(path).map_err(|e| ArgError(format!("reading `{path}`: {e}")))
+    // Content-sniffing loader: `.ssg` binary stores and text edge lists
+    // are interchangeable for every `--input` in the tool.
+    ssr_store::load_graph_auto(path).map_err(|e| ArgError(format!("reading `{path}`: {e}")))
 }
 
 fn cmd_compute(rest: &[String]) -> Result<String, ArgError> {
@@ -484,7 +495,7 @@ fn cmd_audit(rest: &[String]) -> Result<String, ArgError> {
 }
 
 fn cmd_generate(rest: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(rest, &["kind", "nodes", "edges", "seed", "output"])?;
+    let args = Args::parse(rest, &["kind", "nodes", "edges", "seed", "output", "store"])?;
     let kind = args.req("kind")?;
     let nodes = args.get("nodes", 1000usize)?;
     let edges = args.get("edges", nodes * 8)?;
@@ -525,6 +536,24 @@ fn cmd_generate(rest: &[String]) -> Result<String, ArgError> {
             )))
         }
     };
+    if args.has("store") {
+        // Straight to the binary store: no text round-trip, and the build
+        // provenance rides along as metadata.
+        let path = args.req("store")?;
+        let bytes = ssr_store::StoreWriter::new(&g)
+            .meta(ssr_store::meta_keys::BUILD, format!("kind={kind} seed={seed}"))
+            .write_file(path)
+            .map_err(|e| ArgError(format!("writing store `{path}`: {e}")))?;
+        let mut out = format!(
+            "wrote store {path}: n={} m={} ({bytes} bytes)\n",
+            g.node_count(),
+            g.edge_count()
+        );
+        if args.has("output") {
+            out.push_str(&write_or_return(&args, gio::to_edge_list_string(&g))?);
+        }
+        return Ok(out);
+    }
     let text = gio::to_edge_list_string(&g);
     write_or_return(&args, text)
 }
@@ -939,6 +968,44 @@ mod tests {
         .unwrap();
         assert!(out.contains("wrote"));
         assert!(path.exists());
+    }
+
+    #[test]
+    fn generate_store_emits_loadable_ssg() {
+        let dir = std::env::temp_dir().join("simstar_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pid = std::process::id();
+        let ssg = dir.join(format!("gen_{pid}.ssg"));
+        let txt = dir.join(format!("gen_{pid}.txt"));
+        let out = run(
+            "generate",
+            &toks(&format!(
+                "--kind er --nodes 32 --edges 64 --seed 3 --store {} --output {}",
+                ssg.to_string_lossy(),
+                txt.to_string_lossy()
+            )),
+        )
+        .unwrap();
+        assert!(out.contains("wrote store"), "{out}");
+        // The store and the text output describe the identical graph, and
+        // build provenance rides along as metadata.
+        let from_store = ssr_store::load_graph_auto(&ssg).unwrap();
+        let from_text = ssr_store::load_graph_auto(&txt).unwrap();
+        assert_eq!(from_store, from_text);
+        let r = ssr_store::StoreReader::open(&ssg).unwrap();
+        assert_eq!(r.meta(ssr_store::meta_keys::BUILD), Some("kind=er seed=3"));
+        // Store-only mode works too (no text dumped to stdout).
+        let only = run(
+            "generate",
+            &toks(&format!(
+                "--kind er --nodes 32 --edges 64 --seed 3 --store {}",
+                ssg.to_string_lossy()
+            )),
+        )
+        .unwrap();
+        assert!(only.starts_with("wrote store"));
+        std::fs::remove_file(&ssg).ok();
+        std::fs::remove_file(&txt).ok();
     }
 
     #[test]

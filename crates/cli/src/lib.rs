@@ -10,3 +10,4 @@
 pub mod args;
 pub mod commands;
 pub mod serve_cmd;
+pub mod store_cmd;

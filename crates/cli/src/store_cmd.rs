@@ -1,0 +1,205 @@
+//! The `simstar store` subcommand family: build, inspect, and verify
+//! `.ssg` binary graph stores.
+
+use crate::args::{ArgError, Args};
+use ssr_store::{meta_keys, StoreReader, StoreWriter};
+use std::fmt::Write as _;
+
+/// Dispatches `simstar store <action>`.
+pub fn cmd_store(rest: &[String]) -> Result<String, ArgError> {
+    let Some((action, rest)) = rest.split_first() else {
+        return Err(ArgError(
+            "store needs an action: `store build|info|verify --flag value ...`".into(),
+        ));
+    };
+    match action.as_str() {
+        "build" => cmd_build(rest),
+        "info" => cmd_info(rest),
+        "verify" => cmd_verify(rest),
+        other => Err(ArgError(format!("unknown store action `{other}` (build|info|verify)"))),
+    }
+}
+
+/// `store build`: text edge list (or another store) in, `.ssg` out.
+fn cmd_build(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(rest, &["input", "output", "dataset", "divisor", "build-params"])?;
+    let input = args.req("input")?;
+    let output = args.req("output")?;
+    // The auto loader accepts either format, so `store build` also
+    // re-encodes an existing store (e.g. after a format-version bump).
+    // A store input's metadata is carried through — provenance must
+    // survive a re-encode — with command-line flags overriding per key.
+    let mut carried: Vec<(String, String)> = Vec::new();
+    let g = if ssr_store::is_store_file(input)
+        .map_err(|e| ArgError(format!("reading `{input}`: {e}")))?
+    {
+        let mut reader = ssr_store::StoreReader::open(input)
+            .map_err(|e| ArgError(format!("opening `{input}`: {e}")))?;
+        carried = reader.metadata().to_vec();
+        reader.load_full().map_err(|e| ArgError(format!("reading `{input}`: {e}")))?
+    } else {
+        ssr_store::load_graph_auto(input)
+            .map_err(|e| ArgError(format!("reading `{input}`: {e}")))?
+    };
+    for (flag, key) in [
+        ("dataset", meta_keys::DATASET),
+        ("divisor", meta_keys::DIVISOR),
+        ("build-params", meta_keys::BUILD),
+    ] {
+        if args.has(flag) {
+            carried.retain(|(k, _)| k != key);
+            carried.push((key.to_string(), args.req(flag)?.to_string()));
+        }
+    }
+    let mut w = StoreWriter::new(&g);
+    for (k, v) in carried {
+        w = w.meta(k, v);
+    }
+    let bytes = w.write_file(output).map_err(|e| ArgError(format!("writing `{output}`: {e}")))?;
+    Ok(format!("wrote {output}: n={} m={} ({bytes} bytes)\n", g.node_count(), g.edge_count()))
+}
+
+/// `store info`: header, section table, metadata, size accounting.
+fn cmd_info(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(rest, &["input"])?;
+    let input = args.req("input")?;
+    let r = StoreReader::open(input).map_err(|e| ArgError(format!("opening `{input}`: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "store                 {input}");
+    let _ = writeln!(out, "format version        {}", r.version());
+    let _ = writeln!(out, "nodes                 {}", r.node_count());
+    let _ = writeln!(out, "edges                 {}", r.edge_count());
+    let _ = writeln!(out, "file bytes            {}", r.file_len());
+    let _ = writeln!(out, "adjacency bits/id     {:.2} (32 in memory)", r.bits_per_edge());
+    let _ = writeln!(out, "sections              {}", r.sections().len());
+    for s in r.sections() {
+        let name = match s.id {
+            ssr_store::format::SECTION_OUT => "out-adjacency",
+            ssr_store::format::SECTION_IN => "in-adjacency",
+            ssr_store::format::SECTION_META => "metadata",
+            _ => "unknown",
+        };
+        let _ = writeln!(
+            out,
+            "  section {:<2} {:<14} offset={:<10} len={:<10} checksum={:016x}",
+            s.id, name, s.offset, s.len, s.checksum
+        );
+    }
+    if !r.metadata().is_empty() {
+        let _ = writeln!(out, "metadata");
+        for (k, v) in r.metadata() {
+            let _ = writeln!(out, "  {k} = {v}");
+        }
+    }
+    Ok(out)
+}
+
+/// `store verify`: checksums + full structural decode.
+fn cmd_verify(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(rest, &["input"])?;
+    let input = args.req("input")?;
+    let mut r =
+        StoreReader::open(input).map_err(|e| ArgError(format!("opening `{input}`: {e}")))?;
+    let report = r.verify().map_err(|e| ArgError(format!("verify failed for `{input}`: {e}")))?;
+    Ok(format!(
+        "ok: {} sections, {} payload bytes, n={} m={}, {:.2} bits/id\n",
+        report.sections, report.payload_bytes, report.nodes, report.edges, report.bits_per_edge
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::commands::run;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tmp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("simstar_store_cmd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tmp_text_graph(name: &str) -> String {
+        let path = tmp_dir().join(format!("{}_{name}.txt", std::process::id()));
+        let g = ssr_gen::fixtures::figure1_graph();
+        std::fs::write(&path, ssr_graph::io::to_edge_list_string(&g)).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn build_info_verify_round_trip() {
+        let text = tmp_text_graph("roundtrip");
+        let ssg = tmp_dir().join(format!("{}_rt.ssg", std::process::id()));
+        let ssg = ssg.to_string_lossy().into_owned();
+        let built = run(
+            "store",
+            &toks(&format!("build --input {text} --output {ssg} --dataset fig1 --divisor 1")),
+        )
+        .unwrap();
+        assert!(built.contains("n=11"), "{built}");
+        let info = run("store", &toks(&format!("info --input {ssg}"))).unwrap();
+        assert!(info.contains("nodes                 11"), "{info}");
+        assert!(info.contains("out-adjacency"));
+        assert!(info.contains("dataset = fig1"));
+        assert!(info.contains("divisor = 1"));
+        let verify = run("store", &toks(&format!("verify --input {ssg}"))).unwrap();
+        assert!(verify.starts_with("ok:"), "{verify}");
+        // Re-encoding a store carries its metadata through; flags
+        // override individual keys.
+        let ssg2 = tmp_dir().join(format!("{}_rt2.ssg", std::process::id()));
+        let ssg2 = ssg2.to_string_lossy().into_owned();
+        run("store", &toks(&format!("build --input {ssg} --output {ssg2} --divisor 2"))).unwrap();
+        let info2 = run("store", &toks(&format!("info --input {ssg2}"))).unwrap();
+        assert!(info2.contains("dataset = fig1"), "provenance must survive re-encode: {info2}");
+        assert!(info2.contains("divisor = 2"), "{info2}");
+    }
+
+    #[test]
+    fn store_input_transparent_to_query_and_stats() {
+        let text = tmp_text_graph("transparent");
+        let ssg = tmp_dir().join(format!("{}_tp.ssg", std::process::id()));
+        let ssg = ssg.to_string_lossy().into_owned();
+        run("store", &toks(&format!("build --input {text} --output {ssg}"))).unwrap();
+        // Same answers whether the input is text or store.
+        let q_text = run("query", &toks(&format!("--input {text} --node 8 --top-k 3"))).unwrap();
+        let q_ssg = run("query", &toks(&format!("--input {ssg} --node 8 --top-k 3"))).unwrap();
+        assert_eq!(q_text, q_ssg);
+        let s_text = run("stats", &toks(&format!("--input {text}"))).unwrap();
+        let s_ssg = run("stats", &toks(&format!("--input {ssg}"))).unwrap();
+        assert_eq!(s_text, s_ssg);
+        let a_text = run("allpairs", &toks(&format!("--input {text} --top-k 2"))).unwrap();
+        let a_ssg = run("allpairs", &toks(&format!("--input {ssg} --top-k 2"))).unwrap();
+        assert_eq!(a_text, a_ssg);
+    }
+
+    #[test]
+    fn verify_rejects_corruption() {
+        let text = tmp_text_graph("corrupt");
+        let ssg = tmp_dir().join(format!("{}_c.ssg", std::process::id()));
+        let ssg_str = ssg.to_string_lossy().into_owned();
+        run("store", &toks(&format!("build --input {text} --output {ssg_str}"))).unwrap();
+        let mut bytes = std::fs::read(&ssg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&ssg, &bytes).unwrap();
+        let err = run("store", &toks(&format!("verify --input {ssg_str}"))).unwrap_err();
+        assert!(err.0.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn bad_action_and_missing_flags_error() {
+        assert!(run("store", &[]).is_err());
+        assert!(run("store", &toks("frob --input x")).is_err());
+        assert!(run("store", &toks("build --input only.txt")).is_err());
+        assert!(run("store", &toks("info --input /nonexistent.ssg")).is_err());
+    }
+
+    #[test]
+    fn text_input_to_info_is_a_typed_error() {
+        let text = tmp_text_graph("notastore");
+        let err = run("store", &toks(&format!("info --input {text}"))).unwrap_err();
+        assert!(err.0.contains("magic"), "{err}");
+    }
+}

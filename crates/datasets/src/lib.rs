@@ -151,13 +151,110 @@ impl Dataset {
 /// Loads a dataset scaled down by `divisor` (node count divided by it,
 /// density preserved). `divisor = 1` reproduces paper-scale sizes — only
 /// sensible for the smaller DBLP slices.
+///
+/// If the `SSR_DATASET_CACHE` environment variable names a directory, a
+/// cached `.ssg` store written by [`write_cache`] is used instead of
+/// regenerating (see [`load_with_cache`] for what is and isn't cacheable).
 pub fn load(id: DatasetId, divisor: usize) -> Dataset {
+    let cache_dir = std::env::var_os("SSR_DATASET_CACHE").map(std::path::PathBuf::from);
+    load_with_cache(id, divisor, cache_dir.as_deref())
+}
+
+/// [`load`] with an explicit cache directory.
+///
+/// Citation and web datasets load their graph from a matching cached
+/// `.ssg` (metadata must agree on dataset name, divisor, and the
+/// [`GENERATOR_REV`]+seed fingerprint, so caches from older generator
+/// revisions are treated as misses) — the roles
+/// vector is the in-degree, recomputable from the graph, so the cached
+/// dataset is identical to the generated one. Co-authorship datasets
+/// always regenerate: their planted community ground truth lives in the
+/// generator, not in the graph, and a graph-only cache would silently
+/// drop it. Any unreadable or mismatched cache file falls back to
+/// generation (the cache is an accelerator, never a correctness risk).
+pub fn load_with_cache(
+    id: DatasetId,
+    divisor: usize,
+    cache_dir: Option<&std::path::Path>,
+) -> Dataset {
+    if let Some(dir) = cache_dir {
+        if id.kind() != DatasetKind::CoAuthorship {
+            if let Some(graph) = try_load_cached(id, divisor, dir) {
+                let roles = graph.nodes().map(|v| graph.in_degree(v) as f64).collect();
+                return Dataset { id, graph, roles, community: None, scale_divisor: divisor };
+            }
+        }
+    }
+    generate(id, divisor)
+}
+
+/// The conventional cache location for one `(dataset, divisor)` pair.
+pub fn cache_path(dir: &std::path::Path, id: DatasetId, divisor: usize) -> std::path::PathBuf {
+    dir.join(format!("{}-div{divisor}.ssg", id.name()))
+}
+
+/// Generator revision stamped into (and required of) every cache file.
+/// **Bump this whenever any generator in `ssr-gen` or the seed formula
+/// below changes** — name+divisor alone cannot tell a stale cache from a
+/// fresh one, and a stale graph silently substituted under unchanged
+/// metadata would detach results from the code that claims to produce
+/// them.
+pub const GENERATOR_REV: &str = "gen1";
+
+/// The deterministic seed [`load`] generates a `(dataset, divisor)` pair
+/// with (also part of the cache fingerprint).
+fn generation_seed(id: DatasetId, divisor: usize) -> u64 {
+    0xD5EA_5E00 ^ (id as u64) << 8 ^ divisor as u64
+}
+
+/// The full fingerprint a cache file must carry to be trusted.
+fn cache_fingerprint(id: DatasetId, divisor: usize) -> String {
+    format!("{GENERATOR_REV}/seed={:#x}", generation_seed(id, divisor))
+}
+
+/// Writes a dataset's graph to its cache location, stamping the metadata
+/// [`load_with_cache`] checks. Returns the written path.
+pub fn write_cache(
+    d: &Dataset,
+    dir: &std::path::Path,
+) -> Result<std::path::PathBuf, ssr_store::StoreError> {
+    std::fs::create_dir_all(dir).map_err(|e| ssr_store::StoreError::Io(e.to_string()))?;
+    let path = cache_path(dir, d.id, d.scale_divisor);
+    ssr_store::StoreWriter::new(&d.graph)
+        .meta(ssr_store::meta_keys::DATASET, d.id.name())
+        .meta(ssr_store::meta_keys::DIVISOR, d.scale_divisor.to_string())
+        .meta(ssr_store::meta_keys::BUILD, cache_fingerprint(d.id, d.scale_divisor))
+        .write_file(&path)?;
+    Ok(path)
+}
+
+/// Loads the cached graph when present and its metadata matches; `None`
+/// (⇒ regenerate) on any miss, mismatch, or corruption.
+fn try_load_cached(
+    id: DatasetId,
+    divisor: usize,
+    dir: &std::path::Path,
+) -> Option<ssr_graph::DiGraph> {
+    let path = cache_path(dir, id, divisor);
+    let mut reader = ssr_store::StoreReader::open(&path).ok()?;
+    let matches = reader.meta(ssr_store::meta_keys::DATASET) == Some(id.name())
+        && reader.meta(ssr_store::meta_keys::DIVISOR) == Some(divisor.to_string().as_str())
+        && reader.meta(ssr_store::meta_keys::BUILD)
+            == Some(cache_fingerprint(id, divisor).as_str());
+    if !matches {
+        return None;
+    }
+    reader.load_full().ok()
+}
+
+/// Deterministic generation (the pre-cache body of [`load`]).
+fn generate(id: DatasetId, divisor: usize) -> Dataset {
     assert!(divisor >= 1, "divisor must be >= 1");
     let (pn, pm) = id.paper_size();
     let n = (pn / divisor).max(64);
     let m = (pm / divisor).max(4 * n);
     let density = id.paper_density();
-    let seed = 0xD5EA_5E00 ^ (id as u64) << 8 ^ divisor as u64;
+    let seed = generation_seed(id, divisor);
     match id.kind() {
         DatasetKind::Citation => {
             let g = citation_graph(
@@ -325,6 +422,59 @@ mod tests {
             assert_eq!(d.roles.len(), d.graph.node_count());
             assert!(d.roles.iter().all(|&r| r >= 0.0));
         }
+    }
+
+    #[test]
+    fn cached_store_load_matches_generation() {
+        let dir = std::env::temp_dir()
+            .join("ssr_datasets_cache_test")
+            .join(std::process::id().to_string());
+        let generated = load(DatasetId::CitHepTh, 64);
+        let path = write_cache(&generated, &dir).unwrap();
+        assert!(path.exists());
+        let cached = load_with_cache(DatasetId::CitHepTh, 64, Some(&dir));
+        assert_eq!(cached.graph, generated.graph);
+        assert_eq!(cached.roles, generated.roles);
+        assert_eq!(cached.scale_divisor, 64);
+        // A different divisor misses the cache (file name + metadata).
+        let other = load_with_cache(DatasetId::CitHepTh, 128, Some(&dir));
+        assert!(other.graph.node_count() != generated.graph.node_count());
+        // A cache from a different generator revision is a miss, not a
+        // silent substitution: plant a *wrong* graph at the right path
+        // with the right name+divisor but a stale fingerprint — the
+        // loader must regenerate rather than serve it.
+        let wrong = load(DatasetId::CitHepTh, 128);
+        ssr_store::StoreWriter::new(&wrong.graph)
+            .meta(ssr_store::meta_keys::DATASET, "CitHepTh")
+            .meta(ssr_store::meta_keys::DIVISOR, "64")
+            .meta(ssr_store::meta_keys::BUILD, "gen0/seed=0x0")
+            .write_file(&path)
+            .unwrap();
+        let stale = load_with_cache(DatasetId::CitHepTh, 64, Some(&dir));
+        assert_eq!(stale.graph, generated.graph, "stale fingerprint must regenerate");
+        // Corrupt cache falls back to generation instead of failing.
+        write_cache(&generated, &dir).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let fallback = load_with_cache(DatasetId::CitHepTh, 64, Some(&dir));
+        assert_eq!(fallback.graph, generated.graph);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn coauthorship_keeps_planted_truth_despite_cache() {
+        let dir = std::env::temp_dir()
+            .join("ssr_datasets_cache_test_coauthor")
+            .join(std::process::id().to_string());
+        let generated = load(DatasetId::D05, 8);
+        write_cache(&generated, &dir).unwrap();
+        // Community datasets regenerate: ground truth must survive.
+        let loaded = load_with_cache(DatasetId::D05, 8, Some(&dir));
+        assert!(loaded.community.is_some());
+        assert_eq!(loaded.graph, generated.graph);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -84,6 +84,79 @@ impl DiGraph {
         DiGraph { n, out_offsets, out_targets, in_offsets, in_sources }
     }
 
+    /// Rebuilds a graph directly from its four CSR arrays — the zero-parse
+    /// load path used by `ssr-store` (the arrays come gap-decoded straight
+    /// off disk, already sorted, so no re-sort happens).
+    ///
+    /// Validates everything a hostile or corrupted input could get wrong:
+    /// offset monotonicity and bounds, per-node adjacency sortedness and
+    /// id range, equal edge counts in both directions, and (via an
+    /// order-independent per-edge digest) that the two directions describe
+    /// the same edge set.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidCsr`] describing the first inconsistency found.
+    pub fn from_csr(
+        n: usize,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<NodeId>,
+        in_offsets: Vec<usize>,
+        in_sources: Vec<NodeId>,
+    ) -> Result<Self, GraphError> {
+        validate_csr_side(n, &out_offsets, &out_targets, "out")?;
+        validate_csr_side(n, &in_offsets, &in_sources, "in")?;
+        if out_targets.len() != in_sources.len() {
+            return Err(GraphError::InvalidCsr(format!(
+                "direction edge counts differ: out has {}, in has {}",
+                out_targets.len(),
+                in_sources.len()
+            )));
+        }
+        // Order-independent digest over (u, v) pairs: both directions must
+        // describe the same edge multiset. O(m), no allocation.
+        let digest = |offsets: &[usize], adj: &[NodeId], reversed: bool| -> u64 {
+            let mut acc = 0u64;
+            for a in 0..n {
+                for &b in &adj[offsets[a]..offsets[a + 1]] {
+                    let (u, v) = if reversed { (b, a as NodeId) } else { (a as NodeId, b) };
+                    acc ^= edge_digest(u, v);
+                }
+            }
+            acc
+        };
+        if digest(&out_offsets, &out_targets, false) != digest(&in_offsets, &in_sources, true) {
+            return Err(GraphError::InvalidCsr(
+                "out- and in-adjacency describe different edge sets".into(),
+            ));
+        }
+        Ok(DiGraph { n, out_offsets, out_targets, in_offsets, in_sources })
+    }
+
+    /// Assembles a graph from CSR arrays a decoder has **already
+    /// validated** — the zero-copy tail of `ssr-store`'s load path, which
+    /// establishes every [`DiGraph::from_csr`] invariant while gap-decoding
+    /// (sortedness and id range fall out of the decode itself; direction
+    /// agreement is checked with an inline digest).
+    ///
+    /// In debug builds this delegates to the validating constructor and
+    /// panics on violations, so the test suite cross-checks every caller;
+    /// release builds skip straight to assembly. A bad caller can produce
+    /// wrong answers or index panics downstream, never memory unsafety
+    /// (the crate forbids `unsafe`).
+    pub fn from_csr_trusted(
+        n: usize,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<NodeId>,
+        in_offsets: Vec<usize>,
+        in_sources: Vec<NodeId>,
+    ) -> Self {
+        if cfg!(debug_assertions) {
+            return Self::from_csr(n, out_offsets, out_targets, in_offsets, in_sources)
+                .expect("from_csr_trusted caller violated a CSR invariant");
+        }
+        DiGraph { n, out_offsets, out_targets, in_offsets, in_sources }
+    }
+
     /// Number of nodes `|V|`.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -187,13 +260,70 @@ impl DiGraph {
     }
 
     /// Estimated resident bytes of the CSR arrays (used by the Fig. 6(h)
-    /// memory experiment).
+    /// memory experiment and the store-vs-memory size report).
+    ///
+    /// Counts **both** adjacency directions at their allocated capacity
+    /// (not just length), so the number is honest about what the process
+    /// actually holds: `2·(n+1)` offset words plus `2·m` node ids for an
+    /// exactly-sized graph.
     pub fn estimated_bytes(&self) -> usize {
-        self.out_offsets.len() * std::mem::size_of::<usize>()
-            + self.in_offsets.len() * std::mem::size_of::<usize>()
-            + self.out_targets.len() * std::mem::size_of::<NodeId>()
-            + self.in_sources.len() * std::mem::size_of::<NodeId>()
+        self.out_offsets.capacity() * std::mem::size_of::<usize>()
+            + self.in_offsets.capacity() * std::mem::size_of::<usize>()
+            + self.out_targets.capacity() * std::mem::size_of::<NodeId>()
+            + self.in_sources.capacity() * std::mem::size_of::<NodeId>()
     }
+}
+
+/// Checks one CSR direction: offset shape, monotonicity, strictly
+/// ascending adjacency, node ids in range.
+fn validate_csr_side(
+    n: usize,
+    offsets: &[usize],
+    adjacency: &[NodeId],
+    side: &str,
+) -> Result<(), GraphError> {
+    let fail = |message: String| Err(GraphError::InvalidCsr(message));
+    if offsets.len() != n + 1 {
+        return fail(format!("{side}-offsets has length {} for {n} nodes", offsets.len()));
+    }
+    if offsets[0] != 0 {
+        return fail(format!("{side}-offsets does not start at 0"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return fail(format!("{side}-offsets not monotone"));
+    }
+    if offsets[n] != adjacency.len() {
+        return fail(format!(
+            "{side}-offsets end at {} but adjacency holds {} ids",
+            offsets[n],
+            adjacency.len()
+        ));
+    }
+    for v in 0..n {
+        let list = &adjacency[offsets[v]..offsets[v + 1]];
+        if list.windows(2).any(|w| w[0] >= w[1]) {
+            return fail(format!("{side}-adjacency of node {v} not strictly ascending"));
+        }
+        if let Some(&last) = list.last() {
+            if last as usize >= n {
+                return fail(format!("{side}-adjacency of node {v} references node {last} >= {n}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Mixes one edge into a 64-bit value (SplitMix64 finalizer — good
+/// avalanche, so xor-accumulation over edge sets detects direction
+/// mismatches with overwhelming probability). Exported so decoders that
+/// establish [`DiGraph::from_csr`]'s invariants themselves (`ssr-store`)
+/// compute the *same* cross-direction digest this crate validates with.
+#[inline]
+pub fn edge_digest(u: NodeId, v: NodeId) -> u64 {
+    let mut z = ((u as u64) << 32 | v as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl std::fmt::Debug for DiGraph {
@@ -299,6 +429,66 @@ mod tests {
         let g = diamond();
         let e: Vec<_> = g.edges().collect();
         assert_eq!(e, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn from_csr_round_trips_the_diamond() {
+        let g = diamond();
+        let rebuilt = DiGraph::from_csr(
+            4,
+            g.out_offsets.clone(),
+            g.out_targets.clone(),
+            g.in_offsets.clone(),
+            g.in_sources.clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn from_csr_rejects_structural_corruption() {
+        let g = diamond();
+        let csr = || {
+            (
+                g.out_offsets.clone(),
+                g.out_targets.clone(),
+                g.in_offsets.clone(),
+                g.in_sources.clone(),
+            )
+        };
+        let invalid = |r: Result<DiGraph, GraphError>| {
+            assert!(matches!(r.unwrap_err(), GraphError::InvalidCsr(_)));
+        };
+        // Wrong offset length.
+        let (mut oo, ot, io, is) = csr();
+        oo.pop();
+        invalid(DiGraph::from_csr(4, oo, ot, io, is));
+        // Non-monotone offsets.
+        let (mut oo, ot, io, is) = csr();
+        oo[1] = 3;
+        oo[2] = 1;
+        invalid(DiGraph::from_csr(4, oo, ot, io, is));
+        // Unsorted adjacency.
+        let (oo, mut ot, io, is) = csr();
+        ot.swap(0, 1);
+        invalid(DiGraph::from_csr(4, oo, ot, io, is));
+        // Out-of-range target.
+        let (oo, mut ot, io, is) = csr();
+        ot[0] = 9;
+        invalid(DiGraph::from_csr(4, oo, ot, io, is));
+        // Directions that disagree on the edge set: node 1's in-list
+        // claims the edge 2 -> 1, which the out-direction never recorded.
+        let (oo, ot, io, mut is) = csr();
+        is[0] = 2;
+        invalid(DiGraph::from_csr(4, oo, ot, io, is));
+    }
+
+    #[test]
+    fn estimated_bytes_counts_both_directions() {
+        let g = diamond(); // n = 4, m = 4, exactly-sized vectors
+        let words = std::mem::size_of::<usize>();
+        let ids = std::mem::size_of::<NodeId>();
+        assert_eq!(g.estimated_bytes(), 2 * 5 * words + 2 * 4 * ids);
     }
 
     #[test]

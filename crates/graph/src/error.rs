@@ -27,6 +27,13 @@ pub enum GraphError {
         /// The underlying I/O error message.
         String,
     ),
+    /// Raw CSR arrays handed to [`crate::DiGraph::from_csr`] were
+    /// structurally inconsistent (non-monotone offsets, unsorted
+    /// adjacency, out-of-range ids, mismatched directions).
+    InvalidCsr(
+        /// Description of the inconsistency.
+        String,
+    ),
 }
 
 impl fmt::Display for GraphError {
@@ -40,6 +47,7 @@ impl fmt::Display for GraphError {
                 write!(f, "edge-list parse error at line {line}: {message}")
             }
             GraphError::Io(msg) => write!(f, "I/O error: {msg}"),
+            GraphError::InvalidCsr(msg) => write!(f, "invalid CSR arrays: {msg}"),
         }
     }
 }

@@ -51,12 +51,17 @@ pub fn graph_from_edge_list(text: &str) -> Result<DiGraph, GraphError> {
 }
 
 /// Reads a graph from an edge-list file.
+///
+/// Streams line by line through [`for_each_edge_in_reader`] instead of
+/// slurping the file into one `String` first — peak memory is the edge
+/// vector alone, roughly half of what text + edges used to cost on large
+/// inputs.
 pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DiGraph, GraphError> {
     let file = std::fs::File::open(path)?;
-    let mut reader = BufReader::new(file);
-    let mut text = String::new();
-    std::io::Read::read_to_string(&mut reader, &mut text)?;
-    graph_from_edge_list(&text)
+    let reader = BufReader::new(file);
+    let mut b = GraphBuilder::new().allow_self_loops(true);
+    for_each_edge_in_reader(reader, |u, v| b.push_edge(u, v))?;
+    b.build()
 }
 
 /// Writes a graph as an edge list (with a small comment header) to `w`.
@@ -100,6 +105,12 @@ pub fn for_each_edge_in_reader<R: BufRead>(
         let mut it = t.split_whitespace();
         let u = parse_node(it.next(), idx + 1, "missing source")?;
         let v = parse_node(it.next(), idx + 1, "missing target")?;
+        if it.next().is_some() {
+            return Err(GraphError::Parse {
+                line: idx + 1,
+                message: format!("trailing tokens after edge `{t}`"),
+            });
+        }
         f(u, v);
     }
     Ok(())
@@ -154,6 +165,21 @@ mod tests {
         let mut got = Vec::new();
         for_each_edge_in_reader(text.as_bytes(), |u, v| got.push((u, v))).unwrap();
         assert_eq!(got, parse_edge_list(text).unwrap());
+    }
+
+    #[test]
+    fn streaming_reader_rejects_trailing_tokens_like_parse() {
+        // A weighted edge list must fail loudly on both paths, not load
+        // with the third column silently discarded.
+        let text = "0 1 0.75\n";
+        let err = for_each_edge_in_reader(text.as_bytes(), |_, _| {}).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
+        let dir = std::env::temp_dir().join("ssr_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("weighted_{}.txt", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        assert!(matches!(read_edge_list_file(&path), Err(GraphError::Parse { .. })));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod stats;
 
 pub use bipartite::InducedBigraph;
 pub use builder::GraphBuilder;
-pub use digraph::DiGraph;
+pub use digraph::{edge_digest, DiGraph};
 pub use error::GraphError;
 
 /// Node identifier. Dense in `0..graph.node_count()`.

@@ -13,7 +13,7 @@ use crate::epoch::EpochStore;
 use crate::json::Json;
 use crate::protocol::{self, Request};
 use simrank_star::{QueryEngineOptions, SimStarParams};
-use ssr_graph::{io as gio, DiGraph};
+use ssr_graph::DiGraph;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -271,7 +271,10 @@ fn dispatch(line: &str, inner: &Arc<Inner>) -> (String, ConnAction) {
             ConnAction::Continue,
         ),
         Request::Stats => (stats_response(inner), ConnAction::Continue),
-        Request::Reload { path } => match gio::read_edge_list_file(&path) {
+        // Content-sniffing loader: a reload path may point at a text edge
+        // list or a binary `.ssg` store — large-graph deployments publish
+        // epochs from the store so swaps skip parsing entirely.
+        Request::Reload { path } => match ssr_store::load_graph_auto(&path) {
             Err(e) => {
                 (protocol::error_response(&format!("reading `{path}`: {e}")), ConnAction::Continue)
             }

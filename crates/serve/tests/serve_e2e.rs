@@ -321,3 +321,63 @@ fn epoch_swap_under_concurrent_load_has_no_stale_answers() {
     std::fs::remove_file(&v1_path).ok();
     server.shutdown();
 }
+
+/// PR 5 acceptance gate: an admin `reload` pointed at a `.ssg` binary
+/// store must produce responses bit-identical to the same graph loaded
+/// from a text edge list — the store is a faster container, never a
+/// different answer.
+#[test]
+fn reload_from_binary_store_is_bit_identical_to_text() {
+    let params = SimStarParams { c: 0.6, iterations: 6 };
+    let server = start(ServerOptions { params, ..Default::default() });
+    let addr = server.addr();
+    let k = 5;
+
+    let dir = std::env::temp_dir().join("ssr_serve_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let pid = std::process::id();
+    let v1 = graph_v1();
+    let text_path = dir.join(format!("store_v1_{pid}.txt"));
+    std::fs::write(&text_path, gio::to_edge_list_string(&v1)).unwrap();
+    let ssg_path = dir.join(format!("store_v1_{pid}.ssg"));
+    ssr_store::StoreWriter::new(&v1).write_file(&ssg_path).unwrap();
+
+    let mut admin = ServeClient::connect(addr).unwrap();
+    // Epoch 1: text reload. Epoch 2: store reload of the *same* graph.
+    assert_eq!(admin.reload(&text_path.to_string_lossy()).unwrap(), 1);
+    let mut client = ServeClient::connect(addr).unwrap();
+    let from_text: Vec<_> = (0..8)
+        .map(|node| match client.query(node, k).unwrap() {
+            Reply::Ok(r) => {
+                assert_eq!(r.epoch, 1);
+                r.matches
+            }
+            other => panic!("text-epoch query {node}: {other:?}"),
+        })
+        .collect();
+    assert_eq!(admin.reload(&ssg_path.to_string_lossy()).unwrap(), 2);
+    for node in 0..8u32 {
+        match client.query(node, k).unwrap() {
+            Reply::Ok(r) => {
+                assert_eq!(r.epoch, 2);
+                // Bitwise equality, f64 scores included: the wire format
+                // prints shortest-round-trip floats, so any store-side
+                // perturbation would show up here.
+                assert_eq!(r.matches, from_text[node as usize], "node {node}");
+            }
+            other => panic!("store-epoch query {node}: {other:?}"),
+        }
+    }
+    // A reload of a corrupt store is refused and keeps the epoch.
+    let bad_path = dir.join(format!("store_bad_{pid}.ssg"));
+    let mut bytes = std::fs::read(&ssg_path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&bad_path, &bytes).unwrap();
+    assert!(admin.reload(&bad_path.to_string_lossy()).is_err());
+    assert_eq!(admin.ping().unwrap(), 2);
+    server.shutdown();
+    for p in [&text_path, &ssg_path, &bad_path] {
+        std::fs::remove_file(p).ok();
+    }
+}

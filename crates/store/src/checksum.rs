@@ -1,0 +1,78 @@
+//! Word-wise multiplicative checksums over section payloads.
+//!
+//! The store's integrity guard is a per-section digest recorded in the
+//! section table; `StoreReader::verify` (and every section read) recomputes
+//! it before any decoding happens, so bit rot or partial writes surface as
+//! [`crate::StoreError::ChecksumMismatch`] instead of garbage graphs.
+//!
+//! The digest is an FNV-1a chain over 8-byte little-endian words (tail
+//! bytes zero-padded, length folded into the seed so paddings of
+//! different lengths cannot collide). Each step `h ← (h ⊕ w)·P` with odd
+//! `P` is a bijection in `h` and in `w`, so corrupting any single word
+//! *always* changes the digest — and it runs ~8× faster than byte-wise
+//! FNV, which matters because the checksum pass sits on the zero-parse
+//! load path the whole crate exists to keep fast. Not cryptographic: it
+//! guards against corruption, not adversaries.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME_64: u64 = 0x0000_0100_0000_01b3;
+
+/// Word-wise checksum of `bytes` (see the module docs for the exact
+/// construction — this value is part of the on-disk format).
+#[inline]
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    // Fold the length into the seed so `[1]` and `[1, 0]` differ even
+    // though both pad to the same word.
+    let mut h = FNV_OFFSET ^ (bytes.len() as u64).wrapping_mul(FNV_PRIME_64);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes"));
+        h = (h ^ w).wrapping_mul(FNV_PRIME_64);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rest.len()].copy_from_slice(rest);
+        h = (h ^ u64::from_le_bytes(tail)).wrapping_mul(FNV_PRIME_64);
+    }
+    // SplitMix finalizer: multiplicative chains leave the low bits weak.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinguishes_lengths_and_contents() {
+        assert_ne!(checksum64(b""), checksum64(&[0]));
+        assert_ne!(checksum64(&[1]), checksum64(&[1, 0]));
+        assert_ne!(checksum64(&[0; 8]), checksum64(&[0; 16]));
+        assert_ne!(checksum64(b"abcdefgh"), checksum64(b"abcdefgi"));
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips_at_every_position() {
+        let base: Vec<u8> = (0..37u8).collect();
+        let expected = checksum64(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut copy = base.clone();
+                copy[i] ^= 1 << bit;
+                assert_ne!(expected, checksum64(&copy), "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn stable_across_runs() {
+        // The digest is part of the on-disk format: lock a golden value
+        // so accidental algorithm changes fail loudly instead of quietly
+        // orphaning every existing .ssg file.
+        let bytes: Vec<u8> = (0u16..1000).map(|i| (i % 251) as u8).collect();
+        assert_eq!(checksum64(&bytes), checksum64(&bytes));
+        assert_eq!(checksum64(b"ssr-store"), 0x3339_0b07_3ca7_2048);
+    }
+}

@@ -1,0 +1,95 @@
+//! Typed failure modes of the `.ssg` container.
+
+use std::fmt;
+
+/// Errors produced while writing, opening, or decoding a graph store.
+///
+/// Every corruption mode a file can exhibit maps to a distinct variant —
+/// the corrupt-file tests pin truncation, magic, checksum, and version
+/// skew to their variants so callers can report actionable messages (and
+/// never see a panic from hostile bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The file does not start with the `.ssg` magic bytes (it is most
+    /// likely a text edge list or something else entirely).
+    BadMagic,
+    /// The container's format version is newer than this reader supports.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build can read.
+        supported: u32,
+    },
+    /// The file ends before a promised structure does.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A section's recorded checksum does not match its payload.
+    ChecksumMismatch {
+        /// Section id (see the `SECTION_*` constants).
+        section: u32,
+    },
+    /// A required section is absent from the section table.
+    MissingSection {
+        /// Section id (see the `SECTION_*` constants).
+        section: u32,
+    },
+    /// Structurally invalid payload (bad varint, unsorted adjacency,
+    /// out-of-range node id, edge-count mismatch, …).
+    Corrupt {
+        /// Description of the inconsistency.
+        message: String,
+    },
+    /// An underlying I/O failure (wrapped as a string so the error stays
+    /// `Clone + Eq`, matching `ssr_graph::GraphError`).
+    Io(
+        /// The I/O error message.
+        String,
+    ),
+    /// A graph-level error surfaced while rebuilding the `DiGraph` (or
+    /// while parsing a text edge list through the auto-detecting loader).
+    Graph(
+        /// The underlying graph error, rendered.
+        String,
+    ),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadMagic => {
+                write!(f, "not a graph store: missing .ssg magic bytes")
+            }
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(f, "store format version {found} is newer than supported ({supported})")
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "store file truncated while reading {context}")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section} (file corrupted?)")
+            }
+            StoreError::MissingSection { section } => {
+                write!(f, "required section {section} missing from the section table")
+            }
+            StoreError::Corrupt { message } => write!(f, "corrupt store: {message}"),
+            StoreError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StoreError::Graph(msg) => write!(f, "graph error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+impl From<ssr_graph::GraphError> for StoreError {
+    fn from(e: ssr_graph::GraphError) -> Self {
+        StoreError::Graph(e.to_string())
+    }
+}

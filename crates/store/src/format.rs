@@ -1,0 +1,223 @@
+//! The `.ssg` on-disk layout: magic, header, section table.
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  = 89 53 53 47 0d 0a 1a 08  ("\x89SSG\r\n\x1a\x08")
+//!      8     4  format version (u32 LE, currently 1)
+//!     12     4  flags (u32 LE, reserved, 0)
+//!     16     8  node count n (u64 LE)
+//!     24     8  edge count m (u64 LE)
+//!     32     4  section count (u32 LE)
+//!     36   32k  section table: k × { id u32, reserved u32,
+//!                                    offset u64, len u64, checksum u64 }
+//!   ....        section payloads (offsets are absolute file offsets)
+//! ```
+//!
+//! All integers are little-endian. Section payloads:
+//!
+//! * **OUT (id 1)** / **IN (id 2)** — one CSR direction: for each node
+//!   `v` in `0..n`, `varint(degree)` followed by the sorted neighbor list
+//!   delta-gap coded (`varint(first)`, then `varint(gap)` per subsequent
+//!   neighbor; gaps are ≥ 1 because adjacency is sorted and deduplicated).
+//! * **META (id 3)** — `varint(count)` followed by `count` key/value
+//!   pairs, each a `varint(len)`-prefixed UTF-8 string.
+//!
+//! Unknown section ids are skipped by readers (forward compatibility
+//! inside a major version); the magic's high bit + CRLF guard against
+//! text-mode mangling, the same trick as PNG.
+
+use crate::StoreError;
+
+/// First 8 bytes of every `.ssg` file.
+pub const MAGIC: [u8; 8] = *b"\x89SSG\r\n\x1a\x08";
+
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Out-adjacency section id.
+pub const SECTION_OUT: u32 = 1;
+/// In-adjacency section id.
+pub const SECTION_IN: u32 = 2;
+/// Metadata section id.
+pub const SECTION_META: u32 = 3;
+
+/// Byte length of the fixed header before the section table.
+pub const HEADER_LEN: usize = 36;
+/// Byte length of one section-table entry.
+pub const SECTION_ENTRY_LEN: usize = 32;
+
+/// One section-table entry as stored in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section id (`SECTION_OUT` / `SECTION_IN` / `SECTION_META` / future).
+    pub id: u32,
+    /// Absolute file offset of the payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a 64 digest of the payload.
+    pub checksum: u64,
+}
+
+/// The decoded fixed header + section table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Format version from the file.
+    pub version: u32,
+    /// Node count `n`.
+    pub nodes: u64,
+    /// Edge count `m` (per direction; OUT and IN each encode `m` ids).
+    pub edges: u64,
+    /// Section table in file order.
+    pub sections: Vec<SectionInfo>,
+}
+
+impl Header {
+    /// Finds a section by id.
+    pub fn section(&self, id: u32) -> Option<SectionInfo> {
+        self.sections.iter().copied().find(|s| s.id == id)
+    }
+
+    /// Serializes the header + section table (the file's first
+    /// `HEADER_LEN + 32·k` bytes).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + SECTION_ENTRY_LEN * self.sections.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // flags
+        out.extend_from_slice(&self.nodes.to_le_bytes());
+        out.extend_from_slice(&self.edges.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for s in &self.sections {
+            out.extend_from_slice(&s.id.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+            out.extend_from_slice(&s.offset.to_le_bytes());
+            out.extend_from_slice(&s.len.to_le_bytes());
+            out.extend_from_slice(&s.checksum.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the header from the start of `bytes` (which may be just the
+    /// file's prefix). Checks magic and version before anything else.
+    pub fn decode(bytes: &[u8]) -> Result<Header, StoreError> {
+        if bytes.len() < MAGIC.len() {
+            return Err(StoreError::Truncated { context: "magic bytes" });
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(StoreError::Truncated { context: "fixed header" });
+        }
+        let version = read_u32(bytes, 8);
+        if version > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        if version == 0 {
+            return Err(StoreError::Corrupt { message: "format version 0".into() });
+        }
+        let nodes = read_u64(bytes, 16);
+        let edges = read_u64(bytes, 24);
+        let count = read_u32(bytes, 32) as usize;
+        let table_end = HEADER_LEN + SECTION_ENTRY_LEN * count;
+        if bytes.len() < table_end {
+            return Err(StoreError::Truncated { context: "section table" });
+        }
+        let mut sections = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = HEADER_LEN + SECTION_ENTRY_LEN * i;
+            sections.push(SectionInfo {
+                id: read_u32(bytes, at),
+                offset: read_u64(bytes, at + 8),
+                len: read_u64(bytes, at + 16),
+                checksum: read_u64(bytes, at + 24),
+            });
+        }
+        Ok(Header { version, nodes, edges, sections })
+    }
+
+    /// Total byte length of the serialized header + table.
+    pub fn encoded_len(section_count: usize) -> usize {
+        HEADER_LEN + SECTION_ENTRY_LEN * section_count
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked by caller"))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked by caller"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Header {
+        Header {
+            version: FORMAT_VERSION,
+            nodes: 42,
+            edges: 99,
+            sections: vec![
+                SectionInfo { id: SECTION_OUT, offset: 92, len: 10, checksum: 7 },
+                SectionInfo { id: SECTION_IN, offset: 102, len: 11, checksum: 8 },
+            ],
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = sample();
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), Header::encoded_len(2));
+        assert_eq!(Header::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn section_lookup() {
+        let h = sample();
+        assert_eq!(h.section(SECTION_IN).unwrap().offset, 102);
+        assert_eq!(h.section(SECTION_META), None);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'P';
+        assert_eq!(Header::decode(&bytes), Err(StoreError::BadMagic));
+        // A text edge list is BadMagic, not a crash.
+        assert_eq!(Header::decode(b"# nodes: 3\n0 1\n"), Err(StoreError::BadMagic));
+    }
+
+    #[test]
+    fn short_prefix_is_truncated() {
+        let bytes = sample().encode();
+        assert_eq!(
+            Header::decode(&bytes[..4]),
+            Err(StoreError::Truncated { context: "magic bytes" })
+        );
+        assert_eq!(
+            Header::decode(&bytes[..20]),
+            Err(StoreError::Truncated { context: "fixed header" })
+        );
+        assert_eq!(
+            Header::decode(&bytes[..HEADER_LEN + 3]),
+            Err(StoreError::Truncated { context: "section table" })
+        );
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = sample().encode();
+        bytes[8..12].copy_from_slice(&9u32.to_le_bytes());
+        assert_eq!(
+            Header::decode(&bytes),
+            Err(StoreError::UnsupportedVersion { found: 9, supported: FORMAT_VERSION })
+        );
+    }
+}

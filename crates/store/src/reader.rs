@@ -1,0 +1,499 @@
+//! Loading graphs back out of the `.ssg` container.
+
+use crate::checksum::checksum64;
+use crate::format::{Header, SectionInfo, SECTION_IN, SECTION_META, SECTION_OUT};
+use crate::varint::read_varint;
+use crate::StoreError;
+use ssr_graph::{DiGraph, NodeId};
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// A handle on an opened store file.
+///
+/// [`StoreReader::open`] reads and validates only the header, section
+/// table, and (small) metadata section; adjacency payloads stay on disk
+/// until a load method asks for them. [`StoreReader::load_full`] is one
+/// sequential read plus an in-place gap decode — no text parsing, no
+/// re-sort; [`StoreReader::load_out_only`] seeks straight to the OUT
+/// section via the table and never touches the in-adjacency bytes.
+pub struct StoreReader {
+    file: std::fs::File,
+    file_len: u64,
+    header: Header,
+    meta: Vec<(String, String)>,
+}
+
+/// Just the out-direction of a stored graph (what
+/// [`StoreReader::load_out_only`] returns): forward-walk workloads (RWR
+/// push, reachability probes, degree stats) skip decoding — and reading —
+/// the in-adjacency section entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutAdjacency {
+    n: usize,
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl OutAdjacency {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The sorted successor list `O(v)`.
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// `|O(v)|`.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+}
+
+/// What [`StoreReader::verify`] reports after checking every section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Sections checked (checksum + structural decode where applicable).
+    pub sections: usize,
+    /// Total payload bytes across sections.
+    pub payload_bytes: u64,
+    /// Node count from the header.
+    pub nodes: usize,
+    /// Edge count from the header.
+    pub edges: usize,
+    /// Stored adjacency bits per directed edge, counting **both**
+    /// directions' payloads against `2m` stored ids (comparable to the
+    /// in-memory CSR's 32 bits/id and to webgraph-style numbers).
+    pub bits_per_edge: f64,
+}
+
+impl StoreReader {
+    /// Opens a store file: validates magic, version, section-table bounds,
+    /// and the metadata section. Adjacency payloads are not read yet.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<StoreReader, StoreError> {
+        let mut file = std::fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+        // One bounded read covers magic + fixed header + section table.
+        let mut prefix = vec![0u8; (Header::encoded_len(0)).min(file_len as usize)];
+        file.read_exact(&mut prefix)?;
+        let count = match Header::decode(&prefix) {
+            Ok(h) => h.sections.len(), // 0-section file: already complete
+            Err(StoreError::Truncated { .. }) if prefix.len() >= Header::encoded_len(0) => {
+                // Table extends past the fixed header: read the rest.
+                u32::from_le_bytes(prefix[32..36].try_into().expect("fixed header present"))
+                    as usize
+            }
+            Err(e) => return Err(e),
+        };
+        let full_len = Header::encoded_len(count);
+        if (file_len as usize) < full_len {
+            return Err(StoreError::Truncated { context: "section table" });
+        }
+        prefix.resize(full_len, 0);
+        file.read_exact(&mut prefix[Header::encoded_len(0)..])?;
+        let header = Header::decode(&prefix)?;
+        // The fixed header carries no checksum, so its counts must be
+        // sanity-bounded *before* anything allocates from them: node ids
+        // must fit `NodeId`, and every node (degree varint) and edge
+        // (≥ 1 gap byte) costs at least one payload byte in each
+        // adjacency section — a flipped high bit in n or m fails here
+        // instead of driving a terabyte `Vec::with_capacity`.
+        if header.nodes > u64::from(u32::MAX) + 1 {
+            return Err(StoreError::Corrupt {
+                message: format!("header claims {} nodes (ids must fit u32)", header.nodes),
+            });
+        }
+        for s in &header.sections {
+            let end = s.offset.checked_add(s.len);
+            if s.offset < full_len as u64 || end.is_none() || end.unwrap() > file_len {
+                return Err(StoreError::Truncated { context: "section payload" });
+            }
+            if (s.id == SECTION_OUT || s.id == SECTION_IN)
+                && header.nodes.checked_add(header.edges).is_none_or(|cost| cost > s.len)
+            {
+                return Err(StoreError::Corrupt {
+                    message: format!(
+                        "header claims n={} m={} but section {} holds only {} bytes",
+                        header.nodes, header.edges, s.id, s.len
+                    ),
+                });
+            }
+        }
+        let mut reader = StoreReader { file, file_len, header, meta: Vec::new() };
+        reader.meta = match reader.header.section(SECTION_META) {
+            Some(info) => decode_meta(&reader.read_section(info)?)?,
+            None => Vec::new(),
+        };
+        Ok(reader)
+    }
+
+    /// Node count from the header.
+    pub fn node_count(&self) -> usize {
+        self.header.nodes as usize
+    }
+
+    /// Edge count from the header.
+    pub fn edge_count(&self) -> usize {
+        self.header.edges as usize
+    }
+
+    /// Format version of the file.
+    pub fn version(&self) -> u32 {
+        self.header.version
+    }
+
+    /// Total file length in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// The section table, in file order.
+    pub fn sections(&self) -> &[SectionInfo] {
+        &self.header.sections
+    }
+
+    /// All metadata pairs, in written order.
+    pub fn metadata(&self) -> &[(String, String)] {
+        &self.meta
+    }
+
+    /// Looks up one metadata value.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Stored adjacency bits per directed edge across both directions
+    /// (`0` for edgeless graphs).
+    pub fn bits_per_edge(&self) -> f64 {
+        let adjacency_bytes: u64 = [SECTION_OUT, SECTION_IN]
+            .iter()
+            .filter_map(|&id| self.header.section(id))
+            .map(|s| s.len)
+            .sum();
+        if self.header.edges == 0 {
+            return 0.0;
+        }
+        // Both sections together hold 2m ids; report bits per stored id
+        // so the number is directly comparable to the 32-bit in-memory id.
+        // Float arithmetic throughout: a hostile header's m can be any
+        // u64, and `2 * m` in integers would overflow (this accessor runs
+        // on merely *opened* stores, before any load validates m).
+        (adjacency_bytes as f64 * 8.0) / (2.0 * self.header.edges as f64)
+    }
+
+    /// Reads one section payload and verifies its checksum.
+    fn read_section(&mut self, info: SectionInfo) -> Result<Vec<u8>, StoreError> {
+        self.file.seek(SeekFrom::Start(info.offset))?;
+        let mut payload = vec![0u8; info.len as usize];
+        self.file.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                StoreError::Truncated { context: "section payload" }
+            } else {
+                StoreError::Io(e.to_string())
+            }
+        })?;
+        if checksum64(&payload) != info.checksum {
+            return Err(StoreError::ChecksumMismatch { section: info.id });
+        }
+        Ok(payload)
+    }
+
+    fn required(&self, id: u32) -> Result<SectionInfo, StoreError> {
+        self.header.section(id).ok_or(StoreError::MissingSection { section: id })
+    }
+
+    /// Decodes the full graph: both CSR directions gap-decoded straight
+    /// into [`DiGraph`] arrays.
+    ///
+    /// The decode itself establishes every structural invariant
+    /// (sortedness and id range fall out of gap decoding; counts are
+    /// checked against the header), and an order-independent digest
+    /// accumulated over both directions proves they describe the same
+    /// edge set — so assembly goes through [`DiGraph::from_csr_trusted`]
+    /// without a third validation pass over the arrays.
+    pub fn load_full(&mut self) -> Result<DiGraph, StoreError> {
+        let n = self.node_count();
+        let m = self.edge_count();
+        let out_info = self.required(SECTION_OUT)?;
+        let in_info = self.required(SECTION_IN)?;
+        let (out_offsets, out_targets, out_digest) =
+            decode_adjacency(&self.read_section(out_info)?, n, m, Direction::Out)?;
+        let (in_offsets, in_sources, in_digest) =
+            decode_adjacency(&self.read_section(in_info)?, n, m, Direction::In)?;
+        if out_digest != in_digest {
+            return Err(StoreError::Corrupt {
+                message: "out- and in-adjacency sections describe different edge sets".into(),
+            });
+        }
+        Ok(DiGraph::from_csr_trusted(n, out_offsets, out_targets, in_offsets, in_sources))
+    }
+
+    /// Decodes only the out-direction, skipping the in-adjacency section
+    /// entirely (one seek via the section table).
+    pub fn load_out_only(&mut self) -> Result<OutAdjacency, StoreError> {
+        let n = self.node_count();
+        let m = self.edge_count();
+        let info = self.required(SECTION_OUT)?;
+        let (offsets, targets, _) =
+            decode_adjacency(&self.read_section(info)?, n, m, Direction::Out)?;
+        Ok(OutAdjacency { n, offsets, targets })
+    }
+
+    /// Checks every section's checksum and fully decodes both adjacency
+    /// directions (including the cross-direction consistency digest).
+    pub fn verify(&mut self) -> Result<VerifyReport, StoreError> {
+        // Checksum the sections the structural pass below won't read
+        // anyway (META, future/unknown ids) — `load_full` checksums the
+        // two adjacency payloads as it reads them, and re-reading the
+        // largest sections twice would double verify's I/O for no
+        // added coverage.
+        for info in self.header.sections.clone() {
+            if info.id != SECTION_OUT && info.id != SECTION_IN {
+                self.read_section(info)?;
+            }
+        }
+        // Structural pass: a decode catches what checksums cannot (a
+        // checksum only proves the bytes are the ones written).
+        let g = self.load_full()?;
+        if g.node_count() != self.node_count() || g.edge_count() != self.edge_count() {
+            return Err(StoreError::Corrupt {
+                message: format!(
+                    "header claims n={} m={} but payload decodes to n={} m={}",
+                    self.node_count(),
+                    self.edge_count(),
+                    g.node_count(),
+                    g.edge_count()
+                ),
+            });
+        }
+        Ok(VerifyReport {
+            sections: self.header.sections.len(),
+            payload_bytes: self.header.sections.iter().map(|s| s.len).sum(),
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            bits_per_edge: self.bits_per_edge(),
+        })
+    }
+}
+
+/// Which adjacency direction a section encodes — determines how the
+/// `(source, target)` pair is formed for the cross-direction digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Section lists successors: edge is `(node, decoded id)`.
+    Out,
+    /// Section lists predecessors: edge is `(decoded id, node)`.
+    In,
+}
+
+impl Direction {
+    fn name(self) -> &'static str {
+        match self {
+            Direction::Out => "out",
+            Direction::In => "in",
+        }
+    }
+}
+
+/// Decodes one gap-coded CSR direction, validating everything a hostile
+/// payload could get wrong *during* the decode: truncation, zero gaps
+/// (sortedness), id range, and the exact count the header promises.
+/// Returns the offsets, the adjacency ids, and the direction's edge-set
+/// digest.
+fn decode_adjacency(
+    payload: &[u8],
+    n: usize,
+    m: usize,
+    direction: Direction,
+) -> Result<(Vec<usize>, Vec<NodeId>, u64), StoreError> {
+    let side = direction.name();
+    let corrupt = |message: String| StoreError::Corrupt { message };
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut adjacency: Vec<NodeId> = Vec::with_capacity(m);
+    let mut digest = 0u64;
+    offsets.push(0);
+    let mut pos = 0usize;
+    for v in 0..n {
+        let degree = read_varint(payload, &mut pos)
+            .ok_or_else(|| corrupt(format!("{side}-section ends inside node {v}'s degree")))?;
+        // Budget check in subtraction form: `len + degree` could overflow
+        // on a hostile 10-byte degree varint, `m - len` cannot (the
+        // invariant `len <= m` holds throughout).
+        if degree > (m - adjacency.len()) as u64 {
+            return Err(corrupt(format!(
+                "{side}-section holds more than the {m} ids the header promises"
+            )));
+        }
+        let degree = degree as usize;
+        let mut prev = 0u64;
+        for i in 0..degree {
+            let delta = read_varint(payload, &mut pos)
+                .ok_or_else(|| corrupt(format!("{side}-section ends inside node {v}'s list")))?;
+            let value = if i == 0 {
+                delta
+            } else {
+                if delta == 0 {
+                    return Err(corrupt(format!(
+                        "{side}-adjacency of node {v} has a zero gap (duplicate neighbor)"
+                    )));
+                }
+                prev.checked_add(delta)
+                    .ok_or_else(|| corrupt(format!("{side}-adjacency of node {v} overflows")))?
+            };
+            if value >= n as u64 {
+                return Err(corrupt(format!(
+                    "{side}-adjacency of node {v} references node {value} >= {n}"
+                )));
+            }
+            // Same mixer DiGraph::from_csr validates with, so the debug
+            // cross-check and this inline check agree on "same edge set".
+            digest ^= match direction {
+                Direction::Out => ssr_graph::edge_digest(v as NodeId, value as NodeId),
+                Direction::In => ssr_graph::edge_digest(value as NodeId, v as NodeId),
+            };
+            adjacency.push(value as NodeId);
+            prev = value;
+        }
+        offsets.push(adjacency.len());
+    }
+    if pos != payload.len() {
+        return Err(corrupt(format!(
+            "{side}-section has {} trailing bytes after node {n}",
+            payload.len() - pos
+        )));
+    }
+    if adjacency.len() != m {
+        return Err(corrupt(format!(
+            "{side}-section decodes {} ids but the header promises {m}",
+            adjacency.len()
+        )));
+    }
+    Ok((offsets, adjacency, digest))
+}
+
+/// Decodes the metadata section written by the writer.
+fn decode_meta(payload: &[u8]) -> Result<Vec<(String, String)>, StoreError> {
+    let corrupt = |message: &str| StoreError::Corrupt { message: message.into() };
+    let mut pos = 0usize;
+    let count =
+        read_varint(payload, &mut pos).ok_or_else(|| corrupt("meta section missing count"))?;
+    let mut meta = Vec::new();
+    for _ in 0..count {
+        let mut read_string = || -> Result<String, StoreError> {
+            let len = read_varint(payload, &mut pos)
+                .ok_or_else(|| corrupt("meta string missing length"))?
+                as usize;
+            let end = pos.checked_add(len).filter(|&e| e <= payload.len());
+            let end = end.ok_or_else(|| corrupt("meta string runs past the section"))?;
+            let s = std::str::from_utf8(&payload[pos..end])
+                .map_err(|_| corrupt("meta string is not UTF-8"))?
+                .to_string();
+            pos = end;
+            Ok(s)
+        };
+        let key = read_string()?;
+        let value = read_string()?;
+        meta.push((key, value));
+    }
+    if pos != payload.len() {
+        return Err(corrupt("meta section has trailing bytes"));
+    }
+    Ok(meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreWriter;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ssr_store_reader_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}_{name}", std::process::id()))
+    }
+
+    fn sample_graph() -> DiGraph {
+        DiGraph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 0), (5, 5), (0, 5)])
+            .unwrap()
+    }
+
+    fn write_sample(name: &str) -> std::path::PathBuf {
+        let path = tmp(name);
+        StoreWriter::new(&sample_graph())
+            .meta("dataset", "sample")
+            .meta("divisor", "1")
+            .write_file(&path)
+            .unwrap();
+        path
+    }
+
+    #[test]
+    fn open_reads_header_and_meta_only() {
+        let path = write_sample("open.ssg");
+        let r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.node_count(), 6);
+        assert_eq!(r.edge_count(), 8);
+        assert_eq!(r.version(), crate::FORMAT_VERSION);
+        assert_eq!(r.meta("dataset"), Some("sample"));
+        assert_eq!(r.meta("divisor"), Some("1"));
+        assert_eq!(r.meta("absent"), None);
+        assert_eq!(r.sections().len(), 3);
+        assert!(r.bits_per_edge() > 0.0);
+    }
+
+    #[test]
+    fn load_full_round_trips() {
+        let path = write_sample("full.ssg");
+        let g = StoreReader::open(&path).unwrap().load_full().unwrap();
+        assert_eq!(g, sample_graph());
+    }
+
+    #[test]
+    fn load_out_only_matches_full_graph() {
+        let path = write_sample("out.ssg");
+        let mut r = StoreReader::open(&path).unwrap();
+        let out = r.load_out_only().unwrap();
+        let g = sample_graph();
+        assert_eq!(out.node_count(), g.node_count());
+        assert_eq!(out.edge_count(), g.edge_count());
+        for v in 0..g.node_count() as NodeId {
+            assert_eq!(out.out_neighbors(v), g.out_neighbors(v));
+            assert_eq!(out.out_degree(v), g.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn verify_reports_sections_and_density() {
+        let path = write_sample("verify.ssg");
+        let report = StoreReader::open(&path).unwrap().verify().unwrap();
+        assert_eq!(report.sections, 3);
+        assert_eq!((report.nodes, report.edges), (6, 8));
+        assert!(report.payload_bytes > 0);
+        assert!(report.bits_per_edge > 0.0 && report.bits_per_edge <= 32.0);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let path = tmp("empty.ssg");
+        let g = DiGraph::from_edges(0, &[]).unwrap();
+        StoreWriter::new(&g).write_file(&path).unwrap();
+        let mut r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.load_full().unwrap(), g);
+        assert_eq!(r.bits_per_edge(), 0.0);
+    }
+
+    #[test]
+    fn isolated_tail_nodes_survive() {
+        let path = tmp("tail.ssg");
+        let g = DiGraph::from_edges(10, &[(0, 1)]).unwrap();
+        StoreWriter::new(&g).write_file(&path).unwrap();
+        assert_eq!(StoreReader::open(&path).unwrap().load_full().unwrap(), g);
+    }
+}

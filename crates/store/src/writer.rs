@@ -1,0 +1,159 @@
+//! Serialising a [`DiGraph`] into the `.ssg` container.
+
+use crate::checksum::checksum64;
+use crate::format::{Header, SectionInfo, FORMAT_VERSION, SECTION_IN, SECTION_META, SECTION_OUT};
+use crate::varint::write_varint;
+use crate::StoreError;
+use ssr_graph::{DiGraph, NodeId};
+use std::io::Write;
+use std::path::Path;
+
+/// Streams a graph into the binary store format.
+///
+/// Encoding happens one node at a time (no intermediate text, no edge
+/// vector): each adjacency direction becomes a delta-gap varint section,
+/// checksummed as it is built. Memory overhead is the compressed payload
+/// itself — typically well below the graph's in-memory CSR size.
+///
+/// ```
+/// use ssr_graph::DiGraph;
+/// use ssr_store::{StoreReader, StoreWriter};
+/// let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+/// let dir = std::env::temp_dir().join("ssr_store_doc");
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let path = dir.join("doc.ssg");
+/// StoreWriter::new(&g).meta("dataset", "doc-example").write_file(&path).unwrap();
+/// let loaded = StoreReader::open(&path).unwrap().load_full().unwrap();
+/// assert_eq!(loaded, g);
+/// ```
+pub struct StoreWriter<'g> {
+    graph: &'g DiGraph,
+    meta: Vec<(String, String)>,
+}
+
+impl<'g> StoreWriter<'g> {
+    /// A writer for `graph` with no metadata.
+    pub fn new(graph: &'g DiGraph) -> Self {
+        StoreWriter { graph, meta: Vec::new() }
+    }
+
+    /// Attaches one metadata key/value pair (chainable). Conventional keys
+    /// are in [`crate::meta_keys`]; arbitrary pairs are fine.
+    pub fn meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.meta.push((key.into(), value.into()));
+        self
+    }
+
+    /// Writes the container to `w`. Returns the total bytes written.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<u64, StoreError> {
+        let g = self.graph;
+        let n = g.node_count();
+        let out_payload = encode_adjacency(n, |v| g.out_neighbors(v));
+        let in_payload = encode_adjacency(n, |v| g.in_neighbors(v));
+        let meta_payload = encode_meta(&self.meta);
+
+        // Section payloads land immediately after the header + table, in
+        // table order; skipping a section is one seek for the reader.
+        let payloads: [(u32, &Vec<u8>); 3] =
+            [(SECTION_OUT, &out_payload), (SECTION_IN, &in_payload), (SECTION_META, &meta_payload)];
+        let mut offset = Header::encoded_len(payloads.len()) as u64;
+        let mut sections = Vec::with_capacity(payloads.len());
+        for (id, payload) in payloads {
+            sections.push(SectionInfo {
+                id,
+                offset,
+                len: payload.len() as u64,
+                checksum: checksum64(payload),
+            });
+            offset += payload.len() as u64;
+        }
+        let header = Header {
+            version: FORMAT_VERSION,
+            nodes: n as u64,
+            edges: g.edge_count() as u64,
+            sections,
+        };
+        w.write_all(&header.encode())?;
+        for (_, payload) in payloads {
+            w.write_all(payload)?;
+        }
+        w.flush()?;
+        Ok(offset)
+    }
+
+    /// Writes the container to a file (created or truncated).
+    pub fn write_file<P: AsRef<Path>>(&self, path: P) -> Result<u64, StoreError> {
+        let file = std::fs::File::create(path)?;
+        self.write_to(std::io::BufWriter::new(file))
+    }
+}
+
+/// One CSR direction as a delta-gap varint stream: per node,
+/// `varint(degree)`, then `varint(first)` and `varint(gap)` for the rest.
+/// Gaps are ≥ 1 because adjacency lists are sorted and deduplicated.
+fn encode_adjacency<'a>(n: usize, neighbors: impl Fn(NodeId) -> &'a [NodeId]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for v in 0..n as NodeId {
+        let list = neighbors(v);
+        write_varint(&mut out, list.len() as u64);
+        let mut prev = 0u64;
+        for (i, &t) in list.iter().enumerate() {
+            let t = u64::from(t);
+            if i == 0 {
+                write_varint(&mut out, t);
+            } else {
+                write_varint(&mut out, t - prev);
+            }
+            prev = t;
+        }
+    }
+    out
+}
+
+/// Metadata section: `varint(count)`, then length-prefixed UTF-8 key and
+/// value per pair.
+fn encode_meta(meta: &[(String, String)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, meta.len() as u64);
+    for (k, v) in meta {
+        for s in [k, v] {
+            write_varint(&mut out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_coding_is_compact_on_dense_runs() {
+        // Node 0 points at 1..=100: first value + 99 gaps of 1, all
+        // single-byte varints, plus the degree byte.
+        let g = DiGraph::from_edges(101, &(1..=100).map(|v| (0, v)).collect::<Vec<_>>()).unwrap();
+        let payload = encode_adjacency(101, |v| g.out_neighbors(v));
+        // 1 (degree=100 is two bytes? 100 < 128 so one) + 100 ids + 100
+        // empty-degree bytes for nodes 1..=100.
+        assert_eq!(payload.len(), 1 + 100 + 100);
+    }
+
+    #[test]
+    fn empty_graph_writes_and_has_three_sections() {
+        let g = DiGraph::from_edges(0, &[]).unwrap();
+        let mut buf = Vec::new();
+        let written = StoreWriter::new(&g).write_to(&mut buf).unwrap();
+        assert_eq!(written as usize, buf.len());
+        let h = Header::decode(&buf).unwrap();
+        assert_eq!(h.sections.len(), 3);
+        assert_eq!((h.nodes, h.edges), (0, 0));
+    }
+
+    #[test]
+    fn meta_encodes_pairs_in_order() {
+        let payload = encode_meta(&[("a".into(), "xy".into()), ("k".into(), String::new())]);
+        // count=2, then "a"(1+1) "xy"(1+2) "k"(1+1) ""(1+0)
+        assert_eq!(payload, vec![2, 1, b'a', 2, b'x', b'y', 1, b'k', 0]);
+    }
+}

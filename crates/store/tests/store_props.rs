@@ -1,0 +1,105 @@
+//! Property-based round-trip tests: arbitrary graph → `.ssg` →
+//! `load_full` is bit-identical, down to the engine results computed on
+//! top of the reloaded graph.
+
+use proptest::prelude::*;
+use simrank_star::{QueryEngine, QueryEngineOptions, SimStarParams};
+use ssr_graph::{DiGraph, GraphBuilder, NodeId};
+use ssr_store::{StoreReader, StoreWriter};
+
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = DiGraph> {
+    (1usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m).prop_map(move |edges| {
+            let mut b =
+                GraphBuilder::with_capacity(edges.len()).allow_self_loops(true).reserve_nodes(n);
+            b.extend_edges(edges);
+            b.build().expect("self-loops allowed ⇒ build succeeds")
+        })
+    })
+}
+
+/// Writes to an in-memory buffer, reads back through a temp file (the
+/// reader API is file-based, mirroring production use).
+fn round_trip(g: &DiGraph, name: u64) -> (DiGraph, StoreReader) {
+    let dir = std::env::temp_dir().join("ssr_store_props");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}_{name:016x}.ssg", std::process::id()));
+    StoreWriter::new(g).meta("dataset", "prop").write_file(&path).unwrap();
+    let mut reader = StoreReader::open(&path).unwrap();
+    let loaded = reader.load_full().unwrap();
+    std::fs::remove_file(&path).ok();
+    (loaded, reader)
+}
+
+/// Cheap structural fingerprint to name temp files per case.
+fn fingerprint(g: &DiGraph) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (u, v) in g.edges() {
+        h = h.wrapping_mul(0x100_0000_01b3) ^ ((u as u64) << 32 | v as u64);
+    }
+    h ^ g.node_count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The reloaded graph is bit-identical: node/edge counts and every
+    /// adjacency slice in both directions.
+    #[test]
+    fn load_full_is_bit_identical(g in arb_graph(40, 160)) {
+        let (loaded, _) = round_trip(&g, fingerprint(&g));
+        prop_assert_eq!(loaded.node_count(), g.node_count());
+        prop_assert_eq!(loaded.edge_count(), g.edge_count());
+        for v in 0..g.node_count() as NodeId {
+            prop_assert_eq!(loaded.out_neighbors(v), g.out_neighbors(v));
+            prop_assert_eq!(loaded.in_neighbors(v), g.in_neighbors(v));
+        }
+        // `PartialEq` covers the same ground; keep it as the summary.
+        prop_assert_eq!(loaded, g);
+    }
+
+    /// The out-only load agrees with the full graph's out-direction.
+    #[test]
+    fn load_out_only_matches(g in arb_graph(32, 120)) {
+        let dir = std::env::temp_dir().join("ssr_store_props");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}_out_{:016x}.ssg", std::process::id(), fingerprint(&g)));
+        StoreWriter::new(&g).write_file(&path).unwrap();
+        let out = StoreReader::open(&path).unwrap().load_out_only().unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(out.node_count(), g.node_count());
+        prop_assert_eq!(out.edge_count(), g.edge_count());
+        for v in 0..g.node_count() as NodeId {
+            prop_assert_eq!(out.out_neighbors(v), g.out_neighbors(v));
+        }
+    }
+
+    /// Engine results on top of the reloaded graph are bitwise identical
+    /// to results on the original — the store is a container, never a
+    /// perturbation.
+    #[test]
+    fn engine_results_survive_the_round_trip(g in arb_graph(24, 80)) {
+        let (loaded, _) = round_trip(&g, fingerprint(&g) ^ 1);
+        let params = SimStarParams { c: 0.6, iterations: 4 };
+        let opts = QueryEngineOptions { deterministic: true, ..Default::default() };
+        let a = QueryEngine::with_options(&g, params, opts.clone());
+        let b = QueryEngine::with_options(&loaded, params, opts);
+        for q in 0..g.node_count().min(8) as NodeId {
+            let ra = a.query(q);
+            let rb = b.query(q);
+            prop_assert_eq!(ra, rb, "query {} diverged after reload", q);
+        }
+    }
+
+    /// Header statistics and metadata survive.
+    #[test]
+    fn header_reflects_graph(g in arb_graph(32, 120)) {
+        let (_, reader) = round_trip(&g, fingerprint(&g) ^ 2);
+        prop_assert_eq!(reader.node_count(), g.node_count());
+        prop_assert_eq!(reader.edge_count(), g.edge_count());
+        prop_assert_eq!(reader.meta("dataset"), Some("prop"));
+        if g.edge_count() > 0 {
+            prop_assert!(reader.bits_per_edge() > 0.0);
+        }
+    }
+}

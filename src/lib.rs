@@ -14,3 +14,4 @@ pub use ssr_gen;
 pub use ssr_graph;
 pub use ssr_linalg;
 pub use ssr_serve;
+pub use ssr_store;
