@@ -74,6 +74,20 @@ impl Args {
     pub fn has(&self, key: &str) -> bool {
         self.flags.contains_key(key)
     }
+
+    /// Closed-set flag: the value must be one of `allowed`; an absent flag
+    /// resolves to `allowed[0]`.
+    pub fn one_of<'a>(&'a self, key: &str, allowed: &[&'a str]) -> Result<&'a str, ArgError> {
+        let v = self.opt(key, allowed[0]);
+        if allowed.contains(&v) {
+            Ok(v)
+        } else {
+            Err(ArgError(format!(
+                "flag `--{key}`: expected one of {}, got `{v}`",
+                allowed.join("|")
+            )))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +135,16 @@ mod tests {
     fn bad_type_rejected() {
         let a = Args::parse(&toks("--k seven"), &["k"]).unwrap();
         assert!(a.get::<usize>("k", 0).is_err());
+    }
+
+    #[test]
+    fn one_of_validates_and_defaults() {
+        let a = Args::parse(&toks("--format json"), &["format"]).unwrap();
+        assert_eq!(a.one_of("format", &["text", "json"]).unwrap(), "json");
+        let d = Args::parse(&toks(""), &["format"]).unwrap();
+        assert_eq!(d.one_of("format", &["text", "json"]).unwrap(), "text");
+        let bad = Args::parse(&toks("--format yaml"), &["format"]).unwrap();
+        assert!(bad.one_of("format", &["text", "json"]).unwrap_err().0.contains("text|json"));
     }
 
     #[test]

@@ -22,25 +22,29 @@ USAGE:
 COMMANDS:
   compute   all-pairs similarities from an edge list
             --input FILE [--algo gsr|esr|memo-gsr|memo-esr|sr|prank|rwr]
-            [--c 0.6] [--k 5] [--threshold 0] [--output FILE]
+            [--c 0.6] [--k 5] [--threshold 0] [--format text|json]
+            [--output FILE]
   allpairs  block-parallel all-pairs SimRank* through the AllPairsEngine
             --input FILE [--top-k K] [--subset ID,ID,...] [--compress false]
             [--threads 0] [--blocks 0] [--c 0.6] [--k 5] [--threshold 0]
-            [--json false] [--output FILE]
+            [--format text|json] [--output FILE]
             --subset computes only those rows (partial pairs); --top-k
             streams per-row rankings without materializing the matrix;
             --compress runs the memoized (edge-concentrated) kernel and
-            reports its compression stats; --json emits machine-readable
-            output (rankings share the serve protocol's matches shape)
+            reports its compression stats; --format json emits machine-
+            readable output (rankings share the serve protocol's matches
+            shape)
   query     single-source SimRank* through the amortized QueryEngine
             --input FILE (--node ID | --nodes ID,ID,... | --batch N)
             [--top-k 10] [--c 0.6] [--k 5] [--seed 0] [--compress false]
-            [--json false]
+            [--format text|json]
             --nodes/--batch run the batched lane kernel; --batch samples N
             in-degree-stratified queries (the paper's test-query protocol);
-            --json emits the serve protocol's machine-readable result shape
-  serve     concurrent query server (newline-JSON over TCP; see the
-            README's Serving layer section for the protocol)
+            --format json emits the serve protocol's machine-readable
+            result shape
+  serve     concurrent query server (newline-JSON and binary ssb/1 over
+            TCP; see the README's Serving layer section for both wire
+            formats)
             --input FILE [--host 127.0.0.1] [--port 0] [--announce FILE]
             [--c 0.6] [--k 5] [--compress false] [--window-us 500]
             [--max-batch 64] [--workers 1] [--queue 1024] [--cache 4096]
@@ -49,14 +53,18 @@ COMMANDS:
             address to FILE once listening
   bench-serve  closed-loop load generator against a running serve instance
             --addr HOST:PORT [--clients 16] [--requests 125] [--top-k 10]
-            [--window-us 800] [--name serve] [--out BENCH_serve.json]
-            [--smoke false] [--shutdown false]
-            runs the serial / batched / cached phases via the admin config
-            op and writes the ssr-bench/serve/v1 JSON
+            [--window-us 800] [--pipeline 8] [--idle-conns 1024]
+            [--name serve] [--out BENCH_serve.json] [--smoke false]
+            [--shutdown false]
+            runs the serial / batched / cached phases, the json/ssb
+            protocol comparison (serial + pipelined), and a connection-
+            scaling phase holding --idle-conns open sockets, then writes
+            the ssr-bench/serve/v1 JSON
   stats     graph statistics + compression summary
-            --input FILE
+            --input FILE [--format text|json]
   audit     zero-similarity census (Fig. 6(d) style)
             --input FILE [--samples 2000] [--radius 6] [--seed 0]
+            [--format text|json]
   generate  synthetic graphs
             --kind er|rmat|web|citation|coauthor --nodes N [--edges M]
             [--seed 0] [--output FILE] [--store FILE.ssg]
@@ -87,6 +95,37 @@ pub fn run(command: &str, rest: &[String]) -> Result<String, ArgError> {
     }
 }
 
+/// How a command renders its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OutputFormat {
+    /// Human-readable text (the default).
+    Text,
+    /// Machine-readable JSON.
+    Json,
+}
+
+/// Resolves `--format {text,json}`, honoring the deprecated `--json BOOL`
+/// alias (hidden from usage; warns on stderr so scripts comparing stdout
+/// keep working).
+pub(crate) fn output_format(args: &Args) -> Result<OutputFormat, ArgError> {
+    if args.has("format") {
+        if args.has("json") {
+            return Err(ArgError(
+                "`--json` is a deprecated alias of `--format`; give only `--format`".into(),
+            ));
+        }
+        return Ok(match args.one_of("format", &["text", "json"])? {
+            "json" => OutputFormat::Json,
+            _ => OutputFormat::Text,
+        });
+    }
+    if args.has("json") {
+        eprintln!("warning: `--json BOOL` is deprecated; use `--format {{text,json}}`");
+        return Ok(if args.get("json", false)? { OutputFormat::Json } else { OutputFormat::Text });
+    }
+    Ok(OutputFormat::Text)
+}
+
 pub(crate) fn load_graph(args: &Args) -> Result<DiGraph, ArgError> {
     let path = args.req("input")?;
     // Content-sniffing loader: `.ssg` binary stores and text edge lists
@@ -95,7 +134,8 @@ pub(crate) fn load_graph(args: &Args) -> Result<DiGraph, ArgError> {
 }
 
 fn cmd_compute(rest: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(rest, &["input", "algo", "c", "k", "threshold", "output"])?;
+    let args = Args::parse(rest, &["input", "algo", "c", "k", "threshold", "format", "output"])?;
+    let format = output_format(&args)?;
     let g = load_graph(&args)?;
     let c = args.get("c", 0.6)?;
     let k = args.get("k", 5usize)?;
@@ -121,6 +161,20 @@ fn cmd_compute(rest: &[String]) -> Result<String, ArgError> {
     };
     let kept = if threshold > 0.0 { sim.clip_below(threshold) } else { 0 };
     let n = sim.node_count();
+    if format == OutputFormat::Json {
+        let mut entries: Vec<(u32, u32, f64)> = Vec::new();
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                if a != b && sim.score(a, b) > 0.0 {
+                    entries.push((a, b, sim.score(a, b)));
+                }
+            }
+        }
+        return write_or_return(
+            &args,
+            entries_json("simstar/compute/v1", &params, threshold, &entries),
+        );
+    }
     let mut out = String::new();
     out.push_str(&format!("# simstar compute: algo={algo} c={c} k={k} n={n}\n"));
     if threshold > 0.0 {
@@ -150,10 +204,12 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
             "threads",
             "blocks",
             "threshold",
+            "format",
             "json",
             "output",
         ],
     )?;
+    let format = output_format(&args)?;
     let g = load_graph(&args)?;
     let params = SimStarParams { c: args.get("c", 0.6)?, iterations: args.get("k", 5usize)? };
     if !(0.0..1.0).contains(&params.c) || params.c == 0.0 {
@@ -222,7 +278,7 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
             r.estimated_bytes,
         ));
     }
-    let json_mode = args.get("json", false)?;
+    let json_mode = format == OutputFormat::Json;
     if top > 0 {
         // Streaming top-k: ranked rows, never materializing the matrix.
         let rows: Vec<u32> = match &subset {
@@ -258,7 +314,10 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
             }
         }
         if json_mode {
-            return write_or_return(&args, entries_json(&params, threshold, &entries));
+            return write_or_return(
+                &args,
+                entries_json("simstar/allpairs/v1", &params, threshold, &entries),
+            );
         }
         out.push_str("# partial pairs (a b score, off-diagonal)\n");
         for (a, b, s) in entries {
@@ -277,7 +336,10 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
                     }
                 }
             }
-            return write_or_return(&args, entries_json(&params, threshold, &entries));
+            return write_or_return(
+                &args,
+                entries_json("simstar/allpairs/v1", &params, threshold, &entries),
+            );
         }
         if threshold > 0.0 {
             out.push_str(&format!("# threshold={threshold} kept={kept}\n"));
@@ -295,10 +357,15 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
 }
 
 /// Machine-readable matrix output: `{"entries": [[a, b, score], ...]}`.
-fn entries_json(params: &SimStarParams, threshold: f64, entries: &[(u32, u32, f64)]) -> String {
+fn entries_json(
+    schema: &str,
+    params: &SimStarParams,
+    threshold: f64,
+    entries: &[(u32, u32, f64)],
+) -> String {
     use ssr_serve::json::Json;
     Json::Obj(vec![
-        ("schema".into(), Json::Str("simstar/allpairs/v1".into())),
+        ("schema".into(), Json::Str(schema.into())),
         ("c".into(), Json::Num(params.c)),
         ("k".into(), Json::Num(params.iterations as f64)),
         ("threshold".into(), Json::Num(threshold)),
@@ -321,8 +388,12 @@ fn entries_json(params: &SimStarParams, threshold: f64, entries: &[(u32, u32, f6
 fn cmd_query(rest: &[String]) -> Result<String, ArgError> {
     let args = Args::parse(
         rest,
-        &["input", "node", "nodes", "batch", "top", "top-k", "c", "k", "seed", "compress", "json"],
+        &[
+            "input", "node", "nodes", "batch", "top", "top-k", "c", "k", "seed", "compress",
+            "format", "json",
+        ],
     )?;
+    let format = output_format(&args)?;
     let g = load_graph(&args)?;
     let modes = ["node", "nodes", "batch"].iter().filter(|m| args.has(m)).count();
     if modes != 1 {
@@ -374,7 +445,7 @@ fn cmd_query(rest: &[String]) -> Result<String, ArgError> {
     } else {
         engine.top_k_batch(&queries, top)
     };
-    if args.get("json", false)? {
+    if format == OutputFormat::Json {
         return Ok(query_results_json("simstar/query/v1", &params, top, &queries, &ranked));
     }
     // The output format follows the flag, not the list arity: `--nodes 5`
@@ -419,7 +490,7 @@ fn query_results_json(
             .map(|(&q, rows)| {
                 Json::Obj(vec![
                     ("node".into(), Json::Num(q as f64)),
-                    ("matches".into(), ssr_serve::protocol::matches_json(rows)),
+                    ("matches".into(), ssr_serve::codec::jsonl::matches_json(rows)),
                 ])
             })
             .collect(),
@@ -436,12 +507,36 @@ fn query_results_json(
 }
 
 fn cmd_stats(rest: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(rest, &["input"])?;
+    let args = Args::parse(rest, &["input", "format"])?;
+    let format = output_format(&args)?;
     let g = load_graph(&args)?;
     let s = graph_stats(&g);
     let wcc = weakly_connected_components(&g);
     let scc = strongly_connected_components(&g);
     let cg = compress(&g, &CompressOptions::default());
+    if format == OutputFormat::Json {
+        use ssr_serve::json::Json;
+        let n = |v: f64| Json::Num(v);
+        return Ok(Json::Obj(vec![
+            ("schema".into(), Json::Str("simstar/stats/v1".into())),
+            ("nodes".into(), n(s.nodes as f64)),
+            ("edges".into(), n(s.edges as f64)),
+            ("density".into(), n(s.density)),
+            ("max_in_degree".into(), n(s.max_in_degree as f64)),
+            ("max_out_degree".into(), n(s.max_out_degree as f64)),
+            ("sources".into(), n(s.sources as f64)),
+            ("sinks".into(), n(s.sinks as f64)),
+            ("isolated".into(), n(s.isolated as f64)),
+            ("wcc".into(), n(wcc.count as f64)),
+            ("scc".into(), n(scc.count as f64)),
+            ("disconnected_pair_fraction".into(), n(wcc.disconnected_pair_fraction())),
+            ("compressed_edges".into(), n(cg.compressed_edge_count() as f64)),
+            ("compression_ratio".into(), n(cg.compression_ratio())),
+            ("concentrators".into(), n(cg.concentrator_count() as f64)),
+        ])
+        .render()
+            + "\n");
+    }
     Ok(format!(
         "nodes                 {}\n\
          edges                 {}\n\
@@ -471,7 +566,8 @@ fn cmd_stats(rest: &[String]) -> Result<String, ArgError> {
 }
 
 fn cmd_audit(rest: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(rest, &["input", "samples", "radius", "seed"])?;
+    let args = Args::parse(rest, &["input", "samples", "radius", "seed", "format"])?;
+    let format = output_format(&args)?;
     let g = load_graph(&args)?;
     if g.node_count() < 2 {
         return Err(ArgError("graph needs at least 2 nodes to audit".into()));
@@ -481,6 +577,25 @@ fn cmd_audit(rest: &[String]) -> Result<String, ArgError> {
     let seed = args.get("seed", 0u64)?;
     let sr = ssr_eval::zero_sim::simrank_census(&g, samples, radius, seed);
     let rw = ssr_eval::zero_sim::rwr_census(&g, samples, radius, seed);
+    if format == OutputFormat::Json {
+        use ssr_serve::json::Json;
+        let census = |c: &ssr_eval::zero_sim::ZeroSimCensus| {
+            Json::Obj(vec![
+                ("completely_dissimilar".into(), Json::Num(c.completely_dissimilar)),
+                ("partially_missing".into(), Json::Num(c.partially_missing)),
+                ("affected".into(), Json::Num(c.any_issue())),
+            ])
+        };
+        return Ok(Json::Obj(vec![
+            ("schema".into(), Json::Str("simstar/audit/v1".into())),
+            ("samples".into(), Json::Num(samples as f64)),
+            ("radius".into(), Json::Num(radius as f64)),
+            ("simrank".into(), census(&sr)),
+            ("rwr".into(), census(&rw)),
+        ])
+        .render()
+            + "\n");
+    }
     Ok(format!(
         "zero-similarity audit ({samples} sampled pairs, probe radius {radius})\n\
          SimRank : {:5.1}% completely dissimilar, {:5.1}% partially missing => {:5.1}% affected\n\
@@ -779,8 +894,8 @@ mod tests {
         use ssr_serve::json::{parse_json, Json};
         let p = tmp_graph();
         let text = run("query", &toks(&format!("--input {p} --nodes 8,3 --top-k 2"))).unwrap();
-        let json =
-            run("query", &toks(&format!("--input {p} --nodes 8,3 --top-k 2 --json true"))).unwrap();
+        let json = run("query", &toks(&format!("--input {p} --nodes 8,3 --top-k 2 --format json")))
+            .unwrap();
         let doc = parse_json(json.trim()).unwrap();
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some("simstar/query/v1"));
         let results = doc.get("results").and_then(Json::as_arr).unwrap();
@@ -804,7 +919,7 @@ mod tests {
         use ssr_serve::json::{parse_json, Json};
         let p = tmp_graph();
         let json =
-            run("query", &toks(&format!("--input {p} --node 8 --top-k 3 --json true"))).unwrap();
+            run("query", &toks(&format!("--input {p} --node 8 --top-k 3 --format json"))).unwrap();
         let doc = parse_json(json.trim()).unwrap();
         let results = doc.get("results").and_then(Json::as_arr).unwrap();
         assert_eq!(results.len(), 1);
@@ -816,13 +931,16 @@ mod tests {
     fn allpairs_json_topk_and_entries_modes() {
         use ssr_serve::json::{parse_json, Json};
         let p = tmp_graph();
-        let ranked = run("allpairs", &toks(&format!("--input {p} --top-k 2 --json true"))).unwrap();
+        let ranked =
+            run("allpairs", &toks(&format!("--input {p} --top-k 2 --format json"))).unwrap();
         let doc = parse_json(ranked.trim()).unwrap();
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some("simstar/allpairs/v1"));
         assert_eq!(doc.get("results").and_then(Json::as_arr).unwrap().len(), 11);
-        let matrix =
-            run("allpairs", &toks(&format!("--input {p} --subset 8 --threshold 1e-3 --json true")))
-                .unwrap();
+        let matrix = run(
+            "allpairs",
+            &toks(&format!("--input {p} --subset 8 --threshold 1e-3 --format json")),
+        )
+        .unwrap();
         let doc = parse_json(matrix.trim()).unwrap();
         let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
         assert!(!entries.is_empty());
@@ -839,7 +957,7 @@ mod tests {
 
     #[test]
     fn serve_round_trip_via_announce_file() {
-        use ssr_serve::client::{Reply, ServeClient};
+        use ssr_serve::client::{Client, Reply};
         let p = tmp_graph();
         let dir = std::env::temp_dir().join("simstar_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -862,7 +980,7 @@ mod tests {
                 assert!(waited < 500, "server never announced");
             }
         };
-        let mut client = ServeClient::connect(&addr).unwrap();
+        let mut client = Client::connect(&addr).unwrap();
         let Reply::Ok(reply) = client.query(8, 3).unwrap() else { panic!("query failed") };
         assert_eq!(reply.epoch, 0);
         assert_eq!(reply.matches.len(), 3);
@@ -909,7 +1027,7 @@ mod tests {
             "bench-serve",
             &toks(&format!(
                 "--addr {addr} --clients 3 --requests 4 --top-k 3 --window-us 300 \
-                 --name fig1 --out {} --shutdown true",
+                 --idle-conns 8 --name fig1 --out {} --shutdown true",
                 out_path.to_string_lossy()
             )),
         )
@@ -926,6 +1044,16 @@ mod tests {
             assert_eq!(mode.get("requests").and_then(Json::as_num), Some(12.0), "{m}");
             assert!(mode.get("p50_us").and_then(Json::as_num).unwrap() > 0.0, "{m}");
         }
+        for m in ["json_serial", "ssb_serial", "ssb_pipelined", "conns_1k"] {
+            assert!(modes.get(m).is_some(), "{m} mode missing from the report");
+        }
+        let pipelined = modes.get("ssb_pipelined").unwrap();
+        assert_eq!(pipelined.get("protocol").and_then(Json::as_str), Some("ssb/1"));
+        assert!(pipelined.get("pipeline").and_then(Json::as_num).unwrap() > 1.0);
+        assert!(
+            modes.get("conns_1k").unwrap().get("connections").and_then(Json::as_num).unwrap()
+                >= 8.0
+        );
         // The cached phase's hot pool (min(64, n) = all 11 nodes here)
         // repeats nodes across 12 requests ⇒ hits are guaranteed.
         assert!(

@@ -4,9 +4,10 @@
 use crate::args::{ArgError, Args};
 use simrank_star::{QueryEngineOptions, SimStarParams};
 use ssr_serve::batcher::BatcherOptions;
-use ssr_serve::client::ServeClient;
-use ssr_serve::json::Json;
-use ssr_serve::loadgen::{run_standard_phases, LoadPlan, ServeBenchMeta};
+use ssr_serve::client::Client;
+use ssr_serve::loadgen::{
+    run_connections_phase, run_protocol_phases, run_standard_phases, LoadPlan, ServeBenchMeta,
+};
 use ssr_serve::server::{Server, ServerOptions};
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -61,7 +62,8 @@ pub fn cmd_serve(rest: &[String]) -> Result<String, ArgError> {
     // string) so wrappers can scrape the ephemeral port while we block.
     println!(
         "serving SimRank* on {addr} (n={nodes}, m={edges}, c={}, k={}) — \
-         newline-JSON protocol; send {{\"op\":\"shutdown\"}} to stop",
+         newline-JSON by default, binary ssb/1 after the `SSB1` magic; \
+         send {{\"op\":\"shutdown\"}} to stop",
         params.c, params.iterations
     );
     let _ = std::io::stdout().flush();
@@ -75,19 +77,35 @@ pub fn cmd_serve(rest: &[String]) -> Result<String, ArgError> {
     Ok(format!("server on {addr} stopped\n"))
 }
 
-/// `simstar bench-serve`: drive a running server through the three
-/// standard phases (serial / batched / cached) and emit the
+/// `simstar bench-serve`: drive a running server through the standard
+/// batching phases (serial / batched / cached), the protocol-comparison
+/// phases (json_serial / ssb_serial / ssb_pipelined), and the
+/// connection-scaling phase (conns_1k), emitting the
 /// `ssr-bench/serve/v1` JSON that `bench_check` gates.
 pub fn cmd_bench_serve(rest: &[String]) -> Result<String, ArgError> {
     let args = Args::parse(
         rest,
-        &["addr", "clients", "requests", "top-k", "window-us", "name", "out", "smoke", "shutdown"],
+        &[
+            "addr",
+            "clients",
+            "requests",
+            "top-k",
+            "window-us",
+            "pipeline",
+            "idle-conns",
+            "name",
+            "out",
+            "smoke",
+            "shutdown",
+        ],
     )?;
     let smoke = args.get("smoke", false)?;
     let clients = args.get("clients", 16usize)?;
     let requests = args.get("requests", if smoke { 30usize } else { 125 })?;
     let top_k = args.get("top-k", 10usize)?;
     let window_us = args.get("window-us", 800u64)?;
+    let pipeline = args.get("pipeline", 8usize)?;
+    let idle_conns = args.get("idle-conns", if smoke { 256usize } else { 1024 })?;
     let name = args.opt("name", "serve").to_string();
     let out_path = args.opt("out", "BENCH_serve.json").to_string();
     if clients == 0 || requests == 0 {
@@ -99,58 +117,86 @@ pub fn cmd_bench_serve(rest: &[String]) -> Result<String, ArgError> {
         .map_err(|e| ArgError(format!("resolving `{addr_str}`: {e}")))?
         .next()
         .ok_or_else(|| ArgError(format!("`{addr_str}` resolved to no address")))?;
-    let mut admin = ServeClient::connect(addr)
-        .map_err(|e| ArgError(format!("connecting to `{addr_str}`: {e}")))?;
+    let mut admin =
+        Client::connect(addr).map_err(|e| ArgError(format!("connecting to `{addr_str}`: {e}")))?;
     let stats = admin.stats().map_err(|e| ArgError(format!("stats op failed: {e}")))?;
-    let get_num = |key: &str| stats.get(key).and_then(Json::as_num).unwrap_or(0.0);
-    let nodes = get_num("nodes") as usize;
-    let edges = get_num("edges") as usize;
+    let nodes = stats.nodes as usize;
+    let edges = stats.edges as usize;
     if nodes == 0 {
         return Err(ArgError("server reports an empty graph".into()));
     }
-    let params = stats.get("params");
-    let c = params.and_then(|p| p.get("c")).and_then(Json::as_num).unwrap_or(0.0);
-    let k = params.and_then(|p| p.get("k")).and_then(Json::as_num).unwrap_or(0.0) as usize;
 
     // Cache-off phases cycle every node (concurrent requests hit distinct
     // nodes); the cached phase hammers a small hot set.
     let pool: Vec<u32> = (0..nodes as u32).collect();
     let hot: Vec<u32> = (0..nodes.min(64) as u32).collect();
-    let plan = LoadPlan { clients, requests_per_client: requests, top_k, nodes: pool };
-    let phases = run_standard_phases(addr, &plan, hot, window_us)
+    let plan = LoadPlan::new(clients, requests, top_k, pool);
+    let mut phases = run_standard_phases(addr, &plan, hot.clone(), window_us)
         .map_err(|e| ArgError(format!("load run failed: {e}")))?;
+    phases.extend(
+        run_protocol_phases(addr, &plan, hot.clone(), window_us, pipeline)
+            .map_err(|e| ArgError(format!("protocol load run failed: {e}")))?,
+    );
+    if idle_conns > 0 {
+        let conns_plan =
+            LoadPlan::new(clients, requests.div_ceil(2).max(5), top_k, plan.nodes.clone());
+        phases.push(
+            run_connections_phase(addr, &conns_plan, hot, window_us, pipeline, idle_conns)
+                .map_err(|e| ArgError(format!("connection-scaling run failed: {e}")))?,
+        );
+    }
 
-    let meta =
-        ServeBenchMeta { smoke, dataset: name, nodes, edges, clients, window_us, top_k, c, k };
+    let meta = ServeBenchMeta {
+        smoke,
+        dataset: name,
+        nodes,
+        edges,
+        clients,
+        window_us,
+        pipeline,
+        idle_conns,
+        worker_threads: stats.worker_threads,
+        top_k,
+        c: stats.c,
+        k: stats.iterations as usize,
+    };
     let json = ssr_serve::loadgen::render_serve_json(&meta, &phases);
     std::fs::write(&out_path, &json).map_err(|e| ArgError(format!("writing `{out_path}`: {e}")))?;
 
     let mut out = format!(
         "# bench-serve: {addr_str} n={nodes} m={edges} clients={clients} \
-         requests/client={requests} top-k={top_k} window={window_us}us\n"
+         requests/client={requests} top-k={top_k} window={window_us}us pipeline={pipeline}\n"
     );
     let _ = writeln!(
         out,
-        "{:<9} {:>9} {:>10} {:>10} {:>8} {:>6} {:>10}",
-        "mode", "qps", "p50_us", "p99_us", "hit_rate", "shed", "mean_flush"
+        "{:<14} {:>7} {:>4} {:>9} {:>10} {:>10} {:>8} {:>6} {:>6}",
+        "mode", "proto", "pipe", "qps", "p50_us", "p99_us", "hit_rate", "shed", "conns"
     );
     for p in &phases {
         let _ = writeln!(
             out,
-            "{:<9} {:>9.1} {:>10.1} {:>10.1} {:>7.1}% {:>6} {:>10.2}",
+            "{:<14} {:>7} {:>4} {:>9.1} {:>10.1} {:>10.1} {:>7.1}% {:>6} {:>6}",
             p.name,
+            p.protocol,
+            p.pipeline,
             p.report.qps(),
             p.report.percentile_us(0.50),
             p.report.percentile_us(0.99),
             100.0 * p.hit_rate(),
             p.shed,
-            p.mean_flush(),
+            p.connections,
         );
     }
-    let serial = phases.iter().find(|p| p.name == "serial").map_or(0.0, |p| p.report.qps());
-    let batched = phases.iter().find(|p| p.name == "batched").map_or(0.0, |p| p.report.qps());
-    if serial > 0.0 {
-        let _ = writeln!(out, "speedup batched vs serial: {:.2}x", batched / serial);
+    let qps = |n: &str| phases.iter().find(|p| p.name == n).map_or(0.0, |p| p.report.qps());
+    if qps("serial") > 0.0 {
+        let _ = writeln!(out, "speedup batched vs serial: {:.2}x", qps("batched") / qps("serial"));
+    }
+    if qps("json_serial") > 0.0 {
+        let _ = writeln!(
+            out,
+            "speedup ssb pipelined vs json serial: {:.2}x",
+            qps("ssb_pipelined") / qps("json_serial")
+        );
     }
     let _ = writeln!(out, "wrote {out_path}");
     if args.get("shutdown", false)? {

@@ -77,10 +77,38 @@ pub enum SubmitError {
     },
 }
 
+/// Where a completed (or failed) asynchronous submission is delivered.
+///
+/// The event-driven runtime implements this with its completion queue +
+/// poller waker: a flush worker calls [`CompletionSink::complete`] from
+/// its own thread, and the sink hands the result back to the event loop.
+/// `tag` is the caller's correlation value from [`Batcher::submit`].
+pub trait CompletionSink: Send + Sync {
+    /// Delivers the outcome of the submission tagged `tag`. Called from a
+    /// flush-worker thread (or from [`Batcher::shutdown`]); must not block.
+    fn complete(&self, tag: u64, result: Result<QueryAnswer, SubmitError>);
+}
+
+/// How a queued job reports back: a blocking slot ([`Batcher::serve`]) or
+/// an asynchronous sink ([`Batcher::submit`]).
+enum JobReply {
+    Slot(Arc<Slot>),
+    Sink { sink: Arc<dyn CompletionSink>, tag: u64 },
+}
+
+impl JobReply {
+    fn fill(&self, r: Result<QueryAnswer, SubmitError>) {
+        match self {
+            JobReply::Slot(slot) => slot.fill(r),
+            JobReply::Sink { sink, tag } => sink.complete(*tag, r),
+        }
+    }
+}
+
 struct Job {
     node: NodeId,
     k: usize,
-    slot: Arc<Slot>,
+    reply: JobReply,
 }
 
 struct Slot {
@@ -106,7 +134,7 @@ impl Slot {
 }
 
 /// Counter snapshot of one [`Batcher`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatcherStats {
     /// Jobs accepted into the queue.
     pub submitted: u64,
@@ -186,9 +214,41 @@ impl Batcher {
     }
 
     /// Serves one query: cache lookup first (hits never enter the queue),
-    /// then a blocking submission through the flush pipeline. Called from
-    /// connection threads.
+    /// then a blocking submission through the flush pipeline. The direct
+    /// path for library users and tests; the event-driven server uses
+    /// [`Batcher::submit`] instead.
     pub fn serve(&self, node: NodeId, k: usize) -> Result<QueryAnswer, SubmitError> {
+        let slot = Arc::new(Slot { result: Mutex::new(None), done: Condvar::new() });
+        match self.enqueue(node, k, JobReply::Slot(slot.clone()))? {
+            Some(hit) => Ok(hit),
+            None => slot.wait(),
+        }
+    }
+
+    /// Submits one query asynchronously. A cache hit is returned inline as
+    /// `Ok(Some(answer))` without entering the queue; `Ok(None)` means the
+    /// job was queued and its outcome will arrive at `sink` (tagged `tag`)
+    /// from a flush-worker thread. Admission errors surface immediately as
+    /// `Err` — nothing is delivered to the sink for them.
+    pub fn submit(
+        &self,
+        node: NodeId,
+        k: usize,
+        sink: &Arc<dyn CompletionSink>,
+        tag: u64,
+    ) -> Result<Option<QueryAnswer>, SubmitError> {
+        self.enqueue(node, k, JobReply::Sink { sink: sink.clone(), tag })
+    }
+
+    /// Shared admission path: snapshot range check, cache lookup, bounded
+    /// queue entry. `Ok(Some)` is a cache hit (the reply is dropped
+    /// unused); `Ok(None)` means queued.
+    fn enqueue(
+        &self,
+        node: NodeId,
+        k: usize,
+        reply: JobReply,
+    ) -> Result<Option<QueryAnswer>, SubmitError> {
         let snapshot = self.inner.store.current();
         if (node as usize) >= snapshot.nodes {
             return Err(SubmitError::BadNode { nodes: snapshot.nodes });
@@ -196,10 +256,9 @@ impl Batcher {
         let key =
             CacheKey { epoch: snapshot.epoch, node, k: k as u32, params_key: snapshot.params_key };
         if let Some(matches) = self.inner.cache.get(&key) {
-            return Ok(QueryAnswer { epoch: snapshot.epoch, cached: true, matches });
+            return Ok(Some(QueryAnswer { epoch: snapshot.epoch, cached: true, matches }));
         }
         drop(snapshot);
-        let slot = Arc::new(Slot { result: Mutex::new(None), done: Condvar::new() });
         {
             let mut queue = self.inner.queue.lock().expect("batch queue poisoned");
             if !self.inner.open.load(Ordering::Relaxed) {
@@ -210,11 +269,11 @@ impl Batcher {
                 self.inner.shed.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::Shed);
             }
-            queue.push_back(Job { node, k, slot: slot.clone() });
+            queue.push_back(Job { node, k, reply });
             self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         }
         self.inner.nonempty.notify_all();
-        slot.wait()
+        Ok(None)
     }
 
     /// Runtime window override (admin `config` op).
@@ -255,7 +314,7 @@ impl Batcher {
         }
         // Fail anything the workers left behind.
         for job in self.inner.queue.lock().expect("batch queue poisoned").drain(..) {
-            job.slot.fill(Err(SubmitError::Closed));
+            job.reply.fill(Err(SubmitError::Closed));
         }
     }
 }
@@ -316,7 +375,7 @@ fn flush(inner: &Inner, batch: Vec<Job>) {
     let (runnable, stale): (Vec<&Job>, Vec<&Job>) =
         batch.iter().partition(|j| (j.node as usize) < snapshot.nodes);
     for job in stale {
-        job.slot.fill(Err(SubmitError::BadNode { nodes: snapshot.nodes }));
+        job.reply.fill(Err(SubmitError::BadNode { nodes: snapshot.nodes }));
     }
     if runnable.is_empty() {
         return;
@@ -348,7 +407,7 @@ fn flush(inner: &Inner, batch: Vec<Job>) {
             params_key: snapshot.params_key,
         };
         inner.cache.insert(key, matches.clone());
-        job.slot.fill(Ok(QueryAnswer { epoch: snapshot.epoch, cached: false, matches }));
+        job.reply.fill(Ok(QueryAnswer { epoch: snapshot.epoch, cached: false, matches }));
     }
 }
 
@@ -463,5 +522,54 @@ mod tests {
         let (_, _, b) = setup(BatcherOptions::default());
         b.shutdown();
         assert_eq!(b.serve(1, 3), Err(SubmitError::Closed));
+    }
+
+    struct TestSink {
+        got: Mutex<Vec<(u64, Result<QueryAnswer, SubmitError>)>>,
+        ready: Condvar,
+    }
+
+    impl CompletionSink for TestSink {
+        fn complete(&self, tag: u64, result: Result<QueryAnswer, SubmitError>) {
+            self.got.lock().unwrap().push((tag, result));
+            self.ready.notify_all();
+        }
+    }
+
+    impl TestSink {
+        fn wait_for(&self, n: usize) -> Vec<(u64, Result<QueryAnswer, SubmitError>)> {
+            let mut guard = self.got.lock().unwrap();
+            while guard.len() < n {
+                let (g, t) = self.ready.wait_timeout(guard, Duration::from_secs(10)).unwrap();
+                guard = g;
+                assert!(!t.timed_out(), "sink never completed");
+            }
+            guard.clone()
+        }
+    }
+
+    #[test]
+    fn async_submit_completes_through_the_sink() {
+        let (store, _, b) = setup(BatcherOptions { window_us: 0, ..Default::default() });
+        let sink = Arc::new(TestSink { got: Mutex::new(Vec::new()), ready: Condvar::new() });
+        let dyn_sink: Arc<dyn CompletionSink> = sink.clone();
+        // Miss: queued, completed asynchronously with the engine's answer.
+        assert_eq!(b.submit(1, 3, &dyn_sink, 77).unwrap(), None);
+        let got = sink.wait_for(1);
+        let (tag, result) = &got[0];
+        assert_eq!(*tag, 77);
+        let answer = result.as_ref().unwrap();
+        assert!(!answer.cached);
+        assert_eq!(*answer.matches, store.current().engine.top_k(1, 3));
+        // Hit: returned inline, nothing more reaches the sink.
+        let hit = b.submit(1, 3, &dyn_sink, 78).unwrap().expect("cache hit");
+        assert!(hit.cached);
+        assert_eq!(hit.matches, answer.matches);
+        assert_eq!(sink.got.lock().unwrap().len(), 1);
+        // Admission errors surface immediately, not via the sink.
+        assert_eq!(b.submit(99, 3, &dyn_sink, 79), Err(SubmitError::BadNode { nodes: 6 }));
+        // Shutdown fails queued jobs through their sink.
+        b.shutdown();
+        assert_eq!(b.submit(2, 3, &dyn_sink, 80), Err(SubmitError::Closed));
     }
 }

@@ -23,24 +23,33 @@
 //!   deterministic mode, making results bit-identical however requests
 //!   get coalesced — the invariant that lets cached, solo, and batched
 //!   answers interchange.
-//! * [`server`] / [`protocol`] — a thread-per-connection TCP server
-//!   speaking newline-delimited JSON (schema in README "Serving layer"),
-//!   with `stats` surfacing every counter and admin `config` retuning the
-//!   batcher/cache at runtime.
-//! * [`client`] / [`loadgen`] — the blocking protocol client and the
-//!   closed-loop load generator behind `simstar bench-serve` and
-//!   `ssr-bench`'s `exp_serve`.
+//! * [`protocol`] / [`codec`] — the **typed protocol** ([`Request`] /
+//!   [`Response`], plain data with no serialization attached) and its two
+//!   interchangeable wire encodings behind one [`codec::Codec`] API:
+//!   newline-delimited JSON (unchanged on the wire; schema in README
+//!   "Serving layer") and the length-prefixed binary `ssb/1` format,
+//!   which carries request ids and therefore supports pipelining.
+//! * [`server`] / [`runtime`](crate::server) — the **event-driven TCP
+//!   server**: one poll-loop thread (epoll on Linux) owns every
+//!   connection's buffers and parser state, queries run asynchronously in
+//!   the batcher's flush workers, and admin ops on a dedicated executor —
+//!   a fixed thread budget at any connection count. `stats` surfaces
+//!   every counter; admin `config` retunes the batcher/cache at runtime.
+//! * [`client`] / [`loadgen`] — the blocking protocol [`Client`] (builder
+//!   picks format, timeout, pipelining depth) and the closed-loop load
+//!   generator behind `simstar bench-serve` and `ssr-bench`'s
+//!   `exp_serve`.
 //! * [`json`] — the minimal JSON tree/parser/writer the protocol and the
 //!   bench reports share (re-exported by `ssr_bench::check`).
 //!
 //! ```no_run
-//! use ssr_serve::client::{Reply, ServeClient};
+//! use ssr_serve::client::{Client, Reply};
 //! use ssr_serve::server::{Server, ServerOptions};
 //! use ssr_graph::DiGraph;
 //!
 //! let g = DiGraph::from_edges(4, &[(1, 0), (2, 0), (3, 1), (3, 2)]).unwrap();
 //! let server = Server::start(g, "127.0.0.1", 0, ServerOptions::default()).unwrap();
-//! let mut client = ServeClient::connect(server.addr()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
 //! if let Reply::Ok(reply) = client.query(1, 3).unwrap() {
 //!     println!("epoch {}: {:?}", reply.epoch, reply.matches);
 //! }
@@ -50,20 +59,29 @@
 //! [`QueryEngine`]: simrank_star::QueryEngine
 //! [`QueryEngine::top_k_batch`]: simrank_star::QueryEngine::top_k_batch
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place:
+// the poller's raw epoll/poll FFI (see `poller::imp::sys`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batcher;
 pub mod cache;
 pub mod client;
+pub mod codec;
 pub mod epoch;
 pub mod json;
 pub mod loadgen;
+pub mod poller;
 pub mod protocol;
+pub(crate) mod runtime;
 pub mod server;
 
-pub use batcher::{Batcher, BatcherOptions, BatcherStats, QueryAnswer, SubmitError};
+pub use batcher::{
+    Batcher, BatcherOptions, BatcherStats, CompletionSink, QueryAnswer, SubmitError,
+};
 pub use cache::{CacheKey, CacheStats, ShardedCache};
-pub use client::{Reply, ServeClient};
+pub use client::{Client, ClientBuilder, ClientError, Reply};
+pub use codec::{Codec, Decoded, Malformed, WireFormat};
 pub use epoch::{EpochStore, Snapshot};
+pub use protocol::{CacheDirective, QueryReply, Request, Response, StatsReply};
 pub use server::{Server, ServerOptions};

@@ -1,21 +1,34 @@
 //! Closed-loop load generation against a running server, plus the
 //! `ssr-bench/serve/v1` report renderer.
 //!
-//! One thread per simulated client, each with its own connection, sending
-//! its next request as soon as the previous response lands (closed loop:
-//! offered load tracks server capacity, the standard way to compare
-//! throughput of two server configurations). Shared by
-//! `simstar bench-serve` (external server) and `ssr-bench`'s `exp_serve`
-//! (in-process server) so both emit the exact same schema — which is what
-//! lets `bench_check` gate either against committed baselines.
+//! One thread per simulated client, each with its own connection. With
+//! `pipeline == 1` a client sends its next request as soon as the
+//! previous response lands (closed loop: offered load tracks server
+//! capacity, the standard way to compare throughput of two server
+//! configurations). With `pipeline > 1` each client keeps up to that
+//! many requests in flight on one connection — the `ssb/1` pipelining
+//! mode — with per-request latency measured from send to its in-order
+//! response. Shared by `simstar bench-serve` (external server) and
+//! `ssr-bench`'s `exp_serve` (in-process server) so both emit the exact
+//! same schema — which is what lets `bench_check` gate either against
+//! committed baselines.
+//!
+//! Transport failures (timeout, closed connection, undecodable bytes)
+//! abort the run with a typed [`ClientError`] instead of hanging or
+//! being silently folded into the error counter; only protocol-level
+//! `error` responses count as `errors` and continue.
 
-use crate::client::{Reply, ServeClient};
+use crate::client::{Client, ClientError, Reply};
+use crate::codec::WireFormat;
 use crate::json::Json;
+use crate::protocol::CacheDirective;
 use ssr_graph::NodeId;
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::time::Instant;
 
-/// One load phase: how many clients, how many requests each, which nodes.
+/// One load phase: how many clients, how many requests each, which nodes,
+/// which wire format, how deep the pipeline.
 #[derive(Debug, Clone)]
 pub struct LoadPlan {
     /// Concurrent closed-loop clients.
@@ -29,6 +42,36 @@ pub struct LoadPlan {
     /// distinct nodes (unless the pool is smaller than the client count —
     /// the cache-phase setup).
     pub nodes: Vec<NodeId>,
+    /// Wire format every client speaks.
+    pub protocol: WireFormat,
+    /// Requests each client keeps in flight (1 = strict closed loop).
+    pub pipeline: usize,
+}
+
+impl LoadPlan {
+    /// A JSON, serial plan — the historical default.
+    pub fn new(
+        clients: usize,
+        requests_per_client: usize,
+        top_k: usize,
+        nodes: Vec<NodeId>,
+    ) -> Self {
+        LoadPlan {
+            clients,
+            requests_per_client,
+            top_k,
+            nodes,
+            protocol: WireFormat::Jsonl,
+            pipeline: 1,
+        }
+    }
+
+    /// Same plan on a different wire format / pipeline depth.
+    pub fn with_protocol(mut self, protocol: WireFormat, pipeline: usize) -> Self {
+        self.protocol = protocol;
+        self.pipeline = pipeline.max(1);
+        self
+    }
 }
 
 /// Aggregated result of one load phase.
@@ -42,7 +85,7 @@ pub struct LoadReport {
     pub cached: usize,
     /// `status: shed` responses.
     pub shed: usize,
-    /// `status: error` responses (plus transport failures).
+    /// `status: error` responses.
     pub errors: usize,
     /// Wall-clock of the whole phase.
     pub elapsed_ms: f64,
@@ -79,37 +122,57 @@ struct ClientTally {
     epochs: Vec<u64>,
 }
 
-/// Runs one closed-loop phase against `addr`.
-pub fn run_load(addr: SocketAddr, plan: &LoadPlan) -> std::io::Result<LoadReport> {
+impl ClientTally {
+    fn absorb(&mut self, reply: Reply) {
+        match reply {
+            Reply::Ok(reply) => {
+                self.ok += 1;
+                self.cached += reply.cached as usize;
+                if self.epochs.last() != Some(&reply.epoch) {
+                    self.epochs.push(reply.epoch);
+                }
+            }
+            Reply::Shed => self.shed += 1,
+            Reply::Error(_) => self.errors += 1,
+        }
+    }
+}
+
+/// One client's run: a sliding window of up to `plan.pipeline` requests
+/// in flight, latency measured per request from its send to its in-order
+/// response (depth 1 degenerates to the strict closed loop).
+fn run_client(addr: SocketAddr, plan: &LoadPlan, c: usize) -> Result<ClientTally, ClientError> {
+    let mut client =
+        Client::builder().protocol(plan.protocol).pipeline(plan.pipeline).connect(addr)?;
+    let depth = plan.pipeline.max(1);
+    let mut tally = ClientTally::default();
+    let mut in_flight: VecDeque<Instant> = VecDeque::with_capacity(depth);
+    let mut sent = 0;
+    while sent < plan.requests_per_client || !in_flight.is_empty() {
+        if sent < plan.requests_per_client && in_flight.len() < depth {
+            let node = plan.nodes[(c + sent * plan.clients) % plan.nodes.len()];
+            client.send_query(node, plan.top_k)?;
+            in_flight.push_back(Instant::now());
+            sent += 1;
+            continue;
+        }
+        let reply = client.recv_reply()?;
+        let t = in_flight.pop_front().expect("response without a request in flight");
+        tally.lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+        tally.absorb(reply);
+    }
+    Ok(tally)
+}
+
+/// Runs one load phase against `addr`. Transport errors abort the whole
+/// run — a dead server is a typed failure, not a hang or a skewed report.
+pub fn run_load(addr: SocketAddr, plan: &LoadPlan) -> Result<LoadReport, ClientError> {
     assert!(plan.clients > 0 && !plan.nodes.is_empty(), "empty load plan");
     let started = Instant::now();
     let mut per_client: Vec<ClientTally> = Vec::new();
-    std::thread::scope(|scope| -> std::io::Result<()> {
-        let handles: Vec<_> = (0..plan.clients)
-            .map(|c| {
-                scope.spawn(move || -> std::io::Result<ClientTally> {
-                    let mut client = ServeClient::connect(addr)?;
-                    let mut tally = ClientTally::default();
-                    for i in 0..plan.requests_per_client {
-                        let node = plan.nodes[(c + i * plan.clients) % plan.nodes.len()];
-                        let t = Instant::now();
-                        match client.query(node, plan.top_k) {
-                            Ok(Reply::Ok(reply)) => {
-                                tally.ok += 1;
-                                tally.cached += reply.cached as usize;
-                                if tally.epochs.last() != Some(&reply.epoch) {
-                                    tally.epochs.push(reply.epoch);
-                                }
-                            }
-                            Ok(Reply::Shed) => tally.shed += 1,
-                            Ok(Reply::Error(_)) | Err(_) => tally.errors += 1,
-                        }
-                        tally.lat_us.push(t.elapsed().as_secs_f64() * 1e6);
-                    }
-                    Ok(tally)
-                })
-            })
-            .collect();
+    std::thread::scope(|scope| -> Result<(), ClientError> {
+        let handles: Vec<_> =
+            (0..plan.clients).map(|c| scope.spawn(move || run_client(addr, plan, c))).collect();
         for h in handles {
             per_client.push(h.join().expect("load client panicked")?);
         }
@@ -145,8 +208,16 @@ pub fn run_load(addr: SocketAddr, plan: &LoadPlan) -> std::io::Result<LoadReport
 /// result, and the server-side counter deltas observed across it.
 #[derive(Debug, Clone)]
 pub struct PhaseResult {
-    /// Mode name (`serial`, `batched`, `cached`).
+    /// Mode name (`serial`, `batched`, `cached`, `json_serial`,
+    /// `ssb_serial`, `ssb_pipelined`, `conns_1k`).
     pub name: String,
+    /// Wire format the phase ran on (`json/1` or `ssb/1`).
+    pub protocol: &'static str,
+    /// Pipelining depth of the phase.
+    pub pipeline: usize,
+    /// Server-reported connection gauge while the phase's sockets (and
+    /// any held idle ones) were open; 0 when not sampled.
+    pub connections: u64,
     /// Client-side load report.
     pub report: LoadReport,
     /// Server-side cache hits − before-phase hits.
@@ -182,6 +253,47 @@ impl PhaseResult {
     }
 }
 
+/// `(cache hits, cache misses, batcher shed, flushes, flushed jobs)`.
+struct Counters(u64, u64, u64, u64, u64);
+
+fn server_counters(admin: &mut Client) -> Result<Counters, ClientError> {
+    let s = admin.stats()?;
+    Ok(Counters(
+        s.cache.hits,
+        s.cache.misses,
+        s.batcher.shed,
+        s.batcher.flushes,
+        s.batcher.flushed_jobs,
+    ))
+}
+
+/// Runs `plan` bracketed by counter snapshots and folds both into a
+/// [`PhaseResult`]. `connections` samples the server's gauge mid-phase
+/// only when asked (the connection-hold phase).
+fn run_phase(
+    addr: SocketAddr,
+    admin: &mut Client,
+    name: &str,
+    plan: &LoadPlan,
+    connections: u64,
+) -> Result<PhaseResult, ClientError> {
+    let before = server_counters(admin)?;
+    let report = run_load(addr, plan)?;
+    let after = server_counters(admin)?;
+    Ok(PhaseResult {
+        name: name.to_string(),
+        protocol: plan.protocol.name(),
+        pipeline: plan.pipeline.max(1),
+        connections,
+        report,
+        cache_hits: after.0 - before.0,
+        cache_misses: after.1 - before.1,
+        shed: after.2 - before.2,
+        flushes: after.3 - before.3,
+        flushed_jobs: after.4 - before.4,
+    })
+}
+
 /// The three standard phases every serve benchmark runs, in order, against
 /// one server (reconfigured between phases through the admin `config` op):
 ///
@@ -195,50 +307,103 @@ pub fn run_standard_phases(
     plan: &LoadPlan,
     hot_nodes: Vec<NodeId>,
     window_us: u64,
-) -> std::io::Result<Vec<PhaseResult>> {
-    let mut admin = ServeClient::connect(addr)?;
+) -> Result<Vec<PhaseResult>, ClientError> {
+    let mut admin = Client::connect(addr)?;
     let mut results = Vec::new();
-    let phases: [(&str, u64, &str, Option<Vec<NodeId>>); 3] = [
-        ("serial", 0, "off", None),
-        ("batched", window_us, "off", None),
-        ("cached", window_us, "on", Some(hot_nodes)),
+    let phases: [(&str, u64, CacheDirective, Option<Vec<NodeId>>); 3] = [
+        ("serial", 0, CacheDirective::Off, None),
+        ("batched", window_us, CacheDirective::Off, None),
+        ("cached", window_us, CacheDirective::On, Some(hot_nodes)),
     ];
     for (name, window, cache, nodes) in phases {
         admin.config(Some(window), None, Some(cache))?;
-        admin.config(None, None, Some("clear"))?;
-        let mut phase_plan = plan.clone();
+        admin.config(None, None, Some(CacheDirective::Clear))?;
+        let mut phase_plan = plan.clone().with_protocol(WireFormat::Jsonl, 1);
         if let Some(nodes) = nodes {
             phase_plan.nodes = nodes;
         }
-        let before = server_counters(&mut admin)?;
-        let report = run_load(addr, &phase_plan)?;
-        let after = server_counters(&mut admin)?;
-        results.push(PhaseResult {
-            name: name.to_string(),
-            report,
-            cache_hits: after.0 - before.0,
-            cache_misses: after.1 - before.1,
-            shed: after.2 - before.2,
-            flushes: after.3 - before.3,
-            flushed_jobs: after.4 - before.4,
-        });
+        results.push(run_phase(addr, &mut admin, name, &phase_plan, 0)?);
     }
     Ok(results)
 }
 
-/// `(cache hits, cache misses, batcher shed, flushes, flushed jobs)`.
-fn server_counters(admin: &mut ServeClient) -> std::io::Result<(u64, u64, u64, u64, u64)> {
-    let stats = admin.stats()?;
-    let num = |outer: &str, key: &str| {
-        stats.get(outer).and_then(|o| o.get(key)).and_then(Json::as_num).unwrap_or(0.0) as u64
-    };
-    Ok((
-        num("cache", "hits"),
-        num("cache", "misses"),
-        num("batcher", "shed"),
-        num("batcher", "flushes"),
-        num("batcher", "flushed_jobs"),
-    ))
+/// The protocol-comparison phases: same load, same hot node pool, result
+/// cache on and pre-warmed — the engine is out of the loop, so the only
+/// axis that moves is the wire (codec cost, framing, syscalls per
+/// request). On an engine-bound graph a cache-off comparison would
+/// measure compute, not the protocol.
+///
+/// 1. `json_serial` — newline JSON, one request in flight per client.
+/// 2. `ssb_serial` — binary `ssb/1`, still serial: isolates codec cost.
+/// 3. `ssb_pipelined` — `ssb/1` with `pipeline` requests in flight per
+///    client: requests share syscalls and coalescing windows.
+pub fn run_protocol_phases(
+    addr: SocketAddr,
+    plan: &LoadPlan,
+    hot_nodes: Vec<NodeId>,
+    window_us: u64,
+    pipeline: usize,
+) -> Result<Vec<PhaseResult>, ClientError> {
+    let mut admin = Client::connect(addr)?;
+    admin.config(Some(window_us), None, Some(CacheDirective::On))?;
+    admin.config(None, None, Some(CacheDirective::Clear))?;
+    // One warm-up pass: every timed request in every phase is then a
+    // cache hit, so the phases compare wires, not engine runs.
+    let mut warm = Client::connect(addr)?;
+    for &node in &hot_nodes {
+        warm.query(node, plan.top_k)?;
+    }
+    let mut results = Vec::new();
+    let phases: [(&str, WireFormat, usize); 3] = [
+        ("json_serial", WireFormat::Jsonl, 1),
+        ("ssb_serial", WireFormat::Ssb, 1),
+        ("ssb_pipelined", WireFormat::Ssb, pipeline.max(2)),
+    ];
+    for (name, protocol, depth) in phases {
+        let mut phase_plan = plan.clone().with_protocol(protocol, depth);
+        phase_plan.nodes = hot_nodes.clone();
+        results.push(run_phase(addr, &mut admin, name, &phase_plan, 0)?);
+    }
+    Ok(results)
+}
+
+/// The connection-scaling phase: holds `idle_conns` open-but-silent
+/// sockets, runs a pipelined `ssb/1` load through them, and samples the
+/// server's connection gauge while everything is connected — proving the
+/// event loop carries the idle mass without a thread per socket.
+pub fn run_connections_phase(
+    addr: SocketAddr,
+    plan: &LoadPlan,
+    hot_nodes: Vec<NodeId>,
+    window_us: u64,
+    pipeline: usize,
+    idle_conns: usize,
+) -> Result<PhaseResult, ClientError> {
+    let mut admin = Client::connect(addr)?;
+    // Same wire-bound regime as the protocol phases (cache on, hot pool):
+    // the axis under test here is the idle-connection mass.
+    admin.config(Some(window_us), None, Some(CacheDirective::On))?;
+    let mut warm = Client::connect(addr)?;
+    for &node in &hot_nodes {
+        warm.query(node, plan.top_k)?;
+    }
+    let mut idle = Vec::with_capacity(idle_conns);
+    for _ in 0..idle_conns {
+        idle.push(Client::builder().protocol(WireFormat::Ssb).connect(addr)?);
+    }
+    // Prove the held sockets are live server-side, not just queued in the
+    // kernel: the gauge must cover every idle socket plus the admin.
+    let gauge = admin.stats()?.connections;
+    let mut phase_plan = plan.clone().with_protocol(WireFormat::Ssb, pipeline.max(2));
+    phase_plan.nodes = hot_nodes;
+    let mut result = run_phase(addr, &mut admin, "conns_1k", &phase_plan, gauge)?;
+    // Each held connection still answers after carrying load around it.
+    if let Some(probe) = idle.last_mut() {
+        probe.ping()?;
+    }
+    result.connections = result.connections.max(admin.stats()?.connections);
+    drop(idle);
+    Ok(result)
 }
 
 /// Metadata of one serve bench run, for the JSON header.
@@ -256,6 +421,12 @@ pub struct ServeBenchMeta {
     pub clients: usize,
     /// Coalescing window of the batched/cached phases, µs.
     pub window_us: u64,
+    /// Pipelining depth of the `ssb_pipelined` phase.
+    pub pipeline: usize,
+    /// Idle connections held through the `conns_1k` phase.
+    pub idle_conns: usize,
+    /// Server thread budget (event loop + flush workers + admin).
+    pub worker_threads: u64,
     /// `k` of every query.
     pub top_k: usize,
     /// Damping factor.
@@ -265,12 +436,17 @@ pub struct ServeBenchMeta {
 }
 
 /// Renders the `ssr-bench/serve/v1` document. Modes carry `p50_us` so
-/// `bench_check`'s median gate applies unchanged; the headline ratio is
-/// `speedup_batched_vs_serial` (throughput), plus per-mode hit-rate and
-/// shed counters — the serving-layer acceptance metrics.
+/// `bench_check`'s median gate applies unchanged; the headline ratios are
+/// `speedup_batched_vs_serial` and
+/// `speedup_ssb_pipelined_vs_json_serial` (throughput), plus per-mode
+/// protocol/pipeline/connection axes, hit-rate and shed counters — the
+/// serving-layer acceptance metrics.
 pub fn render_serve_json(meta: &ServeBenchMeta, phases: &[PhaseResult]) -> String {
     let mode = |p: &PhaseResult| {
         Json::Obj(vec![
+            ("protocol".into(), Json::Str(p.protocol.into())),
+            ("pipeline".into(), Json::Num(p.pipeline as f64)),
+            ("connections".into(), Json::Num(p.connections as f64)),
             ("requests".into(), Json::Num(p.report.requests as f64)),
             ("ok".into(), Json::Num(p.report.ok as f64)),
             ("total_ms".into(), Json::Num(round3(p.report.elapsed_ms))),
@@ -284,9 +460,11 @@ pub fn render_serve_json(meta: &ServeBenchMeta, phases: &[PhaseResult]) -> Strin
             ("mean_flush".into(), Json::Num(round3(p.mean_flush()))),
         ])
     };
-    let serial_qps = phases.iter().find(|p| p.name == "serial").map_or(0.0, |p| p.report.qps());
-    let batched_qps = phases.iter().find(|p| p.name == "batched").map_or(0.0, |p| p.report.qps());
-    let speedup = if serial_qps > 0.0 { batched_qps / serial_qps } else { 0.0 };
+    let qps_of =
+        |name: &str| phases.iter().find(|p| p.name == name).map_or(0.0, |p| p.report.qps());
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let speedup = ratio(qps_of("batched"), qps_of("serial"));
+    let speedup_ssb = ratio(qps_of("ssb_pipelined"), qps_of("json_serial"));
     let doc = Json::Obj(vec![
         ("schema".into(), Json::Str("ssr-bench/serve/v1".into())),
         ("smoke".into(), Json::Bool(meta.smoke)),
@@ -298,9 +476,12 @@ pub fn render_serve_json(meta: &ServeBenchMeta, phases: &[PhaseResult]) -> Strin
                 ("top_k".into(), Json::Num(meta.top_k as f64)),
                 ("clients".into(), Json::Num(meta.clients as f64)),
                 ("window_us".into(), Json::Num(meta.window_us as f64)),
+                ("pipeline".into(), Json::Num(meta.pipeline as f64)),
+                ("idle_conns".into(), Json::Num(meta.idle_conns as f64)),
             ]),
         ),
         ("threads".into(), Json::Num(ssr_linalg::available_threads() as f64)),
+        ("worker_threads".into(), Json::Num(meta.worker_threads as f64)),
         (
             "datasets".into(),
             Json::Arr(vec![Json::Obj(vec![
@@ -312,6 +493,7 @@ pub fn render_serve_json(meta: &ServeBenchMeta, phases: &[PhaseResult]) -> Strin
                     Json::Obj(phases.iter().map(|p| (p.name.clone(), mode(p))).collect()),
                 ),
                 ("speedup_batched_vs_serial".into(), Json::Num(round2(speedup))),
+                ("speedup_ssb_pipelined_vs_json_serial".into(), Json::Num(round2(speedup_ssb))),
             ])]),
         ),
     ]);
@@ -337,6 +519,9 @@ mod tests {
     fn phase(name: &str, qps_scale: f64) -> PhaseResult {
         PhaseResult {
             name: name.into(),
+            protocol: if name.starts_with("ssb") { "ssb/1" } else { "json/1" },
+            pipeline: if name.ends_with("pipelined") { 8 } else { 1 },
+            connections: 0,
             report: LoadReport {
                 requests: 100,
                 ok: 100,
@@ -374,24 +559,41 @@ mod tests {
             edges: 400,
             clients: 16,
             window_us: 500,
+            pipeline: 8,
+            idle_conns: 256,
+            worker_threads: 3,
             top_k: 10,
             c: 0.6,
             k: 8,
         };
-        let phases = [phase("serial", 1.0), phase("batched", 2.5), phase("cached", 4.0)];
+        let phases = [
+            phase("serial", 1.0),
+            phase("batched", 2.5),
+            phase("cached", 4.0),
+            phase("json_serial", 1.0),
+            phase("ssb_serial", 1.2),
+            phase("ssb_pipelined", 3.0),
+        ];
         let text = render_serve_json(&meta, &phases);
         let doc = crate::json::parse_json(text.trim()).unwrap();
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some("ssr-bench/serve/v1"));
+        assert!(doc.get("worker_threads").and_then(Json::as_num).is_some());
         let ds = &doc.get("datasets").and_then(Json::as_arr).unwrap()[0];
         assert_eq!(ds.get("name").and_then(Json::as_str), Some("D05"));
         let modes = ds.get("modes").unwrap();
-        for m in ["serial", "batched", "cached"] {
+        for m in ["serial", "batched", "cached", "json_serial", "ssb_serial", "ssb_pipelined"] {
             let mode = modes.get(m).unwrap();
             assert!(mode.get("p50_us").and_then(Json::as_num).is_some(), "{m}");
             assert!(mode.get("shed").and_then(Json::as_num).is_some(), "{m}");
-            assert!(mode.get("cache_hit_rate").and_then(Json::as_num).is_some(), "{m}");
+            assert!(mode.get("protocol").and_then(Json::as_str).is_some(), "{m}");
         }
+        assert_eq!(
+            modes.get("ssb_pipelined").unwrap().get("protocol").and_then(Json::as_str),
+            Some("ssb/1")
+        );
         let speedup = ds.get("speedup_batched_vs_serial").and_then(Json::as_num).unwrap();
         assert!((speedup - 2.5).abs() < 1e-9);
+        let sp = ds.get("speedup_ssb_pipelined_vs_json_serial").and_then(Json::as_num).unwrap();
+        assert!((sp - 3.0).abs() < 1e-9);
     }
 }

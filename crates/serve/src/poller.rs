@@ -1,0 +1,579 @@
+//! Readiness polling for the event-driven runtime, std-only.
+//!
+//! One small API over three backends, picked at compile time:
+//!
+//! * **Linux** — `epoll`, via a ~4-symbol FFI shim (no libc crate is
+//!   available offline). Level-triggered, so the loop never misses a
+//!   partially-drained buffer. This is what makes 10k idle connections
+//!   cost bytes: the kernel holds the interest set and `epoll_wait`
+//!   returns only the ready few.
+//! * **other Unix** — `poll(2)`, rebuilding the pollfd array per wait.
+//!   `O(n)` per wakeup but portable and correct.
+//! * **elsewhere** — a busy-scan that reports every registered socket
+//!   ready on a ~1ms tick. Degenerate but correct: sockets are
+//!   non-blocking, so spurious readiness just costs a `WouldBlock`.
+//!
+//! The unsafe FFI is confined to the private `sys` modules (the crate is
+//! otherwise `#[deny(unsafe_code)]`); everything above them is safe Rust.
+//!
+//! [`Waker`] lets other threads (flush workers, the admin executor)
+//! interrupt a blocked wait: a connected localhost UDP pair whose receive
+//! end is registered like any other socket, with an atomic flag coalescing
+//! bursts of wakes into one datagram.
+
+use std::io;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a registered socket wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when readable.
+    pub read: bool,
+    /// Wake when writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest { read: true, write: false };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the socket was registered with.
+    pub token: u64,
+    /// Readable (or the peer half-closed — a read will say which).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error / hangup condition; the owner should read to collect the
+    /// actual error and drop the connection.
+    pub hangup: bool,
+}
+
+/// The raw OS identity of a socket, as the backends address it.
+#[cfg(unix)]
+pub type RawId = std::os::unix::io::RawFd;
+/// The raw OS identity of a socket, as the backends address it.
+#[cfg(not(unix))]
+pub type RawId = u64;
+
+/// Extracts the backend's [`RawId`] from any socket type.
+#[cfg(unix)]
+pub fn raw_id<S: std::os::unix::io::AsRawFd>(s: &S) -> RawId {
+    s.as_raw_fd()
+}
+
+/// Extracts the backend's [`RawId`] from any socket type.
+#[cfg(all(not(unix), windows))]
+pub fn raw_id<S: std::os::windows::io::AsRawSocket>(s: &S) -> RawId {
+    s.as_raw_socket()
+}
+
+/// The readiness poller. Owned (and only touched) by the event-loop
+/// thread; cross-thread nudging goes through [`Waker`], never this type.
+pub struct Poller {
+    imp: imp::Poller,
+}
+
+impl Poller {
+    /// Creates a poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { imp: imp::Poller::new()? })
+    }
+
+    /// Starts watching `id` under `token`.
+    pub fn register(&mut self, id: RawId, token: u64, interest: Interest) -> io::Result<()> {
+        self.imp.register(id, token, interest)
+    }
+
+    /// Changes what `id` is watched for.
+    pub fn modify(&mut self, id: RawId, token: u64, interest: Interest) -> io::Result<()> {
+        self.imp.modify(id, token, interest)
+    }
+
+    /// Stops watching `id`. Must be called before the socket closes.
+    pub fn deregister(&mut self, id: RawId) -> io::Result<()> {
+        self.imp.deregister(id)
+    }
+
+    /// Blocks until at least one registered socket is ready (or `timeout`
+    /// elapses, or a [`Waker`] fires), appending events to `events`
+    /// (cleared first). `None` blocks indefinitely.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        self.imp.wait(events, timeout)
+    }
+}
+
+/// Converts an optional timeout to the millisecond argument `epoll_wait`
+/// and `poll` take: `-1` blocks, `0` polls, otherwise round *up* so a
+/// 100µs timeout does not spin at 0ms.
+#[cfg(unix)]
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            d.as_millis().max(u128::from(u32::from(!d.is_zero()))).min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+// ---------------------------------------------------------------- linux
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Event, Interest, RawId};
+    use std::io;
+    use std::time::Duration;
+
+    #[allow(unsafe_code)]
+    mod sys {
+        //! The epoll FFI shim: the only unsafe code in the crate. Kept to
+        //! four syscall wrappers with fully owned data — no callbacks, no
+        //! borrowed kernel state.
+
+        use std::io;
+
+        pub const EPOLL_CTL_ADD: i32 = 1;
+        pub const EPOLL_CTL_DEL: i32 = 2;
+        pub const EPOLL_CTL_MOD: i32 = 3;
+        pub const EPOLLIN: u32 = 0x1;
+        pub const EPOLLOUT: u32 = 0x4;
+        pub const EPOLLERR: u32 = 0x8;
+        pub const EPOLLHUP: u32 = 0x10;
+        const EPOLL_CLOEXEC: i32 = 0x80000;
+
+        /// Kernel `struct epoll_event`. x86-64 packs it (the one ABI
+        /// where the kernel declares it `__attribute__((packed))`).
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        extern "C" {
+            fn epoll_create1(flags: i32) -> i32;
+            fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+            fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+            fn close(fd: i32) -> i32;
+        }
+
+        fn cvt(ret: i32) -> io::Result<i32> {
+            if ret < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(ret)
+            }
+        }
+
+        pub fn create() -> io::Result<i32> {
+            // SAFETY: plain syscall, no pointers.
+            cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+        }
+
+        pub fn ctl(epfd: i32, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn wait(epfd: i32, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            // SAFETY: `buf` is a live, writable slice; the kernel fills at
+            // most `buf.len()` entries.
+            cvt(unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) })
+                .map(|n| n as usize)
+        }
+
+        pub fn close_fd(fd: i32) {
+            // SAFETY: the fd is owned by the Poller being dropped.
+            let _ = unsafe { close(fd) };
+        }
+    }
+
+    pub struct Poller {
+        epfd: i32,
+        buf: Vec<sys::EpollEvent>,
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = 0;
+        if interest.read {
+            m |= sys::EPOLLIN;
+        }
+        if interest.write {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                epfd: sys::create()?,
+                buf: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        pub fn register(&mut self, id: RawId, token: u64, interest: Interest) -> io::Result<()> {
+            sys::ctl(self.epfd, sys::EPOLL_CTL_ADD, id, mask(interest), token)
+        }
+
+        pub fn modify(&mut self, id: RawId, token: u64, interest: Interest) -> io::Result<()> {
+            sys::ctl(self.epfd, sys::EPOLL_CTL_MOD, id, mask(interest), token)
+        }
+
+        pub fn deregister(&mut self, id: RawId) -> io::Result<()> {
+            sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, id, 0, 0)
+        }
+
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let n = loop {
+                match sys::wait(self.epfd, &mut self.buf, super::timeout_ms(timeout)) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &self.buf[..n] {
+                // Copy out: the struct may be packed, so fields are read
+                // by value, never borrowed.
+                let (flags, data) = (ev.events, ev.data);
+                events.push(Event {
+                    token: data,
+                    readable: flags & sys::EPOLLIN != 0,
+                    writable: flags & sys::EPOLLOUT != 0,
+                    hangup: flags & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            sys::close_fd(self.epfd);
+        }
+    }
+}
+
+// ------------------------------------------------------ unix, non-linux
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    use super::{Event, Interest, RawId};
+    use std::collections::HashMap;
+    use std::io;
+    use std::time::Duration;
+
+    #[allow(unsafe_code)]
+    mod sys {
+        use std::io;
+
+        pub const POLLIN: i16 = 0x1;
+        pub const POLLOUT: i16 = 0x4;
+        pub const POLLERR: i16 = 0x8;
+        pub const POLLHUP: i16 = 0x10;
+
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        pub struct Pollfd {
+            pub fd: i32,
+            pub events: i16,
+            pub revents: i16,
+        }
+
+        #[cfg(target_os = "macos")]
+        type NfdsT = u32;
+        #[cfg(not(target_os = "macos"))]
+        type NfdsT = u64;
+
+        extern "C" {
+            fn poll(fds: *mut Pollfd, nfds: NfdsT, timeout: i32) -> i32;
+        }
+
+        pub fn poll_fds(fds: &mut [Pollfd], timeout_ms: i32) -> io::Result<usize> {
+            // SAFETY: `fds` is a live, writable slice of `repr(C)` pollfds.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+            if n < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(n as usize)
+            }
+        }
+    }
+
+    pub struct Poller {
+        registered: HashMap<RawId, (u64, Interest)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller { registered: HashMap::new() })
+        }
+
+        pub fn register(&mut self, id: RawId, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered.insert(id, (token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, id: RawId, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered.insert(id, (token, interest));
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, id: RawId) -> io::Result<()> {
+            self.registered.remove(&id);
+            Ok(())
+        }
+
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut fds: Vec<sys::Pollfd> = Vec::with_capacity(self.registered.len());
+            let mut tokens: Vec<u64> = Vec::with_capacity(self.registered.len());
+            for (&fd, &(token, interest)) in &self.registered {
+                let mut want = 0i16;
+                if interest.read {
+                    want |= sys::POLLIN;
+                }
+                if interest.write {
+                    want |= sys::POLLOUT;
+                }
+                fds.push(sys::Pollfd { fd, events: want, revents: 0 });
+                tokens.push(token);
+            }
+            loop {
+                match sys::poll_fds(&mut fds, super::timeout_ms(timeout)) {
+                    Ok(_) => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            for (pfd, &token) in fds.iter().zip(&tokens) {
+                if pfd.revents != 0 {
+                    events.push(Event {
+                        token,
+                        readable: pfd.revents & sys::POLLIN != 0,
+                        writable: pfd.revents & sys::POLLOUT != 0,
+                        hangup: pfd.revents & (sys::POLLERR | sys::POLLHUP) != 0,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------- everywhere else
+
+#[cfg(not(unix))]
+mod imp {
+    use super::{Event, Interest, RawId};
+    use std::collections::HashMap;
+    use std::io;
+    use std::time::Duration;
+
+    /// Busy-scan fallback: report every registered socket ready on a ~1ms
+    /// tick. Non-blocking I/O turns false positives into `WouldBlock`.
+    pub struct Poller {
+        registered: HashMap<RawId, (u64, Interest)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller { registered: HashMap::new() })
+        }
+
+        pub fn register(&mut self, id: RawId, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered.insert(id, (token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, id: RawId, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered.insert(id, (token, interest));
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, id: RawId) -> io::Result<()> {
+            self.registered.remove(&id);
+            Ok(())
+        }
+
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let tick = Duration::from_millis(1);
+            std::thread::sleep(timeout.map_or(tick, |t| t.min(tick)));
+            for (_, &(token, interest)) in &self.registered {
+                events.push(Event {
+                    token,
+                    readable: interest.read,
+                    writable: interest.write,
+                    hangup: false,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+// ------------------------------------------------------------------ waker
+
+struct WakerInner {
+    tx: UdpSocket,
+    pending: AtomicBool,
+}
+
+/// The cross-thread wake handle: cheap to clone, safe to call from any
+/// thread. Consecutive wakes between two event-loop drains coalesce into
+/// one datagram, so a flood of completions cannot fill the socket buffer.
+#[derive(Clone)]
+pub struct Waker {
+    inner: Arc<WakerInner>,
+}
+
+impl Waker {
+    /// Interrupts (or preempts) the event loop's current wait.
+    pub fn wake(&self) {
+        // Only the false→true edge sends: every datagram in flight
+        // corresponds to exactly one un-drained flag set.
+        if !self.inner.pending.swap(true, Ordering::AcqRel) {
+            let _ = self.inner.tx.send(&[1]);
+        }
+    }
+}
+
+/// The receive end of a [`Waker`], registered with the poller like any
+/// other socket.
+pub struct WakeRx {
+    rx: UdpSocket,
+    inner: Arc<WakerInner>,
+}
+
+impl WakeRx {
+    /// The raw id to register under the waker's token.
+    pub fn raw(&self) -> RawId {
+        raw_id(&self.rx)
+    }
+
+    /// Consumes pending wake datagrams and re-arms the coalescing flag.
+    /// Call whenever the waker token reports readable.
+    pub fn drain(&self) {
+        // Clear the flag *before* draining: a wake that lands mid-drain
+        // either gets its datagram consumed here (and the work it signals
+        // is picked up this iteration) or leaves one for the next wait.
+        self.inner.pending.store(false, Ordering::Release);
+        let mut buf = [0u8; 8];
+        while self.rx.recv(&mut buf).is_ok() {}
+    }
+}
+
+/// Builds a connected localhost waker pair.
+pub fn waker() -> io::Result<(Waker, WakeRx)> {
+    let rx = UdpSocket::bind("127.0.0.1:0")?;
+    let tx = UdpSocket::bind("127.0.0.1:0")?;
+    tx.connect(rx.local_addr()?)?;
+    // Connecting the receive side filters datagrams from anything but our
+    // own tx socket.
+    rx.connect(tx.local_addr()?)?;
+    rx.set_nonblocking(true)?;
+    tx.set_nonblocking(true)?;
+    let inner = Arc::new(WakerInner { tx, pending: AtomicBool::new(false) });
+    Ok((Waker { inner: inner.clone() }, WakeRx { rx, inner }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait_and_coalesces() {
+        let mut poller = Poller::new().unwrap();
+        let (waker, wake_rx) = waker().unwrap();
+        poller.register(wake_rx.raw(), 1, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        // No wake: times out empty.
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.iter().all(|e| e.token != 1 || !e.readable));
+        // A burst of wakes lands as one readable event, then drains.
+        for _ in 0..100 {
+            waker.wake();
+        }
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 1));
+        wake_rx.drain();
+        // Drained and re-armed: wakes fire again.
+        waker.wake();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 1));
+        wake_rx.drain();
+    }
+
+    #[test]
+    fn tcp_readability_and_writability_are_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        let id = raw_id(&server);
+        poller.register(id, 7, Interest::READ).unwrap();
+        let mut events = Vec::new();
+
+        client.write_all(b"hello").unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+        let mut server = server;
+        let mut buf = [0u8; 16];
+        assert_eq!(server.read(&mut buf).unwrap(), 5);
+
+        // Flip to write interest: an idle socket is immediately writable.
+        poller.modify(id, 7, Interest { read: false, write: true }).unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+
+        poller.deregister(id).unwrap();
+        drop(client);
+    }
+
+    #[test]
+    fn hundreds_of_idle_registrations_cost_nothing_per_wait() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new().unwrap();
+        let mut conns = Vec::new();
+        for i in 0..300u64 {
+            let client = TcpStream::connect(addr).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+            poller.register(raw_id(&server), 100 + i, Interest::READ).unwrap();
+            conns.push((client, server));
+        }
+        // All idle: a short wait returns without readiness on those tokens.
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(5))).unwrap();
+        // One speaks; its token (and only a bounded few) comes back.
+        conns[123].0.write_all(b"x").unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == 223 && e.readable));
+    }
+}

@@ -1,15 +1,20 @@
-//! The serve wire protocol: newline-delimited JSON, one request and one
-//! response per line.
+//! The transport-agnostic typed protocol: what clients ask and servers
+//! answer, with no serialization attached.
 //!
-//! Every request is a JSON object with an `"op"` field; every response is
-//! a single-line JSON object with a `"status"` field (`"ok"`, `"shed"`, or
-//! `"error"`) and, on query responses, the `"epoch"` of the snapshot that
-//! produced the scores. The request/response shapes are documented in
-//! README.md ("Serving layer"); the CLI's `--json` output mode shares the
-//! same `matches` shape (`[[node, score], ...]`), so offline and served
-//! results are machine-comparable.
+//! [`Request`] and [`Response`] are plain data. How they travel over a
+//! socket is the business of the [`crate::codec`] module, which provides
+//! two interchangeable wire encodings behind one API: the original
+//! newline-delimited JSON (unchanged on the wire) and the length-prefixed
+//! binary `ssb/1` format. Server handlers and clients speak these types
+//! only, so adding a codec never touches a handler.
+//!
+//! Responses are paired to requests by a per-connection *request id*. The
+//! binary codec carries the id on the wire (which is what makes pipelining
+//! safe); the JSON codec has no id field, so ids are implicit — responses
+//! arrive in request order, and both peers count.
 
-use crate::json::{parse_json, Json};
+use crate::batcher::BatcherStats;
+use crate::cache::{CacheStats, CachedMatches};
 use ssr_graph::NodeId;
 
 /// A parsed client request.
@@ -26,10 +31,11 @@ pub enum Request {
     Ping,
     /// Cache / batcher / epoch metric snapshot.
     Stats,
-    /// Admin: load a new graph from an edge-list file and publish it as a
-    /// new epoch. In-flight queries finish on the old snapshot.
+    /// Admin: load a new graph from an edge-list or `.ssg` file and
+    /// publish it as a new epoch. In-flight queries finish on the old
+    /// snapshot.
     Reload {
-        /// Path (as seen by the server process) of the edge-list file.
+        /// Path (as seen by the server process) of the graph file.
         path: String,
     },
     /// Admin: apply an edge delta to the current graph and publish the
@@ -46,249 +52,187 @@ pub enum Request {
         window_us: Option<u64>,
         /// New flush-size cap.
         max_batch: Option<usize>,
-        /// `"on"`, `"off"`, or `"clear"` for the result cache.
-        cache: Option<String>,
+        /// Result-cache directive, if any.
+        cache: Option<CacheDirective>,
     },
     /// Admin: stop accepting connections and shut the server down.
     Shutdown,
 }
 
-/// Parses one request line. Errors are user-facing protocol messages.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let doc = parse_json(line.trim()).map_err(|e| format!("bad JSON: {e}"))?;
-    let op = doc
-        .get("op")
-        .and_then(Json::as_str)
-        .ok_or_else(|| "missing string field `op`".to_string())?;
-    match op {
-        "query" => {
-            let node = node_id(field_u64(&doc, "node")?, "node")?;
-            let k = doc.get("k").map(|v| num_field(v, "k")).transpose()?.unwrap_or(10.0) as usize;
-            Ok(Request::Query { node, k })
+/// What a `config` request may do to the result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDirective {
+    /// Enable the cache.
+    On,
+    /// Disable (and clear) the cache.
+    Off,
+    /// Keep the current enabled state but drop every entry.
+    Clear,
+}
+
+impl CacheDirective {
+    /// The wire spelling shared by both codecs (`on`/`off`/`clear`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheDirective::On => "on",
+            CacheDirective::Off => "off",
+            CacheDirective::Clear => "clear",
         }
-        "ping" => Ok(Request::Ping),
-        "stats" => Ok(Request::Stats),
-        "reload" => {
-            let path = doc
-                .get("path")
-                .and_then(Json::as_str)
-                .ok_or_else(|| "reload needs a string field `path`".to_string())?;
-            Ok(Request::Reload { path: path.to_string() })
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<CacheDirective> {
+        match s {
+            "on" => Some(CacheDirective::On),
+            "off" => Some(CacheDirective::Off),
+            "clear" => Some(CacheDirective::Clear),
+            _ => None,
         }
-        "edge-delta" => Ok(Request::EdgeDelta {
-            add: edge_list(&doc, "add")?,
-            remove: edge_list(&doc, "remove")?,
-        }),
-        "config" => {
-            let cache = match doc.get("cache") {
-                None => None,
-                Some(v) => {
-                    let s = v.as_str().ok_or("config field `cache` must be a string")?;
-                    if !matches!(s, "on" | "off" | "clear") {
-                        return Err(format!("config `cache` must be on|off|clear, got `{s}`"));
-                    }
-                    Some(s.to_string())
-                }
-            };
-            Ok(Request::Config {
-                window_us: doc
-                    .get("window_us")
-                    .map(|v| num_field(v, "window_us"))
-                    .transpose()?
-                    .map(|v| v as u64),
-                max_batch: doc
-                    .get("max_batch")
-                    .map(|v| num_field(v, "max_batch"))
-                    .transpose()?
-                    .map(|v| v as usize),
-                cache,
-            })
-        }
-        "shutdown" => Ok(Request::Shutdown),
-        other => Err(format!("unknown op `{other}`")),
     }
 }
 
-fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
-    doc.get(key)
-        .ok_or_else(|| format!("missing field `{key}`"))
-        .and_then(|v| num_field(v, key))
-        .map(|v| v as u64)
+/// A successful query answer, as it appears on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Epoch of the snapshot that produced the scores.
+    pub epoch: u64,
+    /// The query node (echoed).
+    pub node: NodeId,
+    /// The requested `k` (echoed; `matches` may be shorter).
+    pub k: u64,
+    /// Whether the server answered from its result cache.
+    pub cached: bool,
+    /// Ranked `(node, score)` matches. Scores travel bit-exactly through
+    /// both codecs (shortest-round-trip decimal in JSON, raw IEEE-754
+    /// bits in `ssb/1`).
+    pub matches: CachedMatches,
 }
 
-/// Narrows a parsed integer to a [`NodeId`], rejecting (instead of
-/// truncating) values past `u32::MAX` — a wrapped id would silently pass
-/// the node-range check and serve a *different* node's results.
-fn node_id(raw: u64, key: &str) -> Result<NodeId, String> {
-    NodeId::try_from(raw).map_err(|_| format!("field `{key}`: node id {raw} is out of range"))
+/// A typed server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Query result.
+    Query(QueryReply),
+    /// `ping` acknowledgement with the current epoch.
+    Pong {
+        /// Current epoch.
+        epoch: u64,
+    },
+    /// `stats` snapshot.
+    Stats(Box<StatsReply>),
+    /// `reload` acknowledgement.
+    Reloaded {
+        /// Epoch of the newly published snapshot.
+        epoch: u64,
+        /// Node count of the new graph.
+        nodes: u64,
+        /// Edge count of the new graph.
+        edges: u64,
+    },
+    /// `edge-delta` acknowledgement.
+    DeltaApplied {
+        /// Epoch of the newly published snapshot.
+        epoch: u64,
+        /// Node count of the new graph.
+        nodes: u64,
+        /// Edges actually added (post-dedup).
+        added: u64,
+        /// Edges actually removed.
+        removed: u64,
+    },
+    /// `config` acknowledgement echoing the effective configuration.
+    Config {
+        /// Effective coalescing window, µs.
+        window_us: u64,
+        /// Effective flush-size cap.
+        max_batch: u64,
+        /// Whether the result cache is enabled.
+        cache_enabled: bool,
+    },
+    /// `shutdown` acknowledgement — the last frame on the connection.
+    ShuttingDown,
+    /// Admission control turned the request away; back off and retry.
+    Shed {
+        /// Human-readable shed reason.
+        reason: String,
+    },
+    /// The request failed.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
 }
 
-fn num_field(v: &Json, key: &str) -> Result<f64, String> {
-    let n = v.as_num().ok_or_else(|| format!("field `{key}` must be a number"))?;
-    if n < 0.0 || n.fract() != 0.0 {
-        return Err(format!("field `{key}` must be a non-negative integer"));
-    }
-    Ok(n)
-}
-
-fn edge_list(doc: &Json, key: &str) -> Result<Vec<(NodeId, NodeId)>, String> {
-    let Some(v) = doc.get(key) else { return Ok(Vec::new()) };
-    let items = v.as_arr().ok_or_else(|| format!("field `{key}` must be an array of pairs"))?;
-    items
-        .iter()
-        .map(|pair| {
-            let p = pair
-                .as_arr()
-                .filter(|p| p.len() == 2)
-                .ok_or_else(|| format!("field `{key}` must contain [from, to] pairs"))?;
-            let a = node_id(num_field(&p[0], key)? as u64, key)?;
-            let b = node_id(num_field(&p[1], key)? as u64, key)?;
-            Ok((a, b))
-        })
-        .collect()
-}
-
-/// The `matches` value shared by serve responses and the CLI's `--json`
-/// output: `[[node, score], ...]`, ranked. Scores use shortest-round-trip
-/// formatting, so the parsed value reproduces the computed bits exactly.
-pub fn matches_json(matches: &[(NodeId, f64)]) -> Json {
-    Json::Arr(
-        matches.iter().map(|&(v, s)| Json::Arr(vec![Json::Num(v as f64), Json::Num(s)])).collect(),
-    )
-}
-
-/// Renders a successful query response line.
-pub fn query_response(
-    epoch: u64,
-    node: NodeId,
-    k: usize,
-    cached: bool,
-    matches: &[(NodeId, f64)],
-) -> String {
-    Json::Obj(vec![
-        ("status".into(), Json::Str("ok".into())),
-        ("epoch".into(), Json::Num(epoch as f64)),
-        ("node".into(), Json::Num(node as f64)),
-        ("k".into(), Json::Num(k as f64)),
-        ("cached".into(), Json::Bool(cached)),
-        ("matches".into(), matches_json(matches)),
-    ])
-    .render()
-}
-
-/// Renders a load-shed response (admission control turned the request
-/// away; the client should back off and retry).
-pub fn shed_response(reason: &str) -> String {
-    Json::Obj(vec![
-        ("status".into(), Json::Str("shed".into())),
-        ("reason".into(), Json::Str(reason.into())),
-    ])
-    .render()
-}
-
-/// Renders an error response.
-pub fn error_response(message: &str) -> String {
-    Json::Obj(vec![
-        ("status".into(), Json::Str("error".into())),
-        ("error".into(), Json::Str(message.into())),
-    ])
-    .render()
-}
-
-/// Renders a generic `status: ok` response from extra fields.
-pub fn ok_response(fields: Vec<(String, Json)>) -> String {
-    let mut pairs = vec![("status".to_string(), Json::Str("ok".into()))];
-    pairs.extend(fields);
-    Json::Obj(pairs).render()
+/// The full `stats` payload: epoch/graph identity plus every serving
+/// counter. Field names match the JSON stats document in README
+/// ("Serving layer").
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReply {
+    /// Current epoch.
+    pub epoch: u64,
+    /// Epoch swaps published so far.
+    pub epoch_swaps: u64,
+    /// Node count of the current snapshot.
+    pub nodes: u64,
+    /// Edge count of the current snapshot.
+    pub edges: u64,
+    /// Damping factor every snapshot is built with.
+    pub c: f64,
+    /// Iteration count every snapshot is built with.
+    pub iterations: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: f64,
+    /// Requests decoded across all connections.
+    pub requests: u64,
+    /// Currently open connections.
+    pub connections: u64,
+    /// Connections shed by the connection cap.
+    pub shed_connections: u64,
+    /// Threads the server runs in total (event loop + flush workers +
+    /// admin executor) — the bound that holds however many connections
+    /// are open.
+    pub worker_threads: u64,
+    /// Whether the result cache is enabled.
+    pub cache_enabled: bool,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Effective coalescing window, µs.
+    pub window_us: u64,
+    /// Effective flush-size cap.
+    pub max_batch: u64,
+    /// Micro-batcher counters.
+    pub batcher: BatcherStats,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
-    fn parses_query_with_default_k() {
-        assert_eq!(
-            parse_request(r#"{"op":"query","node":5}"#).unwrap(),
-            Request::Query { node: 5, k: 10 }
-        );
-        assert_eq!(
-            parse_request(r#"{"op":"query","node":0,"k":3}"#).unwrap(),
-            Request::Query { node: 0, k: 3 }
-        );
-    }
-
-    #[test]
-    fn rejects_malformed_queries() {
-        assert!(parse_request("not json").is_err());
-        assert!(parse_request(r#"{"node":5}"#).is_err());
-        assert!(parse_request(r#"{"op":"query"}"#).is_err());
-        assert!(parse_request(r#"{"op":"query","node":-1}"#).is_err());
-        assert!(parse_request(r#"{"op":"query","node":1.5}"#).is_err());
-        assert!(parse_request(r#"{"op":"frobnicate"}"#).is_err());
-    }
-
-    #[test]
-    fn node_ids_past_u32_are_rejected_not_truncated() {
-        // 2^32 + 1 would wrap to node 1 under a bare `as u32` cast and
-        // silently serve the wrong node's results.
-        assert!(parse_request(r#"{"op":"query","node":4294967297}"#).is_err());
-        assert!(parse_request(r#"{"op":"edge-delta","add":[[4294967297,0]]}"#).is_err());
-        // The exact boundary still parses.
-        assert_eq!(
-            parse_request(r#"{"op":"query","node":4294967295}"#).unwrap(),
-            Request::Query { node: u32::MAX, k: 10 }
-        );
-    }
-
-    #[test]
-    fn parses_admin_ops() {
-        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
-        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
-        assert_eq!(parse_request(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
-        assert_eq!(
-            parse_request(r#"{"op":"reload","path":"g.txt"}"#).unwrap(),
-            Request::Reload { path: "g.txt".into() }
-        );
-        assert_eq!(
-            parse_request(r#"{"op":"edge-delta","add":[[1,2]],"remove":[[3,4],[5,6]]}"#).unwrap(),
-            Request::EdgeDelta { add: vec![(1, 2)], remove: vec![(3, 4), (5, 6)] }
-        );
-        assert_eq!(
-            parse_request(r#"{"op":"config","window_us":250,"max_batch":32,"cache":"clear"}"#)
-                .unwrap(),
-            Request::Config {
-                window_us: Some(250),
-                max_batch: Some(32),
-                cache: Some("clear".into())
-            }
-        );
-        assert!(parse_request(r#"{"op":"config","cache":"purge"}"#).is_err());
-        assert!(parse_request(r#"{"op":"edge-delta","add":[[1]]}"#).is_err());
-    }
-
-    #[test]
-    fn query_response_round_trips_scores() {
-        let matches = [(3u32, 0.12345678901234567), (1u32, 2.0 / 3.0)];
-        let line = query_response(7, 5, 2, true, &matches);
-        let doc = crate::json::parse_json(&line).unwrap();
-        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
-        assert_eq!(doc.get("epoch").and_then(Json::as_num), Some(7.0));
-        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
-        let parsed = doc.get("matches").and_then(Json::as_arr).unwrap();
-        for (&(v, s), m) in matches.iter().zip(parsed) {
-            let pair = m.as_arr().unwrap();
-            assert_eq!(pair[0].as_num(), Some(v as f64));
-            assert_eq!(pair[1].as_num().unwrap().to_bits(), s.to_bits());
+    fn cache_directive_round_trips_its_spelling() {
+        for d in [CacheDirective::On, CacheDirective::Off, CacheDirective::Clear] {
+            assert_eq!(CacheDirective::parse(d.as_str()), Some(d));
         }
+        assert_eq!(CacheDirective::parse("purge"), None);
     }
 
     #[test]
-    fn shed_and_error_responses_carry_status() {
-        let shed = crate::json::parse_json(&shed_response("queue full")).unwrap();
-        assert_eq!(shed.get("status").and_then(Json::as_str), Some("shed"));
-        let err = crate::json::parse_json(&error_response("nope")).unwrap();
-        assert_eq!(err.get("status").and_then(Json::as_str), Some("error"));
-        assert_eq!(err.get("error").and_then(Json::as_str), Some("nope"));
+    fn typed_values_compare_structurally() {
+        let reply = |cached| {
+            Response::Query(QueryReply {
+                epoch: 3,
+                node: 7,
+                k: 2,
+                cached,
+                matches: Arc::new(vec![(1, 0.5), (2, 0.25)]),
+            })
+        };
+        assert_eq!(reply(true), reply(true));
+        assert_ne!(reply(true), reply(false));
+        assert_ne!(
+            Response::Shed { reason: "queue full".into() },
+            Response::Error { message: "queue full".into() }
+        );
     }
 }

@@ -1,23 +1,31 @@
-//! The TCP server: accept loop, connection handlers, request dispatch.
+//! The TCP server: lifecycle, shared state, and the two helper threads
+//! behind the event-driven runtime.
 //!
-//! Thread-per-connection on `std::net::TcpListener` (no async runtime is
-//! available offline); connection threads only parse, consult the cache,
-//! and block on the batcher — all execution happens in the batcher's flush
-//! workers, so connection count never multiplies engine scratch memory.
-//! Admission control is layered: a connection cap sheds new sockets, the
-//! batcher's bounded queue sheds individual requests.
+//! [`Server::start`] binds the listener and spawns exactly one event-loop
+//! thread (the `runtime` module) plus one admin-executor thread; query
+//! execution runs in the batcher's flush workers. That fixed thread budget
+//! — surfaced as `worker_threads` in `stats` — holds at any connection
+//! count: ten thousand idle sockets are ten thousand buffer pairs in the
+//! loop's map, not ten thousand parked threads. Admission control is
+//! layered as before: a connection cap sheds new sockets, the batcher's
+//! bounded queue sheds individual requests.
+//!
+//! Threads meet in two places: the completion queue (flush workers and the
+//! admin executor push results, the loop drains after a waker nudge) and
+//! the epoch store. Everything else — buffers, parser state, pending
+//! FIFOs — is owned by the loop thread and never locked.
 
-use crate::batcher::{Batcher, BatcherOptions, SubmitError};
+use crate::batcher::{Batcher, BatcherOptions, CompletionSink, QueryAnswer, SubmitError};
 use crate::cache::ShardedCache;
 use crate::epoch::EpochStore;
-use crate::json::Json;
-use crate::protocol::{self, Request};
+use crate::poller::{self, Waker};
+use crate::protocol::Response;
+use crate::runtime::EventLoop;
 use simrank_star::{QueryEngineOptions, SimStarParams};
-use ssr_graph::DiGraph;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use ssr_graph::{DiGraph, NodeId};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Configuration of a [`Server`].
@@ -53,43 +61,95 @@ impl Default for ServerOptions {
     }
 }
 
-struct Inner {
-    store: Arc<EpochStore>,
-    cache: Arc<ShardedCache>,
-    batcher: Batcher,
-    addr: SocketAddr,
-    running: AtomicBool,
+/// A batcher or admin result delivered back to the event loop.
+pub(crate) struct Completion {
+    /// The tag the loop issued at submission time.
+    pub(crate) tag: u64,
+    pub(crate) payload: CompletionPayload,
+}
+
+pub(crate) enum CompletionPayload {
+    /// Outcome of an asynchronous batcher submission.
+    Query(Result<QueryAnswer, SubmitError>),
+    /// Finished admin op, already shaped as its response.
+    Admin(Response),
+}
+
+/// The cross-thread completion queue: flush workers and the admin
+/// executor push, the event loop drains after each waker nudge.
+pub(crate) struct CompletionQueue {
+    queue: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl CompletionQueue {
+    pub(crate) fn push(&self, c: Completion) {
+        self.queue.lock().expect("completion queue poisoned").push(c);
+        self.waker.wake();
+    }
+
+    /// Takes everything queued so far.
+    pub(crate) fn take(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().expect("completion queue poisoned"))
+    }
+}
+
+impl CompletionSink for CompletionQueue {
+    fn complete(&self, tag: u64, result: Result<QueryAnswer, SubmitError>) {
+        self.push(Completion { tag, payload: CompletionPayload::Query(result) });
+    }
+}
+
+/// A reload / edge-delta handed to the admin executor thread.
+pub(crate) struct AdminJob {
+    pub(crate) tag: u64,
+    pub(crate) op: AdminOp,
+}
+
+pub(crate) enum AdminOp {
+    Reload { path: String },
+    EdgeDelta { add: Vec<(NodeId, NodeId)>, remove: Vec<(NodeId, NodeId)> },
+}
+
+/// State shared between the server handle, the event loop, and the helper
+/// threads.
+pub(crate) struct Inner {
+    pub(crate) store: Arc<EpochStore>,
+    pub(crate) cache: Arc<ShardedCache>,
+    pub(crate) batcher: Batcher,
+    pub(crate) completions: Arc<CompletionQueue>,
+    /// The completion queue as the batcher's sink type, cloned per submit.
+    pub(crate) completion_sink: Arc<dyn CompletionSink>,
+    pub(crate) running: AtomicBool,
     stopped: Mutex<bool>,
-    stopped_cv: std::sync::Condvar,
-    connections: AtomicUsize,
-    next_conn_id: AtomicU64,
-    shed_connections: AtomicU64,
-    requests: AtomicU64,
-    max_connections: usize,
-    /// Clones of live connections (keyed by connection id), so shutdown
-    /// can unblock readers; entries are pruned when the connection ends.
-    conn_registry: Mutex<Vec<(u64, TcpStream)>>,
-    started: Instant,
+    stopped_cv: Condvar,
+    waker: Waker,
+    pub(crate) max_connections: usize,
+    /// Total server threads: 1 event loop + flush workers + 1 admin
+    /// executor. The bound reported by `stats`.
+    pub(crate) worker_threads: u64,
+    pub(crate) started: Instant,
 }
 
 impl Inner {
-    /// Flips the running flag, wakes the blocked `accept()`, and signals
-    /// anyone parked in [`Server::wait`]. Idempotent; called by both the
-    /// `shutdown` op and the owning handle.
-    fn signal_stop(&self) {
+    /// Flips the running flag, wakes the event loop out of its wait, and
+    /// signals anyone parked in [`Server::wait`]. Idempotent; called by
+    /// both the `shutdown` op and the owning handle.
+    pub(crate) fn signal_stop(&self) {
         self.running.store(false, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
+        self.waker.wake();
         *self.stopped.lock().expect("stop flag poisoned") = true;
         self.stopped_cv.notify_all();
     }
 }
 
 /// A running serve instance. Dropping it (or calling [`Server::shutdown`])
-/// stops the accept loop, closes live connections, and joins every thread.
+/// stops the event loop, closes live connections, and joins every thread.
 pub struct Server {
     addr: SocketAddr,
     inner: Arc<Inner>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    loop_thread: Option<std::thread::JoinHandle<()>>,
+    admin_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -105,30 +165,40 @@ impl Server {
         let store = Arc::new(EpochStore::new(graph, opts.params, opts.engine.clone()));
         let cache = Arc::new(ShardedCache::new(opts.cache_capacity, opts.cache_shards));
         let batcher = Batcher::start(store.clone(), cache.clone(), opts.batch.clone());
+        let (waker, wake_rx) = poller::waker()?;
+        let completions =
+            Arc::new(CompletionQueue { queue: Mutex::new(Vec::new()), waker: waker.clone() });
+        let completion_sink: Arc<dyn CompletionSink> = completions.clone();
         let inner = Arc::new(Inner {
-            store,
+            store: store.clone(),
             cache,
             batcher,
-            addr,
+            completions: completions.clone(),
+            completion_sink,
             running: AtomicBool::new(true),
             stopped: Mutex::new(false),
-            stopped_cv: std::sync::Condvar::new(),
-            connections: AtomicUsize::new(0),
-            next_conn_id: AtomicU64::new(0),
-            shed_connections: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
+            stopped_cv: Condvar::new(),
+            waker,
             max_connections: opts.max_connections.max(1),
-            conn_registry: Mutex::new(Vec::new()),
+            worker_threads: 1 + opts.batch.workers.max(1) as u64 + 1,
             started: Instant::now(),
         });
-        let accept_inner = inner.clone();
-        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_inner));
-        Ok(Server { addr, inner, accept_thread: Some(accept_thread) })
+        let (admin_tx, admin_rx) = mpsc::channel::<AdminJob>();
+        let event_loop = EventLoop::new(inner.clone(), listener, wake_rx, admin_tx)?;
+        let loop_thread = std::thread::spawn(move || event_loop.run());
+        let admin_thread = std::thread::spawn(move || admin_loop(&admin_rx, &store, &completions));
+        Ok(Server { addr, inner, loop_thread: Some(loop_thread), admin_thread: Some(admin_thread) })
     }
 
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Total server threads: 1 event loop + flush workers + 1 admin
+    /// executor. Constant at any connection count.
+    pub fn worker_threads(&self) -> u64 {
+        self.inner.worker_threads
     }
 
     /// Blocks until the server is asked to stop (a client `shutdown` op or
@@ -141,20 +211,22 @@ impl Server {
         }
     }
 
-    /// Stops accepting, closes live connections, joins every thread.
+    /// Stops the event loop, closes live connections, joins every thread.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
         self.inner.signal_stop();
-        let Some(t) = self.accept_thread.take() else { return }; // already stopped
-        let _ = t.join();
-        // Unblock connection readers; their threads exit on read error.
-        for (_, conn) in self.inner.conn_registry.lock().expect("registry poisoned").drain(..) {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
+        // The loop closes every connection as it unwinds; dropping it also
+        // drops the admin sender, which ends the admin executor.
+        if let Some(t) = self.loop_thread.take() {
+            let _ = t.join();
         }
         self.inner.batcher.shutdown();
+        if let Some(t) = self.admin_thread.take() {
+            let _ = t.join();
+        }
     }
 }
 
@@ -164,232 +236,41 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
-    for stream in listener.incoming() {
-        if !inner.running.load(Ordering::SeqCst) {
-            return;
-        }
-        let Ok(stream) = stream else { continue };
-        // One-line responses must leave immediately: without this, Nagle
-        // vs delayed-ACK adds ~40ms to every request on loopback.
-        stream.set_nodelay(true).ok();
-        if inner.connections.load(Ordering::Relaxed) >= inner.max_connections {
-            inner.shed_connections.fetch_add(1, Ordering::Relaxed);
-            let mut s = stream;
-            let _ = writeln!(s, "{}", protocol::shed_response("connection limit reached"));
-            continue; // dropped ⇒ closed
-        }
-        inner.connections.fetch_add(1, Ordering::Relaxed);
-        let conn_id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            inner.conn_registry.lock().expect("registry poisoned").push((conn_id, clone));
-        }
-        let conn_inner = inner.clone();
-        std::thread::spawn(move || {
-            handle_connection(stream, &conn_inner);
-            conn_inner.connections.fetch_sub(1, Ordering::Relaxed);
-            conn_inner
-                .conn_registry
-                .lock()
-                .expect("registry poisoned")
-                .retain(|&(id, _)| id != conn_id);
-        });
+/// The admin executor: runs reloads and edge-deltas (seconds of graph
+/// build + engine precompute) off the event loop, delivering results
+/// through the completion queue. One job at a time, FIFO.
+fn admin_loop(
+    rx: &mpsc::Receiver<AdminJob>,
+    store: &Arc<EpochStore>,
+    completions: &Arc<CompletionQueue>,
+) {
+    while let Ok(job) = rx.recv() {
+        let response = match job.op {
+            // Content-sniffing loader: a reload path may point at a text
+            // edge list or a binary `.ssg` store — large-graph deployments
+            // publish epochs from the store so swaps skip parsing.
+            AdminOp::Reload { path } => match ssr_store::load_graph_auto(&path) {
+                Err(e) => Response::Error { message: format!("reading `{path}`: {e}") },
+                Ok(graph) => {
+                    let (nodes, edges) = (graph.node_count(), graph.edge_count());
+                    let snap = store.publish(graph);
+                    Response::Reloaded {
+                        epoch: snap.epoch,
+                        nodes: nodes as u64,
+                        edges: edges as u64,
+                    }
+                }
+            },
+            AdminOp::EdgeDelta { add, remove } => match store.apply_delta(&add, &remove) {
+                Err(e) => Response::Error { message: e },
+                Ok((snap, added, removed)) => Response::DeltaApplied {
+                    epoch: snap.epoch,
+                    nodes: snap.nodes as u64,
+                    added: added as u64,
+                    removed: removed as u64,
+                },
+            },
+        };
+        completions.push(Completion { tag: job.tag, payload: CompletionPayload::Admin(response) });
     }
-}
-
-fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // client closed / socket torn down
-            Ok(_) => {}
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        inner.requests.fetch_add(1, Ordering::Relaxed);
-        let (response, action) = dispatch(&line, inner);
-        if writeln!(writer, "{response}").and_then(|_| writer.flush()).is_err() {
-            return;
-        }
-        match action {
-            ConnAction::Continue => {}
-            ConnAction::Close => return,
-            // Signal only *after* the acknowledgement is flushed — the
-            // owning handle closes live connections on stop, and firing
-            // first would race it against this very response line.
-            ConnAction::ShutdownServer => {
-                inner.signal_stop();
-                return;
-            }
-        }
-    }
-}
-
-/// What the connection loop should do after writing a response.
-enum ConnAction {
-    Continue,
-    Close,
-    ShutdownServer,
-}
-
-/// Handles one request line; returns the response and the follow-up
-/// connection action.
-fn dispatch(line: &str, inner: &Arc<Inner>) -> (String, ConnAction) {
-    let request = match protocol::parse_request(line) {
-        Ok(r) => r,
-        Err(e) => return (protocol::error_response(&e), ConnAction::Continue),
-    };
-    match request {
-        Request::Query { node, k } => match inner.batcher.serve(node, k) {
-            Ok(answer) => (
-                protocol::query_response(answer.epoch, node, k, answer.cached, &answer.matches),
-                ConnAction::Continue,
-            ),
-            Err(SubmitError::Shed) => (protocol::shed_response("queue full"), ConnAction::Continue),
-            Err(SubmitError::Closed) => {
-                (protocol::error_response("server shutting down"), ConnAction::Close)
-            }
-            Err(SubmitError::BadNode { nodes }) => (
-                protocol::error_response(&format!(
-                    "node {node} out of range (current graph has {nodes} nodes)"
-                )),
-                ConnAction::Continue,
-            ),
-        },
-        Request::Ping => (
-            protocol::ok_response(vec![
-                ("op".into(), Json::Str("ping".into())),
-                ("epoch".into(), Json::Num(inner.store.current().epoch as f64)),
-            ]),
-            ConnAction::Continue,
-        ),
-        Request::Stats => (stats_response(inner), ConnAction::Continue),
-        // Content-sniffing loader: a reload path may point at a text edge
-        // list or a binary `.ssg` store — large-graph deployments publish
-        // epochs from the store so swaps skip parsing entirely.
-        Request::Reload { path } => match ssr_store::load_graph_auto(&path) {
-            Err(e) => {
-                (protocol::error_response(&format!("reading `{path}`: {e}")), ConnAction::Continue)
-            }
-            Ok(graph) => {
-                let (nodes, edges) = (graph.node_count(), graph.edge_count());
-                let snap = inner.store.publish(graph);
-                (
-                    protocol::ok_response(vec![
-                        ("op".into(), Json::Str("reload".into())),
-                        ("epoch".into(), Json::Num(snap.epoch as f64)),
-                        ("nodes".into(), Json::Num(nodes as f64)),
-                        ("edges".into(), Json::Num(edges as f64)),
-                    ]),
-                    ConnAction::Continue,
-                )
-            }
-        },
-        Request::EdgeDelta { add, remove } => match inner.store.apply_delta(&add, &remove) {
-            Err(e) => (protocol::error_response(&e), ConnAction::Continue),
-            Ok((snap, added, removed)) => (
-                protocol::ok_response(vec![
-                    ("op".into(), Json::Str("edge-delta".into())),
-                    ("epoch".into(), Json::Num(snap.epoch as f64)),
-                    ("nodes".into(), Json::Num(snap.nodes as f64)),
-                    ("added".into(), Json::Num(added as f64)),
-                    ("removed".into(), Json::Num(removed as f64)),
-                ]),
-                ConnAction::Continue,
-            ),
-        },
-        Request::Config { window_us, max_batch, cache } => {
-            if let Some(w) = window_us {
-                inner.batcher.set_window_us(w);
-            }
-            if let Some(m) = max_batch {
-                inner.batcher.set_max_batch(m);
-            }
-            match cache.as_deref() {
-                Some("on") => inner.cache.set_enabled(true),
-                Some("off") => inner.cache.set_enabled(false),
-                Some("clear") => inner.cache.clear(),
-                _ => {}
-            }
-            let (window_us, max_batch) = inner.batcher.config();
-            (
-                protocol::ok_response(vec![
-                    ("op".into(), Json::Str("config".into())),
-                    ("window_us".into(), Json::Num(window_us as f64)),
-                    ("max_batch".into(), Json::Num(max_batch as f64)),
-                    ("cache_enabled".into(), Json::Bool(inner.cache.is_enabled())),
-                ]),
-                ConnAction::Continue,
-            )
-        }
-        Request::Shutdown => {
-            // The stop signal fires in the connection loop, after this
-            // acknowledgement is flushed (see [`ConnAction::ShutdownServer`]);
-            // the owning `Server` handle finishes the joins.
-            (
-                protocol::ok_response(vec![("op".into(), Json::Str("shutdown".into()))]),
-                ConnAction::ShutdownServer,
-            )
-        }
-    }
-}
-
-fn stats_response(inner: &Arc<Inner>) -> String {
-    let snapshot = inner.store.current();
-    let cache = inner.cache.stats();
-    let batch = inner.batcher.stats();
-    let (window_us, max_batch) = inner.batcher.config();
-    let num = Json::Num;
-    let params = inner.store.params();
-    protocol::ok_response(vec![
-        ("op".into(), Json::Str("stats".into())),
-        ("epoch".into(), num(snapshot.epoch as f64)),
-        ("epoch_swaps".into(), num(inner.store.swap_count() as f64)),
-        ("nodes".into(), num(snapshot.nodes as f64)),
-        ("edges".into(), num(snapshot.edges.len() as f64)),
-        (
-            "params".into(),
-            Json::Obj(vec![
-                ("c".into(), num(params.c)),
-                ("k".into(), num(params.iterations as f64)),
-            ]),
-        ),
-        ("uptime_ms".into(), num(inner.started.elapsed().as_secs_f64() * 1e3)),
-        ("requests".into(), num(inner.requests.load(Ordering::Relaxed) as f64)),
-        ("connections".into(), num(inner.connections.load(Ordering::Relaxed) as f64)),
-        ("shed_connections".into(), num(inner.shed_connections.load(Ordering::Relaxed) as f64)),
-        (
-            "cache".into(),
-            Json::Obj(vec![
-                ("enabled".into(), Json::Bool(inner.cache.is_enabled())),
-                ("hits".into(), num(cache.hits as f64)),
-                ("misses".into(), num(cache.misses as f64)),
-                ("hit_rate".into(), num(cache.hit_rate())),
-                ("inserts".into(), num(cache.inserts as f64)),
-                ("evictions".into(), num(cache.evictions as f64)),
-                ("entries".into(), num(cache.entries as f64)),
-            ]),
-        ),
-        (
-            "batcher".into(),
-            Json::Obj(vec![
-                ("window_us".into(), num(window_us as f64)),
-                ("max_batch".into(), num(max_batch as f64)),
-                ("submitted".into(), num(batch.submitted as f64)),
-                ("shed".into(), num(batch.shed as f64)),
-                ("flushes".into(), num(batch.flushes as f64)),
-                ("flushed_jobs".into(), num(batch.flushed_jobs as f64)),
-                ("unique_lanes".into(), num(batch.unique_lanes as f64)),
-                ("max_flush".into(), num(batch.max_flush as f64)),
-                ("mean_flush".into(), num(batch.mean_flush())),
-            ]),
-        ),
-    ])
 }

@@ -1,12 +1,15 @@
-//! End-to-end tests over real TCP: protocol round-trips, runtime
-//! reconfiguration, admission control, and — the load-bearing one — an
-//! epoch swap under concurrent client load with no stale-epoch answers.
+//! End-to-end tests over real TCP: protocol round-trips on both wire
+//! formats, runtime reconfiguration, admission control, and — the
+//! load-bearing ones — an epoch swap under concurrent client load with no
+//! stale-epoch answers, and bit-identical JSON/ssb answers solo and
+//! pipelined across a mid-stream reload.
 
 use simrank_star::{QueryEngine, QueryEngineOptions, SimStarParams};
 use ssr_graph::{io as gio, DiGraph, NodeId};
 use ssr_serve::batcher::BatcherOptions;
-use ssr_serve::client::{Reply, ServeClient};
-use ssr_serve::json::Json;
+use ssr_serve::client::{Client, ClientError, Reply};
+use ssr_serve::codec::WireFormat;
+use ssr_serve::protocol::{CacheDirective, Request, Response};
 use ssr_serve::server::{Server, ServerOptions};
 
 fn graph_v0() -> DiGraph {
@@ -38,63 +41,75 @@ fn query_round_trip_matches_engine_bits_and_caches() {
     let params = SimStarParams::default();
     let server = start(ServerOptions { params, ..Default::default() });
     let engine = det_engine(&graph_v0(), params);
-    let mut client = ServeClient::connect(server.addr()).unwrap();
-    for node in 0..8 {
-        let expect = engine.top_k(node, 5);
-        let Reply::Ok(first) = client.query(node, 5).unwrap() else {
-            panic!("query {node} failed")
-        };
-        assert_eq!(first.epoch, 0);
-        assert!(!first.cached);
-        assert_eq!(first.matches, expect, "wire round-trip must preserve bits");
-        let Reply::Ok(second) = client.query(node, 5).unwrap() else {
-            panic!("repeat {node} failed")
-        };
-        assert!(second.cached);
-        assert_eq!(second.matches, expect);
+    for format in [WireFormat::Jsonl, WireFormat::Ssb] {
+        let mut client = Client::builder().protocol(format).connect(server.addr()).unwrap();
+        let mut admin = Client::connect(server.addr()).unwrap();
+        admin.config(None, None, Some(CacheDirective::Clear)).unwrap();
+        for node in 0..8 {
+            let expect = engine.top_k(node, 5);
+            let Reply::Ok(first) = client.query(node, 5).unwrap() else {
+                panic!("query {node} failed")
+            };
+            assert_eq!(first.epoch, 0);
+            assert!(!first.cached, "{format:?} node {node}");
+            assert_eq!(*first.matches, expect, "{format:?} round-trip must preserve bits");
+            let Reply::Ok(second) = client.query(node, 5).unwrap() else {
+                panic!("repeat {node} failed")
+            };
+            assert!(second.cached);
+            assert_eq!(*second.matches, expect);
+        }
     }
     server.shutdown();
 }
 
 #[test]
-fn stats_surface_cache_batcher_and_epoch_metrics() {
+fn stats_surface_cache_batcher_epoch_and_thread_metrics() {
     let server = start(ServerOptions::default());
-    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
     let _ = client.query(1, 3).unwrap();
     let _ = client.query(1, 3).unwrap();
     let stats = client.stats().unwrap();
-    assert_eq!(stats.get("epoch").and_then(Json::as_num), Some(0.0));
-    assert_eq!(stats.get("nodes").and_then(Json::as_num), Some(8.0));
-    let cache = stats.get("cache").unwrap();
-    assert_eq!(cache.get("hits").and_then(Json::as_num), Some(1.0));
-    assert_eq!(cache.get("misses").and_then(Json::as_num), Some(1.0));
-    let batcher = stats.get("batcher").unwrap();
-    assert_eq!(batcher.get("flushed_jobs").and_then(Json::as_num), Some(1.0));
-    assert!(batcher.get("mean_flush").and_then(Json::as_num).is_some());
+    assert_eq!(stats.epoch, 0);
+    assert_eq!(stats.nodes, 8);
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.cache.misses, 1);
+    assert_eq!(stats.batcher.flushed_jobs, 1);
+    assert!(stats.connections >= 1);
+    // 1 event loop + 1 flush worker + 1 admin executor, regardless of load.
+    assert_eq!(stats.worker_threads, server.worker_threads());
+    assert_eq!(stats.worker_threads, 3);
     server.shutdown();
 }
 
 #[test]
 fn config_op_retunes_batcher_and_cache() {
     let server = start(ServerOptions::default());
-    let mut client = ServeClient::connect(server.addr()).unwrap();
-    let doc = client.config(Some(0), Some(7), Some("off")).unwrap();
-    assert_eq!(doc.get("window_us").and_then(Json::as_num), Some(0.0));
-    assert_eq!(doc.get("max_batch").and_then(Json::as_num), Some(7.0));
-    assert_eq!(doc.get("cache_enabled").and_then(Json::as_bool), Some(false));
+    let mut client = Client::connect(server.addr()).unwrap();
+    let req = Request::Config {
+        window_us: Some(0),
+        max_batch: Some(7),
+        cache: Some(CacheDirective::Off),
+    };
+    let Response::Config { window_us, max_batch, cache_enabled } = client.call(&req).unwrap()
+    else {
+        panic!("config echo expected")
+    };
+    assert_eq!((window_us, max_batch, cache_enabled), (0, 7, false));
     // Cache off: repeats never hit.
     let _ = client.query(2, 3).unwrap();
     let Reply::Ok(second) = client.query(2, 3).unwrap() else { panic!() };
     assert!(!second.cached);
-    let doc = client.config(None, None, Some("on")).unwrap();
-    assert_eq!(doc.get("cache_enabled").and_then(Json::as_bool), Some(true));
+    let req = Request::Config { window_us: None, max_batch: None, cache: Some(CacheDirective::On) };
+    let Response::Config { cache_enabled, .. } = client.call(&req).unwrap() else { panic!() };
+    assert!(cache_enabled);
     server.shutdown();
 }
 
 #[test]
 fn malformed_requests_get_errors_not_disconnects() {
     let server = start(ServerOptions::default());
-    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
     for bad in [
         "not json",
         r#"{"op":"nope"}"#,
@@ -102,8 +117,8 @@ fn malformed_requests_get_errors_not_disconnects() {
         r#"{"op":"query","node":999}"#,
         r#"{"op":"query","node":-3}"#,
     ] {
-        let doc = client.request(bad).unwrap();
-        assert_eq!(doc.get("status").and_then(Json::as_str), Some("error"), "{bad}");
+        let resp = client.request_line(bad).unwrap();
+        assert!(matches!(resp, Response::Error { .. }), "{bad}: {resp:?}");
     }
     // The connection is still serviceable afterwards.
     assert!(matches!(client.query(1, 2).unwrap(), Reply::Ok(_)));
@@ -122,7 +137,7 @@ fn bounded_queue_sheds_under_pressure() {
         let handles: Vec<_> = (0..8u32)
             .map(|i| {
                 scope.spawn(move || {
-                    let mut c = ServeClient::connect(addr).unwrap();
+                    let mut c = Client::connect(addr).unwrap();
                     c.query(i % 8, 3).unwrap()
                 })
             })
@@ -134,37 +149,59 @@ fn bounded_queue_sheds_under_pressure() {
     assert!(ok > 0, "some requests must get through");
     assert!(shed > 0, "8 concurrent one-shots into a 2-deep queue must shed");
     assert_eq!(ok + shed, 8, "no errors expected: {outcomes:?}");
-    let mut admin = ServeClient::connect(addr).unwrap();
+    let mut admin = Client::connect(addr).unwrap();
     let stats = admin.stats().unwrap();
-    let counted = stats.get("batcher").and_then(|b| b.get("shed")).and_then(Json::as_num).unwrap();
-    assert!(counted >= shed as f64);
+    assert!(stats.batcher.shed >= shed as u64);
     server.shutdown();
 }
 
 #[test]
 fn connection_cap_sheds_new_sockets() {
     let server = start(ServerOptions { max_connections: 1, ..Default::default() });
-    let mut first = ServeClient::connect(server.addr()).unwrap();
+    let mut first = Client::connect(server.addr()).unwrap();
     assert!(matches!(first.query(1, 2).unwrap(), Reply::Ok(_)));
     // The second socket gets one shed line, then EOF.
-    let mut second = ServeClient::connect(server.addr()).unwrap();
-    let doc = second.request(r#"{"op":"ping"}"#);
-    match doc {
-        Ok(doc) => assert_eq!(doc.get("status").and_then(Json::as_str), Some("shed")),
+    let mut second = Client::connect(server.addr()).unwrap();
+    match second.request_line(r#"{"op":"ping"}"#) {
+        Ok(resp) => assert!(matches!(resp, Response::Shed { .. }), "{resp:?}"),
         // The server closes the socket without reading; depending on
         // timing the client sees EOF on read or a pipe error on write.
         // All of them are valid shed behaviors.
-        Err(e) => assert!(
+        Err(ClientError::Closed) => {}
+        Err(ClientError::Io(e)) => assert!(
             matches!(
                 e.kind(),
-                std::io::ErrorKind::UnexpectedEof
-                    | std::io::ErrorKind::BrokenPipe
+                std::io::ErrorKind::BrokenPipe
                     | std::io::ErrorKind::ConnectionReset
                     | std::io::ErrorKind::ConnectionAborted
             ),
             "unexpected error kind: {e}"
         ),
+        Err(other) => panic!("unexpected shed behavior: {other}"),
     }
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_cheap_and_stay_live() {
+    let server = start(ServerOptions { max_connections: 300, ..Default::default() });
+    let addr = server.addr();
+    let mut idle: Vec<Client> = (0..200)
+        .map(|i| {
+            let format = if i % 2 == 0 { WireFormat::Jsonl } else { WireFormat::Ssb };
+            Client::builder().protocol(format).connect(addr).unwrap()
+        })
+        .collect();
+    let mut admin = Client::connect(addr).unwrap();
+    let stats = admin.stats().unwrap();
+    assert!(stats.connections >= 201, "gauge {} must cover the idle mass", stats.connections);
+    // The thread budget did not move: connections are buffers, not threads.
+    assert_eq!(stats.worker_threads, 3);
+    // Every held socket still answers — first, last, and a few between.
+    for i in [0usize, 67, 133, 199] {
+        assert_eq!(idle[i].ping().unwrap(), 0, "idle connection {i}");
+    }
+    drop(idle);
     server.shutdown();
 }
 
@@ -172,23 +209,140 @@ fn connection_cap_sheds_new_sockets() {
 fn shutdown_op_stops_the_server() {
     let server = start(ServerOptions::default());
     let addr = server.addr();
-    let mut client = ServeClient::connect(addr).unwrap();
+    let mut client = Client::connect(addr).unwrap();
     client.shutdown().unwrap();
     server.wait(); // returns because the client asked for shutdown
     server.shutdown();
     assert!(
-        ServeClient::connect(addr).is_err() || {
+        Client::connect(addr).is_err() || {
             // A connect may still succeed while the listener drains; a request
             // on it must fail.
-            let mut c = ServeClient::connect(addr).unwrap();
+            let mut c = Client::connect(addr).unwrap();
             c.ping().is_err()
         }
     );
 }
 
-/// The satellite's headline e2e: concurrent clients, an epoch swap (file
-/// reload + edge delta) mid-stream, and the assertion that every response
-/// is consistent with the epoch it claims — no stale-epoch answers.
+/// A dead server must surface as a typed error, not a hang: this is the
+/// bench-serve/loadgen bugfix. The client's socket timeout turns a stuck
+/// or vanished peer into `TimedOut`/`Closed`.
+#[test]
+fn dead_server_surfaces_as_typed_error_not_a_hang() {
+    let server = start(ServerOptions::default());
+    let addr = server.addr();
+    let mut client = Client::builder()
+        .timeout(Some(std::time::Duration::from_millis(500)))
+        .connect(addr)
+        .unwrap();
+    assert!(matches!(client.query(1, 2).unwrap(), Reply::Ok(_)));
+    server.shutdown(); // server gone, socket still held by the client
+    let err = match client.query(1, 2) {
+        Err(e) => e,
+        // The first call after the close may still flush into the kernel
+        // buffer; the next read must fail.
+        Ok(_) => client.query(2, 2).unwrap_err(),
+    };
+    assert!(
+        matches!(err, ClientError::Closed | ClientError::TimedOut | ClientError::Io(_)),
+        "expected a typed transport error, got {err}"
+    );
+}
+
+/// The tentpole's headline e2e: the same queries through the JSON codec
+/// and the binary `ssb/1` codec, solo and pipelined, produce bit-identical
+/// typed responses — including across an epoch reload that lands in the
+/// middle of an in-flight pipeline window. Zero stale-epoch answers: every
+/// reply's scores must match the ground truth of exactly the epoch it
+/// claims.
+#[test]
+fn json_and_ssb_answers_are_bit_identical_solo_and_pipelined_across_reload() {
+    let params = SimStarParams { c: 0.6, iterations: 6 };
+    let server = Server::start(
+        graph_v0(),
+        "127.0.0.1",
+        0,
+        ServerOptions {
+            params,
+            batch: BatcherOptions { window_us: 300, ..Default::default() },
+            cache_capacity: 0, // no cache: every answer exercises its codec
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let k = 5;
+    let v0 = graph_v0();
+    let v1 = graph_v1();
+    let truth: Vec<Vec<Vec<(NodeId, f64)>>> = [&v0, &v1]
+        .iter()
+        .map(|g| {
+            let engine = det_engine(g, params);
+            (0..8).map(|q| engine.top_k(q, k)).collect()
+        })
+        .collect();
+
+    let mut json = Client::builder().protocol(WireFormat::Jsonl).connect(addr).unwrap();
+    let mut ssb = Client::builder().protocol(WireFormat::Ssb).connect(addr).unwrap();
+    let mut ssb_pipe =
+        Client::builder().protocol(WireFormat::Ssb).pipeline(4).connect(addr).unwrap();
+
+    // Epoch 0: solo JSON == solo ssb == pipelined ssb == engine truth,
+    // bitwise (f64 scores included — JSON prints shortest-round-trip
+    // decimals, ssb ships raw IEEE-754 bits).
+    let queries: Vec<(NodeId, usize)> = (0..8).map(|n| (n, k)).collect();
+    let piped = ssb_pipe.query_pipelined(&queries).unwrap();
+    for node in 0..8u32 {
+        let Reply::Ok(a) = json.query(node, k).unwrap() else { panic!("json {node}") };
+        let Reply::Ok(b) = ssb.query(node, k).unwrap() else { panic!("ssb {node}") };
+        let Reply::Ok(p) = &piped[node as usize] else { panic!("pipelined {node}") };
+        assert_eq!(a, b, "codecs disagree on node {node}");
+        assert_eq!(&a, p, "pipelining changed the answer for node {node}");
+        assert_eq!(*a.matches, truth[0][node as usize], "node {node} truth mismatch");
+        assert_eq!(a.epoch, 0);
+    }
+
+    // Reload mid-pipeline: half a window in flight when the epoch swaps.
+    let dir = std::env::temp_dir().join("ssr_serve_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1_path = dir.join(format!("codec_v1_{}.txt", std::process::id()));
+    std::fs::write(&v1_path, gio::to_edge_list_string(&v1)).unwrap();
+    let mut admin = Client::connect(addr).unwrap();
+    for node in 0..4u32 {
+        ssb_pipe.send_query(node, k).unwrap();
+    }
+    assert_eq!(admin.reload(&v1_path.to_string_lossy()).unwrap(), 1);
+    for node in 4..8u32 {
+        ssb_pipe.send_query(node, k).unwrap();
+    }
+    let mut last_epoch = 0;
+    for node in 0..8u32 {
+        let Reply::Ok(r) = ssb_pipe.recv_reply().unwrap() else { panic!("mid-swap {node}") };
+        // The answer must be exactly the ranking of the graph its epoch
+        // tag names — stale bits under a fresh tag (or vice versa) fail.
+        assert_eq!(
+            *r.matches, truth[r.epoch as usize][node as usize],
+            "node {node} answer inconsistent with its epoch {}",
+            r.epoch
+        );
+        assert!(r.epoch >= last_epoch, "epoch went backwards at node {node}");
+        last_epoch = r.epoch;
+    }
+
+    // Epoch 1, post-swap: both codecs again agree bitwise on the truth.
+    for node in 0..8u32 {
+        let Reply::Ok(a) = json.query(node, k).unwrap() else { panic!() };
+        let Reply::Ok(b) = ssb.query(node, k).unwrap() else { panic!() };
+        assert_eq!(a, b, "codecs disagree post-swap on node {node}");
+        assert_eq!(a.epoch, 1);
+        assert_eq!(*a.matches, truth[1][node as usize]);
+    }
+    std::fs::remove_file(&v1_path).ok();
+    server.shutdown();
+}
+
+/// Concurrent clients, an epoch swap (file reload + edge delta)
+/// mid-stream, and the assertion that every response is consistent with
+/// the epoch it claims — no stale-epoch answers.
 #[test]
 fn epoch_swap_under_concurrent_load_has_no_stale_answers() {
     let params = SimStarParams { c: 0.6, iterations: 6 };
@@ -234,14 +388,16 @@ fn epoch_swap_under_concurrent_load_has_no_stale_answers() {
     type Observed = Vec<(u64, NodeId, Vec<(NodeId, f64)>)>;
     // Progress-based coordination (no sleep races): the admin waits for
     // the clients to be mid-stream before each swap, the clients keep
-    // querying until they have seen the final epoch a few times.
+    // querying until they have seen the final epoch a few times. Clients
+    // alternate codecs — stale-epoch detection must hold on both wires.
     let progress = std::sync::atomic::AtomicU32::new(0);
     let responses: Vec<Observed> = std::thread::scope(|scope| {
         let clients: Vec<_> = (0..4u32)
             .map(|c| {
                 let progress = &progress;
                 scope.spawn(move || {
-                    let mut client = ServeClient::connect(addr).unwrap();
+                    let format = if c % 2 == 0 { WireFormat::Jsonl } else { WireFormat::Ssb };
+                    let mut client = Client::builder().protocol(format).connect(addr).unwrap();
                     let mut seen = Vec::new();
                     let mut final_epoch_hits = 0u32;
                     for i in 0..5000u32 {
@@ -249,7 +405,7 @@ fn epoch_swap_under_concurrent_load_has_no_stale_answers() {
                         match client.query(node, k).unwrap() {
                             Reply::Ok(r) => {
                                 final_epoch_hits += (r.epoch == 2) as u32;
-                                seen.push((r.epoch, node, r.matches));
+                                seen.push((r.epoch, node, r.matches.to_vec()));
                             }
                             Reply::Shed => {}
                             Reply::Error(e) => panic!("client {c}: {e}"),
@@ -274,7 +430,7 @@ fn epoch_swap_under_concurrent_load_has_no_stale_answers() {
                     std::thread::yield_now();
                 }
             };
-            let mut admin = ServeClient::connect(addr).unwrap();
+            let mut admin = Client::connect(addr).unwrap();
             wait_for(40);
             let e1 = admin.reload(&v1_path.to_string_lossy()).unwrap();
             assert_eq!(e1, 1);
@@ -313,10 +469,10 @@ fn epoch_swap_under_concurrent_load_has_no_stale_answers() {
     // The swaps happened mid-stream: the final epoch must have been
     // observed, and queries issued after the swap completed must be new.
     assert!(epochs_seen.contains(&2), "swap never became visible: {epochs_seen:?}");
-    let mut late = ServeClient::connect(addr).unwrap();
+    let mut late = Client::connect(addr).unwrap();
     let Reply::Ok(fresh) = late.query(3, k).unwrap() else { panic!() };
     assert_eq!(fresh.epoch, 2, "post-swap queries must run on the new epoch");
-    assert_eq!(fresh.matches, truth[2][3]);
+    assert_eq!(*fresh.matches, truth[2][3]);
 
     std::fs::remove_file(&v1_path).ok();
     server.shutdown();
@@ -342,10 +498,10 @@ fn reload_from_binary_store_is_bit_identical_to_text() {
     let ssg_path = dir.join(format!("store_v1_{pid}.ssg"));
     ssr_store::StoreWriter::new(&v1).write_file(&ssg_path).unwrap();
 
-    let mut admin = ServeClient::connect(addr).unwrap();
+    let mut admin = Client::connect(addr).unwrap();
     // Epoch 1: text reload. Epoch 2: store reload of the *same* graph.
     assert_eq!(admin.reload(&text_path.to_string_lossy()).unwrap(), 1);
-    let mut client = ServeClient::connect(addr).unwrap();
+    let mut client = Client::connect(addr).unwrap();
     let from_text: Vec<_> = (0..8)
         .map(|node| match client.query(node, k).unwrap() {
             Reply::Ok(r) => {

@@ -36,7 +36,7 @@ mod checksum;
 mod error;
 pub mod format;
 mod reader;
-mod varint;
+pub mod varint;
 mod writer;
 
 pub use error::StoreError;

@@ -5,6 +5,10 @@
 //! into one byte where the text format spends 5-8 digit characters plus a
 //! separator. Hand-rolled (like the `vendor/` shims) because the build
 //! runs without crates.io access.
+//!
+//! Public because `ssr-serve`'s binary wire codec (`ssb/1`) frames its
+//! messages with the same coding — one varint implementation, one set of
+//! truncation/overflow semantics across disk and wire.
 
 /// Appends the LEB128 encoding of `value` to `out`.
 #[inline]

@@ -1,25 +1,26 @@
-//! Serve round trip: start a query server in-process, talk the newline-
-//! JSON protocol to it, swap the graph mid-session, and read the metrics.
+//! Serve round trip: start a query server in-process, talk both wire
+//! formats to it (newline-JSON and binary `ssb/1`), swap the graph
+//! mid-session, and read the metrics.
 //!
 //! Run with `cargo run --release --example serve_roundtrip`.
 
 use simrank_star_repro::ssr_gen::fixtures::figure1_graph;
-use simrank_star_repro::ssr_serve::client::{Reply, ServeClient};
-use simrank_star_repro::ssr_serve::json::Json;
+use simrank_star_repro::ssr_serve::client::{Client, Reply};
+use simrank_star_repro::ssr_serve::codec::WireFormat;
 use simrank_star_repro::ssr_serve::server::{Server, ServerOptions};
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Serve the paper's Figure 1 graph on an ephemeral loopback port.
     let server = Server::start(figure1_graph(), "127.0.0.1", 0, ServerOptions::default())
         .expect("bind an ephemeral port");
     println!("server listening on {}", server.addr());
 
-    let mut client = ServeClient::connect(server.addr())?;
+    let mut client = Client::connect(server.addr())?;
 
     // 2. A top-k query; the response carries the epoch that computed it.
     let Reply::Ok(first) = client.query(8, 3)? else { panic!("query failed") };
     println!("\nepoch {}: top-3 for node 8 (computed):", first.epoch);
-    for (v, s) in &first.matches {
+    for (v, s) in first.matches.iter() {
         println!("  node {v:>2}  score {s:.6}");
     }
 
@@ -28,25 +29,29 @@ fn main() -> std::io::Result<()> {
     assert!(again.cached && again.matches == first.matches);
     println!("repeat was served from the cache (bit-identical)");
 
-    // 4. An edge delta publishes a new epoch; queries after it see the new
+    // 4. The binary codec returns the same answer, bit for bit — scores
+    //    travel as raw IEEE-754 bits instead of decimal text.
+    let mut binary =
+        Client::builder().protocol(WireFormat::Ssb).pipeline(4).connect(server.addr())?;
+    let Reply::Ok(via_ssb) = binary.query(8, 3)? else { panic!("ssb query failed") };
+    assert_eq!(via_ssb.matches, first.matches);
+    println!("ssb/1 answer is bit-identical to the JSON answer");
+
+    // 5. An edge delta publishes a new epoch; queries after it see the new
     //    graph, and the response epoch says so.
     let epoch = client.edge_delta(&[(8, 4), (4, 8)], &[])?;
     let Reply::Ok(fresh) = client.query(8, 3)? else { panic!("query failed") };
     println!("\nafter edge-delta: epoch {epoch}, top-3 for node 8:");
-    for (v, s) in &fresh.matches {
+    for (v, s) in fresh.matches.iter() {
         println!("  node {v:>2}  score {s:.6}");
     }
     assert_eq!(fresh.epoch, epoch);
 
-    // 5. The stats op surfaces cache / batcher / epoch metrics.
+    // 6. The stats op surfaces cache / batcher / epoch metrics, typed.
     let stats = client.stats()?;
-    let cache = stats.get("cache").expect("cache metrics");
     println!(
         "\nstats: epoch_swaps={}, cache hits={} misses={} entries={}",
-        stats.get("epoch_swaps").and_then(Json::as_num).unwrap_or(0.0),
-        cache.get("hits").and_then(Json::as_num).unwrap_or(0.0),
-        cache.get("misses").and_then(Json::as_num).unwrap_or(0.0),
-        cache.get("entries").and_then(Json::as_num).unwrap_or(0.0),
+        stats.epoch_swaps, stats.cache.hits, stats.cache.misses, stats.cache.entries,
     );
 
     client.shutdown()?;
