@@ -474,12 +474,17 @@ impl WakeRx {
     /// Consumes pending wake datagrams and re-arms the coalescing flag.
     /// Call whenever the waker token reports readable.
     pub fn drain(&self) {
-        // Clear the flag *before* draining: a wake that lands mid-drain
-        // either gets its datagram consumed here (and the work it signals
-        // is picked up this iteration) or leaves one for the next wait.
-        self.inner.pending.store(false, Ordering::Release);
+        // Consume the datagrams *before* re-arming. The flag must stay set
+        // while the recv loop runs: if it were cleared first, a wake
+        // landing mid-drain would set it and send a datagram this same
+        // loop then eats — leaving the flag true with nothing in flight,
+        // so every later wake is suppressed and the event loop sleeps
+        // forever. With this order a mid-drain wake sends nothing (flag
+        // still true), and its work is picked up by the completion sweep
+        // that follows drain(); any wake after the store sends fresh.
         let mut buf = [0u8; 8];
         while self.rx.recv(&mut buf).is_ok() {}
+        self.inner.pending.store(false, Ordering::Release);
     }
 }
 

@@ -19,9 +19,12 @@
 //! a batched query arrives later) but responses are written strictly in
 //! request order — which is what keeps per-connection epoch monotonicity
 //! and makes JSON (positional ids) and `ssb/1` (explicit ids) observably
-//! identical. Pipelining depth is capped ([`MAX_PIPELINE`]) and writes are
-//! bounded ([`WBUF_SOFT_CAP`]): a connection at either limit simply stops
-//! being read until it drains — backpressure, not memory growth.
+//! identical. Pipelining depth is capped ([`MAX_PIPELINE`]), writes are
+//! bounded ([`WBUF_SOFT_CAP`]), and request buffering is bounded
+//! ([`RBUF_CAP`]): a connection at either of the first two limits simply
+//! stops being read until it drains — backpressure, not memory growth —
+//! while a single request frame too large for the read cap is answered
+//! with a typed error and the connection closed.
 
 use crate::batcher::SubmitError;
 use crate::codec::{jsonl, Decoded, WireFormat, SSB_MAGIC};
@@ -50,6 +53,14 @@ const MAX_PIPELINE: usize = 256;
 const WBUF_SOFT_CAP: usize = 1 << 20;
 /// Read-syscall chunk size.
 const READ_CHUNK: usize = 64 * 1024;
+/// Per-connection request-buffer cap. The codec's 64 MiB frame limit is
+/// sized for responses (large result sets); letting every connection
+/// buffer a 64 MiB *request* would cost ~16 GiB across the default
+/// connection cap. Requests are small (the largest, `edge-delta`, fits
+/// ~250k edges in 4 MiB), so a single frame still incomplete past this
+/// many buffered bytes is rejected with a typed error and the connection
+/// closed.
+const RBUF_CAP: usize = 4 << 20;
 
 /// What a connection has negotiated so far.
 enum Format {
@@ -105,6 +116,7 @@ impl Conn {
         !self.read_closed
             && self.pending.len() < MAX_PIPELINE
             && self.unsent_bytes() < WBUF_SOFT_CAP
+            && self.rbuf.len() < RBUF_CAP
     }
 
     /// Everything decoded has been answered and flushed.
@@ -167,7 +179,7 @@ impl EventLoop {
     /// owns closes when this returns.
     pub(crate) fn run(mut self) {
         let mut events: Vec<Event> = Vec::new();
-        while self.inner.running.load(Ordering::SeqCst) {
+        'event_loop: while self.inner.running.load(Ordering::SeqCst) {
             if self.poller.wait(&mut events, None).is_err() {
                 break;
             }
@@ -181,10 +193,16 @@ impl EventLoop {
                     token => self.pump_token(token),
                 }
                 if !self.inner.running.load(Ordering::SeqCst) {
-                    return;
+                    break 'event_loop;
                 }
             }
         }
+        // However the loop ended — stop flag, in-band shutdown, or a
+        // poller failure — release anyone parked in Server::wait().
+        // Idempotent, so paths that already signalled are unaffected;
+        // without it a poller error leaves the process serving nothing
+        // while wait() blocks forever.
+        self.inner.signal_stop();
     }
 
     /// Accepts every queued connection; sheds over the cap.
@@ -335,7 +353,10 @@ impl EventLoop {
         }
         let mut chunk = [0u8; READ_CHUNK];
         loop {
-            if conn.pending.len() >= MAX_PIPELINE || conn.unsent_bytes() >= WBUF_SOFT_CAP {
+            if conn.pending.len() >= MAX_PIPELINE
+                || conn.unsent_bytes() >= WBUF_SOFT_CAP
+                || conn.rbuf.len() >= RBUF_CAP
+            {
                 return true;
             }
             match conn.stream.read(&mut chunk) {
@@ -356,6 +377,10 @@ impl EventLoop {
     fn parse_and_dispatch(&mut self, token: u64, conn: &mut Conn) -> bool {
         let mut consumed = 0usize;
         let mut framed = true;
+        // Whether decoding stopped on a partial frame (as opposed to
+        // pipeline/write backpressure, where undecoded bytes are complete
+        // frames waiting their turn and must not trip the buffer cap).
+        let mut incomplete = false;
         loop {
             if conn.pending.len() >= MAX_PIPELINE || conn.unsent_bytes() >= WBUF_SOFT_CAP {
                 break;
@@ -382,7 +407,10 @@ impl EventLoop {
                 }
             };
             match fmt.codec().decode_request(buf) {
-                Decoded::Incomplete => break,
+                Decoded::Incomplete => {
+                    incomplete = true;
+                    break;
+                }
                 Decoded::Skip { consumed: n } => consumed += n,
                 Decoded::Frame { consumed: n, id, value } => {
                     consumed += n;
@@ -412,6 +440,26 @@ impl EventLoop {
                     }
                 }
             }
+        }
+        // `>=`, not `>`: reads stop at the cap, so a partial frame holding
+        // exactly RBUF_CAP bytes can never grow — and being incomplete at
+        // that size proves the full frame is larger than the cap.
+        if framed && incomplete && conn.rbuf.len() - consumed >= RBUF_CAP {
+            // A single frame exceeds the request-buffer cap: reads have
+            // stopped, so it can never complete. Answer with a typed
+            // error and give up on the stream (the frame's own id, if
+            // any, is inside the unparsed body).
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            conn.pending.push_back(Pending {
+                id: seq,
+                state: PendingState::Ready(Response::Error {
+                    message: format!(
+                        "request frame exceeds per-connection buffer cap ({RBUF_CAP} bytes)"
+                    ),
+                }),
+            });
+            framed = false;
         }
         if !framed {
             // Framing is lost: nothing further in the buffer is parseable.

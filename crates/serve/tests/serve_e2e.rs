@@ -248,6 +248,65 @@ fn dead_server_surfaces_as_typed_error_not_a_hang() {
     );
 }
 
+/// A single `ssb/1` frame declaring a length that passes the codec's
+/// 64 MiB length-lie check but exceeds the runtime's per-connection
+/// request-buffer cap must be answered with an error and a close — not
+/// buffered in full (which would cost up to 64 MiB × every connection).
+#[test]
+fn oversized_request_frame_is_rejected_not_buffered() {
+    use std::io::{Read, Write};
+    fn leb128(mut v: u64, out: &mut Vec<u8>) {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                out.push(b);
+                break;
+            }
+            out.push(b | 0x80);
+        }
+    }
+    let server = start(ServerOptions::default());
+    let addr = server.addr();
+
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    let limit = Some(std::time::Duration::from_secs(10));
+    raw.set_write_timeout(limit).unwrap();
+    raw.set_read_timeout(limit).unwrap();
+    let mut head = Vec::new();
+    head.extend_from_slice(ssr_serve::codec::SSB_MAGIC);
+    // Declared 32 MiB: a legal frame length on the wire, but no request
+    // the server is willing to buffer.
+    leb128(32 << 20, &mut head);
+    raw.write_all(&head).unwrap();
+    let chunk = [0u8; 64 * 1024];
+    let mut sent = 0usize;
+    while sent < 6 << 20 {
+        match raw.write(&chunk) {
+            Ok(n) => sent += n,
+            // The server already rejected and closed mid-stream: a pass.
+            Err(_) => break,
+        }
+    }
+    // However the close raced our writes, the read side must resolve
+    // promptly — an error frame then EOF, or a reset. A timeout here
+    // means the server is buffering the frame without bound.
+    let mut sink = Vec::new();
+    if let Err(e) = raw.read_to_end(&mut sink) {
+        assert!(
+            e.kind() != std::io::ErrorKind::WouldBlock
+                && e.kind() != std::io::ErrorKind::TimedOut,
+            "server wedged instead of rejecting the frame: {e}"
+        );
+    }
+    drop(raw);
+
+    // The rejection was connection-scoped: the server still answers.
+    let mut client = Client::connect(addr).unwrap();
+    assert!(matches!(client.query(1, 2).unwrap(), Reply::Ok(_)));
+    server.shutdown();
+}
+
 /// The tentpole's headline e2e: the same queries through the JSON codec
 /// and the binary `ssb/1` codec, solo and pipelined, produce bit-identical
 /// typed responses — including across an epoch reload that lands in the
