@@ -10,7 +10,15 @@
 //!   [`ssr_store::StoreReader::load_full`]: header + checksummed section
 //!   reads + gap decode straight into CSR (no parse, no sort);
 //! * **store_out** — [`ssr_store::StoreReader::load_out_only`]: the
-//!   section-skipping variant for forward-only workloads.
+//!   section-skipping variant for forward-only workloads;
+//! * **random_open** — [`ssr_store::RandomAccessStore::open`] on a
+//!   BFS-permuted v2 store: the streaming validation scan that never
+//!   materializes a CSR;
+//! * **query_csr / query_mmap** — deterministic single-source top-k
+//!   through [`simrank_star::QueryEngine`] over the full in-memory CSR vs
+//!   the mmap-backed random-access store (results are asserted
+//!   bit-identical; the access backing's resident bytes are asserted
+//!   under half the CSR footprint).
 //!
 //! Alongside wall times the JSON records the size story: text bytes vs
 //! store bytes, stored adjacency bits per id vs the 32-bit in-memory id,
@@ -21,11 +29,13 @@
 //! other trajectories' speedups).
 
 use crate::timed;
+use simrank_star::{QueryEngine, QueryEngineOptions, SimStarParams};
 use ssr_datasets::{load, DatasetId};
 use ssr_graph::DiGraph;
-use ssr_store::{StoreReader, StoreWriter};
+use ssr_store::{RandomAccessStore, StoreReader, StoreWriter};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of one bench run.
@@ -93,9 +103,17 @@ struct DatasetReport {
     store_bytes: u64,
     memory_bytes: usize,
     bits_per_id: f64,
+    v1_bytes: u64,
+    v1_bits_per_id: f64,
+    perm_bytes: u64,
+    perm_bits_per_id: f64,
+    store_resident_bytes: usize,
     text_parse: ModeStats,
     store_full: ModeStats,
     store_out: ModeStats,
+    random_open: ModeStats,
+    query_csr: ModeStats,
+    query_mmap: ModeStats,
 }
 
 impl DatasetReport {
@@ -106,6 +124,12 @@ impl DatasetReport {
     fn size_ratio(&self) -> f64 {
         self.store_bytes as f64 / self.text_bytes.max(1) as f64
     }
+
+    /// Resident graph bytes of the random-access backing relative to the
+    /// full in-memory CSR — the memory-bounded-serving headline.
+    fn resident_ratio(&self) -> f64 {
+        self.store_resident_bytes as f64 / self.memory_bytes.max(1) as f64
+    }
 }
 
 /// Runs the benchmark, prints a summary table, and writes the JSON report.
@@ -114,10 +138,20 @@ pub fn run_store_bench(opts: &StoreBenchOptions) {
     let dir = std::env::temp_dir().join(format!("ssr_store_bench_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create bench scratch dir");
     let mut reports = Vec::new();
-    println!("STORE BENCH (text parse vs .ssg load)");
+    println!("STORE BENCH (text parse vs .ssg load, v1 vs v2 vs permuted v2)");
     println!(
-        "{:<11} {:>7} {:>8} {:>10} {:>10} {:>10} {:>8} {:>9} {:>8}",
-        "dataset", "n", "m", "text", "store", "store_out", "spd", "bits/id", "size"
+        "{:<11} {:>7} {:>8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "dataset",
+        "n",
+        "m",
+        "text",
+        "store",
+        "store_out",
+        "spd",
+        "v1 b/id",
+        "v2 b/id",
+        "perm",
+        "resid"
     );
     for &(id, divisor, reps) in plan {
         let d = load(id, divisor);
@@ -130,6 +164,16 @@ pub fn run_store_bench(opts: &StoreBenchOptions) {
             .meta(ssr_store::meta_keys::DIVISOR, divisor.to_string())
             .write_file(&ssg_path)
             .expect("write store");
+        let v1_path = dir.join(format!("{}-div{divisor}.v1.ssg", id.name()));
+        StoreWriter::new(g)
+            .version(ssr_store::FORMAT_VERSION_V1)
+            .write_file(&v1_path)
+            .expect("write v1 store");
+        let perm_path = dir.join(format!("{}-div{divisor}.perm.ssg", id.name()));
+        StoreWriter::new(g)
+            .permutation(ssr_graph::perm::bfs_order(g), "bfs")
+            .write_file(&perm_path)
+            .expect("write permuted store");
 
         let text_parse = passes(reps, || {
             std::hint::black_box(load_text(&text_path));
@@ -145,12 +189,52 @@ pub fn run_store_bench(opts: &StoreBenchOptions) {
                     .expect("decode out section"),
             );
         });
+        // Random-access open: the streaming validation scan over the
+        // permuted store — no CSR is ever materialized.
+        let random_open = passes(reps, || {
+            std::hint::black_box(RandomAccessStore::open(&perm_path).expect("open random-access"));
+        });
 
-        // Sanity: both paths hand the engines the identical graph.
+        // Sanity: both paths hand the engines the identical graph, and the
+        // permuted store maps ids back to the original labels.
         assert_eq!(&load_store(&ssg_path), g, "store round-trip must be exact");
         assert_eq!(&load_text(&text_path), g, "text round-trip must be exact");
+        assert_eq!(&load_store(&perm_path), g, "permuted store must map ids back");
+
+        // Deterministic single-source queries: full-CSR engine vs the
+        // mmap-backed engine over the permuted store. Top-k must agree bit
+        // for bit; the access backing must hold well under half the CSR.
+        let queries = ssr_eval::queries::select_queries(g, 4, 1, 7);
+        let det = QueryEngineOptions { deterministic: true, ..QueryEngineOptions::default() };
+        let query_csr = passes(reps, || {
+            let qe = QueryEngine::with_options(g, SimStarParams::default(), det.clone());
+            for &q in &queries {
+                std::hint::black_box(qe.top_k(q, 10));
+            }
+        });
+        let query_mmap = passes(reps, || {
+            let store = RandomAccessStore::open(&perm_path).expect("open random-access");
+            let qe =
+                QueryEngine::with_access(Arc::new(store), SimStarParams::default(), det.clone());
+            for &q in &queries {
+                std::hint::black_box(qe.top_k(q, 10));
+            }
+        });
+        let store = Arc::new(RandomAccessStore::open(&perm_path).expect("open random-access"));
+        let store_resident_bytes = store.resident_bytes();
+        let mem_engine = QueryEngine::with_options(g, SimStarParams::default(), det.clone());
+        let acc_engine = QueryEngine::with_access(store, SimStarParams::default(), det.clone());
+        for &q in &queries {
+            assert_eq!(
+                mem_engine.top_k(q, 10),
+                acc_engine.top_k(q, 10),
+                "deterministic top-k must be bit-identical across backings (query {q})"
+            );
+        }
 
         let reader = StoreReader::open(&ssg_path).expect("reopen store");
+        let v1_reader = StoreReader::open(&v1_path).expect("reopen v1 store");
+        let perm_reader = StoreReader::open(&perm_path).expect("reopen permuted store");
         let report = DatasetReport {
             name: id.name(),
             divisor,
@@ -160,12 +244,26 @@ pub fn run_store_bench(opts: &StoreBenchOptions) {
             store_bytes: reader.file_len(),
             memory_bytes: g.estimated_bytes(),
             bits_per_id: reader.bits_per_edge(),
+            v1_bytes: v1_reader.file_len(),
+            v1_bits_per_id: v1_reader.bits_per_edge(),
+            perm_bytes: perm_reader.file_len(),
+            perm_bits_per_id: perm_reader.bits_per_edge(),
+            store_resident_bytes,
             text_parse,
             store_full,
             store_out,
+            random_open,
+            query_csr,
+            query_mmap,
         };
+        assert!(
+            report.resident_ratio() < 0.5,
+            "random-access backing must stay under half the CSR: {} vs {}",
+            report.store_resident_bytes,
+            report.memory_bytes
+        );
         println!(
-            "{:<11} {:>7} {:>8} {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>7.1}x {:>9.2} {:>7.1}%",
+            "{:<11} {:>7} {:>8} {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>7.1}x {:>8.2} {:>8.2} {:>8.2} {:>7.1}%",
             report.name,
             report.nodes,
             report.edges,
@@ -173,8 +271,10 @@ pub fn run_store_bench(opts: &StoreBenchOptions) {
             report.store_full.min_ms(),
             report.store_out.min_ms(),
             report.speedup_store_vs_text(),
+            report.v1_bits_per_id,
             report.bits_per_id,
-            100.0 * report.size_ratio(),
+            report.perm_bits_per_id,
+            100.0 * report.resident_ratio(),
         );
         reports.push(report);
     }
@@ -209,10 +309,23 @@ fn render_json(smoke: bool, reports: &[DatasetReport]) -> String {
             "      \"sizes\": {{\"text_bytes\": {}, \"store_bytes\": {}, \"memory_bytes\": {}, \"bits_per_id\": {:.2}, \"store_vs_text\": {:.4}}},",
             r.text_bytes, r.store_bytes, r.memory_bytes, r.bits_per_id, r.size_ratio()
         );
+        let _ = writeln!(
+            s,
+            "      \"versions\": {{\"v1_bytes\": {}, \"v1_bits_per_id\": {:.2}, \"v2_bytes\": {}, \"v2_bits_per_id\": {:.2}, \"perm_bytes\": {}, \"perm_bits_per_id\": {:.2}}},",
+            r.v1_bytes, r.v1_bits_per_id, r.store_bytes, r.bits_per_id, r.perm_bytes, r.perm_bits_per_id
+        );
+        let _ = writeln!(
+            s,
+            "      \"memory\": {{\"csr_bytes\": {}, \"store_resident_bytes\": {}, \"resident_ratio\": {:.4}, \"query_topk_identical\": true}},",
+            r.memory_bytes, r.store_resident_bytes, r.resident_ratio()
+        );
         s.push_str("      \"modes\": {\n");
         let _ = writeln!(s, "        \"text_parse\": {},", r.text_parse.json());
         let _ = writeln!(s, "        \"store_full\": {},", r.store_full.json());
-        let _ = writeln!(s, "        \"store_out\": {}", r.store_out.json());
+        let _ = writeln!(s, "        \"store_out\": {},", r.store_out.json());
+        let _ = writeln!(s, "        \"random_open\": {},", r.random_open.json());
+        let _ = writeln!(s, "        \"query_csr\": {},", r.query_csr.json());
+        let _ = writeln!(s, "        \"query_mmap\": {}", r.query_mmap.json());
         s.push_str("      },\n");
         let _ = writeln!(s, "      \"speedup_store_vs_text\": {:.2}", r.speedup_store_vs_text());
         s.push_str(if i + 1 < reports.len() { "    },\n" } else { "    }\n" });
@@ -237,9 +350,17 @@ mod tests {
             store_bytes: 50,
             memory_bytes: 400,
             bits_per_id: 7.5,
+            v1_bytes: 60,
+            v1_bits_per_id: 9.0,
+            perm_bytes: 45,
+            perm_bits_per_id: 6.5,
+            store_resident_bytes: 120,
             text_parse: stats(),
             store_full: stats(),
             store_out: stats(),
+            random_open: stats(),
+            query_csr: stats(),
+            query_mmap: stats(),
         };
         let json = render_json(true, &[r]);
         for needle in [
@@ -247,9 +368,17 @@ mod tests {
             "\"text_parse\"",
             "\"store_full\"",
             "\"store_out\"",
+            "\"random_open\"",
+            "\"query_csr\"",
+            "\"query_mmap\"",
             "\"median_ms\"",
             "\"bits_per_id\"",
             "\"store_vs_text\"",
+            "\"v1_bits_per_id\"",
+            "\"perm_bits_per_id\"",
+            "\"store_resident_bytes\"",
+            "\"resident_ratio\"",
+            "\"query_topk_identical\"",
             "\"speedup_store_vs_text\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
@@ -257,7 +386,7 @@ mod tests {
         // bench_check can gate it: datasets[].modes.*.median_ms present.
         let doc = crate::check::parse_json(&json).unwrap();
         let rows = crate::check::compare(&doc, &doc, 0.25);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 6);
         assert!(rows.iter().all(|r| !r.regressed));
     }
 
@@ -272,13 +401,22 @@ mod tests {
             edges: 1,
             text_bytes: 1000,
             store_bytes: 250,
-            memory_bytes: 0,
+            memory_bytes: 1000,
             bits_per_id: 8.0,
+            v1_bytes: 300,
+            v1_bits_per_id: 10.0,
+            perm_bytes: 200,
+            perm_bits_per_id: 7.0,
+            store_resident_bytes: 250,
             text_parse: ms(&[50, 40, 60]),
             store_full: ms(&[10, 8, 12]),
             store_out: ms(&[5]),
+            random_open: ms(&[2]),
+            query_csr: ms(&[20]),
+            query_mmap: ms(&[25]),
         };
         assert!((r.speedup_store_vs_text() - 5.0).abs() < 1e-9);
         assert!((r.size_ratio() - 0.25).abs() < 1e-12);
+        assert!((r.resident_ratio() - 0.25).abs() < 1e-12);
     }
 }

@@ -23,23 +23,31 @@ COMMANDS:
   compute   all-pairs similarities from an edge list
             --input FILE [--algo gsr|esr|memo-gsr|memo-esr|sr|prank|rwr]
             [--c 0.6] [--k 5] [--threshold 0] [--format text|json]
-            [--output FILE]
+            [--output FILE] [--load-full false]
   allpairs  block-parallel all-pairs SimRank* through the AllPairsEngine
             --input FILE [--top-k K] [--subset ID,ID,...] [--compress false]
             [--threads 0] [--blocks 0] [--c 0.6] [--k 5] [--threshold 0]
-            [--format text|json] [--output FILE]
+            [--format text|json] [--output FILE] [--load-full false]
+            [--memory false]
             --subset computes only those rows (partial pairs); --top-k
-            streams per-row rankings without materializing the matrix;
-            --compress runs the memoized (edge-concentrated) kernel and
-            reports its compression stats; --format json emits machine-
-            readable output (rankings share the serve protocol's matches
-            shape)
+            streams per-row rankings without materializing the matrix —
+            both run straight off a v2 .ssg store (bounded memory); the
+            full matrix and --compress need the in-memory CSR (--load-full
+            true on v2 input); --compress runs the memoized (edge-
+            concentrated) kernel and reports its compression stats;
+            --format json emits machine-readable output (rankings share
+            the serve protocol's matches shape)
   query     single-source SimRank* through the amortized QueryEngine
             --input FILE (--node ID | --nodes ID,ID,... | --batch N)
             [--top-k 10] [--c 0.6] [--k 5] [--seed 0] [--compress false]
-            [--format text|json]
+            [--format text|json] [--load-full false] [--memory false]
+            [--deterministic false]
             --nodes/--batch run the batched lane kernel; --batch samples N
             in-degree-stratified queries (the paper's test-query protocol);
+            a v2 .ssg input streams adjacency off the mmap-backed store
+            (no full CSR in memory) unless --load-full true; --memory
+            prints a resident-bytes accounting line; --deterministic makes
+            results batch-composition-independent bit for bit;
             --format json emits the serve protocol's machine-readable
             result shape
   serve     concurrent query server (newline-JSON and binary ssb/1 over
@@ -61,19 +69,28 @@ COMMANDS:
             scaling phase holding --idle-conns open sockets, then writes
             the ssr-bench/serve/v1 JSON
   stats     graph statistics + compression summary
-            --input FILE [--format text|json]
+            --input FILE [--format text|json] [--memory false]
+            [--load-full false]
+            --memory adds engine + graph resident-bytes accounting
   audit     zero-similarity census (Fig. 6(d) style)
             --input FILE [--samples 2000] [--radius 6] [--seed 0]
-            [--format text|json]
+            [--format text|json] [--load-full false]
   generate  synthetic graphs
             --kind er|rmat|web|citation|coauthor --nodes N [--edges M]
             [--seed 0] [--output FILE] [--store FILE.ssg]
             --store writes the binary graph store directly (no text
             round-trip); both flags may be given together
   store     binary graph store (.ssg) tools — every command above also
-            accepts .ssg files for --input (format sniffed by content)
+            accepts .ssg files for --input (format sniffed by content);
+            v2 stores stream through query/allpairs row paths, while
+            full-CSR paths (compute, stats, audit, the all-pairs full
+            matrix, --compress, --batch) refuse them unless --load-full
+            true decodes the whole graph
             store build  --input FILE --output FILE.ssg
                          [--dataset NAME] [--divisor N] [--build-params S]
+                         [--store-version 2]
+            store perm   --input FILE --output FILE.ssg --order bfs|degree
+                         (cache-locality relabeling; ids map back on read)
             store info   --input FILE.ssg
             store verify --input FILE.ssg   (checksums + full decode)
 ";
@@ -133,10 +150,109 @@ pub(crate) fn load_graph(args: &Args) -> Result<DiGraph, ArgError> {
     ssr_store::load_graph_auto(path).map_err(|e| ArgError(format!("reading `{path}`: {e}")))
 }
 
+/// Whether `--input` names a random-access-capable (v2) `.ssg` store.
+fn input_is_v2_store(args: &Args) -> Result<bool, ArgError> {
+    let path = args.req("input")?;
+    if !ssr_store::is_store_file(path).map_err(|e| ArgError(format!("reading `{path}`: {e}")))? {
+        return Ok(false);
+    }
+    let r = ssr_store::StoreReader::open(path)
+        .map_err(|e| ArgError(format!("opening `{path}`: {e}")))?;
+    Ok(r.version() >= ssr_store::FORMAT_VERSION)
+}
+
+/// The graph behind `--input`, either fully decoded or served straight
+/// off the compressed store bytes.
+pub(crate) enum GraphSource {
+    /// In-memory CSR (text edge lists, v1 stores, or `--load-full true`).
+    Memory(DiGraph),
+    /// mmap-backed random access into a v2 store; only O(n) state plus a
+    /// bounded row cache stays resident.
+    Access(std::sync::Arc<ssr_store::RandomAccessStore>),
+}
+
+impl GraphSource {
+    pub(crate) fn node_count(&self) -> usize {
+        match self {
+            GraphSource::Memory(g) => g.node_count(),
+            GraphSource::Access(s) => ssr_graph::NeighborAccess::node_count(&**s),
+        }
+    }
+
+    fn query_engine(&self, params: SimStarParams, opts: QueryEngineOptions) -> QueryEngine {
+        match self {
+            GraphSource::Memory(g) => QueryEngine::with_options(g, params, opts),
+            GraphSource::Access(s) => QueryEngine::with_access(s.clone(), params, opts),
+        }
+    }
+
+    fn all_pairs_engine(&self, params: SimStarParams, opts: AllPairsOptions) -> AllPairsEngine {
+        match self {
+            GraphSource::Memory(g) => AllPairsEngine::with_options(g, params, opts),
+            GraphSource::Access(s) => AllPairsEngine::with_access(s.clone(), params, opts),
+        }
+    }
+
+    /// Resident graph/backing bytes: the CSR footprint, or the store's
+    /// O(n) state plus currently cached rows.
+    fn graph_bytes(&self) -> usize {
+        match self {
+            GraphSource::Memory(g) => g.estimated_bytes(),
+            GraphSource::Access(s) => s.resident_bytes(),
+        }
+    }
+}
+
+/// Loads `--input` for commands that can compute over the random-access
+/// store: a v2 `.ssg` opens mmap-backed unless `--load-full true` asks
+/// for the in-memory CSR; text edge lists and v1 stores always decode
+/// fully (they have no random-access index).
+pub(crate) fn load_graph_source(args: &Args) -> Result<GraphSource, ArgError> {
+    if !args.get("load-full", false)? && input_is_v2_store(args)? {
+        let path = args.req("input")?;
+        let store = ssr_store::RandomAccessStore::open(path)
+            .map_err(|e| ArgError(format!("opening `{path}`: {e}")))?;
+        return Ok(GraphSource::Access(std::sync::Arc::new(store)));
+    }
+    load_graph(args).map(GraphSource::Memory)
+}
+
+/// Loads `--input` for code paths that genuinely require the full CSR.
+/// A v2 store is refused unless `--load-full true` makes the memory cost
+/// explicit — silently decoding a random-access store would defeat the
+/// memory budget the format exists for.
+pub(crate) fn load_graph_full_required(args: &Args, what: &str) -> Result<DiGraph, ArgError> {
+    if !args.get("load-full", false)? && input_is_v2_store(args)? {
+        return Err(ArgError(format!(
+            "`{}` is a random-access (v2) store, but {what} needs the full in-memory CSR; \
+             pass `--load-full true` to decode it anyway",
+            args.req("input")?
+        )));
+    }
+    load_graph(args)
+}
+
+/// The `# memory:` accounting line (engine kernels + graph backing +
+/// store row cache), printed when `--memory true` is given.
+fn memory_line(engine_bytes: usize, source: &GraphSource) -> String {
+    let (backing, cache) = match source {
+        GraphSource::Memory(_) => ("csr", 0),
+        GraphSource::Access(s) => ("store", s.cache_budget_bytes()),
+    };
+    format!(
+        "# memory: backing={backing} engine_bytes={engine_bytes} graph_bytes={} \
+         cache_budget_bytes={cache}\n",
+        source.graph_bytes()
+    )
+}
+
 fn cmd_compute(rest: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(rest, &["input", "algo", "c", "k", "threshold", "format", "output"])?;
+    let args = Args::parse(
+        rest,
+        &["input", "algo", "c", "k", "threshold", "format", "output", "load-full"],
+    )?;
     let format = output_format(&args)?;
-    let g = load_graph(&args)?;
+    let g = load_graph_full_required(&args, "compute (all-pairs matrices)")?;
     let c = args.get("c", 0.6)?;
     let k = args.get("k", 5usize)?;
     let threshold = args.get("threshold", 0.0)?;
@@ -207,10 +323,11 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
             "format",
             "json",
             "output",
+            "load-full",
+            "memory",
         ],
     )?;
     let format = output_format(&args)?;
-    let g = load_graph(&args)?;
     let params = SimStarParams { c: args.get("c", 0.6)?, iterations: args.get("k", 5usize)? };
     if !(0.0..1.0).contains(&params.c) || params.c == 0.0 {
         return Err(ArgError(format!("--c must be in (0,1), got {}", params.c)));
@@ -243,31 +360,48 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
     } else {
         None
     };
+    // Only the full-matrix path (neither --top-k nor --subset) requires
+    // the whole CSR; rankings and partial rows stream off a v2 store.
+    let source = if top == 0 && subset.is_none() {
+        GraphSource::Memory(load_graph_full_required(&args, "the all-pairs full matrix")?)
+    } else {
+        load_graph_source(&args)?
+    };
+    if opts.compress && matches!(source, GraphSource::Access(_)) {
+        return Err(ArgError(
+            "--compress needs the in-memory graph (edge concentration reads the whole \
+             adjacency); pass `--load-full true`"
+                .into(),
+        ));
+    }
+    let n = source.node_count();
     if let Some(rows) = &subset {
         if rows.is_empty() {
             return Err(ArgError("--subset needs at least one node id".into()));
         }
         for &q in rows {
-            if q as usize >= g.node_count() {
+            if q as usize >= n {
                 return Err(ArgError(format!(
-                    "subset node {q} out of range (graph has {} nodes)",
-                    g.node_count()
+                    "subset node {q} out of range (graph has {n} nodes)"
                 )));
             }
         }
     }
-    let engine = AllPairsEngine::with_options(&g, params, opts);
+    let engine = source.all_pairs_engine(params, opts);
     let mut out = format!(
         "# simstar allpairs: c={} k={} n={} threads={}\n",
         params.c,
         params.iterations,
-        g.node_count(),
+        n,
         if engine.options().threads == 0 {
             ssr_linalg::available_threads()
         } else {
             engine.options().threads
         },
     );
+    if args.get("memory", false)? {
+        out.push_str(&memory_line(engine.resident_bytes(), &source));
+    }
     if let Some(r) = engine.compression() {
         out.push_str(&format!(
             "# compression: m={} m~={} ratio={:.1}% concentrators={} bytes={}\n",
@@ -283,7 +417,7 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
         // Streaming top-k: ranked rows, never materializing the matrix.
         let rows: Vec<u32> = match &subset {
             Some(r) => r.clone(),
-            None => (0..g.node_count() as u32).collect(),
+            None => (0..n as u32).collect(),
         };
         let ranked = engine.top_k(&rows, top);
         if json_mode {
@@ -303,7 +437,7 @@ fn cmd_allpairs(rest: &[String]) -> Result<String, ArgError> {
         let m = engine.rows(rows);
         let mut entries: Vec<(u32, u32, f64)> = Vec::new();
         for (i, &a) in rows.iter().enumerate() {
-            for b in 0..g.node_count() as u32 {
+            for b in 0..n as u32 {
                 let s = m.get(i, b as usize);
                 // Same boundary semantics as the full-matrix path (which
                 // clips below the threshold, keeping equality): emit
@@ -389,12 +523,25 @@ fn cmd_query(rest: &[String]) -> Result<String, ArgError> {
     let args = Args::parse(
         rest,
         &[
-            "input", "node", "nodes", "batch", "top", "top-k", "c", "k", "seed", "compress",
-            "format", "json",
+            "input",
+            "node",
+            "nodes",
+            "batch",
+            "top",
+            "top-k",
+            "c",
+            "k",
+            "seed",
+            "compress",
+            "format",
+            "json",
+            "load-full",
+            "memory",
+            "deterministic",
         ],
     )?;
     let format = output_format(&args)?;
-    let g = load_graph(&args)?;
+    let source = load_graph_source(&args)?;
     let modes = ["node", "nodes", "batch"].iter().filter(|m| args.has(m)).count();
     if modes != 1 {
         return Err(ArgError(
@@ -424,21 +571,44 @@ fn cmd_query(rest: &[String]) -> Result<String, ArgError> {
         if n == 0 {
             return Err(ArgError("--batch must be at least 1".into()));
         }
+        let GraphSource::Memory(g) = &source else {
+            return Err(ArgError(
+                "--batch samples in-degree-stratified queries over the full graph; pass \
+                 `--load-full true` (or name queries with `--nodes`)"
+                    .into(),
+            ));
+        };
         let seed = args.get("seed", 0u64)?;
-        let mut sampled = ssr_eval::queries::select_queries(&g, 5, n.div_ceil(5), seed);
+        let mut sampled = ssr_eval::queries::select_queries(g, 5, n.div_ceil(5), seed);
         sampled.truncate(n);
         sampled
     };
     for &q in &queries {
-        if q as usize >= g.node_count() {
+        if q as usize >= source.node_count() {
             return Err(ArgError(format!(
                 "query node {q} out of range (graph has {} nodes)",
-                g.node_count()
+                source.node_count()
             )));
         }
     }
-    let opts = QueryEngineOptions { compress: args.get("compress", false)?, ..Default::default() };
-    let engine = QueryEngine::with_options(&g, params, opts);
+    let opts = QueryEngineOptions {
+        compress: args.get("compress", false)?,
+        deterministic: args.get("deterministic", false)?,
+        ..Default::default()
+    };
+    if opts.compress && matches!(source, GraphSource::Access(_)) {
+        return Err(ArgError(
+            "--compress needs the in-memory graph (edge concentration reads the whole \
+             adjacency); pass `--load-full true`"
+                .into(),
+        ));
+    }
+    let engine = source.query_engine(params, opts);
+    let memory = if args.get("memory", false)? {
+        memory_line(engine.resident_bytes(), &source)
+    } else {
+        String::new()
+    };
     // `--node` keeps the scalar sweep; list modes run the batched lanes.
     let ranked: Vec<Vec<(u32, f64)>> = if args.has("node") {
         vec![engine.top_k(queries[0], top)]
@@ -452,14 +622,14 @@ fn cmd_query(rest: &[String]) -> Result<String, ArgError> {
     // must emit the same 3-column batched format as `--nodes 5,6`.
     if args.has("node") {
         let node = queries[0];
-        let mut out = format!("# top-{top} SimRank* matches for node {node}\n");
+        let mut out = format!("# top-{top} SimRank* matches for node {node}\n{memory}");
         for (v, s) in &ranked[0] {
             out.push_str(&format!("{v}\t{s:.6}\n"));
         }
         Ok(out)
     } else {
         let mut out = format!(
-            "# batched top-{top} SimRank* matches for {} queries (query\tnode\tscore)\n",
+            "# batched top-{top} SimRank* matches for {} queries (query\tnode\tscore)\n{memory}",
             queries.len()
         );
         for (q, rows) in queries.iter().zip(&ranked) {
@@ -507,17 +677,26 @@ fn query_results_json(
 }
 
 fn cmd_stats(rest: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(rest, &["input", "format"])?;
+    let args = Args::parse(rest, &["input", "format", "memory", "load-full"])?;
     let format = output_format(&args)?;
-    let g = load_graph(&args)?;
+    let g = load_graph_full_required(&args, "stats (degree/component census)")?;
     let s = graph_stats(&g);
     let wcc = weakly_connected_components(&g);
     let scc = strongly_connected_components(&g);
     let cg = compress(&g, &CompressOptions::default());
+    // `--memory true`: measured resident bytes of the graph, a default
+    // query engine over it, and the store row-cache budget a v2 store
+    // would hold — so memory claims in BENCH files trace to a command.
+    let memory = if args.get("memory", false)? {
+        let engine = QueryEngine::new(&g, SimStarParams::default());
+        Some((engine.resident_bytes(), g.estimated_bytes()))
+    } else {
+        None
+    };
     if format == OutputFormat::Json {
         use ssr_serve::json::Json;
         let n = |v: f64| Json::Num(v);
-        return Ok(Json::Obj(vec![
+        let mut pairs = vec![
             ("schema".into(), Json::Str("simstar/stats/v1".into())),
             ("nodes".into(), n(s.nodes as f64)),
             ("edges".into(), n(s.edges as f64)),
@@ -533,11 +712,14 @@ fn cmd_stats(rest: &[String]) -> Result<String, ArgError> {
             ("compressed_edges".into(), n(cg.compressed_edge_count() as f64)),
             ("compression_ratio".into(), n(cg.compression_ratio())),
             ("concentrators".into(), n(cg.concentrator_count() as f64)),
-        ])
-        .render()
-            + "\n");
+        ];
+        if let Some((engine_bytes, graph_bytes)) = memory {
+            pairs.push(("engine_bytes".into(), n(engine_bytes as f64)));
+            pairs.push(("graph_bytes".into(), n(graph_bytes as f64)));
+        }
+        return Ok(Json::Obj(pairs).render() + "\n");
     }
-    Ok(format!(
+    let mut out = format!(
         "nodes                 {}\n\
          edges                 {}\n\
          density |E|/|V|       {:.2}\n\
@@ -562,13 +744,19 @@ fn cmd_stats(rest: &[String]) -> Result<String, ArgError> {
         cg.compressed_edge_count(),
         100.0 * cg.compression_ratio(),
         cg.concentrator_count(),
-    ))
+    );
+    if let Some((engine_bytes, graph_bytes)) = memory {
+        out.push_str(&format!(
+            "memory                engine {engine_bytes} B, graph {graph_bytes} B (CSR)\n"
+        ));
+    }
+    Ok(out)
 }
 
 fn cmd_audit(rest: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(rest, &["input", "samples", "radius", "seed", "format"])?;
+    let args = Args::parse(rest, &["input", "samples", "radius", "seed", "format", "load-full"])?;
     let format = output_format(&args)?;
-    let g = load_graph(&args)?;
+    let g = load_graph_full_required(&args, "audit (random-walk probing)")?;
     if g.node_count() < 2 {
         return Err(ArgError("graph needs at least 2 nodes to audit".into()));
     }
@@ -1139,5 +1327,95 @@ mod tests {
     #[test]
     fn missing_input_file_errors() {
         assert!(run("stats", &toks("--input /nonexistent/graph.txt")).is_err());
+    }
+
+    /// Builds a v2 `.ssg` store of the Figure 1 graph and returns its path.
+    fn tmp_store(tag: &str) -> String {
+        let text = tmp_graph();
+        let dir = std::env::temp_dir().join("simstar_cli_test");
+        let ssg = dir.join(format!("{}_{tag}.ssg", std::process::id()));
+        let ssg = ssg.to_string_lossy().into_owned();
+        run("store", &toks(&format!("build --input {text} --output {ssg}"))).unwrap();
+        ssg
+    }
+
+    #[test]
+    fn v2_store_streams_query_but_refuses_full_csr_paths() {
+        let text = tmp_graph();
+        let ssg = tmp_store("stream");
+        // Row-streaming paths run off the store and answer identically.
+        let q_text = run("query", &toks(&format!("--input {text} --node 8 --top-k 3"))).unwrap();
+        let q_ssg = run("query", &toks(&format!("--input {ssg} --node 8 --top-k 3"))).unwrap();
+        assert_eq!(q_text, q_ssg);
+        let a_text = run("allpairs", &toks(&format!("--input {text} --top-k 2"))).unwrap();
+        let a_ssg = run("allpairs", &toks(&format!("--input {ssg} --top-k 2"))).unwrap();
+        assert_eq!(a_text, a_ssg);
+        // Paths that genuinely need the full CSR refuse the v2 store...
+        for (cmd, args) in [
+            ("compute", format!("--input {ssg} --k 3")),
+            ("stats", format!("--input {ssg}")),
+            ("audit", format!("--input {ssg} --samples 10 --radius 2")),
+            ("allpairs", format!("--input {ssg} --k 3")),
+        ] {
+            let err = run(cmd, &toks(&args)).unwrap_err();
+            assert!(err.0.contains("random-access (v2) store"), "{cmd}: {err}");
+            assert!(err.0.contains("--load-full"), "{cmd}: {err}");
+            // ...and --load-full true decodes the graph and proceeds.
+            let out = run(cmd, &toks(&format!("{args} --load-full true"))).unwrap();
+            let reference = run(cmd, &toks(&args.replacen(&ssg, &text, 1))).unwrap();
+            assert_eq!(out, reference, "{cmd}");
+        }
+        // Batched sampling and edge concentration also need the CSR.
+        let err = run("query", &toks(&format!("--input {ssg} --batch 3"))).unwrap_err();
+        assert!(err.0.contains("--load-full"), "{err}");
+        let err =
+            run("query", &toks(&format!("--input {ssg} --node 8 --compress true"))).unwrap_err();
+        assert!(err.0.contains("--compress needs the in-memory graph"), "{err}");
+        let err = run("allpairs", &toks(&format!("--input {ssg} --top-k 2 --compress true")))
+            .unwrap_err();
+        assert!(err.0.contains("--compress needs the in-memory graph"), "{err}");
+        std::fs::remove_file(&ssg).ok();
+    }
+
+    #[test]
+    fn memory_flag_reports_backing() {
+        let text = tmp_graph();
+        let ssg = tmp_store("mem");
+        let on_store =
+            run("query", &toks(&format!("--input {ssg} --node 8 --memory true"))).unwrap();
+        assert!(on_store.contains("# memory: backing=store"), "{on_store}");
+        assert!(on_store.contains("cache_budget_bytes="), "{on_store}");
+        let on_text =
+            run("query", &toks(&format!("--input {text} --node 8 --memory true"))).unwrap();
+        assert!(on_text.contains("# memory: backing=csr"), "{on_text}");
+        let ap = run("allpairs", &toks(&format!("--input {ssg} --top-k 2 --memory true"))).unwrap();
+        assert!(ap.contains("# memory: backing=store"), "{ap}");
+        let st = run("stats", &toks(&format!("--input {text} --memory true"))).unwrap();
+        assert!(st.contains("memory"), "{st}");
+        assert!(st.contains("engine"), "{st}");
+        let sj =
+            run("stats", &toks(&format!("--input {text} --memory true --format json"))).unwrap();
+        assert!(sj.contains("engine_bytes"), "{sj}");
+        assert!(sj.contains("graph_bytes"), "{sj}");
+        std::fs::remove_file(&ssg).ok();
+    }
+
+    #[test]
+    fn deterministic_query_identical_across_backings() {
+        let text = tmp_graph();
+        let ssg = tmp_store("det");
+        let dir = std::env::temp_dir().join("simstar_cli_test");
+        let perm = dir.join(format!("{}_det_perm.ssg", std::process::id()));
+        let perm = perm.to_string_lossy().into_owned();
+        run("store", &toks(&format!("perm --input {ssg} --output {perm} --order bfs"))).unwrap();
+        let args = "--nodes 2,5,8 --top-k 4 --deterministic true --format json";
+        let from_text = run("query", &toks(&format!("--input {text} {args}"))).unwrap();
+        let from_store = run("query", &toks(&format!("--input {ssg} {args}"))).unwrap();
+        let from_perm = run("query", &toks(&format!("--input {perm} {args}"))).unwrap();
+        // In-memory CSR, mmap store, and permuted store answer bit for bit alike.
+        assert_eq!(from_text, from_store);
+        assert_eq!(from_text, from_perm);
+        std::fs::remove_file(&ssg).ok();
+        std::fs::remove_file(&perm).ok();
     }
 }

@@ -9,26 +9,23 @@ use std::fmt::Write as _;
 pub fn cmd_store(rest: &[String]) -> Result<String, ArgError> {
     let Some((action, rest)) = rest.split_first() else {
         return Err(ArgError(
-            "store needs an action: `store build|info|verify --flag value ...`".into(),
+            "store needs an action: `store build|perm|info|verify --flag value ...`".into(),
         ));
     };
     match action.as_str() {
         "build" => cmd_build(rest),
+        "perm" => cmd_perm(rest),
         "info" => cmd_info(rest),
         "verify" => cmd_verify(rest),
-        other => Err(ArgError(format!("unknown store action `{other}` (build|info|verify)"))),
+        other => Err(ArgError(format!("unknown store action `{other}` (build|perm|info|verify)"))),
     }
 }
 
-/// `store build`: text edge list (or another store) in, `.ssg` out.
-fn cmd_build(rest: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(rest, &["input", "output", "dataset", "divisor", "build-params"])?;
-    let input = args.req("input")?;
-    let output = args.req("output")?;
-    // The auto loader accepts either format, so `store build` also
-    // re-encodes an existing store (e.g. after a format-version bump).
-    // A store input's metadata is carried through — provenance must
-    // survive a re-encode — with command-line flags overriding per key.
+/// Loads a graph for re-encoding, carrying a store input's metadata
+/// through (provenance must survive a re-encode). Derived keys the writer
+/// regenerates (`v1.adjacency_bytes`, `perm.order`) are dropped so a
+/// re-encode never carries stale accounting.
+fn load_for_encode(input: &str) -> Result<(ssr_graph::DiGraph, Vec<(String, String)>), ArgError> {
     let mut carried: Vec<(String, String)> = Vec::new();
     let g = if ssr_store::is_store_file(input)
         .map_err(|e| ArgError(format!("reading `{input}`: {e}")))?
@@ -36,11 +33,27 @@ fn cmd_build(rest: &[String]) -> Result<String, ArgError> {
         let mut reader = ssr_store::StoreReader::open(input)
             .map_err(|e| ArgError(format!("opening `{input}`: {e}")))?;
         carried = reader.metadata().to_vec();
+        carried.retain(|(k, _)| k != meta_keys::V1_ADJACENCY_BYTES && k != meta_keys::PERM_ORDER);
         reader.load_full().map_err(|e| ArgError(format!("reading `{input}`: {e}")))?
     } else {
         ssr_store::load_graph_auto(input)
             .map_err(|e| ArgError(format!("reading `{input}`: {e}")))?
     };
+    Ok((g, carried))
+}
+
+/// `store build`: text edge list (or another store) in, `.ssg` out.
+fn cmd_build(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(
+        rest,
+        &["input", "output", "dataset", "divisor", "build-params", "store-version"],
+    )?;
+    let input = args.req("input")?;
+    let output = args.req("output")?;
+    // The auto loader accepts either format, so `store build` also
+    // re-encodes an existing store (e.g. after a format-version bump).
+    // Command-line flags override carried metadata per key.
+    let (g, mut carried) = load_for_encode(input)?;
     for (flag, key) in [
         ("dataset", meta_keys::DATASET),
         ("divisor", meta_keys::DIVISOR),
@@ -51,12 +64,40 @@ fn cmd_build(rest: &[String]) -> Result<String, ArgError> {
             carried.push((key.to_string(), args.req(flag)?.to_string()));
         }
     }
-    let mut w = StoreWriter::new(&g);
+    let mut w = StoreWriter::new(&g).version(args.get("store-version", ssr_store::FORMAT_VERSION)?);
     for (k, v) in carried {
         w = w.meta(k, v);
     }
     let bytes = w.write_file(output).map_err(|e| ArgError(format!("writing `{output}`: {e}")))?;
     Ok(format!("wrote {output}: n={} m={} ({bytes} bytes)\n", g.node_count(), g.edge_count()))
+}
+
+/// `store perm`: re-encode with a cache-locality node relabeling (v2
+/// only); the bijection is stored so readers keep presenting original
+/// ids.
+fn cmd_perm(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(rest, &["input", "output", "order"])?;
+    let input = args.req("input")?;
+    let output = args.req("output")?;
+    let order = args.one_of("order", &["bfs", "degree"])?.to_string();
+    let (g, carried) = load_for_encode(input)?;
+    let perm = match order.as_str() {
+        "bfs" => ssr_graph::perm::bfs_order(&g),
+        _ => ssr_graph::perm::degree_order(&g),
+    };
+    let mut w = StoreWriter::new(&g).permutation(perm, &order);
+    for (k, v) in carried {
+        w = w.meta(k, v);
+    }
+    let bytes = w.write_file(output).map_err(|e| ArgError(format!("writing `{output}`: {e}")))?;
+    let r =
+        StoreReader::open(output).map_err(|e| ArgError(format!("reopening `{output}`: {e}")))?;
+    Ok(format!(
+        "wrote {output}: n={} m={} ({bytes} bytes, {order} order, {:.2} bits/id)\n",
+        g.node_count(),
+        g.edge_count(),
+        r.bits_per_edge()
+    ))
 }
 
 /// `store info`: header, section table, metadata, size accounting.
@@ -71,19 +112,44 @@ fn cmd_info(rest: &[String]) -> Result<String, ArgError> {
     let _ = writeln!(out, "edges                 {}", r.edge_count());
     let _ = writeln!(out, "file bytes            {}", r.file_len());
     let _ = writeln!(out, "adjacency bits/id     {:.2} (32 in memory)", r.bits_per_edge());
+    let stored_ids = 2 * r.edge_count() as u64;
+    if r.offset_index_bytes() > 0 && stored_ids > 0 {
+        let _ = writeln!(
+            out,
+            "offset index          {} bytes ({:.2} bits/id overhead)",
+            r.offset_index_bytes(),
+            r.offset_index_bytes() as f64 * 8.0 / stored_ids as f64
+        );
+    }
+    if let Some(v1) = r.meta(meta_keys::V1_ADJACENCY_BYTES).and_then(|s| s.parse::<u64>().ok()) {
+        let v2 = r.adjacency_bytes();
+        let delta = 100.0 * (v1 as f64 - v2 as f64) / v1.max(1) as f64;
+        let _ = writeln!(out, "v1 adjacency bytes    {v1} (v2 saves {delta:.1}%)");
+    }
+    if let Some(order) = r.meta(meta_keys::PERM_ORDER) {
+        let _ = writeln!(out, "layout permutation    {order} (ids map back on read)");
+    }
     let _ = writeln!(out, "sections              {}", r.sections().len());
     for s in r.sections() {
         let name = match s.id {
             ssr_store::format::SECTION_OUT => "out-adjacency",
             ssr_store::format::SECTION_IN => "in-adjacency",
             ssr_store::format::SECTION_META => "metadata",
+            ssr_store::format::SECTION_OUT_OFFSETS => "out-offsets",
+            ssr_store::format::SECTION_IN_OFFSETS => "in-offsets",
+            ssr_store::format::SECTION_PERM => "permutation",
             _ => "unknown",
         };
-        let _ = writeln!(
-            out,
+        let mut line = format!(
             "  section {:<2} {:<14} offset={:<10} len={:<10} checksum={:016x}",
             s.id, name, s.offset, s.len, s.checksum
         );
+        if stored_ids > 0
+            && matches!(s.id, ssr_store::format::SECTION_OUT | ssr_store::format::SECTION_IN)
+        {
+            let _ = write!(line, " bits/id={:.2}", s.len as f64 * 8.0 / r.edge_count() as f64);
+        }
+        let _ = writeln!(out, "{line}");
     }
     if !r.metadata().is_empty() {
         let _ = writeln!(out, "metadata");
@@ -102,8 +168,13 @@ fn cmd_verify(rest: &[String]) -> Result<String, ArgError> {
         StoreReader::open(input).map_err(|e| ArgError(format!("opening `{input}`: {e}")))?;
     let report = r.verify().map_err(|e| ArgError(format!("verify failed for `{input}`: {e}")))?;
     Ok(format!(
-        "ok: {} sections, {} payload bytes, n={} m={}, {:.2} bits/id\n",
-        report.sections, report.payload_bytes, report.nodes, report.edges, report.bits_per_edge
+        "ok: {} sections, {} payload bytes, n={} m={}, {:.2} bits/id{}\n",
+        report.sections,
+        report.payload_bytes,
+        report.nodes,
+        report.edges,
+        report.bits_per_edge,
+        if report.permuted { ", permuted layout" } else { "" }
     ))
 }
 
@@ -166,8 +237,11 @@ mod tests {
         let q_text = run("query", &toks(&format!("--input {text} --node 8 --top-k 3"))).unwrap();
         let q_ssg = run("query", &toks(&format!("--input {ssg} --node 8 --top-k 3"))).unwrap();
         assert_eq!(q_text, q_ssg);
+        // stats needs the whole CSR: a v2 store is refused unless decoded explicitly.
+        let err = run("stats", &toks(&format!("--input {ssg}"))).unwrap_err();
+        assert!(err.0.contains("random-access (v2) store"), "{err}");
         let s_text = run("stats", &toks(&format!("--input {text}"))).unwrap();
-        let s_ssg = run("stats", &toks(&format!("--input {ssg}"))).unwrap();
+        let s_ssg = run("stats", &toks(&format!("--input {ssg} --load-full true"))).unwrap();
         assert_eq!(s_text, s_ssg);
         let a_text = run("allpairs", &toks(&format!("--input {text} --top-k 2"))).unwrap();
         let a_ssg = run("allpairs", &toks(&format!("--input {ssg} --top-k 2"))).unwrap();
@@ -186,6 +260,64 @@ mod tests {
         std::fs::write(&ssg, &bytes).unwrap();
         let err = run("store", &toks(&format!("verify --input {ssg_str}"))).unwrap_err();
         assert!(err.0.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn perm_relabels_and_stays_transparent() {
+        let text = tmp_text_graph("perm");
+        let pid = std::process::id();
+        let ssg = tmp_dir().join(format!("{pid}_p.ssg")).to_string_lossy().into_owned();
+        let permuted = tmp_dir().join(format!("{pid}_p_bfs.ssg")).to_string_lossy().into_owned();
+        run("store", &toks(&format!("build --input {text} --output {ssg} --dataset fig1")))
+            .unwrap();
+        let out =
+            run("store", &toks(&format!("perm --input {ssg} --output {permuted} --order bfs")))
+                .unwrap();
+        assert!(out.contains("bfs order"), "{out}");
+        // Provenance survives, the layout is recorded, verify passes.
+        let info = run("store", &toks(&format!("info --input {permuted}"))).unwrap();
+        assert!(info.contains("dataset = fig1"), "{info}");
+        assert!(info.contains("layout permutation    bfs"), "{info}");
+        assert!(info.contains("permutation"), "{info}");
+        let verify = run("store", &toks(&format!("verify --input {permuted}"))).unwrap();
+        assert!(verify.contains("permuted layout"), "{verify}");
+        // Ids map back: the permuted store decodes to the identical graph.
+        let a = ssr_store::load_graph_auto(&ssg).unwrap();
+        let b = ssr_store::load_graph_auto(&permuted).unwrap();
+        assert_eq!(a, b);
+        // Bad order is a typed error.
+        assert!(
+            run("store", &toks(&format!("perm --input {ssg} --output x --order zorp"))).is_err()
+        );
+    }
+
+    #[test]
+    fn build_selects_store_version() {
+        let text = tmp_text_graph("version");
+        let pid = std::process::id();
+        let v1 = tmp_dir().join(format!("{pid}_v1.ssg")).to_string_lossy().into_owned();
+        let v2 = tmp_dir().join(format!("{pid}_v2.ssg")).to_string_lossy().into_owned();
+        run("store", &toks(&format!("build --input {text} --output {v1} --store-version 1")))
+            .unwrap();
+        run("store", &toks(&format!("build --input {text} --output {v2}"))).unwrap();
+        let info1 = run("store", &toks(&format!("info --input {v1}"))).unwrap();
+        assert!(info1.contains("format version        1"), "{info1}");
+        assert!(!info1.contains("offset index"), "{info1}");
+        let info2 = run("store", &toks(&format!("info --input {v2}"))).unwrap();
+        assert!(info2.contains("format version        2"), "{info2}");
+        assert!(info2.contains("offset index"), "{info2}");
+        assert!(info2.contains("v1 adjacency bytes"), "{info2}");
+        assert!(info2.contains("out-offsets"), "{info2}");
+        // Re-encoding a v2 store must not carry stale derived keys.
+        let re = tmp_dir().join(format!("{pid}_re.ssg")).to_string_lossy().into_owned();
+        run("store", &toks(&format!("build --input {v2} --output {re}"))).unwrap();
+        let r = ssr_store::StoreReader::open(&re).unwrap();
+        let v1_keys = r
+            .metadata()
+            .iter()
+            .filter(|(k, _)| k == ssr_store::meta_keys::V1_ADJACENCY_BYTES)
+            .count();
+        assert_eq!(v1_keys, 1, "exactly one fresh v1-bytes record: {:?}", r.metadata());
     }
 
     #[test]

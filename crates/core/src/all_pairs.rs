@@ -140,6 +140,26 @@ impl AllPairsEngine {
         AllPairsEngine { qe, plain, opts }
     }
 
+    /// Builds an engine over a random-access backing (e.g. an on-disk
+    /// `.ssg` store) without materialising the CSR. Subset [`Self::rows`]
+    /// and [`Self::top_k`] work as usual; the Geometric [`Self::full`]
+    /// sweep needs the in-memory kernels and panics — load the graph fully
+    /// for the full matrix. `compress` is likewise rejected (edge
+    /// concentration needs the whole graph in memory).
+    pub fn with_access(
+        src: std::sync::Arc<dyn ssr_graph::NeighborAccess>,
+        params: SimStarParams,
+        opts: AllPairsOptions,
+    ) -> Self {
+        assert!(
+            !opts.compress,
+            "edge concentration needs an in-memory graph; load the graph fully to compress"
+        );
+        let qe_opts = QueryEngineOptions { kind: opts.kind, ..QueryEngineOptions::default() };
+        let qe = QueryEngine::with_access(src, params, qe_opts);
+        AllPairsEngine { qe, plain: None, opts }
+    }
+
     /// Number of nodes of the indexed graph.
     pub fn node_count(&self) -> usize {
         self.qe.node_count()
@@ -166,8 +186,17 @@ impl AllPairsEngine {
     fn kernel(&self) -> &dyn RightMultiplier {
         match &self.plain {
             Some(k) => k,
-            None => self.qe.compressed_kernel().expect("compressed engine has a kernel"),
+            None => self.qe.compressed_kernel().expect(
+                "the all-pairs full sweep needs an in-memory graph backing; \
+                 load the graph fully (or use rows()/top_k(), which stream)",
+            ),
         }
+    }
+
+    /// Approximate resident bytes of the engine (graph backing plus
+    /// precomputed kernels) — see [`QueryEngine::resident_bytes`].
+    pub fn resident_bytes(&self) -> usize {
+        self.qe.resident_bytes() + self.plain.as_ref().map_or(0, |k| k.resident_bytes())
     }
 
     /// The full `n × n` similarity matrix.
@@ -581,5 +610,49 @@ mod tests {
         let p = SimStarParams { c: 0.6, iterations: 0 };
         let full = AllPairsEngine::new(g, p).full();
         assert!(full.matrix().approx_eq(&Dense::scaled_identity(5, 0.4), 0.0));
+    }
+
+    #[test]
+    fn access_backed_rows_and_top_k_match_memory() {
+        for g in graphs() {
+            let p = SimStarParams { c: 0.7, iterations: 6 };
+            let mem = AllPairsEngine::new(&g, p);
+            let acc = AllPairsEngine::with_access(
+                std::sync::Arc::new(g.clone()),
+                p,
+                AllPairsOptions::default(),
+            );
+            let subset: Vec<NodeId> = (0..g.node_count() as NodeId).step_by(2).collect();
+            let (rm, ra) = (mem.rows(&subset), acc.rows(&subset));
+            for i in 0..rm.rows() {
+                for j in 0..rm.cols() {
+                    assert!((rm.get(i, j) - ra.get(i, j)).abs() < 1e-10, "({i}, {j})");
+                }
+            }
+            assert_eq!(mem.top_k(&subset, 3).len(), acc.top_k(&subset, 3).len());
+            assert!(acc.resident_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn access_backed_exponential_full_works() {
+        let g = &graphs()[0];
+        let p = SimStarParams { c: 0.6, iterations: 5 };
+        let opts = AllPairsOptions { kind: SeriesKind::Exponential, ..Default::default() };
+        let mem = AllPairsEngine::with_options(g, p, opts.clone()).full();
+        let acc = AllPairsEngine::with_access(std::sync::Arc::new(g.clone()), p, opts).full();
+        assert!(mem.matrix().approx_eq(acc.matrix(), 1e-10));
+    }
+
+    #[test]
+    #[should_panic(expected = "in-memory graph backing")]
+    fn access_backed_geometric_full_panics() {
+        let g = &graphs()[0];
+        let acc = AllPairsEngine::with_access(
+            std::sync::Arc::new(g.clone()),
+            SimStarParams::default(),
+            AllPairsOptions::default(),
+        );
+        let _ = acc.full();
     }
 }

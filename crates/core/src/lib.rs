@@ -66,7 +66,8 @@ pub mod single_source;
 
 pub use all_pairs::{AllPairsEngine, AllPairsOptions};
 pub use kernel::{
-    CompressedRightMultiplier, CsrRightMultiplier, PlainRightMultiplier, RightMultiplier,
+    AccessRightMultiplier, CompressedRightMultiplier, CsrRightMultiplier, PlainRightMultiplier,
+    RightMultiplier,
 };
 pub use params::{fnv1a, Fnv1a, SimStarParams};
 pub use query_engine::{QueryEngine, QueryEngineOptions, SeriesKind};

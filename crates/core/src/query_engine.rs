@@ -36,14 +36,16 @@
 //! which the property tests pin against `geometric::iterate` rows
 //! (Lemma 4).
 
-use crate::kernel::{CompressedRightMultiplier, CsrRightMultiplier, RightMultiplier, BLOCK};
+use crate::kernel::{
+    AccessRightMultiplier, CompressedRightMultiplier, CsrRightMultiplier, RightMultiplier, BLOCK,
+};
 use crate::series::{exponential_weights, geometric_weights, lattice_coeffs};
 use crate::SimStarParams;
 use ssr_compress::CompressOptions;
-use ssr_graph::components::weakly_connected_components;
-use ssr_graph::{DiGraph, NodeId};
+use ssr_graph::components::{weakly_connected_components, weakly_connected_components_from_edges};
+use ssr_graph::{DiGraph, NeighborAccess, NodeId};
 use ssr_linalg::{Csr, Dense};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which SimRank\* series the engine evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -346,14 +348,86 @@ impl QueryScratch {
     }
 }
 
+/// How the engine reaches the graph's adjacency.
+enum Backing {
+    /// Materialised `Q`/`Qᵀ` CSR matrices — the fully-resident path.
+    Memory { qmat: Csr, qt: Csr },
+    /// On-demand neighbor lists (e.g. a random-access `.ssg` store
+    /// decoding adjacency off compressed bytes) plus the precomputed
+    /// `inv_in[v] = 1/|I(v)|` weights — `Q` rows are in-lists scaled by
+    /// the row's weight, `Qᵀ` rows are out-lists scaled per target.
+    Access { src: Arc<dyn NeighborAccess>, inv_in: Arc<Vec<f64>> },
+}
+
+/// Row-push view of a sparse operator: `f(col, weight)` for every entry of
+/// row `i`, columns strictly ascending (the order every backing's contract
+/// guarantees, which is what makes deterministic-mode results independent
+/// of the backing).
+trait PushRows {
+    fn push_row(&self, i: u32, f: impl FnMut(u32, f64));
+}
+
+/// Rows of a materialised CSR matrix.
+struct CsrRows<'a>(&'a Csr);
+
+impl PushRows for CsrRows<'_> {
+    #[inline]
+    fn push_row(&self, i: u32, mut f: impl FnMut(u32, f64)) {
+        for (j, v) in self.0.row_entries(i as usize) {
+            f(j, v);
+        }
+    }
+}
+
+/// `Q` rows from a neighbor-access backing: row `x` is `I(x)`, every entry
+/// weighted `1/|I(x)|` — exactly [`Csr::backward_transition`]'s rows.
+struct AccessQRows<'a> {
+    src: &'a dyn NeighborAccess,
+    inv_in: &'a [f64],
+}
+
+impl PushRows for AccessQRows<'_> {
+    #[inline]
+    fn push_row(&self, i: u32, mut f: impl FnMut(u32, f64)) {
+        let w = self.inv_in[i as usize];
+        if w != 0.0 {
+            self.src.for_each_in(i, &mut |y| f(y, w));
+        }
+    }
+}
+
+/// `Qᵀ` rows from a neighbor-access backing: row `i` is `O(i)`, entry `j`
+/// weighted `1/|I(j)|` (every out-neighbor has in-degree ≥ 1).
+struct AccessQtRows<'a> {
+    src: &'a dyn NeighborAccess,
+    inv_in: &'a [f64],
+}
+
+impl PushRows for AccessQtRows<'_> {
+    #[inline]
+    fn push_row(&self, i: u32, mut f: impl FnMut(u32, f64)) {
+        self.src.for_each_out(i, &mut |j| f(j, self.inv_in[j as usize]));
+    }
+}
+
 /// Lane kernel used by the batched path for the λ-direction advance. The
 /// plain variant is built lazily on the first batched call (it clones `Q`;
 /// scalar-only workloads never pay for it), while the compressed variant
 /// is built eagerly at engine construction — compression is a
-/// preprocessing phase the paper times separately.
+/// preprocessing phase the paper times separately. The access variant
+/// walks the backing's neighbor lists directly.
 enum LaneKernel {
     Plain(OnceLock<CsrRightMultiplier>),
     Compressed(CompressedRightMultiplier),
+    Access(AccessRightMultiplier),
+}
+
+/// θ-direction lane kernel (`X·Q`).
+enum ThetaKernel {
+    /// Built on first batched call (clones `Qᵀ`).
+    Csr(OnceLock<CsrRightMultiplier>),
+    /// Out-neighbor walks over the access backing.
+    Access(AccessRightMultiplier),
 }
 
 /// Amortized single-source SimRank\* query engine. See the module docs.
@@ -372,8 +446,7 @@ enum LaneKernel {
 /// ```
 pub struct QueryEngine {
     n: usize,
-    qmat: Csr,
-    qt: Csr,
+    backing: Backing,
     /// `coeffs[θ][λ] = weight(θ+λ) · binom(θ+λ, θ)` — the Pascal rows and
     /// length weights are computed once per engine, not per lattice cell.
     coeffs: Vec<Vec<f64>>,
@@ -386,8 +459,8 @@ pub struct QueryEngine {
     /// λ-direction lane kernel (`X·Qᵀ`) for the batched path; compressed
     /// variant built eagerly when requested.
     lambda_lanes: LaneKernel,
-    /// θ-direction lane kernel (`X·Q`), built on first batched call.
-    theta_lanes: OnceLock<CsrRightMultiplier>,
+    /// θ-direction lane kernel (`X·Q`).
+    theta_lanes: ThetaKernel,
     /// Weakly-connected component label per node: the batched path groups
     /// queries by component so the lanes of a chunk share frontier support
     /// (lanes outside a node's component are provably zero — packing
@@ -405,48 +478,93 @@ impl QueryEngine {
 
     /// Builds an engine, precomputing `Q`, `Qᵀ`, the lattice coefficient
     /// table, and (if `opts.compress`) the edge-concentrated lane kernel.
-    pub fn with_options(g: &DiGraph, params: SimStarParams, mut opts: QueryEngineOptions) -> Self {
-        params.validate();
-        if opts.deterministic {
-            // Pruning is the one knob that couples lanes (see the option
-            // docs); everything else deterministic mode needs is handled in
-            // the advance functions.
-            opts.frontier_epsilon = 0.0;
-        }
-        assert!(opts.frontier_epsilon >= 0.0, "epsilon must be non-negative");
-        assert!(
-            (0.0..=1.0).contains(&opts.density_cutoff),
-            "density cutoff must be a fraction in [0, 1]"
-        );
-        assert!(
-            (0.0..=1.0).contains(&opts.batch_density_cutoff),
-            "batch density cutoff must be a fraction in [0, 1]"
-        );
+    pub fn with_options(g: &DiGraph, params: SimStarParams, opts: QueryEngineOptions) -> Self {
+        let opts = validate_options(params, opts);
         let qmat = Csr::backward_transition(g);
         let qt = qmat.transpose();
-        let k = params.iterations;
-        let weights = length_weights(&params, opts.kind);
-        let coeffs = lattice_coeffs(&weights);
-        let mut theta_tail = vec![0.0; k + 2];
-        for theta in (0..=k).rev() {
-            theta_tail[theta] = theta_tail[theta + 1] + coeffs[theta].iter().sum::<f64>();
-        }
         let lambda_lanes = if opts.compress {
             LaneKernel::Compressed(CompressedRightMultiplier::new(g, &opts.compress_options))
         } else {
             LaneKernel::Plain(OnceLock::new())
         };
+        let (coeffs, theta_tail) = coeff_table(&params, &opts);
         QueryEngine {
             n: g.node_count(),
-            qmat,
-            qt,
+            backing: Backing::Memory { qmat, qt },
             coeffs,
             theta_tail,
             params,
             opts,
             lambda_lanes,
-            theta_lanes: OnceLock::new(),
+            theta_lanes: ThetaKernel::Csr(OnceLock::new()),
             component: weakly_connected_components(g).label,
+            scratch: Mutex::new(Vec::new()),
+            block_scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Builds an engine over a [`NeighborAccess`] backing instead of an
+    /// in-memory [`DiGraph`] — the memory-bounded serving path: adjacency
+    /// is decoded on demand (e.g. straight off a compressed `.ssg`
+    /// mapping) and the engine's own resident state is `O(n)` (the
+    /// `1/|I(v)|` weights and component labels), never `O(m)`.
+    ///
+    /// Results match the in-memory engine to the usual `1e-10`, and in
+    /// deterministic mode ([`QueryEngineOptions::deterministic`]) they are
+    /// **bit-identical** to it: both backings push the same weights in the
+    /// same ascending-id order, so the floating-point accumulation order
+    /// coincides exactly.
+    ///
+    /// `opts.compress` is incompatible with access backings (edge
+    /// concentration needs the materialised graph) and panics.
+    pub fn with_access(
+        src: Arc<dyn NeighborAccess>,
+        params: SimStarParams,
+        opts: QueryEngineOptions,
+    ) -> Self {
+        let opts = validate_options(params, opts);
+        assert!(
+            !opts.compress,
+            "edge concentration needs an in-memory graph; load the graph fully to compress"
+        );
+        let n = src.node_count();
+        let inv_in: Arc<Vec<f64>> = Arc::new(
+            (0..n as u32)
+                .map(|v| {
+                    let d = src.in_degree(v);
+                    if d == 0 {
+                        0.0
+                    } else {
+                        1.0 / d as f64
+                    }
+                })
+                .collect(),
+        );
+        // Component labels from the edge stream (no DiGraph materialised;
+        // one transient out-list at a time). The union-find keeps the
+        // smaller root, so labels are edge-order-independent and equal to
+        // the in-memory engine's.
+        let component = weakly_connected_components_from_edges(
+            n,
+            (0..n as u32).flat_map(|v| {
+                src.out_neighbors_vec(v).into_iter().map(move |w| (v, w)).collect::<Vec<_>>()
+            }),
+        )
+        .label;
+        let (coeffs, theta_tail) = coeff_table(&params, &opts);
+        QueryEngine {
+            n,
+            lambda_lanes: LaneKernel::Access(AccessRightMultiplier::q(src.clone(), inv_in.clone())),
+            theta_lanes: ThetaKernel::Access(AccessRightMultiplier::q_transpose(
+                src.clone(),
+                inv_in.clone(),
+            )),
+            backing: Backing::Access { src, inv_in },
+            coeffs,
+            theta_tail,
+            params,
+            opts,
+            component,
             scratch: Mutex::new(Vec::new()),
             block_scratch: Mutex::new(Vec::new()),
         }
@@ -455,6 +573,31 @@ impl QueryEngine {
     /// Number of nodes of the indexed graph.
     pub fn node_count(&self) -> usize {
         self.n
+    }
+
+    /// Whether the engine computes over an on-demand [`NeighborAccess`]
+    /// backing rather than materialised CSR matrices.
+    pub fn is_access_backed(&self) -> bool {
+        matches!(self.backing, Backing::Access { .. })
+    }
+
+    /// Bytes of graph-proportional state this engine holds resident: the
+    /// backing (both CSR matrices, or the access source's own accounting
+    /// plus the `O(n)` weight vector), the component labels, and the
+    /// eagerly-built lane kernels. Scratch pools and coefficient tables
+    /// (`O(K²)`) are excluded — they are query-, not graph-, proportional.
+    pub fn resident_bytes(&self) -> usize {
+        let backing = match &self.backing {
+            Backing::Memory { qmat, qt } => qmat.estimated_bytes() + qt.estimated_bytes(),
+            Backing::Access { src, inv_in } => {
+                src.resident_bytes() + inv_in.len() * std::mem::size_of::<f64>()
+            }
+        };
+        let kernels = match &self.lambda_lanes {
+            LaneKernel::Compressed(k) => k.compressed().estimated_bytes(),
+            LaneKernel::Plain(_) | LaneKernel::Access(_) => 0,
+        };
+        backing + kernels + self.component.len() * std::mem::size_of::<u32>()
     }
 
     /// The parameters the engine was built with.
@@ -470,7 +613,7 @@ impl QueryEngine {
     /// Compression ratio of the batched lane kernel (0 when not compressed).
     pub fn compression_ratio(&self) -> f64 {
         match &self.lambda_lanes {
-            LaneKernel::Plain(_) => 0.0,
+            LaneKernel::Plain(_) | LaneKernel::Access(_) => 0.0,
             LaneKernel::Compressed(k) => k.compression_ratio(),
         }
     }
@@ -557,6 +700,42 @@ impl QueryEngine {
     /// ulps per entry. `out` must be zeroed; scratch frontiers must be
     /// cleared (the sweep restores that invariant before returning).
     fn sweep(&self, q: NodeId, out: &mut [f64], s: &mut QueryScratch) {
+        match &self.backing {
+            Backing::Memory { qmat, qt } => self.sweep_with(
+                q,
+                out,
+                s,
+                &CsrRows(qmat),
+                &CsrRows(qt),
+                |x, y| qmat.vec_mul_into(x, y),
+                |x, y| qmat.mul_vec_into(x, y),
+            ),
+            Backing::Access { src, inv_in } => self.sweep_with(
+                q,
+                out,
+                s,
+                &AccessQRows { src: &**src, inv_in },
+                &AccessQtRows { src: &**src, inv_in },
+                |x, y| dense_u_step(&**src, inv_in, x, y),
+                |x, y| dense_r_step(&**src, inv_in, x, y),
+            ),
+        }
+    }
+
+    /// [`Self::sweep`] generic over the backing's row views: `q_rows`
+    /// pushes `Q` rows (u-advance), `qt_rows` pushes `Qᵀ` rows
+    /// (Horner-advance), with the matching dense fallback steps.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_with(
+        &self,
+        q: NodeId,
+        out: &mut [f64],
+        s: &mut QueryScratch,
+        q_rows: &impl PushRows,
+        qt_rows: &impl PushRows,
+        q_dense: impl Fn(&[f64], &mut [f64]),
+        qt_dense: impl Fn(&[f64], &mut [f64]),
+    ) {
         let k = self.params.iterations;
         let eps = self.opts.frontier_epsilon;
         let det = self.opts.deterministic;
@@ -575,9 +754,7 @@ impl QueryEngine {
                 break;
             }
             // u ← u·Q: push over Q rows, or dense `uᵀ·Q`.
-            advance(&self.qmat, &mut s.u, &mut s.u_next, eps, cutoff, det, |x, y| {
-                self.qmat.vec_mul_into(x, y)
-            });
+            advance(q_rows, &mut s.u, &mut s.u_next, eps, cutoff, det, &q_dense);
             if s.u.is_zero() {
                 break;
             }
@@ -590,9 +767,7 @@ impl QueryEngine {
         for lambda in (0..=k).rev() {
             if !s.w.is_zero() {
                 // r ← r·Qᵀ: push over Qᵀ rows, or dense `Q·r`.
-                advance(&self.qt, &mut s.w, &mut s.w_next, eps, cutoff, det, |x, y| {
-                    self.qmat.mul_vec_into(x, y)
-                });
+                advance(qt_rows, &mut s.w, &mut s.w_next, eps, cutoff, det, &qt_dense);
             }
             s.w.axpy_from(&s.vs[lambda], 1.0);
             s.vs[lambda].clear();
@@ -629,18 +804,57 @@ impl QueryEngine {
         queries: impl ExactSizeIterator<Item = NodeId>,
         s: &mut BlockScratch,
     ) {
+        let lam: &dyn RightMultiplier = match &self.lambda_lanes {
+            LaneKernel::Compressed(k) => k,
+            LaneKernel::Plain(cell) => match &self.backing {
+                Backing::Memory { qmat, .. } => {
+                    cell.get_or_init(|| CsrRightMultiplier::new(qmat.clone()))
+                }
+                Backing::Access { .. } => unreachable!("access backing builds its own kernel"),
+            },
+            LaneKernel::Access(k) => k,
+        };
+        let th: &dyn RightMultiplier = match &self.theta_lanes {
+            ThetaKernel::Csr(cell) => match &self.backing {
+                Backing::Memory { qt, .. } => {
+                    cell.get_or_init(|| CsrRightMultiplier::new(qt.clone()))
+                }
+                Backing::Access { .. } => unreachable!("access backing builds its own kernel"),
+            },
+            ThetaKernel::Access(k) => k,
+        };
+        match &self.backing {
+            Backing::Memory { qmat, qt } => {
+                self.sweep_block_with(queries, s, &CsrRows(qmat), &CsrRows(qt), lam, th)
+            }
+            Backing::Access { src, inv_in } => self.sweep_block_with(
+                queries,
+                s,
+                &AccessQRows { src: &**src, inv_in },
+                &AccessQtRows { src: &**src, inv_in },
+                lam,
+                th,
+            ),
+        }
+    }
+
+    /// [`Self::sweep_block_core`] generic over the backing's row views
+    /// (same split as [`Self::sweep_with`]); `lam`/`th` are the blocked
+    /// dense-fallback kernels for the Horner and forward advances.
+    fn sweep_block_with(
+        &self,
+        queries: impl ExactSizeIterator<Item = NodeId>,
+        s: &mut BlockScratch,
+        q_rows: &impl PushRows,
+        qt_rows: &impl PushRows,
+        lam: &dyn RightMultiplier,
+        th: &dyn RightMultiplier,
+    ) {
         debug_assert!(queries.len() <= BLOCK);
         let k = self.params.iterations;
         let eps = self.opts.frontier_epsilon;
         let det = self.opts.deterministic;
         let cutoff = (self.opts.batch_density_cutoff * self.n as f64) as usize;
-        let lam: &dyn RightMultiplier = match &self.lambda_lanes {
-            LaneKernel::Compressed(k) => k,
-            LaneKernel::Plain(cell) => {
-                cell.get_or_init(|| CsrRightMultiplier::new(self.qmat.clone()))
-            }
-        };
-        let th = self.theta_lanes.get_or_init(|| CsrRightMultiplier::new(self.qt.clone()));
         for (lane, q) in queries.enumerate() {
             s.u.insert(q)[lane] = 1.0;
         }
@@ -655,7 +869,7 @@ impl QueryEngine {
                 break;
             }
             // u ← u·Q lane-wise: push over Q rows, or blocked Qᵀ·u.
-            advance_block(&self.qmat, &mut s.u, &mut s.u_next, eps, cutoff, det, th);
+            advance_block(q_rows, &mut s.u, &mut s.u_next, eps, cutoff, det, th);
             if s.u.is_zero() {
                 break;
             }
@@ -664,7 +878,7 @@ impl QueryEngine {
         for lambda in (0..=k).rev() {
             if !s.w.is_zero() {
                 // r ← r·Qᵀ lane-wise: push over Qᵀ rows, or blocked Q·r.
-                advance_block(&self.qt, &mut s.w, &mut s.w_next, eps, cutoff, det, lam);
+                advance_block(qt_rows, &mut s.w, &mut s.w_next, eps, cutoff, det, lam);
             }
             s.w.axpy_from(&s.vs[lambda], 1.0);
             s.vs[lambda].clear();
@@ -677,7 +891,7 @@ impl QueryEngine {
     pub(crate) fn compressed_kernel(&self) -> Option<&CompressedRightMultiplier> {
         match &self.lambda_lanes {
             LaneKernel::Compressed(k) => Some(k),
-            LaneKernel::Plain(_) => None,
+            LaneKernel::Plain(_) | LaneKernel::Access(_) => None,
         }
     }
 
@@ -728,6 +942,71 @@ fn length_weights(params: &SimStarParams, kind: SeriesKind) -> Vec<f64> {
     }
 }
 
+/// Shared constructor validation (both backings): parameter checks plus
+/// deterministic mode forcing `frontier_epsilon = 0` (see the option docs).
+fn validate_options(params: SimStarParams, mut opts: QueryEngineOptions) -> QueryEngineOptions {
+    params.validate();
+    if opts.deterministic {
+        // Pruning is the one knob that couples lanes (see the option
+        // docs); everything else deterministic mode needs is handled in
+        // the advance functions.
+        opts.frontier_epsilon = 0.0;
+    }
+    assert!(opts.frontier_epsilon >= 0.0, "epsilon must be non-negative");
+    assert!(
+        (0.0..=1.0).contains(&opts.density_cutoff),
+        "density cutoff must be a fraction in [0, 1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&opts.batch_density_cutoff),
+        "batch density cutoff must be a fraction in [0, 1]"
+    );
+    opts
+}
+
+/// The lattice coefficient table and its θ-suffix mass (see the
+/// [`QueryEngine`] field docs).
+fn coeff_table(params: &SimStarParams, opts: &QueryEngineOptions) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let k = params.iterations;
+    let weights = length_weights(params, opts.kind);
+    let coeffs = lattice_coeffs(&weights);
+    let mut theta_tail = vec![0.0; k + 2];
+    for theta in (0..=k).rev() {
+        theta_tail[theta] = theta_tail[theta + 1] + coeffs[theta].iter().sum::<f64>();
+    }
+    (coeffs, theta_tail)
+}
+
+/// Dense `y = xᵀ·Q` over an access backing (the u-advance fallback):
+/// scatter each active source's in-list, weighted by the row's `1/|I|`.
+fn dense_u_step(src: &dyn NeighborAccess, inv_in: &[f64], x: &[f64], y: &mut [f64]) {
+    y.fill(0.0);
+    for (i, &xv) in x.iter().enumerate() {
+        if xv == 0.0 {
+            continue;
+        }
+        let w = inv_in[i];
+        if w != 0.0 {
+            src.for_each_in(i as u32, &mut |j| y[j as usize] += xv * w);
+        }
+    }
+}
+
+/// Dense `y = Q·x` over an access backing (the Horner-advance fallback):
+/// gather each row's in-list, scaled by the row's `1/|I|`.
+fn dense_r_step(src: &dyn NeighborAccess, inv_in: &[f64], x: &[f64], y: &mut [f64]) {
+    for (i, o) in y.iter_mut().enumerate() {
+        let w = inv_in[i];
+        if w == 0.0 {
+            *o = 0.0;
+            continue;
+        }
+        let mut acc = 0.0;
+        src.for_each_in(i as u32, &mut |c| acc += w * x[c as usize]);
+        *o = acc;
+    }
+}
+
 /// `out += coeff · f`, touching only the support when `f` is sparse.
 fn accumulate(out: &mut [f64], f: &Frontier, coeff: f64) {
     if coeff == 0.0 {
@@ -744,7 +1023,7 @@ fn accumulate(out: &mut [f64], f: &Frontier, coeff: f64) {
     }
 }
 
-/// Lane-wise analogue of [`advance`]: sparse push over `push_mat`'s rows
+/// Lane-wise analogue of [`advance`]: sparse push over `rows`
 /// (each adjacency index read once per `BLOCK` lanes) while the union
 /// support is small, switching to the blocked dense `dense_kernel` once it
 /// saturates past `cutoff` active nodes. `next` must be cleared on entry
@@ -754,7 +1033,7 @@ fn accumulate(out: &mut [f64], f: &Frontier, coeff: f64) {
 /// source id) — lane results become independent of what the other lanes
 /// hold (see [`QueryEngineOptions::deterministic`]).
 fn advance_block(
-    push_mat: &Csr,
+    rows: &impl PushRows,
     cur: &mut BlockFrontier,
     next: &mut BlockFrontier,
     eps: f64,
@@ -775,12 +1054,12 @@ fn advance_block(
         for &i in &cur.active {
             let src: [f64; BLOCK] =
                 cur.vals[i as usize * BLOCK..][..BLOCK].try_into().expect("BLOCK lanes");
-            for (j, v) in push_mat.row_entries(i as usize) {
+            rows.push_row(i, |j, v| {
                 let dst = next.insert(j);
                 for (d, sv) in dst.iter_mut().zip(src) {
                     *d += v * sv;
                 }
-            }
+            });
         }
         if eps > 0.0 {
             let BlockFrontier { vals, active, member, .. } = next;
@@ -803,7 +1082,7 @@ fn advance_block(
     next.clear();
 }
 
-/// Advances `cur` one step: sparse push over `push_mat`'s rows while the
+/// Advances `cur` one step: sparse push over `rows` while the
 /// frontier is small, switching to `dense_step` once it saturates past
 /// `cutoff` active nodes (and staying dense from then on). `next` must be
 /// cleared on entry and is left cleared on exit. With `det` set, the
@@ -811,7 +1090,7 @@ fn advance_block(
 /// the scalar counterpart of [`advance_block`]'s deterministic mode, so a
 /// solo [`QueryEngine::query`] reproduces a batch lane bit for bit.
 fn advance(
-    push_mat: &Csr,
+    rows: &impl PushRows,
     cur: &mut Frontier,
     next: &mut Frontier,
     eps: f64,
@@ -830,7 +1109,7 @@ fn advance(
         debug_assert!(!next.dense && next.active.is_empty());
         for &i in &cur.active {
             let xv = cur.vals[i as usize];
-            for (j, v) in push_mat.row_entries(i as usize) {
+            rows.push_row(i, |j, v| {
                 let add = xv * v;
                 let slot = &mut next.vals[j as usize];
                 // Everything propagated is non-negative, so "still zero"
@@ -839,7 +1118,7 @@ fn advance(
                     next.active.push(j);
                 }
                 *slot += add;
-            }
+            });
         }
         if eps > 0.0 {
             let vals = &mut next.vals;
@@ -1145,5 +1424,72 @@ mod tests {
         assert_eq!(QueryEngine::new(&g, p).compression_ratio(), 0.0);
         let opts = QueryEngineOptions { compress: true, ..Default::default() };
         assert!(QueryEngine::with_options(&g, p, opts).compression_ratio() > 0.0);
+    }
+
+    fn access_of(g: &DiGraph) -> Arc<dyn NeighborAccess> {
+        Arc::new(g.clone())
+    }
+
+    #[test]
+    fn access_backing_bit_identical_in_deterministic_mode() {
+        for g in graphs() {
+            let p = SimStarParams { c: 0.7, iterations: 6 };
+            let opts = QueryEngineOptions { deterministic: true, ..Default::default() };
+            let mem = QueryEngine::with_options(&g, p, opts.clone());
+            let acc = QueryEngine::with_access(access_of(&g), p, opts);
+            assert!(acc.is_access_backed() && !mem.is_access_backed());
+            let all: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+            for q in &all {
+                assert_eq!(mem.query(*q), acc.query(*q), "q={q}");
+                assert_eq!(mem.top_k(*q, 3), acc.top_k(*q, 3), "q={q}");
+            }
+            assert_eq!(mem.query_batch(&all).as_slice(), acc.query_batch(&all).as_slice());
+        }
+    }
+
+    #[test]
+    fn access_backing_matches_on_sparse_and_dense_paths() {
+        for g in graphs() {
+            let p = SimStarParams { c: 0.6, iterations: 6 };
+            for opts in [
+                QueryEngineOptions::default(),
+                // Cutoff 0 forces the dense fallback from the first step.
+                QueryEngineOptions {
+                    density_cutoff: 0.0,
+                    batch_density_cutoff: 0.0,
+                    ..Default::default()
+                },
+                QueryEngineOptions { kind: SeriesKind::Exponential, ..Default::default() },
+            ] {
+                let mem = QueryEngine::with_options(&g, p, opts.clone());
+                let acc = QueryEngine::with_access(access_of(&g), p, opts);
+                let all: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+                for q in &all {
+                    assert_rows_close(&mem.query(*q), &acc.query(*q), 1e-10, "access row");
+                }
+                let (bm, ba) = (mem.query_batch(&all), acc.query_batch(&all));
+                for i in 0..bm.rows() {
+                    assert_rows_close(bm.row(i), ba.row(i), 1e-10, "access batch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn access_backing_reports_resident_bytes() {
+        let g = graphs().remove(0);
+        let p = SimStarParams::default();
+        let acc = QueryEngine::with_access(access_of(&g), p, Default::default());
+        let mem = QueryEngine::new(&g, p);
+        assert!(acc.resident_bytes() > 0);
+        assert!(mem.resident_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge concentration")]
+    fn access_backing_rejects_compression() {
+        let g = graphs().remove(0);
+        let opts = QueryEngineOptions { compress: true, ..Default::default() };
+        let _ = QueryEngine::with_access(access_of(&g), SimStarParams::default(), opts);
     }
 }

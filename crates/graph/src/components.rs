@@ -47,7 +47,18 @@ impl Components {
 
 /// Computes weakly connected components by union-find with path halving.
 pub fn weakly_connected_components(g: &DiGraph) -> Components {
-    let n = g.node_count();
+    weakly_connected_components_from_edges(g.node_count(), g.edges())
+}
+
+/// [`weakly_connected_components`] over any edge stream — the variant used
+/// by store-backed engines that never materialise a [`DiGraph`]. Labels
+/// are independent of the edge order: unions always keep the smaller root,
+/// so every component's root converges to its minimum node id regardless
+/// of how the edges arrive.
+pub fn weakly_connected_components_from_edges(
+    n: usize,
+    edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+) -> Components {
     let mut parent: Vec<u32> = (0..n as u32).collect();
     fn find(parent: &mut [u32], mut x: u32) -> u32 {
         while parent[x as usize] != x {
@@ -56,7 +67,7 @@ pub fn weakly_connected_components(g: &DiGraph) -> Components {
         }
         x
     }
-    for (u, v) in g.edges() {
+    for (u, v) in edges {
         let ru = find(&mut parent, u);
         let rv = find(&mut parent, v);
         if ru != rv {
@@ -163,6 +174,16 @@ mod tests {
         assert!(c.same(0, 2));
         assert!(!c.same(2, 3));
         assert_eq!(c.sizes(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn wcc_from_edges_is_order_independent() {
+        let edges = [(0u32, 1u32), (1, 2), (3, 4)];
+        let forward = weakly_connected_components_from_edges(6, edges);
+        let reversed = weakly_connected_components_from_edges(6, edges.into_iter().rev());
+        assert_eq!(forward, reversed);
+        let g = DiGraph::from_edges(6, &edges).unwrap();
+        assert_eq!(forward, weakly_connected_components(&g));
     }
 
     #[test]

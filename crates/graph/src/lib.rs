@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod bipartite;
 mod builder;
 pub mod components;
@@ -36,12 +37,15 @@ mod digraph;
 mod error;
 pub mod io;
 pub mod paths;
+pub mod perm;
 pub mod stats;
 
+pub use access::NeighborAccess;
 pub use bipartite::InducedBigraph;
 pub use builder::GraphBuilder;
 pub use digraph::{edge_digest, DiGraph};
 pub use error::GraphError;
+pub use perm::Permutation;
 
 /// Node identifier. Dense in `0..graph.node_count()`.
 pub type NodeId = u32;

@@ -294,8 +294,7 @@ fn oversized_request_frame_is_rejected_not_buffered() {
     let mut sink = Vec::new();
     if let Err(e) = raw.read_to_end(&mut sink) {
         assert!(
-            e.kind() != std::io::ErrorKind::WouldBlock
-                && e.kind() != std::io::ErrorKind::TimedOut,
+            e.kind() != std::io::ErrorKind::WouldBlock && e.kind() != std::io::ErrorKind::TimedOut,
             "server wedged instead of rejecting the frame: {e}"
         );
     }

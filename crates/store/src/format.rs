@@ -3,7 +3,7 @@
 //! ```text
 //! offset  size  field
 //!      0     8  magic  = 89 53 53 47 0d 0a 1a 08  ("\x89SSG\r\n\x1a\x08")
-//!      8     4  format version (u32 LE, currently 1)
+//!      8     4  format version (u32 LE, 1 or 2)
 //!     12     4  flags (u32 LE, reserved, 0)
 //!     16     8  node count n (u64 LE)
 //!     24     8  edge count m (u64 LE)
@@ -16,11 +16,29 @@
 //! All integers are little-endian. Section payloads:
 //!
 //! * **OUT (id 1)** / **IN (id 2)** — one CSR direction: for each node
-//!   `v` in `0..n`, `varint(degree)` followed by the sorted neighbor list
-//!   delta-gap coded (`varint(first)`, then `varint(gap)` per subsequent
-//!   neighbor; gaps are ≥ 1 because adjacency is sorted and deduplicated).
+//!   `v` in `0..n`, `varint(degree)` followed by the sorted neighbor
+//!   list, coded per format version:
+//!   * **v1** — `varint(first)`, then `varint(gap)` per subsequent
+//!     neighbor; gaps are ≥ 1 because adjacency is sorted and
+//!     deduplicated.
+//!   * **v2** — `varint(zigzag(first − v))` (the first neighbor is near
+//!     the node itself once the graph is laid out for locality, so a
+//!     signed delta from `v` is shorter than an absolute id), then
+//!     `varint(gap − 1)` per subsequent neighbor (the guaranteed ≥ 1 gap
+//!     is implicit, buying back one value per edge at the densest end of
+//!     the varint).
 //! * **META (id 3)** — `varint(count)` followed by `count` key/value
 //!   pairs, each a `varint(len)`-prefixed UTF-8 string.
+//! * **OUT_OFFSETS (id 4)** / **IN_OFFSETS (id 5)** — v2 only: the
+//!   `n + 1` byte offsets of the per-node blocks inside the matching
+//!   adjacency payload (entry `n` = payload length), Elias-Fano coded
+//!   (see `ef`). This is what makes a v2 store *randomly accessible*:
+//!   any node's neighbor list is one O(1) index probe plus one bounded
+//!   decode, no sequential scan.
+//! * **PERM (id 6)** — v2, optional: `n` varints mapping original node
+//!   id → stored id (a validated bijection). Present when the graph was
+//!   relabeled for cache locality at build time; readers translate ids
+//!   so callers only ever see the original id space.
 //!
 //! Unknown section ids are skipped by readers (forward compatibility
 //! inside a major version); the magic's high bit + CRLF guard against
@@ -31,8 +49,13 @@ use crate::StoreError;
 /// First 8 bytes of every `.ssg` file.
 pub const MAGIC: [u8; 8] = *b"\x89SSG\r\n\x1a\x08";
 
-/// Current (and only) format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Newest format version (what the writer produces by default, and the
+/// highest version readers accept).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The original absolute-first/plain-gap format, still writable for
+/// compatibility via `StoreWriter::version`.
+pub const FORMAT_VERSION_V1: u32 = 1;
 
 /// Out-adjacency section id.
 pub const SECTION_OUT: u32 = 1;
@@ -40,6 +63,12 @@ pub const SECTION_OUT: u32 = 1;
 pub const SECTION_IN: u32 = 2;
 /// Metadata section id.
 pub const SECTION_META: u32 = 3;
+/// Out-adjacency block-offset index (v2).
+pub const SECTION_OUT_OFFSETS: u32 = 4;
+/// In-adjacency block-offset index (v2).
+pub const SECTION_IN_OFFSETS: u32 = 5;
+/// Optional node permutation, original id → stored id (v2).
+pub const SECTION_PERM: u32 = 6;
 
 /// Byte length of the fixed header before the section table.
 pub const HEADER_LEN: usize = 36;
@@ -219,5 +248,14 @@ mod tests {
             Header::decode(&bytes),
             Err(StoreError::UnsupportedVersion { found: 9, supported: FORMAT_VERSION })
         );
+    }
+
+    #[test]
+    fn both_supported_versions_decode() {
+        for version in [FORMAT_VERSION_V1, FORMAT_VERSION] {
+            let mut h = sample();
+            h.version = version;
+            assert_eq!(Header::decode(&h.encode()).unwrap().version, version);
+        }
     }
 }

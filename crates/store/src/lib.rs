@@ -29,18 +29,26 @@
 //! datasets land around 6-9 bits per stored id versus 32 in memory and
 //! ~70 for the text format (see `BENCH_store.json` at the repo root).
 
-#![forbid(unsafe_code)]
+// Denied (not forbidden) so the one FFI mmap module can opt back in;
+// everything else in the crate stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod checksum;
+pub mod ef;
 mod error;
 pub mod format;
+#[allow(unsafe_code)]
+mod mmap;
+mod random;
 mod reader;
 pub mod varint;
 mod writer;
 
+pub use ef::EliasFano;
 pub use error::StoreError;
-pub use format::{SectionInfo, FORMAT_VERSION, MAGIC};
+pub use format::{SectionInfo, FORMAT_VERSION, FORMAT_VERSION_V1, MAGIC};
+pub use random::{RandomAccessOptions, RandomAccessStore};
 pub use reader::{OutAdjacency, StoreReader, VerifyReport};
 pub use writer::StoreWriter;
 
@@ -57,6 +65,13 @@ pub mod meta_keys {
     pub const DIVISOR: &str = "divisor";
     /// Free-form build parameters (generator kind, seed, …).
     pub const BUILD: &str = "build";
+    /// Byte count v1 coding of the same (unpermuted) graph would need —
+    /// recorded by the v2 writer so `store info` can report the format
+    /// delta without rebuilding.
+    pub const V1_ADJACENCY_BYTES: &str = "v1.adjacency_bytes";
+    /// Name of the ordering a layout permutation was derived with
+    /// (`bfs`, `degree`, …).
+    pub const PERM_ORDER: &str = "perm.order";
 }
 
 /// Whether `path` starts with the `.ssg` magic bytes. Files shorter than

@@ -1,0 +1,239 @@
+//! Read-only file regions: memory-mapped when the platform allows it,
+//! positional reads otherwise.
+//!
+//! This is the only module in the crate allowed to use `unsafe` — a
+//! minimal `mmap(2)`/`munmap(2)` FFI binding (the toolchain here has no
+//! crates.io access, so no `memmap2`). Everything above it sees a safe
+//! [`Region`] that hands out byte ranges; whether those bytes come from
+//! the page cache via a mapping or from `pread` is an implementation
+//! detail. Set `SSR_STORE_NO_MMAP=1` to force the positional-read
+//! fallback (tests exercise both paths with it).
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// Environment switch forcing the positional-read fallback.
+pub(crate) const NO_MMAP_ENV: &str = "SSR_STORE_NO_MMAP";
+
+/// A read-only view of a file's bytes.
+pub(crate) enum Region {
+    /// The whole file mapped into the address space; reads are slice
+    /// accesses and residency is the kernel's problem.
+    Mapped(Mapped),
+    /// Positional reads against the file descriptor.
+    Fallback { file: File, len: u64 },
+}
+
+impl Region {
+    /// Opens `path`, preferring a memory map. Zero-length files and
+    /// mapping failures quietly use the fallback; so does
+    /// `SSR_STORE_NO_MMAP=1`.
+    pub(crate) fn open(path: &Path) -> io::Result<Region> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let forced_off = std::env::var(NO_MMAP_ENV).is_ok_and(|v| v == "1");
+        if len > 0 && !forced_off {
+            if let Some(mapped) = Mapped::map(&file, len)? {
+                return Ok(Region::Mapped(mapped));
+            }
+        }
+        Ok(Region::Fallback { file, len })
+    }
+
+    /// Total length of the underlying file.
+    pub(crate) fn len(&self) -> u64 {
+        match self {
+            Region::Mapped(m) => m.len as u64,
+            Region::Fallback { len, .. } => *len,
+        }
+    }
+
+    /// Whether reads go through a memory mapping.
+    pub(crate) fn is_mapped(&self) -> bool {
+        matches!(self, Region::Mapped(_))
+    }
+
+    /// Runs `f` over the bytes at `offset..offset + len`. Mapped regions
+    /// pass a direct slice; the fallback reads into a transient buffer.
+    pub(crate) fn with_bytes<R>(
+        &self,
+        offset: u64,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> io::Result<R> {
+        let end = offset.checked_add(len as u64).filter(|&e| e <= self.len());
+        if end.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("range {offset}+{len} past region of {} bytes", self.len()),
+            ));
+        }
+        match self {
+            Region::Mapped(m) => Ok(f(&m.as_slice()[offset as usize..offset as usize + len])),
+            Region::Fallback { file, .. } => {
+                let mut buf = vec![0u8; len];
+                read_exact_at(file, &mut buf, offset)?;
+                Ok(f(&buf))
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    // Windows `seek_read` moves the cursor, but Region never relies on
+    // cursor position, so plain seek + read is fine there too.
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = file;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub(super) const PROT_READ: c_int = 1;
+    pub(super) const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub(super) fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub(super) fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// An owned read-only mapping of a whole file.
+pub(crate) struct Mapped {
+    #[cfg(unix)]
+    ptr: *const u8,
+    len: usize,
+}
+
+// The mapping is immutable for its whole lifetime (PROT_READ, private),
+// so shared references from any thread are fine.
+#[allow(unsafe_code)]
+unsafe impl Send for Mapped {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Mapped {}
+
+impl Mapped {
+    /// Maps `file` read-only. Returns `Ok(None)` when the platform call
+    /// fails (callers fall back to reads rather than erroring).
+    #[cfg(unix)]
+    #[allow(unsafe_code)]
+    fn map(file: &File, len: u64) -> io::Result<Option<Mapped>> {
+        use std::os::unix::io::AsRawFd;
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        // SAFETY: fd is a valid open descriptor for the whole call; a
+        // PROT_READ + MAP_PRIVATE mapping of `len` bytes at a
+        // kernel-chosen address aliases nothing we hand out mutably. The
+        // pointer is only dereferenced within `len` while `self` is
+        // alive, and unmapped exactly once in `Drop`.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == usize::MAX as *mut _ {
+            return Ok(None);
+        }
+        Ok(Some(Mapped { ptr: ptr as *const u8, len }))
+    }
+
+    #[cfg(not(unix))]
+    fn map(_file: &File, _len: u64) -> io::Result<Option<Mapped>> {
+        Ok(None)
+    }
+
+    #[cfg(unix)]
+    #[allow(unsafe_code)]
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr..ptr+len is a live PROT_READ mapping owned by self.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    #[cfg(not(unix))]
+    fn as_slice(&self) -> &[u8] {
+        unreachable!("no mapping exists on this platform")
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mapped {
+    #[allow(unsafe_code)]
+    fn drop(&mut self) {
+        // SAFETY: exactly the region mmap returned, unmapped once.
+        unsafe {
+            sys::munmap(self.ptr as *mut _, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ssr_store_mmap_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn mapped_and_fallback_agree() {
+        let path = tmp("agree.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let region = Region::open(&path).unwrap();
+        let fallback = {
+            let file = File::open(&path).unwrap();
+            let len = file.metadata().unwrap().len();
+            Region::Fallback { file, len }
+        };
+        assert_eq!(region.len(), payload.len() as u64);
+        for (offset, len) in [(0usize, 16usize), (255, 1), (9_000, 1_000), (0, 10_000)] {
+            let a = region.with_bytes(offset as u64, len, |b| b.to_vec()).unwrap();
+            let b = fallback.with_bytes(offset as u64, len, |b| b.to_vec()).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a, payload[offset..offset + len].to_vec());
+        }
+    }
+
+    #[test]
+    fn out_of_range_reads_are_errors() {
+        let path = tmp("range.bin");
+        std::fs::write(&path, [1, 2, 3]).unwrap();
+        let region = Region::open(&path).unwrap();
+        assert!(region.with_bytes(2, 2, |_| ()).is_err());
+        assert!(region.with_bytes(u64::MAX, 1, |_| ()).is_err());
+        assert!(region.with_bytes(3, 0, |b| b.len()).unwrap() == 0);
+    }
+
+    #[test]
+    fn empty_file_uses_fallback() {
+        let path = tmp("empty.bin");
+        std::fs::write(&path, []).unwrap();
+        let region = Region::open(&path).unwrap();
+        assert!(!region.is_mapped());
+        assert_eq!(region.len(), 0);
+    }
+}

@@ -1,26 +1,39 @@
 //! Loading graphs back out of the `.ssg` container.
 
 use crate::checksum::checksum64;
-use crate::format::{Header, SectionInfo, SECTION_IN, SECTION_META, SECTION_OUT};
+use crate::ef::EliasFano;
+use crate::format::{
+    Header, SectionInfo, FORMAT_VERSION_V1, SECTION_IN, SECTION_IN_OFFSETS, SECTION_META,
+    SECTION_OUT, SECTION_OUT_OFFSETS, SECTION_PERM,
+};
 use crate::varint::read_varint;
 use crate::StoreError;
-use ssr_graph::{DiGraph, NodeId};
+use ssr_graph::{DiGraph, NodeId, Permutation};
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
 
 /// A handle on an opened store file.
 ///
 /// [`StoreReader::open`] reads and validates only the header, section
-/// table, and (small) metadata section; adjacency payloads stay on disk
-/// until a load method asks for them. [`StoreReader::load_full`] is one
-/// sequential read plus an in-place gap decode — no text parsing, no
-/// re-sort; [`StoreReader::load_out_only`] seeks straight to the OUT
-/// section via the table and never touches the in-adjacency bytes.
+/// table, metadata, and (for v2) the small offset-index and permutation
+/// sections; adjacency payloads stay on disk until a load method asks for
+/// them. [`StoreReader::load_full`] is one sequential read plus an
+/// in-place gap decode — no text parsing, no re-sort;
+/// [`StoreReader::load_out_only`] seeks straight to the OUT section via
+/// the table and never touches the in-adjacency bytes.
+///
+/// Stores written with a layout permutation decode back into the
+/// **original** id space here: the PERM section records the bijection and
+/// every load remaps and re-sorts rows, so callers cannot tell a permuted
+/// file from a plain one (beyond its smaller size).
 pub struct StoreReader {
     file: std::fs::File,
     file_len: u64,
     header: Header,
     meta: Vec<(String, String)>,
+    out_index: Option<EliasFano>,
+    in_index: Option<EliasFano>,
+    perm: Option<Permutation>,
 }
 
 /// Just the out-direction of a stored graph (what
@@ -72,11 +85,17 @@ pub struct VerifyReport {
     /// directions' payloads against `2m` stored ids (comparable to the
     /// in-memory CSR's 32 bits/id and to webgraph-style numbers).
     pub bits_per_edge: f64,
+    /// Whether the file stores a relabeled layout (PERM section present;
+    /// the bijection was validated at open, the offset-index block
+    /// ranges by the structural decode here).
+    pub permuted: bool,
 }
 
 impl StoreReader {
-    /// Opens a store file: validates magic, version, section-table bounds,
-    /// and the metadata section. Adjacency payloads are not read yet.
+    /// Opens a store file: validates magic, version, section-table
+    /// bounds, the metadata section, and — for v2 — the offset indexes
+    /// (entry count, first/last values) and the permutation bijection.
+    /// Adjacency payloads are not read yet.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<StoreReader, StoreError> {
         let mut file = std::fs::File::open(path)?;
         let file_len = file.metadata()?.len();
@@ -101,9 +120,9 @@ impl StoreReader {
         let header = Header::decode(&prefix)?;
         // The fixed header carries no checksum, so its counts must be
         // sanity-bounded *before* anything allocates from them: node ids
-        // must fit `NodeId`, and every node (degree varint) and edge
-        // (≥ 1 gap byte) costs at least one payload byte in each
-        // adjacency section — a flipped high bit in n or m fails here
+        // must fit `NodeId`, and each stored id costs at least one payload
+        // byte in each adjacency section (v1 additionally spends a degree
+        // varint per node) — a flipped high bit in n or m fails here
         // instead of driving a terabyte `Vec::with_capacity`.
         if header.nodes > u64::from(u32::MAX) + 1 {
             return Err(StoreError::Corrupt {
@@ -115,8 +134,13 @@ impl StoreReader {
             if s.offset < full_len as u64 || end.is_none() || end.unwrap() > file_len {
                 return Err(StoreError::Truncated { context: "section payload" });
             }
+            let min_cost = if header.version == FORMAT_VERSION_V1 {
+                header.nodes.checked_add(header.edges)
+            } else {
+                Some(header.edges)
+            };
             if (s.id == SECTION_OUT || s.id == SECTION_IN)
-                && header.nodes.checked_add(header.edges).is_none_or(|cost| cost > s.len)
+                && min_cost.is_none_or(|cost| cost > s.len)
             {
                 return Err(StoreError::Corrupt {
                     message: format!(
@@ -126,11 +150,24 @@ impl StoreReader {
                 });
             }
         }
-        let mut reader = StoreReader { file, file_len, header, meta: Vec::new() };
+        let mut reader = StoreReader {
+            file,
+            file_len,
+            header,
+            meta: Vec::new(),
+            out_index: None,
+            in_index: None,
+            perm: None,
+        };
         reader.meta = match reader.header.section(SECTION_META) {
             Some(info) => decode_meta(&reader.read_section(info)?)?,
             None => Vec::new(),
         };
+        if reader.header.version > FORMAT_VERSION_V1 {
+            reader.out_index = reader.load_offset_index(SECTION_OUT, SECTION_OUT_OFFSETS)?;
+            reader.in_index = reader.load_offset_index(SECTION_IN, SECTION_IN_OFFSETS)?;
+            reader.perm = reader.load_perm()?;
+        }
         Ok(reader)
     }
 
@@ -169,14 +206,39 @@ impl StoreReader {
         self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
-    /// Stored adjacency bits per directed edge across both directions
-    /// (`0` for edgeless graphs).
-    pub fn bits_per_edge(&self) -> f64 {
-        let adjacency_bytes: u64 = [SECTION_OUT, SECTION_IN]
+    /// The layout permutation (original id → stored id) if the file was
+    /// written with one. Loads remap automatically; this is for tools
+    /// that report on the layout itself.
+    pub fn permutation(&self) -> Option<&Permutation> {
+        self.perm.as_ref()
+    }
+
+    /// Whether the stored layout is relabeled (PERM section present).
+    pub fn is_permuted(&self) -> bool {
+        self.perm.is_some()
+    }
+
+    /// Total bytes of the two adjacency sections.
+    pub fn adjacency_bytes(&self) -> u64 {
+        [SECTION_OUT, SECTION_IN]
             .iter()
             .filter_map(|&id| self.header.section(id))
             .map(|s| s.len)
-            .sum();
+            .sum()
+    }
+
+    /// Total bytes of the two offset-index sections (0 for v1 files).
+    pub fn offset_index_bytes(&self) -> u64 {
+        [SECTION_OUT_OFFSETS, SECTION_IN_OFFSETS]
+            .iter()
+            .filter_map(|&id| self.header.section(id))
+            .map(|s| s.len)
+            .sum()
+    }
+
+    /// Stored adjacency bits per directed edge across both directions
+    /// (`0` for edgeless graphs).
+    pub fn bits_per_edge(&self) -> f64 {
         if self.header.edges == 0 {
             return 0.0;
         }
@@ -185,7 +247,20 @@ impl StoreReader {
         // Float arithmetic throughout: a hostile header's m can be any
         // u64, and `2 * m` in integers would overflow (this accessor runs
         // on merely *opened* stores, before any load validates m).
-        (adjacency_bytes as f64 * 8.0) / (2.0 * self.header.edges as f64)
+        (self.adjacency_bytes() as f64 * 8.0) / (2.0 * self.header.edges as f64)
+    }
+
+    /// Dismantles the reader into its validated parts — the
+    /// random-access store reuses the open-time validation instead of
+    /// redoing it.
+    pub(crate) fn into_parts(self) -> ReaderParts {
+        ReaderParts {
+            header: self.header,
+            meta: self.meta,
+            out_index: self.out_index,
+            in_index: self.in_index,
+            perm: self.perm,
+        }
     }
 
     /// Reads one section payload and verifies its checksum.
@@ -209,6 +284,117 @@ impl StoreReader {
         self.header.section(id).ok_or(StoreError::MissingSection { section: id })
     }
 
+    /// Reads and structurally validates one v2 offset-index section
+    /// (present iff the matching adjacency section is). Entry count and
+    /// the first/last values are pinned here; the index is load-bearing
+    /// for v2 decodes (blocks carry no degree varint), so every decode
+    /// additionally proves each claimed range holds a whole number of
+    /// varints and the directions cross-agree.
+    fn load_offset_index(
+        &mut self,
+        adjacency_id: u32,
+        index_id: u32,
+    ) -> Result<Option<EliasFano>, StoreError> {
+        let Some(adjacency) = self.header.section(adjacency_id) else {
+            return Ok(None);
+        };
+        let info = self.required(index_id)?;
+        let payload = self.read_section(info)?;
+        let n = self.node_count();
+        let ef = EliasFano::decode(&payload, n + 1)?;
+        if ef.len() != n + 1 {
+            return Err(StoreError::Corrupt {
+                message: format!(
+                    "offset index {index_id} holds {} entries for {n} nodes",
+                    ef.len()
+                ),
+            });
+        }
+        if ef.get(0) != 0 || ef.get(n) != adjacency.len {
+            return Err(StoreError::Corrupt {
+                message: format!(
+                    "offset index {index_id} spans {}..{} but section {adjacency_id} holds {} bytes",
+                    ef.get(0),
+                    ef.get(n),
+                    adjacency.len
+                ),
+            });
+        }
+        Ok(Some(ef))
+    }
+
+    /// Reads and validates the optional PERM section: exactly `n`
+    /// varints forming a bijection on `0..n`.
+    fn load_perm(&mut self) -> Result<Option<Permutation>, StoreError> {
+        let Some(info) = self.header.section(SECTION_PERM) else {
+            return Ok(None);
+        };
+        let payload = self.read_section(info)?;
+        let n = self.node_count();
+        let mut old2new = Vec::with_capacity(n);
+        let mut pos = 0usize;
+        for old in 0..n {
+            let v = read_varint(&payload, &mut pos).ok_or_else(|| StoreError::Corrupt {
+                message: format!("permutation section ends inside entry {old}"),
+            })?;
+            if v > u64::from(u32::MAX) {
+                return Err(StoreError::Corrupt {
+                    message: format!("permutation maps node {old} to {v} (does not fit u32)"),
+                });
+            }
+            old2new.push(v as NodeId);
+        }
+        if pos != payload.len() {
+            return Err(StoreError::Corrupt {
+                message: "permutation section has trailing bytes".into(),
+            });
+        }
+        Permutation::from_old2new(old2new)
+            .map(Some)
+            .map_err(|e| StoreError::Corrupt { message: format!("permutation section: {e}") })
+    }
+
+    /// Decodes one adjacency direction (stored id space).
+    fn decode_direction(&mut self, id: u32) -> Result<Decoded, StoreError> {
+        let n = self.node_count();
+        let m = self.edge_count();
+        let info = self.required(id)?;
+        let direction = if id == SECTION_OUT { Direction::Out } else { Direction::In };
+        let payload = self.read_section(info)?;
+        if self.header.version == FORMAT_VERSION_V1 {
+            decode_adjacency_v1(&payload, n, m, direction)
+        } else {
+            // v2 blocks carry no degree varint; the offset index (validated
+            // at open) delimits them.
+            let index = match direction {
+                Direction::Out => self.out_index.as_ref(),
+                Direction::In => self.in_index.as_ref(),
+            };
+            let index = index.expect("v2 open validated the offset indexes");
+            decode_adjacency_v2(&payload, n, m, direction, index)
+        }
+    }
+
+    /// Cross-checks the directions and assembles the final graph,
+    /// remapping a permuted layout back to the original id space.
+    fn assemble(&self, out: Decoded, inc: Decoded) -> Result<DiGraph, StoreError> {
+        if out.digest != inc.digest {
+            return Err(StoreError::Corrupt {
+                message: "out- and in-adjacency sections describe different edge sets".into(),
+            });
+        }
+        let n = self.node_count();
+        let (out_offsets, out_targets, in_offsets, in_sources) = match &self.perm {
+            None => (out.offsets, out.adjacency, inc.offsets, inc.adjacency),
+            Some(perm) => {
+                let (oo, ot) = remap_to_original(n, &out.offsets, &out.adjacency, perm);
+                let (io, is) = remap_to_original(n, &inc.offsets, &inc.adjacency, perm);
+                (oo, ot, io, is)
+            }
+        };
+        Ok(DiGraph::from_csr_trusted(n, out_offsets, out_targets, in_offsets, in_sources))
+    }
+
     /// Decodes the full graph: both CSR directions gap-decoded straight
     /// into [`DiGraph`] arrays.
     ///
@@ -217,43 +403,39 @@ impl StoreReader {
     /// checked against the header), and an order-independent digest
     /// accumulated over both directions proves they describe the same
     /// edge set — so assembly goes through [`DiGraph::from_csr_trusted`]
-    /// without a third validation pass over the arrays.
+    /// without a third validation pass over the arrays. Permuted stores
+    /// are remapped (and rows re-sorted) into the original id space.
     pub fn load_full(&mut self) -> Result<DiGraph, StoreError> {
-        let n = self.node_count();
-        let m = self.edge_count();
-        let out_info = self.required(SECTION_OUT)?;
-        let in_info = self.required(SECTION_IN)?;
-        let (out_offsets, out_targets, out_digest) =
-            decode_adjacency(&self.read_section(out_info)?, n, m, Direction::Out)?;
-        let (in_offsets, in_sources, in_digest) =
-            decode_adjacency(&self.read_section(in_info)?, n, m, Direction::In)?;
-        if out_digest != in_digest {
-            return Err(StoreError::Corrupt {
-                message: "out- and in-adjacency sections describe different edge sets".into(),
-            });
-        }
-        Ok(DiGraph::from_csr_trusted(n, out_offsets, out_targets, in_offsets, in_sources))
+        let out = self.decode_direction(SECTION_OUT)?;
+        let inc = self.decode_direction(SECTION_IN)?;
+        self.assemble(out, inc)
     }
 
     /// Decodes only the out-direction, skipping the in-adjacency section
     /// entirely (one seek via the section table).
     pub fn load_out_only(&mut self) -> Result<OutAdjacency, StoreError> {
         let n = self.node_count();
-        let m = self.edge_count();
-        let info = self.required(SECTION_OUT)?;
-        let (offsets, targets, _) =
-            decode_adjacency(&self.read_section(info)?, n, m, Direction::Out)?;
+        let out = self.decode_direction(SECTION_OUT)?;
+        let (offsets, targets) = match &self.perm {
+            None => (out.offsets, out.adjacency),
+            Some(perm) => remap_to_original(n, &out.offsets, &out.adjacency, perm),
+        };
         Ok(OutAdjacency { n, offsets, targets })
     }
 
     /// Checks every section's checksum and fully decodes both adjacency
-    /// directions (including the cross-direction consistency digest).
+    /// directions (including the cross-direction consistency digest). On
+    /// v2 files the offset indexes delimit the blocks, so the decode
+    /// itself proves every claimed byte range holds exactly a whole
+    /// number of varints, the ranges tile the section, and both
+    /// directions agree on the edge set — on top of the bijection check
+    /// open performed on the permutation.
     pub fn verify(&mut self) -> Result<VerifyReport, StoreError> {
         // Checksum the sections the structural pass below won't read
-        // anyway (META, future/unknown ids) — `load_full` checksums the
-        // two adjacency payloads as it reads them, and re-reading the
-        // largest sections twice would double verify's I/O for no
-        // added coverage.
+        // anyway (META, offset indexes, PERM, future/unknown ids) —
+        // the structural pass checksums the two adjacency payloads as it
+        // reads them, and re-reading the largest sections twice would
+        // double verify's I/O for no added coverage.
         for info in self.header.sections.clone() {
             if info.id != SECTION_OUT && info.id != SECTION_IN {
                 self.read_section(info)?;
@@ -261,7 +443,9 @@ impl StoreReader {
         }
         // Structural pass: a decode catches what checksums cannot (a
         // checksum only proves the bytes are the ones written).
-        let g = self.load_full()?;
+        let out = self.decode_direction(SECTION_OUT)?;
+        let inc = self.decode_direction(SECTION_IN)?;
+        let g = self.assemble(out, inc)?;
         if g.node_count() != self.node_count() || g.edge_count() != self.edge_count() {
             return Err(StoreError::Corrupt {
                 message: format!(
@@ -279,8 +463,32 @@ impl StoreReader {
             nodes: g.node_count(),
             edges: g.edge_count(),
             bits_per_edge: self.bits_per_edge(),
+            permuted: self.perm.is_some(),
         })
     }
+}
+
+/// Reorders a decoded (stored-space) CSR direction into the original id
+/// space: row `u` becomes the stored row of `perm.to_new(u)` with every
+/// id mapped through `perm.to_old` and re-sorted (the bijection preserves
+/// set size, so no dedup is needed).
+fn remap_to_original(
+    n: usize,
+    offsets: &[usize],
+    adjacency: &[NodeId],
+    perm: &Permutation,
+) -> (Vec<usize>, Vec<NodeId>) {
+    let mut offsets_o = Vec::with_capacity(n + 1);
+    let mut adj_o: Vec<NodeId> = Vec::with_capacity(adjacency.len());
+    offsets_o.push(0);
+    for old in 0..n as NodeId {
+        let p = perm.to_new(old) as usize;
+        let start = adj_o.len();
+        adj_o.extend(adjacency[offsets[p]..offsets[p + 1]].iter().map(|&w| perm.to_old(w)));
+        adj_o[start..].sort_unstable();
+        offsets_o.push(adj_o.len());
+    }
+    (offsets_o, adj_o)
 }
 
 /// Which adjacency direction a section encodes — determines how the
@@ -302,17 +510,34 @@ impl Direction {
     }
 }
 
-/// Decodes one gap-coded CSR direction, validating everything a hostile
-/// payload could get wrong *during* the decode: truncation, zero gaps
-/// (sortedness), id range, and the exact count the header promises.
-/// Returns the offsets, the adjacency ids, and the direction's edge-set
-/// digest.
-fn decode_adjacency(
+/// The validated open-time state of a reader, handed to the
+/// random-access store by [`StoreReader::into_parts`].
+pub(crate) struct ReaderParts {
+    pub(crate) header: Header,
+    pub(crate) meta: Vec<(String, String)>,
+    pub(crate) out_index: Option<EliasFano>,
+    pub(crate) in_index: Option<EliasFano>,
+    pub(crate) perm: Option<Permutation>,
+}
+
+/// One decoded adjacency direction, still in the stored id space.
+struct Decoded {
+    offsets: Vec<usize>,
+    adjacency: Vec<NodeId>,
+    /// Order-independent digest of the direction's edge set.
+    digest: u64,
+}
+
+/// Decodes one v1 gap-coded CSR direction, validating everything a
+/// hostile payload could get wrong *during* the decode: truncation,
+/// ordering violations (zero gaps), id range, overflow, and the exact
+/// count the header promises.
+fn decode_adjacency_v1(
     payload: &[u8],
     n: usize,
     m: usize,
     direction: Direction,
-) -> Result<(Vec<usize>, Vec<NodeId>, u64), StoreError> {
+) -> Result<Decoded, StoreError> {
     let side = direction.name();
     let corrupt = |message: String| StoreError::Corrupt { message };
     let mut offsets = Vec::with_capacity(n + 1);
@@ -331,7 +556,6 @@ fn decode_adjacency(
                 "{side}-section holds more than the {m} ids the header promises"
             )));
         }
-        let degree = degree as usize;
         let mut prev = 0u64;
         for i in 0..degree {
             let delta = read_varint(payload, &mut pos)
@@ -375,7 +599,102 @@ fn decode_adjacency(
             adjacency.len()
         )));
     }
-    Ok((offsets, adjacency, digest))
+    Ok(Decoded { offsets, adjacency, digest })
+}
+
+/// Decodes one v2 CSR direction. Blocks carry no degree varint — the
+/// offset index delimits each node's byte range and the varints inside
+/// self-delimit — so the index is load-bearing here: every claimed range
+/// must decode exactly (no truncated varint, no trailing bytes), each id
+/// must be in range and ascending (the `gap − 1` coding cannot express
+/// duplicates), and the total must match the header. The cross-direction
+/// digest then proves both sections (and both indexes) describe one edge
+/// set.
+fn decode_adjacency_v2(
+    payload: &[u8],
+    n: usize,
+    m: usize,
+    direction: Direction,
+    index: &EliasFano,
+) -> Result<Decoded, StoreError> {
+    let side = direction.name();
+    let corrupt = |message: String| StoreError::Corrupt { message };
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut adjacency: Vec<NodeId> = Vec::with_capacity(m);
+    let mut digest = 0u64;
+    offsets.push(0);
+    // Walk the index sequentially — `get` would pay a select per node.
+    let mut bounds = index.iter();
+    let mut start = bounds.next().expect("open validated the index holds n + 1 entries");
+    for v in 0..n {
+        let end = bounds.next().expect("open validated the index holds n + 1 entries");
+        // Open pinned the index's first/last entries to the section
+        // bounds, but a hostile low-bits payload can still make interior
+        // entries non-monotone or out of range.
+        if start > end || end > payload.len() as u64 {
+            return Err(corrupt(format!(
+                "{side}-offset index claims block {v} spans {start}..{end} in a {}-byte payload",
+                payload.len()
+            )));
+        }
+        let block = &payload[start as usize..end as usize];
+        let mut pos = 0usize;
+        let mut prev = 0u64;
+        let mut first = true;
+        while pos < block.len() {
+            if adjacency.len() == m {
+                return Err(corrupt(format!(
+                    "{side}-section holds more than the {m} ids the header promises"
+                )));
+            }
+            let delta = read_varint(block, &mut pos)
+                .ok_or_else(|| corrupt(format!("{side}-block of node {v} ends inside a varint")))?;
+            let value = if first {
+                first = false;
+                // v2: signed delta from the node's own id.
+                let signed = unzigzag(delta);
+                let value = (v as i64)
+                    .checked_add(signed)
+                    .ok_or_else(|| corrupt(format!("{side}-adjacency of node {v} overflows")))?;
+                if value < 0 {
+                    return Err(corrupt(format!(
+                        "{side}-adjacency of node {v} references negative id {value}"
+                    )));
+                }
+                value as u64
+            } else {
+                // v2 stores gap − 1: the minimum gap is implicit.
+                prev.checked_add(delta)
+                    .and_then(|x| x.checked_add(1))
+                    .ok_or_else(|| corrupt(format!("{side}-adjacency of node {v} overflows")))?
+            };
+            if value >= n as u64 {
+                return Err(corrupt(format!(
+                    "{side}-adjacency of node {v} references node {value} >= {n}"
+                )));
+            }
+            digest ^= match direction {
+                Direction::Out => ssr_graph::edge_digest(v as NodeId, value as NodeId),
+                Direction::In => ssr_graph::edge_digest(value as NodeId, v as NodeId),
+            };
+            adjacency.push(value as NodeId);
+            prev = value;
+        }
+        offsets.push(adjacency.len());
+        start = end;
+    }
+    if adjacency.len() != m {
+        return Err(corrupt(format!(
+            "{side}-section decodes {} ids but the header promises {m}",
+            adjacency.len()
+        )));
+    }
+    Ok(Decoded { offsets, adjacency, digest })
+}
+
+/// Inverse of the writer's zigzag map.
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// Decodes the metadata section written by the writer.
@@ -411,7 +730,8 @@ fn decode_meta(payload: &[u8]) -> Result<Vec<(String, String)>, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::StoreWriter;
+    use crate::{StoreWriter, FORMAT_VERSION};
+    use ssr_graph::perm::{bfs_order, degree_order};
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("ssr_store_reader_tests");
@@ -440,12 +760,15 @@ mod tests {
         let r = StoreReader::open(&path).unwrap();
         assert_eq!(r.node_count(), 6);
         assert_eq!(r.edge_count(), 8);
-        assert_eq!(r.version(), crate::FORMAT_VERSION);
+        assert_eq!(r.version(), FORMAT_VERSION);
         assert_eq!(r.meta("dataset"), Some("sample"));
         assert_eq!(r.meta("divisor"), Some("1"));
         assert_eq!(r.meta("absent"), None);
-        assert_eq!(r.sections().len(), 3);
+        // OUT, IN, OUT_OFFSETS, IN_OFFSETS, META.
+        assert_eq!(r.sections().len(), 5);
         assert!(r.bits_per_edge() > 0.0);
+        assert!(r.offset_index_bytes() > 0);
+        assert!(!r.is_permuted());
     }
 
     #[test]
@@ -453,6 +776,41 @@ mod tests {
         let path = write_sample("full.ssg");
         let g = StoreReader::open(&path).unwrap().load_full().unwrap();
         assert_eq!(g, sample_graph());
+    }
+
+    #[test]
+    fn v1_store_still_round_trips() {
+        let path = tmp("v1.ssg");
+        StoreWriter::new(&sample_graph())
+            .version(crate::format::FORMAT_VERSION_V1)
+            .write_file(&path)
+            .unwrap();
+        let mut r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.version(), crate::format::FORMAT_VERSION_V1);
+        assert_eq!(r.sections().len(), 3);
+        assert_eq!(r.offset_index_bytes(), 0);
+        assert_eq!(r.load_full().unwrap(), sample_graph());
+        assert!(r.verify().unwrap().sections == 3);
+    }
+
+    #[test]
+    fn permuted_store_round_trips_in_original_id_space() {
+        let g = sample_graph();
+        for (order, perm) in [("bfs", bfs_order(&g)), ("degree", degree_order(&g))] {
+            let path = tmp(&format!("perm_{order}.ssg"));
+            StoreWriter::new(&g).permutation(perm, order).write_file(&path).unwrap();
+            let mut r = StoreReader::open(&path).unwrap();
+            assert!(r.is_permuted());
+            assert_eq!(r.meta(crate::meta_keys::PERM_ORDER), Some(order));
+            assert_eq!(r.load_full().unwrap(), g, "order {order}");
+            let out = r.load_out_only().unwrap();
+            for v in 0..g.node_count() as NodeId {
+                assert_eq!(out.out_neighbors(v), g.out_neighbors(v));
+            }
+            let report = r.verify().unwrap();
+            assert!(report.permuted);
+            assert_eq!(report.sections, 6);
+        }
     }
 
     #[test]
@@ -473,10 +831,11 @@ mod tests {
     fn verify_reports_sections_and_density() {
         let path = write_sample("verify.ssg");
         let report = StoreReader::open(&path).unwrap().verify().unwrap();
-        assert_eq!(report.sections, 3);
+        assert_eq!(report.sections, 5);
         assert_eq!((report.nodes, report.edges), (6, 8));
         assert!(report.payload_bytes > 0);
         assert!(report.bits_per_edge > 0.0 && report.bits_per_edge <= 32.0);
+        assert!(!report.permuted);
     }
 
     #[test]
@@ -495,5 +854,13 @@ mod tests {
         let g = DiGraph::from_edges(10, &[(0, 1)]).unwrap();
         StoreWriter::new(&g).write_file(&path).unwrap();
         assert_eq!(StoreReader::open(&path).unwrap().load_full().unwrap(), g);
+    }
+
+    #[test]
+    fn unzigzag_inverts_writer_map() {
+        for v in [0i64, 1, -1, 2, -2, 1 << 40, -(1 << 40), i64::MAX, i64::MIN] {
+            let coded = ((v << 1) ^ (v >> 63)) as u64;
+            assert_eq!(unzigzag(coded), v);
+        }
     }
 }

@@ -1,10 +1,15 @@
 //! Serialising a [`DiGraph`] into the `.ssg` container.
 
 use crate::checksum::checksum64;
-use crate::format::{Header, SectionInfo, FORMAT_VERSION, SECTION_IN, SECTION_META, SECTION_OUT};
+use crate::ef::EliasFano;
+use crate::format::{
+    Header, SectionInfo, FORMAT_VERSION, FORMAT_VERSION_V1, SECTION_IN, SECTION_IN_OFFSETS,
+    SECTION_META, SECTION_OUT, SECTION_OUT_OFFSETS, SECTION_PERM,
+};
 use crate::varint::write_varint;
-use crate::StoreError;
-use ssr_graph::{DiGraph, NodeId};
+use crate::{meta_keys, StoreError};
+use ssr_graph::perm::permute_graph;
+use ssr_graph::{DiGraph, NodeId, Permutation};
 use std::io::Write;
 use std::path::Path;
 
@@ -14,6 +19,15 @@ use std::path::Path;
 /// vector): each adjacency direction becomes a delta-gap varint section,
 /// checksummed as it is built. Memory overhead is the compressed payload
 /// itself — typically well below the graph's in-memory CSR size.
+///
+/// By default the writer produces format v2: tighter adjacency coding
+/// (signed first-neighbor delta, implicit minimum gap, no per-node degree
+/// byte — the offset index delimits blocks and varints self-delimit
+/// within them), plus Elias-Fano block-offset indexes that make the file
+/// randomly accessible without materialising a CSR. [`StoreWriter::version`] selects v1 for
+/// compatibility, and [`StoreWriter::permutation`] relabels the stored
+/// layout for locality while recording the bijection so readers keep
+/// presenting original ids.
 ///
 /// ```
 /// use ssr_graph::DiGraph;
@@ -29,12 +43,15 @@ use std::path::Path;
 pub struct StoreWriter<'g> {
     graph: &'g DiGraph,
     meta: Vec<(String, String)>,
+    version: u32,
+    perm: Option<(Permutation, String)>,
 }
 
 impl<'g> StoreWriter<'g> {
-    /// A writer for `graph` with no metadata.
+    /// A writer for `graph` with no metadata, targeting the current
+    /// format version.
     pub fn new(graph: &'g DiGraph) -> Self {
-        StoreWriter { graph, meta: Vec::new() }
+        StoreWriter { graph, meta: Vec::new(), version: FORMAT_VERSION, perm: None }
     }
 
     /// Attaches one metadata key/value pair (chainable). Conventional keys
@@ -44,41 +61,40 @@ impl<'g> StoreWriter<'g> {
         self
     }
 
+    /// Selects the container version to write (1 or 2; default 2).
+    /// Validation happens at write time so the builder stays infallible.
+    pub fn version(mut self, version: u32) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Stores the graph under the given node relabeling (original id →
+    /// stored id), recording the bijection in a PERM section so readers
+    /// translate back transparently. `order` names how the permutation
+    /// was derived (e.g. `bfs`, `degree`) and lands in the metadata.
+    /// Requires v2 (checked at write time).
+    pub fn permutation(mut self, perm: Permutation, order: impl Into<String>) -> Self {
+        self.perm = Some((perm, order.into()));
+        self
+    }
+
     /// Writes the container to `w`. Returns the total bytes written.
     pub fn write_to<W: Write>(&self, mut w: W) -> Result<u64, StoreError> {
-        let g = self.graph;
-        let n = g.node_count();
-        let out_payload = encode_adjacency(n, |v| g.out_neighbors(v));
-        let in_payload = encode_adjacency(n, |v| g.in_neighbors(v));
-        let meta_payload = encode_meta(&self.meta);
-
-        // Section payloads land immediately after the header + table, in
-        // table order; skipping a section is one seek for the reader.
-        let payloads: [(u32, &Vec<u8>); 3] =
-            [(SECTION_OUT, &out_payload), (SECTION_IN, &in_payload), (SECTION_META, &meta_payload)];
-        let mut offset = Header::encoded_len(payloads.len()) as u64;
-        let mut sections = Vec::with_capacity(payloads.len());
-        for (id, payload) in payloads {
-            sections.push(SectionInfo {
-                id,
-                offset,
-                len: payload.len() as u64,
-                checksum: checksum64(payload),
-            });
-            offset += payload.len() as u64;
+        match self.version {
+            FORMAT_VERSION_V1 => {
+                if self.perm.is_some() {
+                    return Err(StoreError::Corrupt {
+                        message: "permuted layouts require format v2 (v1 has no PERM section)"
+                            .into(),
+                    });
+                }
+                self.write_v1(&mut w)
+            }
+            FORMAT_VERSION => self.write_v2(&mut w),
+            other => {
+                Err(StoreError::UnsupportedVersion { found: other, supported: FORMAT_VERSION })
+            }
         }
-        let header = Header {
-            version: FORMAT_VERSION,
-            nodes: n as u64,
-            edges: g.edge_count() as u64,
-            sections,
-        };
-        w.write_all(&header.encode())?;
-        for (_, payload) in payloads {
-            w.write_all(payload)?;
-        }
-        w.flush()?;
-        Ok(offset)
     }
 
     /// Writes the container to a file (created or truncated).
@@ -86,12 +102,112 @@ impl<'g> StoreWriter<'g> {
         let file = std::fs::File::create(path)?;
         self.write_to(std::io::BufWriter::new(file))
     }
+
+    fn write_v1<W: Write>(&self, w: &mut W) -> Result<u64, StoreError> {
+        let g = self.graph;
+        let n = g.node_count();
+        let out_payload = encode_adjacency_v1(n, |v| g.out_neighbors(v));
+        let in_payload = encode_adjacency_v1(n, |v| g.in_neighbors(v));
+        let meta_payload = encode_meta(&self.meta);
+        let payloads: Vec<(u32, Vec<u8>)> = vec![
+            (SECTION_OUT, out_payload),
+            (SECTION_IN, in_payload),
+            (SECTION_META, meta_payload),
+        ];
+        emit(w, FORMAT_VERSION_V1, n as u64, g.edge_count() as u64, &payloads)
+    }
+
+    fn write_v2<W: Write>(&self, w: &mut W) -> Result<u64, StoreError> {
+        let n = self.graph.node_count();
+        if let Some((perm, _)) = &self.perm {
+            if perm.len() != n {
+                return Err(StoreError::Corrupt {
+                    message: format!(
+                        "permutation covers {} ids but the graph has {n} nodes",
+                        perm.len()
+                    ),
+                });
+            }
+        }
+        // Relabel up front if a layout permutation was requested; readers
+        // undo the relabeling via the PERM section.
+        let permuted;
+        let g: &DiGraph = match &self.perm {
+            Some((perm, _)) => {
+                permuted = permute_graph(self.graph, perm);
+                &permuted
+            }
+            None => self.graph,
+        };
+        let (out_payload, out_offsets) = encode_adjacency_v2(n, |v| g.out_neighbors(v));
+        let (in_payload, in_offsets) = encode_adjacency_v2(n, |v| g.in_neighbors(v));
+        let out_index = EliasFano::from_monotone(&out_offsets).encode();
+        let in_index = EliasFano::from_monotone(&in_offsets).encode();
+
+        // Record what v1 coding of the *same layout* would have cost, so
+        // `store info` can report a pure coding delta without rebuilding
+        // (for permuted stores the layout gain shows up in bits/id, not
+        // here).
+        let v1_bytes = count_adjacency_v1(n, |v| g.out_neighbors(v))
+            + count_adjacency_v1(n, |v| g.in_neighbors(v));
+        let mut meta = self.meta.clone();
+        meta.push((meta_keys::V1_ADJACENCY_BYTES.into(), v1_bytes.to_string()));
+        if let Some((_, order)) = &self.perm {
+            meta.push((meta_keys::PERM_ORDER.into(), order.clone()));
+        }
+
+        let mut payloads: Vec<(u32, Vec<u8>)> = vec![
+            (SECTION_OUT, out_payload),
+            (SECTION_IN, in_payload),
+            (SECTION_OUT_OFFSETS, out_index),
+            (SECTION_IN_OFFSETS, in_index),
+        ];
+        if let Some((perm, _)) = &self.perm {
+            let mut p = Vec::new();
+            for old in 0..n as NodeId {
+                write_varint(&mut p, u64::from(perm.to_new(old)));
+            }
+            payloads.push((SECTION_PERM, p));
+        }
+        payloads.push((SECTION_META, encode_meta(&meta)));
+        emit(w, FORMAT_VERSION, n as u64, g.edge_count() as u64, &payloads)
+    }
+}
+
+/// Lays out the header + section table + payloads and writes them.
+fn emit<W: Write>(
+    w: &mut W,
+    version: u32,
+    nodes: u64,
+    edges: u64,
+    payloads: &[(u32, Vec<u8>)],
+) -> Result<u64, StoreError> {
+    // Section payloads land immediately after the header + table, in
+    // table order; skipping a section is one seek for the reader.
+    let mut offset = Header::encoded_len(payloads.len()) as u64;
+    let mut sections = Vec::with_capacity(payloads.len());
+    for (id, payload) in payloads {
+        sections.push(SectionInfo {
+            id: *id,
+            offset,
+            len: payload.len() as u64,
+            checksum: checksum64(payload),
+        });
+        offset += payload.len() as u64;
+    }
+    let header = Header { version, nodes, edges, sections };
+    w.write_all(&header.encode())?;
+    for (_, payload) in payloads {
+        w.write_all(payload)?;
+    }
+    w.flush()?;
+    Ok(offset)
 }
 
 /// One CSR direction as a delta-gap varint stream: per node,
 /// `varint(degree)`, then `varint(first)` and `varint(gap)` for the rest.
 /// Gaps are ≥ 1 because adjacency lists are sorted and deduplicated.
-fn encode_adjacency<'a>(n: usize, neighbors: impl Fn(NodeId) -> &'a [NodeId]) -> Vec<u8> {
+fn encode_adjacency_v1<'a>(n: usize, neighbors: impl Fn(NodeId) -> &'a [NodeId]) -> Vec<u8> {
     let mut out = Vec::new();
     for v in 0..n as NodeId {
         let list = neighbors(v);
@@ -110,6 +226,58 @@ fn encode_adjacency<'a>(n: usize, neighbors: impl Fn(NodeId) -> &'a [NodeId]) ->
     out
 }
 
+/// Byte count [`encode_adjacency_v1`] would produce, without building it.
+fn count_adjacency_v1<'a>(n: usize, neighbors: impl Fn(NodeId) -> &'a [NodeId]) -> u64 {
+    let mut bytes = 0u64;
+    for v in 0..n as NodeId {
+        let list = neighbors(v);
+        bytes += varint_len(list.len() as u64);
+        let mut prev = 0u64;
+        for (i, &t) in list.iter().enumerate() {
+            let t = u64::from(t);
+            bytes += varint_len(if i == 0 { t } else { t - prev });
+            prev = t;
+        }
+    }
+    bytes
+}
+
+/// v2 coding: per node, `varint(zigzag(first − v))`, then
+/// `varint(gap − 1)` per subsequent neighbor. No degree varint — varints
+/// are self-delimiting and the Elias-Fano offset index bounds every
+/// block, so the degree is simply the number of varints in the block
+/// (an empty block is a zero-length byte range). Also returns the
+/// `n + 1` block byte offsets feeding that index.
+fn encode_adjacency_v2<'a>(
+    n: usize,
+    neighbors: impl Fn(NodeId) -> &'a [NodeId],
+) -> (Vec<u8>, Vec<u64>) {
+    let mut out = Vec::new();
+    let mut offsets = Vec::with_capacity(n + 1);
+    for v in 0..n as NodeId {
+        offsets.push(out.len() as u64);
+        let list = neighbors(v);
+        let mut prev = 0u64;
+        for (i, &t) in list.iter().enumerate() {
+            let t = u64::from(t);
+            if i == 0 {
+                write_varint(&mut out, zigzag(t as i64 - i64::from(v)));
+            } else {
+                write_varint(&mut out, t - prev - 1);
+            }
+            prev = t;
+        }
+    }
+    offsets.push(out.len() as u64);
+    (out, offsets)
+}
+
+/// ZigZag map: interleaves signed values so small magnitudes of either
+/// sign get short varints (0 → 0, −1 → 1, 1 → 2, −2 → 3, …).
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
 /// Metadata section: `varint(count)`, then length-prefixed UTF-8 key and
 /// value per pair.
 fn encode_meta(meta: &[(String, String)]) -> Vec<u8> {
@@ -124,6 +292,16 @@ fn encode_meta(meta: &[(String, String)]) -> Vec<u8> {
     out
 }
 
+/// Encoded length of one varint.
+fn varint_len(mut v: u64) -> u64 {
+    let mut len = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        len += 1;
+    }
+    len
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,21 +311,78 @@ mod tests {
         // Node 0 points at 1..=100: first value + 99 gaps of 1, all
         // single-byte varints, plus the degree byte.
         let g = DiGraph::from_edges(101, &(1..=100).map(|v| (0, v)).collect::<Vec<_>>()).unwrap();
-        let payload = encode_adjacency(101, |v| g.out_neighbors(v));
+        let payload = encode_adjacency_v1(101, |v| g.out_neighbors(v));
         // 1 (degree=100 is two bytes? 100 < 128 so one) + 100 ids + 100
         // empty-degree bytes for nodes 1..=100.
         assert_eq!(payload.len(), 1 + 100 + 100);
+        assert_eq!(count_adjacency_v1(101, |v| g.out_neighbors(v)), payload.len() as u64);
     }
 
     #[test]
-    fn empty_graph_writes_and_has_three_sections() {
+    fn v2_coding_beats_v1_on_local_runs() {
+        // Each node points at its successor run: v2's signed first delta
+        // and implicit gap shave bytes on exactly this shape.
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..200u32).flat_map(|v| (1..=3).map(move |d| (v, (v + d) % 203))).collect();
+        let g = DiGraph::from_edges(203, &edges).unwrap();
+        let v1 = encode_adjacency_v1(203, |v| g.out_neighbors(v));
+        let (v2, offsets) = encode_adjacency_v2(203, |v| g.out_neighbors(v));
+        assert!(v2.len() < v1.len(), "v2 {} vs v1 {}", v2.len(), v1.len());
+        assert_eq!(offsets.len(), 204);
+        assert_eq!(*offsets.last().unwrap(), v2.len() as u64);
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_to_small_codes() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+    }
+
+    #[test]
+    fn empty_graph_writes_v2_with_five_sections() {
         let g = DiGraph::from_edges(0, &[]).unwrap();
         let mut buf = Vec::new();
         let written = StoreWriter::new(&g).write_to(&mut buf).unwrap();
         assert_eq!(written as usize, buf.len());
         let h = Header::decode(&buf).unwrap();
-        assert_eq!(h.sections.len(), 3);
+        assert_eq!(h.version, FORMAT_VERSION);
+        // OUT, IN, OUT_OFFSETS, IN_OFFSETS, META.
+        assert_eq!(h.sections.len(), 5);
         assert_eq!((h.nodes, h.edges), (0, 0));
+    }
+
+    #[test]
+    fn v1_still_writes_three_sections() {
+        let g = DiGraph::from_edges(0, &[]).unwrap();
+        let mut buf = Vec::new();
+        StoreWriter::new(&g).version(FORMAT_VERSION_V1).write_to(&mut buf).unwrap();
+        let h = Header::decode(&buf).unwrap();
+        assert_eq!(h.version, FORMAT_VERSION_V1);
+        assert_eq!(h.sections.len(), 3);
+    }
+
+    #[test]
+    fn invalid_version_and_v1_perm_are_typed_errors() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            StoreWriter::new(&g).version(3).write_to(&mut buf),
+            Err(StoreError::UnsupportedVersion { found: 3, .. })
+        ));
+        let perm = Permutation::identity(2);
+        assert!(matches!(
+            StoreWriter::new(&g).version(1).permutation(perm, "bfs").write_to(&mut buf),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let wrong_size = Permutation::identity(5);
+        assert!(matches!(
+            StoreWriter::new(&g).permutation(wrong_size, "bfs").write_to(&mut buf),
+            Err(StoreError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -181,42 +181,172 @@ fn hostile_edge_count_in_sectionless_header_never_panics() {
     std::fs::remove_file(&path).ok();
 }
 
-#[test]
-fn hostile_degree_varint_is_corrupt_not_overflow() {
-    // Handcraft an OUT section whose first degree is 2^63: the edge
-    // budget check must reject it without overflowing (debug builds
-    // would panic on a naive `len + degree` sum).
-    let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
-    let mut buf = Vec::new();
-    StoreWriter::new(&g).write_to(&mut buf).unwrap();
-    let entry = 36; // first table entry (OUT)
+/// Replaces the payload of the section with the given id, fixing its
+/// table entry (len + checksum) and shifting every later section's
+/// offset — so the only inconsistency in the result is the payload the
+/// test planted.
+fn replace_section(buf: &[u8], id: u32, payload: &[u8]) -> Vec<u8> {
+    let count = u32::from_le_bytes(buf[32..36].try_into().unwrap()) as usize;
+    let entry = (0..count)
+        .map(|i| 36 + 32 * i)
+        .find(|&at| u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) == id)
+        .expect("section present");
     let off = u64::from_le_bytes(buf[entry + 8..entry + 16].try_into().unwrap()) as usize;
     let len = u64::from_le_bytes(buf[entry + 16..entry + 24].try_into().unwrap()) as usize;
-    // Original OUT payload for this graph is 3 bytes (deg=1, id=1,
-    // deg=0); splice in a 10-byte varint of 2^63 followed by padding so
-    // the section length still covers the header's n + m byte cost.
-    let mut payload = vec![0x80u8; 9];
-    payload.push(0x01); // sets bit 63
-    payload.extend_from_slice(&[0x00; 2]);
-    assert!(payload.len() >= len, "replacement must cover the old payload");
-    let mut spliced = Vec::new();
-    spliced.extend_from_slice(&buf[..off]);
-    spliced.extend_from_slice(&payload);
-    spliced.extend_from_slice(&buf[off + len..]);
-    // Fix the OUT entry's len + checksum, and shift later section offsets.
-    let grow = (payload.len() - len) as u64;
-    spliced[entry + 16..entry + 24].copy_from_slice(&(payload.len() as u64).to_le_bytes());
-    spliced[entry + 24..entry + 32].copy_from_slice(&ssr_store_checksum(&payload).to_le_bytes());
-    for later in [entry + 32, entry + 64] {
-        let at = later + 8;
-        let o = u64::from_le_bytes(spliced[at..at + 8].try_into().unwrap());
-        spliced[at..at + 8].copy_from_slice(&(o + grow).to_le_bytes());
+    let mut out = Vec::with_capacity(buf.len() + payload.len() - len);
+    out.extend_from_slice(&buf[..off]);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&buf[off + len..]);
+    out[entry + 16..entry + 24].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    out[entry + 24..entry + 32].copy_from_slice(&ssr_store_checksum(payload).to_le_bytes());
+    let delta = payload.len() as i64 - len as i64;
+    for i in 0..count {
+        let at = 36 + 32 * i + 8;
+        let o = u64::from_le_bytes(out[at..at + 8].try_into().unwrap());
+        if o as usize > off {
+            out[at..at + 8].copy_from_slice(&((o as i64 + delta) as u64).to_le_bytes());
+        }
     }
+    out
+}
+
+#[test]
+fn hostile_degree_varint_is_corrupt_not_overflow() {
+    // v1 blocks open with a degree varint; handcraft one claiming 2^63
+    // neighbors. The edge budget check must reject it without
+    // overflowing (debug builds would panic on a naive `len + degree`
+    // sum).
+    let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+    // 10-byte varint of 2^63, padded so the section still covers the
+    // v1 header's n + m byte cost.
+    let mut hostile = vec![0x80u8; 9];
+    hostile.push(0x01); // sets bit 63
+    hostile.extend_from_slice(&[0x00; 2]);
+    let mut buf = Vec::new();
+    StoreWriter::new(&g).version(1).write_to(&mut buf).unwrap();
+    let spliced = replace_section(&buf, ssr_store::format::SECTION_OUT, &hostile);
     match open_and_load("hostile_degree.ssg", &spliced) {
         Err(StoreError::Corrupt { message }) => {
             assert!(message.contains("more than"), "{message}");
         }
         other => panic!("hostile degree must be Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_v2_block_is_corrupt_not_overflow() {
+    // v2 blocks carry no degree varint — the offset index delimits them
+    // — so the analogous attacks are hostile varints inside a block: a
+    // 2^63 first-neighbor delta (must fail the range check, not wrap),
+    // and a block packing more ids than the header's edge budget.
+    let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+    let mut huge_first = vec![0x80u8; 9];
+    huge_first.push(0x01); // varint of 2^63 ⇒ zigzag-decodes to +2^62
+    let over_budget = vec![0x00u8, 0x00]; // two ids where m = 1
+    for (name, payload, expect) in
+        [("huge_first", &huge_first, "references node"), ("over_budget", &over_budget, "more than")]
+    {
+        let mut buf = Vec::new();
+        StoreWriter::new(&g).write_to(&mut buf).unwrap();
+        let spliced = replace_section(&buf, ssr_store::format::SECTION_OUT, payload);
+        // Keep the offset index consistent with the new section length
+        // so open's first/last pinning passes and the block decode
+        // itself is what rejects the bytes.
+        let index =
+            ssr_store::EliasFano::from_monotone(&[0, payload.len() as u64, payload.len() as u64]);
+        let spliced =
+            replace_section(&spliced, ssr_store::format::SECTION_OUT_OFFSETS, &index.encode());
+        match open_and_load("hostile_v2_block.ssg", &spliced) {
+            Err(StoreError::Corrupt { message }) => {
+                assert!(message.contains(expect), "{name}: {message}");
+            }
+            other => panic!("{name}: hostile block must be Corrupt, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn lying_offset_index_is_caught_with_valid_checksums() {
+    // A v2 offset index whose interior entries are shifted but whose
+    // first and last entries are right, re-checksummed so no byte-level
+    // integrity check can object. The shifted boundary hands node 2's
+    // block to node 1, which decodes into a structurally valid — but
+    // different — edge set; only the out-vs-in edge digest comparison
+    // notices. The index is load-bearing for every v2 decode, so the
+    // sequential loader, verify, and the random-access open must all
+    // reject, typed.
+    let g = DiGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+    let mut buf = Vec::new();
+    StoreWriter::new(&g).write_to(&mut buf).unwrap();
+    // True OUT payload: node 0 → [0x02], node 2 → [0x02]; offsets
+    // 0,1,1,2,2. The lie moves node 2's byte into node 1's block.
+    let lie = ssr_store::EliasFano::from_monotone(&[0, 1, 2, 2, 2]);
+    let spliced = replace_section(&buf, ssr_store::format::SECTION_OUT_OFFSETS, &lie.encode());
+    let path = scratch("offset_lie.ssg");
+    std::fs::write(&path, &spliced).unwrap();
+    let mut r = StoreReader::open(&path).unwrap();
+    match r.load_full() {
+        Err(StoreError::Corrupt { message }) => {
+            assert!(message.contains("edge set"), "{message}")
+        }
+        other => panic!("load_full must catch the lying index, got {other:?}"),
+    }
+    assert!(matches!(r.verify(), Err(StoreError::Corrupt { .. })));
+    assert!(matches!(ssr_store::RandomAccessStore::open(&path), Err(StoreError::Corrupt { .. })));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn non_bijective_permutation_is_caught_at_open() {
+    // A PERM section mapping every node to 0, re-checksummed: the
+    // bijection validation must reject it at open, typed.
+    let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    let perm = ssr_graph::Permutation::from_old2new(vec![2, 0, 1]).unwrap();
+    let mut buf = Vec::new();
+    StoreWriter::new(&g).permutation(perm, "bfs").write_to(&mut buf).unwrap();
+    let spliced = replace_section(&buf, ssr_store::format::SECTION_PERM, &[0u8, 0, 0]);
+    match open_and_load("perm_lie.ssg", &spliced) {
+        Err(StoreError::Corrupt { message }) => {
+            assert!(message.contains("permutation"), "{message}")
+        }
+        other => panic!("non-bijective permutation must be Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn permuted_store_survives_truncation_and_flip_sweeps() {
+    // The same truncation + bit-flip battery, against a permuted v2
+    // store (six sections including PERM): still typed errors only.
+    let g = DiGraph::from_edges(
+        32,
+        &(0u32..31).map(|v| (v, v + 1)).chain((0..16).map(|v| (v * 2, v))).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let perm = ssr_graph::perm::degree_order(&g);
+    let mut bytes = Vec::new();
+    StoreWriter::new(&g).permutation(perm, "degree").write_to(&mut bytes).unwrap();
+    assert!(open_and_load("perm_pristine.ssg", &bytes).is_ok());
+    for len in (0..bytes.len() - 1).step_by(3) {
+        let err = open_and_load("perm_trunc.ssg", &bytes[..len])
+            .expect_err(&format!("prefix of {len} bytes must not load"));
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::Io(_)
+            ),
+            "prefix {len}: unexpected error {err:?}"
+        );
+    }
+    let payload_start = 36 + 32 * 6;
+    for at in (payload_start..bytes.len()).step_by(11) {
+        let mut copy = bytes.clone();
+        copy[at] ^= 0x40;
+        match open_and_load("perm_flip.ssg", &copy) {
+            Err(StoreError::ChecksumMismatch { .. }) | Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("flip at {at}: expected typed error, got {other:?}"),
+        }
     }
 }
 

@@ -4,8 +4,10 @@
 
 use proptest::prelude::*;
 use simrank_star::{QueryEngine, QueryEngineOptions, SimStarParams};
-use ssr_graph::{DiGraph, GraphBuilder, NodeId};
-use ssr_store::{StoreReader, StoreWriter};
+use ssr_graph::perm::{bfs_order, degree_order};
+use ssr_graph::{DiGraph, GraphBuilder, NeighborAccess, NodeId};
+use ssr_store::{RandomAccessStore, StoreReader, StoreWriter};
+use std::sync::Arc;
 
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = DiGraph> {
     (1usize..=max_n).prop_flat_map(move |n| {
@@ -100,6 +102,91 @@ proptest! {
         prop_assert_eq!(reader.meta("dataset"), Some("prop"));
         if g.edge_count() > 0 {
             prop_assert!(reader.bits_per_edge() > 0.0);
+        }
+    }
+
+    /// Both orderings are bijections (perm ∘ inv = id in both
+    /// directions), and a permuted store loads back in the original id
+    /// space, bit-identical to the source graph.
+    #[test]
+    fn permutation_round_trips(g in arb_graph(32, 120)) {
+        let dir = std::env::temp_dir().join("ssr_store_props");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, p) in [("bfs", bfs_order(&g)), ("degree", degree_order(&g))] {
+            for v in 0..g.node_count() as NodeId {
+                prop_assert_eq!(p.to_old(p.to_new(v)), v);
+                prop_assert_eq!(p.to_new(p.to_old(v)), v);
+            }
+            let path = dir.join(format!(
+                "{}_{name}_{:016x}.ssg",
+                std::process::id(),
+                fingerprint(&g)
+            ));
+            StoreWriter::new(&g).permutation(p, name).write_file(&path).unwrap();
+            let mut r = StoreReader::open(&path).unwrap();
+            prop_assert!(r.is_permuted());
+            let loaded = r.load_full().unwrap();
+            std::fs::remove_file(&path).ok();
+            prop_assert_eq!(&loaded, &g, "{} permutation perturbed the graph", name);
+        }
+    }
+
+    /// The random-access reader serves exactly the CSR's adjacency for
+    /// every node and both directions — plain and permuted stores alike
+    /// (the permuted store answers in the original id space).
+    #[test]
+    fn random_access_matches_csr(g in arb_graph(32, 120)) {
+        let dir = std::env::temp_dir().join("ssr_store_props");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fp = fingerprint(&g);
+        let plain = dir.join(format!("{}_ra_{fp:016x}.ssg", std::process::id()));
+        let perm = dir.join(format!("{}_rap_{fp:016x}.ssg", std::process::id()));
+        StoreWriter::new(&g).write_file(&plain).unwrap();
+        StoreWriter::new(&g).permutation(bfs_order(&g), "bfs").write_file(&perm).unwrap();
+        for path in [&plain, &perm] {
+            let store = RandomAccessStore::open(path).unwrap();
+            prop_assert_eq!(store.node_count(), g.node_count());
+            prop_assert_eq!(store.edge_count(), g.edge_count());
+            for v in 0..g.node_count() as NodeId {
+                prop_assert_eq!(store.out_neighbors_vec(v), g.out_neighbors(v));
+                prop_assert_eq!(store.in_neighbors_vec(v), g.in_neighbors(v));
+            }
+        }
+        std::fs::remove_file(&plain).ok();
+        std::fs::remove_file(&perm).ok();
+    }
+
+    /// Deterministic engine rows are bitwise identical across the three
+    /// backings: in-memory CSR, random-access v2 store, and a permuted
+    /// random-access store with ids mapped back.
+    #[test]
+    fn engine_identical_across_backings(g in arb_graph(20, 60)) {
+        let dir = std::env::temp_dir().join("ssr_store_props");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fp = fingerprint(&g);
+        let plain = dir.join(format!("{}_eng_{fp:016x}.ssg", std::process::id()));
+        let perm = dir.join(format!("{}_engp_{fp:016x}.ssg", std::process::id()));
+        StoreWriter::new(&g).write_file(&plain).unwrap();
+        StoreWriter::new(&g).permutation(bfs_order(&g), "bfs").write_file(&perm).unwrap();
+        let params = SimStarParams { c: 0.6, iterations: 4 };
+        let opts = QueryEngineOptions { deterministic: true, ..Default::default() };
+        let mem = QueryEngine::with_options(&g, params, opts.clone());
+        let ra = QueryEngine::with_access(
+            Arc::new(RandomAccessStore::open(&plain).unwrap()),
+            params,
+            opts.clone(),
+        );
+        let rp = QueryEngine::with_access(
+            Arc::new(RandomAccessStore::open(&perm).unwrap()),
+            params,
+            opts,
+        );
+        std::fs::remove_file(&plain).ok();
+        std::fs::remove_file(&perm).ok();
+        for q in 0..g.node_count().min(6) as NodeId {
+            let want = mem.query(q);
+            prop_assert_eq!(ra.query(q), want.clone(), "mmap row {} diverged", q);
+            prop_assert_eq!(rp.query(q), want, "permuted mmap row {} diverged", q);
         }
     }
 }
