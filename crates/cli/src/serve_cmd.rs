@@ -4,9 +4,10 @@
 use crate::args::{ArgError, Args};
 use simrank_star::{QueryEngineOptions, SimStarParams};
 use ssr_serve::batcher::BatcherOptions;
-use ssr_serve::client::Client;
+use ssr_serve::client::{Client, Reply};
 use ssr_serve::loadgen::{
-    run_connections_phase, run_protocol_phases, run_standard_phases, LoadPlan, ServeBenchMeta,
+    run_connections_phase, run_protocol_phases, run_sharded_phases, run_standard_phases, LoadPlan,
+    ServeBenchMeta,
 };
 use ssr_serve::server::{Server, ServerOptions};
 use std::fmt::Write as _;
@@ -30,6 +31,7 @@ pub fn cmd_serve(rest: &[String]) -> Result<String, ArgError> {
             "workers",
             "queue",
             "cache",
+            "cache-shards",
             "shards",
             "max-conns",
         ],
@@ -39,11 +41,16 @@ pub fn cmd_serve(rest: &[String]) -> Result<String, ArgError> {
     if !(0.0..1.0).contains(&params.c) || params.c == 0.0 {
         return Err(ArgError(format!("--c must be in (0,1), got {}", params.c)));
     }
+    let shards = args.get("shards", 1usize)?;
+    if shards == 0 || shards > 64 {
+        return Err(ArgError(format!("--shards must be in 1..=64, got {shards}")));
+    }
     let opts = ServerOptions {
         params,
         engine: QueryEngineOptions { compress: args.get("compress", false)?, ..Default::default() },
         cache_capacity: args.get("cache", 4096usize)?,
-        cache_shards: args.get("shards", 8usize)?,
+        cache_shards: args.get("cache-shards", 8usize)?,
+        shards,
         batch: BatcherOptions {
             window_us: args.get("window-us", 500u64)?,
             max_batch: args.get("max-batch", 64usize)?,
@@ -60,8 +67,9 @@ pub fn cmd_serve(rest: &[String]) -> Result<String, ArgError> {
     let addr = server.addr();
     // The listening line goes out immediately (not via the returned
     // string) so wrappers can scrape the ephemeral port while we block.
+    let shard_note = if shards > 1 { format!(", shards={shards}") } else { String::new() };
     println!(
-        "serving SimRank* on {addr} (n={nodes}, m={edges}, c={}, k={}) — \
+        "serving SimRank* on {addr} (n={nodes}, m={edges}, c={}, k={}{shard_note}) — \
          newline-JSON by default, binary ssb/1 after the `SSB1` magic; \
          send {{\"op\":\"shutdown\"}} to stop",
         params.c, params.iterations
@@ -77,22 +85,54 @@ pub fn cmd_serve(rest: &[String]) -> Result<String, ArgError> {
     Ok(format!("server on {addr} stopped\n"))
 }
 
+/// Resolves the target server address from `--addr HOST:PORT`, or from a
+/// `serve --announce` file via `--announce FILE [--wait-announce SECS]` —
+/// the structured replacement for shell wait loops around announce files.
+fn resolve_server_addr(args: &Args) -> Result<std::net::SocketAddr, ArgError> {
+    if args.has("addr") {
+        if args.has("announce") {
+            return Err(ArgError("give either --addr or --announce, not both".into()));
+        }
+        let addr_str = args.req("addr")?;
+        return addr_str
+            .to_socket_addrs()
+            .map_err(|e| ArgError(format!("resolving `{addr_str}`: {e}")))?
+            .next()
+            .ok_or_else(|| ArgError(format!("`{addr_str}` resolved to no address")));
+    }
+    if args.has("announce") {
+        let path = args.req("announce")?;
+        let secs = args.get("wait-announce", 10u64)?;
+        return ssr_serve::loadgen::wait_for_announce(
+            path,
+            std::time::Duration::from_secs(secs.max(1)),
+        )
+        .map_err(ArgError);
+    }
+    Err(ArgError("one of --addr HOST:PORT or --announce FILE is required".into()))
+}
+
 /// `simstar bench-serve`: drive a running server through the standard
 /// batching phases (serial / batched / cached), the protocol-comparison
 /// phases (json_serial / ssb_serial / ssb_pipelined), and the
 /// connection-scaling phase (conns_1k), emitting the
-/// `ssr-bench/serve/v1` JSON that `bench_check` gates.
+/// `ssr-bench/serve/v1` JSON that `bench_check` gates. With `--shards N`
+/// (matching the server's `serve --shards N`) it instead runs the
+/// shard-axis pair, emitting `serial_shardsN` / `batched_shardsN` modes.
 pub fn cmd_bench_serve(rest: &[String]) -> Result<String, ArgError> {
     let args = Args::parse(
         rest,
         &[
             "addr",
+            "announce",
+            "wait-announce",
             "clients",
             "requests",
             "top-k",
             "window-us",
             "pipeline",
             "idle-conns",
+            "shards",
             "name",
             "out",
             "smoke",
@@ -108,17 +148,13 @@ pub fn cmd_bench_serve(rest: &[String]) -> Result<String, ArgError> {
     let idle_conns = args.get("idle-conns", if smoke { 256usize } else { 1024 })?;
     let name = args.opt("name", "serve").to_string();
     let out_path = args.opt("out", "BENCH_serve.json").to_string();
+    let shards = args.get("shards", 1usize)?;
     if clients == 0 || requests == 0 {
         return Err(ArgError("--clients and --requests must be at least 1".into()));
     }
-    let addr_str = args.req("addr")?;
-    let addr = addr_str
-        .to_socket_addrs()
-        .map_err(|e| ArgError(format!("resolving `{addr_str}`: {e}")))?
-        .next()
-        .ok_or_else(|| ArgError(format!("`{addr_str}` resolved to no address")))?;
+    let addr = resolve_server_addr(&args)?;
     let mut admin =
-        Client::connect(addr).map_err(|e| ArgError(format!("connecting to `{addr_str}`: {e}")))?;
+        Client::connect(addr).map_err(|e| ArgError(format!("connecting to `{addr}`: {e}")))?;
     let stats = admin.stats().map_err(|e| ArgError(format!("stats op failed: {e}")))?;
     let nodes = stats.nodes as usize;
     let edges = stats.edges as usize;
@@ -131,20 +167,29 @@ pub fn cmd_bench_serve(rest: &[String]) -> Result<String, ArgError> {
     let pool: Vec<u32> = (0..nodes as u32).collect();
     let hot: Vec<u32> = (0..nodes.min(64) as u32).collect();
     let plan = LoadPlan::new(clients, requests, top_k, pool);
-    let mut phases = run_standard_phases(addr, &plan, hot.clone(), window_us)
-        .map_err(|e| ArgError(format!("load run failed: {e}")))?;
-    phases.extend(
-        run_protocol_phases(addr, &plan, hot.clone(), window_us, pipeline)
-            .map_err(|e| ArgError(format!("protocol load run failed: {e}")))?,
-    );
-    if idle_conns > 0 {
-        let conns_plan =
-            LoadPlan::new(clients, requests.div_ceil(2).max(5), top_k, plan.nodes.clone());
-        phases.push(
-            run_connections_phase(addr, &conns_plan, hot, window_us, pipeline, idle_conns)
-                .map_err(|e| ArgError(format!("connection-scaling run failed: {e}")))?,
+    let phases = if shards > 1 {
+        // Shard-axis run: only the `_shardsN` pair — the caller points
+        // this at a `serve --shards N` instance and merges the modes into
+        // the same report/gate as an unsharded run.
+        run_sharded_phases(addr, &plan, window_us, shards)
+            .map_err(|e| ArgError(format!("sharded load run failed: {e}")))?
+    } else {
+        let mut phases = run_standard_phases(addr, &plan, hot.clone(), window_us)
+            .map_err(|e| ArgError(format!("load run failed: {e}")))?;
+        phases.extend(
+            run_protocol_phases(addr, &plan, hot.clone(), window_us, pipeline)
+                .map_err(|e| ArgError(format!("protocol load run failed: {e}")))?,
         );
-    }
+        if idle_conns > 0 {
+            let conns_plan =
+                LoadPlan::new(clients, requests.div_ceil(2).max(5), top_k, plan.nodes.clone());
+            phases.push(
+                run_connections_phase(addr, &conns_plan, hot, window_us, pipeline, idle_conns)
+                    .map_err(|e| ArgError(format!("connection-scaling run failed: {e}")))?,
+            );
+        }
+        phases
+    };
 
     let meta = ServeBenchMeta {
         smoke,
@@ -164,7 +209,7 @@ pub fn cmd_bench_serve(rest: &[String]) -> Result<String, ArgError> {
     std::fs::write(&out_path, &json).map_err(|e| ArgError(format!("writing `{out_path}`: {e}")))?;
 
     let mut out = format!(
-        "# bench-serve: {addr_str} n={nodes} m={edges} clients={clients} \
+        "# bench-serve: {addr} n={nodes} m={edges} clients={clients} \
          requests/client={requests} top-k={top_k} window={window_us}us pipeline={pipeline}\n"
     );
     let _ = writeln!(
@@ -202,6 +247,49 @@ pub fn cmd_bench_serve(rest: &[String]) -> Result<String, ArgError> {
     if args.get("shutdown", false)? {
         admin.shutdown().map_err(|e| ArgError(format!("shutdown op failed: {e}")))?;
         let _ = writeln!(out, "server asked to shut down");
+    }
+    Ok(out)
+}
+
+/// `simstar serve-probe`: print a running server's top-k answer for every
+/// probed query node, one `query\tnode\tscore` line per match, scores in
+/// shortest-round-trip decimal. Diffing two probes therefore proves (or
+/// refutes) bit identity of the servers' answers — the push-CI gate runs
+/// this against `serve --shards 1` and `--shards N` instances of the same
+/// graph and requires an empty diff.
+pub fn cmd_serve_probe(rest: &[String]) -> Result<String, ArgError> {
+    let args = Args::parse(rest, &["addr", "announce", "wait-announce", "top-k", "count"])?;
+    let addr = resolve_server_addr(&args)?;
+    let mut client =
+        Client::connect(addr).map_err(|e| ArgError(format!("connecting to `{addr}`: {e}")))?;
+    let stats = client.stats().map_err(|e| ArgError(format!("stats op failed: {e}")))?;
+    let nodes = stats.nodes as usize;
+    if nodes == 0 {
+        return Err(ArgError("server reports an empty graph".into()));
+    }
+    let top_k = args.get("top-k", 10usize)?;
+    let count = args.get("count", nodes)?.min(nodes);
+    if count == 0 {
+        return Err(ArgError("--count must be at least 1".into()));
+    }
+    let mut out = format!(
+        "# serve-probe: n={nodes} m={} top-k={top_k} probed={count} (query\tnode\tscore)\n",
+        stats.edges
+    );
+    for q in 0..count as u32 {
+        match client.query(q, top_k).map_err(|e| ArgError(format!("query {q}: {e}")))? {
+            Reply::Ok(r) => {
+                for &(v, s) in r.matches.iter() {
+                    let _ = writeln!(out, "{q}\t{v}\t{s}");
+                }
+            }
+            Reply::Shed => {
+                return Err(ArgError(format!(
+                    "query {q} was shed — probe the server without competing load"
+                )))
+            }
+            Reply::Error(e) => return Err(ArgError(format!("query {q}: {e}"))),
+        }
     }
     Ok(out)
 }

@@ -570,6 +570,41 @@ impl QueryEngine {
         }
     }
 
+    /// Builds an engine over the subgraph induced by `nodes` — the
+    /// sub-engine constructor behind the serve layer's shard router.
+    ///
+    /// `nodes` must be strictly ascending and in range; the subset's nodes
+    /// are relabeled to `0..nodes.len()` by rank, so the relabeling is
+    /// monotone. When the subset is additionally **closed under weak
+    /// connectivity** (a union of whole weakly-connected components, as
+    /// produced by [`ssr_graph::pack_components`]), every kept node keeps
+    /// its full in/out neighborhood, in the same relative order and with
+    /// the same degrees — so in deterministic mode
+    /// ([`QueryEngineOptions::deterministic`]) the sub-engine's scores for
+    /// a subset node are **bit-identical** to the whole-graph engine's
+    /// scores restricted to the subset: identical weights pushed in
+    /// identical order is identical floating-point accumulation.
+    ///
+    /// Closure is the caller's contract (checking it would cost a full
+    /// component pass); a non-closed subset still yields a well-formed
+    /// engine, just over a graph with the crossing edges dropped.
+    pub fn for_node_subset(
+        g: &DiGraph,
+        nodes: &[NodeId],
+        params: SimStarParams,
+        opts: QueryEngineOptions,
+    ) -> Self {
+        assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "subset must be strictly ascending (monotone relabeling)"
+        );
+        if let Some(&last) = nodes.last() {
+            assert!((last as usize) < g.node_count(), "subset node out of range");
+        }
+        let (sub, _remap) = g.induced_subgraph(nodes);
+        Self::with_options(&sub, params, opts)
+    }
+
     /// Number of nodes of the indexed graph.
     pub fn node_count(&self) -> usize {
         self.n

@@ -1,0 +1,192 @@
+//! Component-to-shard packing for partitioned serving.
+//!
+//! SimRank\* scores never cross weakly-connected components (Theorem 1's
+//! zero-similarity predicate is implied by disconnection), so a WCC is the
+//! natural unit of placement: put every component wholly on one shard and
+//! per-shard answers compose *exactly* — no cross-shard edges, no
+//! cross-shard score mass. This module packs components onto `shards`
+//! bins for balance with the classic LPT (longest-processing-time) greedy:
+//! components in decreasing size order, each to the currently lightest
+//! shard. LPT is a 4/3-approximation of optimal makespan, which is far
+//! more balance than the serving layer needs, and — crucially here —
+//! every tie is broken deterministically (smaller component label first,
+//! lower shard index first), so the same graph always yields the same
+//! [`ShardPlan`] on every machine.
+
+use crate::components::Components;
+use crate::NodeId;
+
+/// A deterministic assignment of every node to one of `shards` bins such
+/// that no weakly-connected component is split.
+///
+/// Local ids are the rank of a node within its shard's ascending global-id
+/// list. Because the relabeling `global → local` is strictly monotone
+/// *within a shard*, a shard's induced subgraph (built over `nodes[s]` in
+/// this order) preserves relative adjacency order — the property that
+/// makes per-shard deterministic engines bit-identical to the whole-graph
+/// engine on their slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Owning shard per node, dense in `0..shards`.
+    pub shard_of_node: Vec<u32>,
+    /// Per shard: the owned global node ids, ascending.
+    pub nodes: Vec<Vec<NodeId>>,
+    /// Per node: its rank in `nodes[shard_of_node[v]]` (the shard-local
+    /// id used by the shard's sub-engine).
+    pub local_of_node: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Number of shards (bins), including any left empty because the graph
+    /// has fewer components than shards.
+    pub fn shard_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The shard owning `v`.
+    #[inline]
+    pub fn owner(&self, v: NodeId) -> usize {
+        self.shard_of_node[v as usize] as usize
+    }
+
+    /// The shard-local id of `v` in its owner's sub-engine.
+    #[inline]
+    pub fn local(&self, v: NodeId) -> NodeId {
+        self.local_of_node[v as usize]
+    }
+
+    /// Node count per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.nodes.iter().map(Vec::len).collect()
+    }
+
+    /// Largest shard size over the ideal even split (`1.0` = perfect
+    /// balance; meaningful only when at least one node exists).
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.nodes.iter().map(Vec::len).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self.nodes.iter().map(Vec::len).max().unwrap_or(0);
+        max as f64 * self.shard_count() as f64 / total as f64
+    }
+}
+
+/// Packs weakly-connected components onto `shards` bins with the LPT
+/// greedy (largest component first, to the lightest shard) and returns the
+/// resulting [`ShardPlan`].
+///
+/// Deterministic: components of equal size are taken in ascending label
+/// order, and load ties go to the lowest shard index — so the plan is a
+/// pure function of the component structure, which itself is edge-order
+/// independent (see
+/// [`crate::components::weakly_connected_components_from_edges`]).
+/// `shards` is clamped to at least 1; shards may come out empty when the
+/// graph has fewer components than shards.
+pub fn pack_components(components: &Components, shards: usize) -> ShardPlan {
+    let shards = shards.max(1);
+    let sizes = components.sizes();
+    // LPT order: size descending, label ascending on ties.
+    let mut order: Vec<u32> = (0..components.count as u32).collect();
+    order.sort_unstable_by(|&a, &b| sizes[b as usize].cmp(&sizes[a as usize]).then(a.cmp(&b)));
+    let mut load = vec![0usize; shards];
+    let mut shard_of_component = vec![0u32; components.count];
+    for &comp in &order {
+        // Lightest shard wins; `min_by_key` on (load, index) keeps the
+        // tie-break at the lowest index.
+        let target = (0..shards).min_by_key(|&s| (load[s], s)).expect("shards >= 1");
+        shard_of_component[comp as usize] = target as u32;
+        load[target] += sizes[comp as usize];
+    }
+    let n = components.label.len();
+    let mut shard_of_node = vec![0u32; n];
+    let mut local_of_node = vec![0u32; n];
+    let mut nodes: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+    // Ascending node order makes every per-shard list ascending, which is
+    // what pins the monotone global → local relabeling.
+    for v in 0..n {
+        let s = shard_of_component[components.label[v] as usize];
+        shard_of_node[v] = s;
+        local_of_node[v] = nodes[s as usize].len() as u32;
+        nodes[s as usize].push(v as NodeId);
+    }
+    ShardPlan { shard_of_node, nodes, local_of_node }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::weakly_connected_components;
+    use crate::DiGraph;
+
+    /// Three components: {0,1,2}, {3,4}, {5}.
+    fn g() -> DiGraph {
+        DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn packs_whole_components() {
+        let graph = g();
+        let c = weakly_connected_components(&graph);
+        let plan = pack_components(&c, 2);
+        assert_eq!(plan.shard_count(), 2);
+        for (u, v) in graph.edges() {
+            assert_eq!(plan.owner(u), plan.owner(v), "edge ({u},{v}) split across shards");
+        }
+        // LPT: size-3 component to shard 0, size-2 to shard 1, singleton
+        // to the lighter shard 1.
+        assert_eq!(plan.nodes[0], vec![0, 1, 2]);
+        assert_eq!(plan.nodes[1], vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn local_ids_are_ranks_in_ascending_lists() {
+        let c = weakly_connected_components(&g());
+        let plan = pack_components(&c, 2);
+        for (s, list) in plan.nodes.iter().enumerate() {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "shard {s} list not ascending");
+            for (rank, &v) in list.iter().enumerate() {
+                assert_eq!(plan.owner(v), s);
+                assert_eq!(plan.local(v) as usize, rank);
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_components_leaves_empties() {
+        let c = weakly_connected_components(&g());
+        let plan = pack_components(&c, 5);
+        assert_eq!(plan.shard_count(), 5);
+        let sizes = plan.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        assert_eq!(sizes.iter().filter(|&&s| s == 0).count(), 2);
+    }
+
+    #[test]
+    fn deterministic_across_edge_orders() {
+        let e1 = [(0, 1), (1, 2), (3, 4)];
+        let mut e2 = e1;
+        e2.reverse();
+        let c1 = weakly_connected_components(&DiGraph::from_edges(6, &e1).unwrap());
+        let c2 = weakly_connected_components(&DiGraph::from_edges(6, &e2).unwrap());
+        assert_eq!(pack_components(&c1, 3), pack_components(&c2, 3));
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let c = weakly_connected_components(&g());
+        let plan = pack_components(&c, 1);
+        assert_eq!(plan.nodes, vec![(0..6).collect::<Vec<_>>()]);
+        assert!((plan.imbalance() - 1.0).abs() < 1e-12);
+        for v in 0..6 {
+            assert_eq!(plan.local(v), v);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = weakly_connected_components(&DiGraph::from_edges(0, &[]).unwrap());
+        let plan = pack_components(&c, 3);
+        assert_eq!(plan.shard_sizes(), vec![0, 0, 0]);
+    }
+}

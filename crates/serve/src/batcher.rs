@@ -22,9 +22,17 @@
 //! snapshots force [`simrank_star::QueryEngineOptions::deterministic`]
 //! (batch-composition-independent lanes) — which is what lets the cache
 //! serve a batched result for a solo request and vice versa.
+//!
+//! With a sharded store the flush path scatters through the
+//! [`crate::router`] instead of the whole-graph engine: the flush worker
+//! groups the deduplicated nodes by owning shard, the shard workers
+//! compute concurrently, and the deterministic k-way merge reassembles
+//! answers that are bit-identical to the single-engine path — so every
+//! coalescing/caching property above carries over unchanged.
 
 use crate::cache::{CacheKey, CachedMatches, ShardedCache};
 use crate::epoch::EpochStore;
+use crate::router::Router;
 use ssr_graph::NodeId;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -171,6 +179,7 @@ struct Inner {
     queue_capacity: usize,
     store: Arc<EpochStore>,
     cache: Arc<ShardedCache>,
+    router: Router,
     submitted: AtomicU64,
     shed: AtomicU64,
     flushes: AtomicU64,
@@ -186,8 +195,10 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Starts the flush workers.
+    /// Starts the flush workers (plus the shard-router worker pool when
+    /// the store is sharded).
     pub fn start(store: Arc<EpochStore>, cache: Arc<ShardedCache>, opts: BatcherOptions) -> Self {
+        let router = Router::start(store.shard_count());
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             nonempty: Condvar::new(),
@@ -197,6 +208,7 @@ impl Batcher {
             queue_capacity: opts.queue_capacity.max(1),
             store,
             cache,
+            router,
             submitted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
@@ -255,7 +267,7 @@ impl Batcher {
         }
         let key =
             CacheKey { epoch: snapshot.epoch, node, k: k as u32, params_key: snapshot.params_key };
-        if let Some(matches) = self.inner.cache.get(&key) {
+        if let Some(matches) = self.inner.cache.get_routed(&key, snapshot.cache_route(node)) {
             return Ok(Some(QueryAnswer { epoch: snapshot.epoch, cached: true, matches }));
         }
         drop(snapshot);
@@ -303,8 +315,9 @@ impl Batcher {
         }
     }
 
-    /// Stops accepting jobs, drains the workers, and joins them. Queued
-    /// jobs are failed with [`SubmitError::Closed`].
+    /// Stops accepting jobs, drains the workers, and joins them (the
+    /// shard-router pool included). Queued jobs are failed with
+    /// [`SubmitError::Closed`].
     pub fn shutdown(&self) {
         self.inner.open.store(false, Ordering::Relaxed);
         self.inner.nonempty.notify_all();
@@ -312,6 +325,9 @@ impl Batcher {
         for w in workers {
             let _ = w.join();
         }
+        // Flush workers are parked before the router stops, so no scatter
+        // can race the channel teardown.
+        self.inner.router.shutdown();
         // Fail anything the workers left behind.
         for job in self.inner.queue.lock().expect("batch queue poisoned").drain(..) {
             job.reply.fill(Err(SubmitError::Closed));
@@ -368,7 +384,8 @@ fn worker_loop(inner: &Inner) {
 }
 
 /// Executes one flush: dedupes nodes, runs the blocked top-k batch on the
-/// current snapshot, fills every job's slot, and populates the cache.
+/// current snapshot (scatter-gathered across shard workers when the
+/// snapshot is sharded), fills every job's slot, and populates the cache.
 fn flush(inner: &Inner, batch: Vec<Job>) {
     let snapshot = inner.store.current();
     // Jobs validated against an older snapshot can be out of range now.
@@ -387,7 +404,7 @@ fn flush(inner: &Inner, batch: Vec<Job>) {
     nodes.sort_unstable();
     nodes.dedup();
     let k_max = runnable.iter().map(|j| j.k).max().unwrap_or(0);
-    let ranked = snapshot.engine.top_k_batch(&nodes, k_max);
+    let ranked = inner.router.scatter_top_k(&snapshot, &nodes, k_max);
     inner.flushes.fetch_add(1, Ordering::Relaxed);
     inner.flushed_jobs.fetch_add(runnable.len() as u64, Ordering::Relaxed);
     inner.unique_lanes.fetch_add(nodes.len() as u64, Ordering::Relaxed);
@@ -406,7 +423,7 @@ fn flush(inner: &Inner, batch: Vec<Job>) {
             k: job.k as u32,
             params_key: snapshot.params_key,
         };
-        inner.cache.insert(key, matches.clone());
+        inner.cache.insert_routed(key, matches.clone(), snapshot.cache_route(job.node));
         job.reply.fill(Ok(QueryAnswer { epoch: snapshot.epoch, cached: false, matches }));
     }
 }
@@ -429,7 +446,7 @@ mod tests {
     #[test]
     fn serves_correct_answers_and_caches() {
         let (store, _, b) = setup(BatcherOptions { window_us: 0, ..Default::default() });
-        let expect = store.current().engine.top_k(1, 3);
+        let expect = store.current().engine().top_k(1, 3);
         let first = b.serve(1, 3).unwrap();
         assert!(!first.cached);
         assert_eq!(*first.matches, expect);
@@ -443,7 +460,7 @@ mod tests {
     fn concurrent_submissions_coalesce_and_agree_with_solo() {
         let (store, cache, b) =
             setup(BatcherOptions { window_us: 20_000, max_batch: 16, ..Default::default() });
-        let engine = store.current().engine.clone();
+        let engine = store.current().engine().clone();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..6u32)
                 .map(|node| {
@@ -488,7 +505,7 @@ mod tests {
     #[test]
     fn mixed_k_jobs_get_prefix_consistent_answers() {
         let (store, _, b) = setup(BatcherOptions { window_us: 20_000, ..Default::default() });
-        let engine = store.current().engine.clone();
+        let engine = store.current().engine().clone();
         std::thread::scope(|scope| {
             let small = scope.spawn(|| b.serve(3, 1).unwrap());
             let large = scope.spawn(|| b.serve(3, 5).unwrap());
@@ -560,7 +577,7 @@ mod tests {
         assert_eq!(*tag, 77);
         let answer = result.as_ref().unwrap();
         assert!(!answer.cached);
-        assert_eq!(*answer.matches, store.current().engine.top_k(1, 3));
+        assert_eq!(*answer.matches, store.current().engine().top_k(1, 3));
         // Hit: returned inline, nothing more reaches the sink.
         let hit = b.submit(1, 3, &dyn_sink, 78).unwrap().expect("cache hit");
         assert!(hit.cached);

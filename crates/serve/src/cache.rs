@@ -146,19 +146,35 @@ impl ShardedCache {
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
-        &self.shards[(key.stable_hash() % self.shards.len() as u64) as usize]
+    /// Selects the lock for `key`: an explicit route (the serve layer's
+    /// engine-shard locality hint — one graph shard's entries concentrate
+    /// on its own cache shards) or the stable-hash spread. A key must be
+    /// looked up with the same route it was inserted under; the serve
+    /// layer guarantees that because the route is a pure function of the
+    /// key's epoch + node (see [`crate::epoch::Snapshot::cache_route`]).
+    fn shard(&self, key: &CacheKey, route: Option<usize>) -> &Mutex<Shard> {
+        let idx = match route {
+            Some(r) => r % self.shards.len(),
+            None => (key.stable_hash() % self.shards.len() as u64) as usize,
+        };
+        &self.shards[idx]
+    }
+
+    /// Looks up `key` with the default hash spread. See
+    /// [`ShardedCache::get_routed`].
+    pub fn get(&self, key: &CacheKey) -> Option<CachedMatches> {
+        self.get_routed(key, None)
     }
 
     /// Looks up `key`, refreshing its recency on a hit. The hot path: one
     /// map probe under the shard lock (clone + restamp through the same
     /// `get_mut`), recency bookkeeping after the map borrow ends.
-    pub fn get(&self, key: &CacheKey) -> Option<CachedMatches> {
+    pub fn get_routed(&self, key: &CacheKey, route: Option<usize>) -> Option<CachedMatches> {
         if !self.enabled.load(Ordering::Relaxed) {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(key, route).lock().expect("cache shard poisoned");
         // Stamping before the probe wastes a sequence number on misses,
         // which is harmless — the counter only needs to be monotonic.
         shard.seq += 1;
@@ -182,12 +198,18 @@ impl ShardedCache {
         }
     }
 
-    /// Inserts (or refreshes) `key`, evicting LRU entries past capacity.
+    /// Inserts with the default hash spread. See
+    /// [`ShardedCache::insert_routed`].
     pub fn insert(&self, key: CacheKey, value: CachedMatches) {
+        self.insert_routed(key, value, None);
+    }
+
+    /// Inserts (or refreshes) `key`, evicting LRU entries past capacity.
+    pub fn insert_routed(&self, key: CacheKey, value: CachedMatches, route: Option<usize>) {
         if !self.enabled.load(Ordering::Relaxed) {
             return;
         }
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(&key, route).lock().expect("cache shard poisoned");
         if shard.capacity == 0 {
             return;
         }

@@ -1,0 +1,263 @@
+//! The shard router: partitioned engine workers with scatter-gather
+//! top-k and a deterministic k-way merge.
+//!
+//! A sharded snapshot owns one deterministic sub-engine per shard, each
+//! built over a union of whole weakly-connected components (see
+//! [`ssr_graph::pack_components`]). Because similarity never crosses a
+//! component, a query node's *positive* scores all live on its owning
+//! shard; every other shard contributes only exact zeros. The router
+//! therefore:
+//!
+//! 1. groups a flush's deduplicated query nodes by owning shard,
+//! 2. scatters one sub-batch per relevant shard to that shard's
+//!    persistent worker thread (all shards compute concurrently),
+//! 3. maps each shard's ranked results back to global ids (the shard's
+//!    local ids are ranks in an ascending global list, so the mapping is
+//!    monotone and tie order is preserved), and
+//! 4. k-way merges, per query, the owner's ranked list with the other
+//!    shards' *zero candidates* — their `k` smallest node ids at score
+//!    `0.0`, exactly the entries the whole-graph selection would consider.
+//!
+//! The merge comparator is the single-engine ranking order (score
+//! descending, node id ascending — see
+//! [`simrank_star::QueryEngine::top_k`]), and each input list is itself
+//! that shard's genuine top-k under the same order, so the merged prefix
+//! is **bit-identical** to the whole-graph deterministic answer: any
+//! global top-k entry from shard `s` is among `s`'s best `k`, scores are
+//! bitwise equal by sub-engine determinism, and ties resolve on global
+//! ids in both paths.
+//!
+//! Single-shard snapshots bypass all of this: `Router::start` spawns no
+//! threads for one shard and `Router::scatter_top_k` calls the
+//! whole-graph engine directly — byte-identical to the pre-router path.
+
+use crate::epoch::Snapshot;
+use simrank_star::QueryEngine;
+use ssr_graph::NodeId;
+use std::cmp::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Ranking order shared with the engine's partial selection: score
+/// descending, node id ascending on ties (including exact-zero ties).
+fn entry_cmp(a: &(NodeId, f64), b: &(NodeId, f64)) -> Ordering {
+    b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0))
+}
+
+/// K-way merges ranked `(node, score)` lists — each already sorted by
+/// score descending / id ascending — into the first `k` entries of their
+/// union under the same order. Duplicate nodes across lists are the
+/// caller's bug (shards are disjoint); the merge itself is a plain
+/// cursor-advance over the lists, `O(k · lists)`.
+pub fn merge_ranked(lists: &[&[(NodeId, f64)]], k: usize) -> Vec<(NodeId, f64)> {
+    let mut cursor = vec![0usize; lists.len()];
+    let mut out = Vec::with_capacity(k.min(lists.iter().map(|l| l.len()).sum()));
+    while out.len() < k {
+        let mut best: Option<(usize, (NodeId, f64))> = None;
+        for (li, list) in lists.iter().enumerate() {
+            if let Some(&head) = list.get(cursor[li]) {
+                if best.is_none_or(|(_, b)| entry_cmp(&head, &b) == Ordering::Less) {
+                    best = Some((li, head));
+                }
+            }
+        }
+        let Some((li, head)) = best else { break };
+        cursor[li] += 1;
+        out.push(head);
+    }
+    out
+}
+
+/// Ranked `(node, score)` top-k lists, one per query in a sub-batch.
+type RankedLists = Vec<Vec<(NodeId, f64)>>;
+
+/// One sub-batch dispatched to a shard worker.
+struct Task {
+    engine: Arc<QueryEngine>,
+    /// Shard-local query ids.
+    queries: Vec<NodeId>,
+    k: usize,
+    shard: usize,
+    reply: mpsc::Sender<(usize, RankedLists)>,
+}
+
+/// The partitioned engine-worker pool. One persistent thread per shard
+/// when sharding is on; zero threads (and a direct-call fast path) for a
+/// single shard.
+pub(crate) struct Router {
+    /// Per-shard task senders (`Mutex` only to make the pool `Sync`;
+    /// senders are cheap to clone under the lock).
+    txs: Vec<Mutex<Option<mpsc::Sender<Task>>>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Router {
+    /// Spawns the worker pool: `shards` threads when `shards > 1`, none
+    /// otherwise.
+    pub(crate) fn start(shards: usize) -> Router {
+        if shards <= 1 {
+            return Router { txs: Vec::new(), handles: Mutex::new(Vec::new()) };
+        }
+        let mut txs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::channel::<Task>();
+            let handle = std::thread::Builder::new()
+                .name(format!("ssr-shard-{shard}"))
+                .spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        let ranked = task.engine.top_k_batch(&task.queries, task.k);
+                        // A dropped receiver means the flush worker gave
+                        // up (shutdown); nothing to deliver to.
+                        let _ = task.reply.send((task.shard, ranked));
+                    }
+                })
+                .expect("spawn shard worker");
+            txs.push(Mutex::new(Some(tx)));
+            handles.push(handle);
+        }
+        Router { txs, handles: Mutex::new(handles) }
+    }
+
+    /// Ranked top-`k` per query node, bit-identical to the whole-graph
+    /// deterministic engine. `nodes` are deduplicated global ids.
+    pub(crate) fn scatter_top_k(
+        &self,
+        snapshot: &Snapshot,
+        nodes: &[NodeId],
+        k: usize,
+    ) -> Vec<Vec<(NodeId, f64)>> {
+        let Some(plan) = snapshot.plan.as_deref() else {
+            // Single shard: the whole-graph engine, exactly as before.
+            return snapshot.shards[0].engine.top_k_batch(nodes, k);
+        };
+        assert_eq!(
+            snapshot.shards.len(),
+            self.txs.len(),
+            "snapshot shard count diverged from the router pool"
+        );
+        // Scatter: group queries by owning shard, remembering where each
+        // input node landed.
+        let shards = snapshot.shards.len();
+        let mut locals: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+        let mut slot: Vec<(usize, usize)> = Vec::with_capacity(nodes.len());
+        for &node in nodes {
+            let owner = plan.owner(node);
+            slot.push((owner, locals[owner].len()));
+            locals[owner].push(plan.local(node));
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut outstanding = 0usize;
+        for (shard, queries) in locals.into_iter().enumerate() {
+            if queries.is_empty() {
+                continue;
+            }
+            let task = Task {
+                engine: snapshot.shards[shard].engine.clone(),
+                queries,
+                k,
+                shard,
+                reply: reply_tx.clone(),
+            };
+            let tx = self.txs[shard]
+                .lock()
+                .expect("router sender poisoned")
+                .as_ref()
+                .expect("router is shut down")
+                .clone();
+            tx.send(task).expect("shard worker gone");
+            outstanding += 1;
+        }
+        drop(reply_tx);
+        // Gather, mapping shard-local ids back to global ones. The
+        // monotone local → global mapping preserves the tie order the
+        // sub-engine already resolved on local ids.
+        let mut per_shard: Vec<Option<RankedLists>> = vec![None; shards];
+        for _ in 0..outstanding {
+            let (shard, ranked) = reply_rx.recv().expect("shard worker died mid-flush");
+            let globals = snapshot.shards[shard].nodes.as_slice();
+            per_shard[shard] = Some(
+                ranked
+                    .into_iter()
+                    .map(|list| list.into_iter().map(|(ln, s)| (globals[ln as usize], s)).collect())
+                    .collect(),
+            );
+        }
+        // Every non-owner shard contributes the same zero candidates to
+        // every query it doesn't own: its k smallest global ids at 0.0.
+        let zero_tail: Vec<Vec<(NodeId, f64)>> = snapshot
+            .shards
+            .iter()
+            .map(|s| s.nodes.iter().take(k).map(|&v| (v, 0.0)).collect())
+            .collect();
+        nodes
+            .iter()
+            .zip(&slot)
+            .map(|(_, &(owner, pos))| {
+                let owned = per_shard[owner].as_ref().expect("owner shard replied");
+                let mut lists: Vec<&[(NodeId, f64)]> = Vec::with_capacity(shards);
+                lists.push(&owned[pos]);
+                for (shard, tail) in zero_tail.iter().enumerate() {
+                    if shard != owner {
+                        lists.push(tail);
+                    }
+                }
+                merge_ranked(&lists, k)
+            })
+            .collect()
+    }
+
+    /// Stops the pool: closes every task channel and joins the workers.
+    /// Idempotent; in-flight tasks finish first.
+    pub(crate) fn shutdown(&self) {
+        for tx in &self.txs {
+            tx.lock().expect("router sender poisoned").take();
+        }
+        let handles: Vec<_> =
+            std::mem::take(&mut *self.handles.lock().expect("router handles poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_score_desc_then_id_asc() {
+        let a: &[(NodeId, f64)] = &[(4, 0.9), (1, 0.5), (7, 0.0)];
+        let b: &[(NodeId, f64)] = &[(2, 0.5), (3, 0.0), (5, 0.0)];
+        let merged = merge_ranked(&[a, b], 10);
+        assert_eq!(merged, vec![(4, 0.9), (1, 0.5), (2, 0.5), (3, 0.0), (5, 0.0), (7, 0.0)]);
+    }
+
+    #[test]
+    fn merge_truncates_to_k() {
+        let a: &[(NodeId, f64)] = &[(0, 1.0), (1, 0.8)];
+        let b: &[(NodeId, f64)] = &[(2, 0.9)];
+        assert_eq!(merge_ranked(&[a, b], 2), vec![(0, 1.0), (2, 0.9)]);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_short_lists() {
+        let empty: &[(NodeId, f64)] = &[];
+        let a: &[(NodeId, f64)] = &[(3, 0.2)];
+        assert_eq!(merge_ranked(&[empty, a], 5), vec![(3, 0.2)]);
+        assert_eq!(merge_ranked(&[empty, empty], 5), vec![]);
+        assert_eq!(merge_ranked(&[], 5), vec![]);
+    }
+
+    #[test]
+    fn single_shard_router_spawns_no_threads() {
+        let r = Router::start(1);
+        assert!(r.txs.is_empty());
+        r.shutdown();
+    }
+}

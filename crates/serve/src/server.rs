@@ -41,6 +41,13 @@ pub struct ServerOptions {
     pub cache_capacity: usize,
     /// Number of cache shards.
     pub cache_shards: usize,
+    /// Number of engine shards (1 = a single whole-graph engine, today's
+    /// path byte-for-byte). With more, every snapshot is partitioned by
+    /// weakly-connected component across this many persistent shard
+    /// workers and queries scatter-gather through the
+    /// [`crate::router`] — answers stay bit-identical to the single-engine
+    /// deterministic path.
+    pub shards: usize,
     /// Micro-batcher configuration.
     pub batch: BatcherOptions,
     /// Concurrent-connection cap; sockets beyond it receive one shed
@@ -55,6 +62,7 @@ impl Default for ServerOptions {
             engine: QueryEngineOptions::default(),
             cache_capacity: 4096,
             cache_shards: 8,
+            shards: 1,
             batch: BatcherOptions::default(),
             max_connections: 256,
         }
@@ -126,7 +134,8 @@ pub(crate) struct Inner {
     waker: Waker,
     pub(crate) max_connections: usize,
     /// Total server threads: 1 event loop + flush workers + 1 admin
-    /// executor. The bound reported by `stats`.
+    /// executor + shard workers (0 unsharded). The bound reported by
+    /// `stats`.
     pub(crate) worker_threads: u64,
     pub(crate) started: Instant,
 }
@@ -162,9 +171,14 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind((host, port))?;
         let addr = listener.local_addr()?;
-        let store = Arc::new(EpochStore::new(graph, opts.params, opts.engine.clone()));
+        let store =
+            Arc::new(EpochStore::with_shards(graph, opts.params, opts.engine.clone(), opts.shards));
         let cache = Arc::new(ShardedCache::new(opts.cache_capacity, opts.cache_shards));
         let batcher = Batcher::start(store.clone(), cache.clone(), opts.batch.clone());
+        // Sharded stores add one persistent engine worker per shard; a
+        // single shard runs inline in the flush workers (no extra threads,
+        // so the stats surface is unchanged for the default path).
+        let shard_workers = if store.shard_count() > 1 { store.shard_count() as u64 } else { 0 };
         let (waker, wake_rx) = poller::waker()?;
         let completions =
             Arc::new(CompletionQueue { queue: Mutex::new(Vec::new()), waker: waker.clone() });
@@ -180,7 +194,7 @@ impl Server {
             stopped_cv: Condvar::new(),
             waker,
             max_connections: opts.max_connections.max(1),
-            worker_threads: 1 + opts.batch.workers.max(1) as u64 + 1,
+            worker_threads: 1 + opts.batch.workers.max(1) as u64 + 1 + shard_workers,
             started: Instant::now(),
         });
         let (admin_tx, admin_rx) = mpsc::channel::<AdminJob>();
@@ -196,7 +210,8 @@ impl Server {
     }
 
     /// Total server threads: 1 event loop + flush workers + 1 admin
-    /// executor. Constant at any connection count.
+    /// executor + shard workers (0 unsharded). Constant at any connection
+    /// count.
     pub fn worker_threads(&self) -> u64 {
         self.inner.worker_threads
     }

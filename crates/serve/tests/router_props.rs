@@ -1,0 +1,158 @@
+//! Property tests of the shard router's correctness contract: the k-way
+//! merge of per-shard ranked results — owner shard's genuine top-k plus
+//! every other shard's zero candidates — is bit-identical to the global
+//! single-engine deterministic top-k, for any component packing, any
+//! shard count, score ties included, and `k` past per-shard result
+//! counts.
+
+use proptest::prelude::*;
+use simrank_star::{QueryEngine, QueryEngineOptions, SimStarParams};
+use ssr_graph::{DiGraph, NodeId};
+use ssr_serve::batcher::{Batcher, BatcherOptions};
+use ssr_serve::cache::ShardedCache;
+use ssr_serve::epoch::EpochStore;
+use ssr_serve::merge_ranked;
+use std::sync::Arc;
+
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m)
+            .prop_map(move |edges| (n, edges))
+    })
+}
+
+/// The ranking order the engine's partial selection uses: score
+/// descending, id ascending.
+fn rank_cmp(a: &(NodeId, f64), b: &(NodeId, f64)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pure merge property on synthetic ranked lists: merging disjoint
+    /// sorted lists equals sorting their union, truncated to `k`. Scores
+    /// are drawn from a 3-value pool so equal-score ties (the id
+    /// tie-break) occur constantly, and `k` ranges past the total entry
+    /// count.
+    #[test]
+    fn merge_equals_sorted_union(
+        entries in proptest::collection::vec(
+            // Scores drawn from a 3-value pool by index, so ties abound.
+            (0u32..64, 0usize..3, 0usize..4),
+            0..24,
+        ),
+        lists_n in 1usize..5,
+        k in 0usize..30,
+    ) {
+        // Distinct nodes (shards are disjoint), each assigned to a list.
+        let mut seen = std::collections::HashSet::new();
+        let mut lists: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); lists_n];
+        for (node, score_i, li) in entries {
+            if seen.insert(node) {
+                lists[li % lists_n].push((node, [0.0, 0.25, 0.5][score_i]));
+            }
+        }
+        for list in &mut lists {
+            list.sort_by(rank_cmp);
+        }
+        let mut union: Vec<(NodeId, f64)> = lists.iter().flatten().copied().collect();
+        union.sort_by(rank_cmp);
+        union.truncate(k);
+        let slices: Vec<&[(NodeId, f64)]> = lists.iter().map(|l| l.as_slice()).collect();
+        prop_assert_eq!(merge_ranked(&slices, k), union);
+    }
+
+    /// End-to-end merge property on real sharded snapshots: for every
+    /// query node, k-way merging the owner shard's top-k (mapped to
+    /// global ids) with the other shards' zero candidates reproduces the
+    /// global single-engine top-k bit for bit — including the all-zero
+    /// tail where ranking is purely the id tie-break, and `k` larger than
+    /// any single shard.
+    #[test]
+    fn per_shard_merge_equals_global_top_k(
+        (n, edges) in arb_graph(14, 40),
+        shards in 2usize..5,
+        k_extra in 0usize..4,
+    ) {
+        let g = DiGraph::from_edges(n, &edges).unwrap();
+        let params = SimStarParams { c: 0.7, iterations: 6 };
+        let k = n / 2 + k_extra; // regularly exceeds per-shard node counts
+        let global = QueryEngine::with_options(
+            &g,
+            params,
+            QueryEngineOptions { deterministic: true, ..Default::default() },
+        );
+        let store = EpochStore::with_shards(
+            g,
+            params,
+            QueryEngineOptions::default(),
+            shards,
+        );
+        let snap = store.current();
+        let plan = snap.plan.as_deref().expect("sharded snapshot has a plan");
+        for q in 0..n as NodeId {
+            let owner = plan.owner(q);
+            let owned: Vec<(NodeId, f64)> = snap.shards[owner]
+                .engine
+                .top_k(plan.local(q), k)
+                .into_iter()
+                .map(|(local, s)| (snap.shards[owner].nodes[local as usize], s))
+                .collect();
+            let tails: Vec<Vec<(NodeId, f64)>> = (0..shards)
+                .filter(|&s| s != owner)
+                .map(|s| snap.shards[s].nodes.iter().take(k).map(|&v| (v, 0.0)).collect())
+                .collect();
+            let mut lists: Vec<&[(NodeId, f64)]> = vec![&owned];
+            lists.extend(tails.iter().map(|t| t.as_slice()));
+            let merged = merge_ranked(&lists, k);
+            prop_assert_eq!(merged, global.top_k(q, k), "q={}, shards={}", q, shards);
+        }
+    }
+
+    /// The full pipeline under sharding: concurrent coalesced requests
+    /// against a sharded batcher produce answers bit-identical to the
+    /// single-shard deterministic engine, cached or not.
+    #[test]
+    fn sharded_pipeline_bits_match_single_engine(
+        (n, edges) in arb_graph(12, 36),
+        shards in 2usize..5,
+    ) {
+        let g = DiGraph::from_edges(n, &edges).unwrap();
+        let params = SimStarParams::default();
+        let k = 5;
+        let reference = QueryEngine::with_options(
+            &g,
+            params,
+            QueryEngineOptions { deterministic: true, ..Default::default() },
+        );
+        let store = Arc::new(EpochStore::with_shards(
+            g,
+            params,
+            QueryEngineOptions::default(),
+            shards,
+        ));
+        let cache = Arc::new(ShardedCache::new(256, 4));
+        let batcher = Batcher::start(store, cache, BatcherOptions {
+            window_us: 20_000,
+            max_batch: 16,
+            ..Default::default()
+        });
+        let answers: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n as NodeId)
+                .map(|q| {
+                    let b = &batcher;
+                    scope.spawn(move || b.serve(q, k).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (q, answer) in answers.iter().enumerate() {
+            let expect = reference.top_k(q as NodeId, k);
+            prop_assert_eq!(&*answer.matches, &expect, "uncached q={}", q);
+            let again = batcher.serve(q as NodeId, k).unwrap();
+            prop_assert!(again.cached, "second pass must hit the cache");
+            prop_assert_eq!(&*again.matches, &expect, "cached q={}", q);
+        }
+    }
+}

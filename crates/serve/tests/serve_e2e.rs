@@ -400,9 +400,22 @@ fn json_and_ssb_answers_are_bit_identical_solo_and_pipelined_across_reload() {
 
 /// Concurrent clients, an epoch swap (file reload + edge delta)
 /// mid-stream, and the assertion that every response is consistent with
-/// the epoch it claims — no stale-epoch answers.
+/// the epoch it claims — no stale-epoch answers. Runs both unsharded and
+/// with engine shards: a sharded epoch swap rebuilds every shard engine
+/// before the one snapshot pointer swap, so the guarantee must hold
+/// bit-for-bit there too (the graphs deliberately change component
+/// structure across epochs, so every swap also re-partitions).
 #[test]
 fn epoch_swap_under_concurrent_load_has_no_stale_answers() {
+    epoch_swap_no_stale_answers(1);
+}
+
+#[test]
+fn sharded_epoch_swap_under_concurrent_load_has_no_stale_answers() {
+    epoch_swap_no_stale_answers(3);
+}
+
+fn epoch_swap_no_stale_answers(shards: usize) {
     let params = SimStarParams { c: 0.6, iterations: 6 };
     let server = Server::start(
         graph_v0(),
@@ -410,6 +423,7 @@ fn epoch_swap_under_concurrent_load_has_no_stale_answers() {
         0,
         ServerOptions {
             params,
+            shards,
             batch: BatcherOptions { window_us: 300, ..Default::default() },
             ..Default::default()
         },
@@ -439,7 +453,7 @@ fn epoch_swap_under_concurrent_load_has_no_stale_answers() {
     // Write v1 to a temp file for the reload op.
     let dir = std::env::temp_dir().join("ssr_serve_e2e");
     std::fs::create_dir_all(&dir).unwrap();
-    let v1_path = dir.join(format!("v1_{}.txt", std::process::id()));
+    let v1_path = dir.join(format!("v1_{}_s{shards}.txt", std::process::id()));
     std::fs::write(&v1_path, gio::to_edge_list_string(&v1)).unwrap();
 
     // (epoch, node, matches) per ok response, one stream per client.
@@ -534,6 +548,62 @@ fn epoch_swap_under_concurrent_load_has_no_stale_answers() {
 
     std::fs::remove_file(&v1_path).ok();
     server.shutdown();
+}
+
+/// The shard-router acceptance gate, over the wire: a server partitioned
+/// across engine shards answers bit-identically to an unsharded server on
+/// the same graph, on both wire formats, with `k` exceeding the smaller
+/// components (so cross-shard zero candidates reach the merged prefix).
+/// The thread budget grows by exactly one persistent worker per shard and
+/// is surfaced through `stats`.
+#[test]
+fn sharded_server_answers_bit_identical_to_unsharded() {
+    let params = SimStarParams { c: 0.6, iterations: 6 };
+    // Three weakly-connected components of sizes 5, 3, 3: with three
+    // shards each lands on its own sub-engine.
+    let graph = || {
+        DiGraph::from_edges(
+            11,
+            &[(1, 0), (2, 0), (3, 1), (3, 2), (4, 3), (6, 5), (7, 6), (5, 7), (9, 8), (10, 9)],
+        )
+        .unwrap()
+    };
+    let k = 6; // larger than the 3-node components: zero tails merge in
+    let unsharded =
+        Server::start(graph(), "127.0.0.1", 0, ServerOptions { params, ..Default::default() })
+            .unwrap();
+    let sharded = Server::start(
+        graph(),
+        "127.0.0.1",
+        0,
+        ServerOptions { params, shards: 3, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(unsharded.worker_threads(), 3);
+    // 1 event loop + 1 flush worker + 1 admin + 3 shard workers.
+    assert_eq!(sharded.worker_threads(), 6);
+    for format in [WireFormat::Jsonl, WireFormat::Ssb] {
+        let mut single = Client::builder().protocol(format).connect(unsharded.addr()).unwrap();
+        let mut multi = Client::builder().protocol(format).connect(sharded.addr()).unwrap();
+        for node in 0..11u32 {
+            let Reply::Ok(a) = single.query(node, k).unwrap() else { panic!("unsharded {node}") };
+            let Reply::Ok(b) = multi.query(node, k).unwrap() else { panic!("sharded {node}") };
+            assert_eq!(
+                a.matches, b.matches,
+                "{format:?} node {node}: sharded answer must be bit-identical"
+            );
+            assert_eq!((a.epoch, b.epoch), (0, 0));
+            // Cached pass: routed cache shards return the same bits.
+            let Reply::Ok(c) = multi.query(node, k).unwrap() else { panic!() };
+            assert!(c.cached, "{format:?} node {node} second pass must hit the cache");
+            assert_eq!(c.matches, a.matches);
+        }
+    }
+    let mut admin = Client::connect(sharded.addr()).unwrap();
+    let stats = admin.stats().unwrap();
+    assert_eq!(stats.worker_threads, 6);
+    unsharded.shutdown();
+    sharded.shutdown();
 }
 
 /// PR 5 acceptance gate: an admin `reload` pointed at a `.ssg` binary

@@ -103,7 +103,7 @@ proptest! {
             max_batch: 16,
             ..Default::default()
         });
-        let engine = store.current().engine.clone();
+        let engine = store.current().engine().clone();
         let ks = [1usize, 3, 7];
         let answers: Vec<(NodeId, usize, ssr_serve::QueryAnswer)> =
             std::thread::scope(|scope| {
