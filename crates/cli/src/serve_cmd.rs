@@ -34,6 +34,8 @@ pub fn cmd_serve(rest: &[String]) -> Result<String, ArgError> {
             "cache-shards",
             "shards",
             "max-conns",
+            "slow-query-us",
+            "metrics-dump",
         ],
     )?;
     let g = crate::commands::load_graph(&args)?;
@@ -58,6 +60,7 @@ pub fn cmd_serve(rest: &[String]) -> Result<String, ArgError> {
             workers: args.get("workers", 1usize)?,
         },
         max_connections: args.get("max-conns", 256usize)?,
+        slow_query_us: args.get("slow-query-us", 0u64)?,
     };
     let host = args.opt("host", "127.0.0.1").to_string();
     let port = args.get("port", 0u16)?;
@@ -81,8 +84,18 @@ pub fn cmd_serve(rest: &[String]) -> Result<String, ArgError> {
             .map_err(|e| ArgError(format!("writing `{path}`: {e}")))?;
     }
     server.wait();
+    // Final registry scrape before teardown: `--metrics-dump PATH` leaves
+    // the Prometheus text exposition behind for CI artifacts.
+    let dump = if args.has("metrics-dump") {
+        let path = args.req("metrics-dump")?.to_string();
+        std::fs::write(&path, server.metrics_prometheus())
+            .map_err(|e| ArgError(format!("writing `{path}`: {e}")))?;
+        format!("metrics written to {path}\n")
+    } else {
+        String::new()
+    };
     server.shutdown();
-    Ok(format!("server on {addr} stopped\n"))
+    Ok(format!("server on {addr} stopped\n{dump}"))
 }
 
 /// Resolves the target server address from `--addr HOST:PORT`, or from a
@@ -257,11 +270,32 @@ pub fn cmd_bench_serve(rest: &[String]) -> Result<String, ArgError> {
 /// refutes) bit identity of the servers' answers — the push-CI gate runs
 /// this against `serve --shards 1` and `--shards N` instances of the same
 /// graph and requires an empty diff.
+///
+/// With `--metrics true` it instead fetches the server's observability
+/// registry through the `metrics` op, validates it, and prints it as
+/// Prometheus text exposition — the CI scrape path. `--shutdown true`
+/// asks the server to stop afterwards (which is what lets CI collect a
+/// `serve --metrics-dump` file from a gracefully exiting server).
 pub fn cmd_serve_probe(rest: &[String]) -> Result<String, ArgError> {
-    let args = Args::parse(rest, &["addr", "announce", "wait-announce", "top-k", "count"])?;
+    let args = Args::parse(
+        rest,
+        &["addr", "announce", "wait-announce", "top-k", "count", "metrics", "shutdown"],
+    )?;
     let addr = resolve_server_addr(&args)?;
     let mut client =
         Client::connect(addr).map_err(|e| ArgError(format!("connecting to `{addr}`: {e}")))?;
+    if args.get("metrics", false)? {
+        let reply = client.metrics().map_err(|e| ArgError(format!("metrics op failed: {e}")))?;
+        let text = reply.snapshot.render_prometheus();
+        // Self-check before printing: a scrape that does not parse as
+        // exposition text is a bug here, not downstream in CI.
+        ssr_obs::validate_exposition(&text)
+            .map_err(|e| ArgError(format!("metrics exposition invalid: {e}")))?;
+        if args.get("shutdown", false)? {
+            client.shutdown().map_err(|e| ArgError(format!("shutdown op failed: {e}")))?;
+        }
+        return Ok(text);
+    }
     let stats = client.stats().map_err(|e| ArgError(format!("stats op failed: {e}")))?;
     let nodes = stats.nodes as usize;
     if nodes == 0 {

@@ -70,5 +70,7 @@ pub use kernel::{
     RightMultiplier,
 };
 pub use params::{fnv1a, Fnv1a, SimStarParams};
-pub use query_engine::{QueryEngine, QueryEngineOptions, SeriesKind};
+pub use query_engine::{
+    EngineStats, EngineStatsSnapshot, QueryEngine, QueryEngineOptions, SeriesKind,
+};
 pub use sim_matrix::SimilarityMatrix;

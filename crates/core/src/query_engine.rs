@@ -45,6 +45,7 @@ use ssr_compress::CompressOptions;
 use ssr_graph::components::{weakly_connected_components, weakly_connected_components_from_edges};
 use ssr_graph::{DiGraph, NeighborAccess, NodeId};
 use ssr_linalg::{Csr, Dense};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which SimRank\* series the engine evaluates.
@@ -430,6 +431,83 @@ enum ThetaKernel {
     Access(AccessRightMultiplier),
 }
 
+/// Lifetime work counters an engine accumulates across every sweep it
+/// runs — the raw material for the serve layer's engine gauges. Sweeps
+/// keep plain local tallies on the hot path and flush them here with a
+/// few `Relaxed` adds per sweep, so instrumentation cost is independent
+/// of iteration count and frontier size.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Logical single-source sweeps executed (a block chunk counts one
+    /// per occupied lane).
+    sweeps: AtomicU64,
+    /// Frontier advances across both passes (forward + Horner).
+    iterations: AtomicU64,
+    /// Advances that ended in the dense fallback representation.
+    dense_steps: AtomicU64,
+    /// Occupied lanes across block chunks.
+    lanes_used: AtomicU64,
+    /// Lane capacity across block chunks (`BLOCK` per chunk).
+    lane_slots: AtomicU64,
+    /// Frontier support (active nodes, or `n` when dense) summed over
+    /// advances.
+    frontier_active: AtomicU64,
+    /// `n` summed over the same advances — the density denominator.
+    frontier_slots: AtomicU64,
+}
+
+impl EngineStats {
+    fn flush(&self, sweeps: u64, iters: u64, dense: u64, active: u64, slots: u64) {
+        self.sweeps.fetch_add(sweeps, Ordering::Relaxed);
+        self.iterations.fetch_add(iters, Ordering::Relaxed);
+        if dense > 0 {
+            self.dense_steps.fetch_add(dense, Ordering::Relaxed);
+        }
+        self.frontier_active.fetch_add(active, Ordering::Relaxed);
+        self.frontier_slots.fetch_add(slots, Ordering::Relaxed);
+    }
+
+    fn flush_lanes(&self, used: u64, cap: u64) {
+        self.lanes_used.fetch_add(used, Ordering::Relaxed);
+        self.lane_slots.fetch_add(cap, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+            iterations: self.iterations.load(Ordering::Relaxed),
+            dense_steps: self.dense_steps.load(Ordering::Relaxed),
+            lanes_used: self.lanes_used.load(Ordering::Relaxed),
+            lane_slots: self.lane_slots.load(Ordering::Relaxed),
+            frontier_active: self.frontier_active.load(Ordering::Relaxed),
+            frontier_slots: self.frontier_slots.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen [`EngineStats`] values. Ratios worth watching:
+/// `lanes_used / lane_slots` is batched lane occupancy,
+/// `frontier_active / frontier_slots` is mean frontier density, and
+/// `dense_steps / iterations` is the dense-fallback rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStatsSnapshot {
+    /// Logical single-source sweeps executed.
+    pub sweeps: u64,
+    /// Frontier advances across both sweep passes.
+    pub iterations: u64,
+    /// Advances that ended dense.
+    pub dense_steps: u64,
+    /// Occupied lanes across block chunks.
+    pub lanes_used: u64,
+    /// Lane capacity across block chunks.
+    pub lane_slots: u64,
+    /// Frontier support summed over advances.
+    pub frontier_active: u64,
+    /// Frontier capacity (`n`) summed over the same advances.
+    pub frontier_slots: u64,
+}
+
 /// Amortized single-source SimRank\* query engine. See the module docs.
 ///
 /// ```
@@ -468,6 +546,9 @@ pub struct QueryEngine {
     component: Vec<u32>,
     scratch: Mutex<Vec<QueryScratch>>,
     block_scratch: Mutex<Vec<BlockScratch>>,
+    /// Lifetime work counters (sweeps, advances, lane occupancy, frontier
+    /// density); sweeps flush local tallies here.
+    stats: EngineStats,
 }
 
 impl QueryEngine {
@@ -500,6 +581,7 @@ impl QueryEngine {
             component: weakly_connected_components(g).label,
             scratch: Mutex::new(Vec::new()),
             block_scratch: Mutex::new(Vec::new()),
+            stats: EngineStats::default(),
         }
     }
 
@@ -567,6 +649,7 @@ impl QueryEngine {
             component,
             scratch: Mutex::new(Vec::new()),
             block_scratch: Mutex::new(Vec::new()),
+            stats: EngineStats::default(),
         }
     }
 
@@ -643,6 +726,11 @@ impl QueryEngine {
     /// The options the engine was built with.
     pub fn options(&self) -> &QueryEngineOptions {
         &self.opts
+    }
+
+    /// Frozen lifetime work counters — see [`EngineStatsSnapshot`].
+    pub fn stats(&self) -> EngineStatsSnapshot {
+        self.stats.snapshot()
     }
 
     /// Compression ratio of the batched lane kernel (0 when not compressed).
@@ -775,6 +863,15 @@ impl QueryEngine {
         let eps = self.opts.frontier_epsilon;
         let det = self.opts.deterministic;
         let cutoff = (self.opts.density_cutoff * self.n as f64) as usize;
+        // Work tallies, kept in locals on the hot path and flushed to the
+        // shared atomics once per sweep.
+        let (mut iters, mut dense_steps, mut f_active, mut f_slots) = (0u64, 0u64, 0u64, 0u64);
+        let mut tally = |dense: bool, active: usize, n: usize| {
+            iters += 1;
+            dense_steps += dense as u64;
+            f_active += if dense { n as u64 } else { active as u64 };
+            f_slots += n as u64;
+        };
         // Forward pass: u_θ = e_qᵀQ^θ; V_λ += c[θ][λ]·u_θ for λ ≤ K−θ.
         s.u.vals[q as usize] = 1.0;
         s.u.active.push(q);
@@ -790,6 +887,7 @@ impl QueryEngine {
             }
             // u ← u·Q: push over Q rows, or dense `uᵀ·Q`.
             advance(q_rows, &mut s.u, &mut s.u_next, eps, cutoff, det, &q_dense);
+            tally(s.u.dense, s.u.active.len(), self.n);
             if s.u.is_zero() {
                 break;
             }
@@ -803,12 +901,14 @@ impl QueryEngine {
             if !s.w.is_zero() {
                 // r ← r·Qᵀ: push over Qᵀ rows, or dense `Q·r`.
                 advance(qt_rows, &mut s.w, &mut s.w_next, eps, cutoff, det, &qt_dense);
+                tally(s.w.dense, s.w.active.len(), self.n);
             }
             s.w.axpy_from(&s.vs[lambda], 1.0);
             s.vs[lambda].clear();
         }
         accumulate(out, &s.w, 1.0);
         s.w.clear();
+        self.stats.flush(1, iters, dense_steps, f_active, f_slots);
     }
 
     /// The sweep for one chunk of at most `BLOCK` queries
@@ -890,6 +990,16 @@ impl QueryEngine {
         let eps = self.opts.frontier_epsilon;
         let det = self.opts.deterministic;
         let cutoff = (self.opts.batch_density_cutoff * self.n as f64) as usize;
+        let lanes = queries.len() as u64;
+        // Work tallies (see `sweep_with`): locals on the hot path, one
+        // atomic flush per chunk.
+        let (mut iters, mut dense_steps, mut f_active, mut f_slots) = (0u64, 0u64, 0u64, 0u64);
+        let mut tally = |dense: bool, active: usize, n: usize| {
+            iters += 1;
+            dense_steps += dense as u64;
+            f_active += if dense { n as u64 } else { active as u64 };
+            f_slots += n as u64;
+        };
         for (lane, q) in queries.enumerate() {
             s.u.insert(q)[lane] = 1.0;
         }
@@ -905,6 +1015,7 @@ impl QueryEngine {
             }
             // u ← u·Q lane-wise: push over Q rows, or blocked Qᵀ·u.
             advance_block(q_rows, &mut s.u, &mut s.u_next, eps, cutoff, det, th);
+            tally(s.u.dense, s.u.active.len(), self.n);
             if s.u.is_zero() {
                 break;
             }
@@ -914,10 +1025,13 @@ impl QueryEngine {
             if !s.w.is_zero() {
                 // r ← r·Qᵀ lane-wise: push over Qᵀ rows, or blocked Q·r.
                 advance_block(qt_rows, &mut s.w, &mut s.w_next, eps, cutoff, det, lam);
+                tally(s.w.dense, s.w.active.len(), self.n);
             }
             s.w.axpy_from(&s.vs[lambda], 1.0);
             s.vs[lambda].clear();
         }
+        self.stats.flush(lanes, iters, dense_steps, f_active, f_slots);
+        self.stats.flush_lanes(lanes, BLOCK as u64);
     }
 
     /// The edge-concentrated lane kernel, when the engine was built with
@@ -1220,6 +1334,27 @@ mod tests {
         for (v, (x, y)) in a.iter().zip(b).enumerate() {
             assert!((x - y).abs() < tol, "{tag}: v={v}: {x} vs {y}");
         }
+    }
+
+    #[test]
+    fn engine_stats_count_sweeps_iterations_and_lane_occupancy() {
+        let g = &graphs()[0];
+        let engine = QueryEngine::new(g, SimStarParams::default());
+        assert_eq!(engine.stats(), EngineStatsSnapshot::default(), "fresh engine is zeroed");
+        engine.query(1);
+        let after_one = engine.stats();
+        assert_eq!(after_one.sweeps, 1);
+        assert!(after_one.iterations > 0, "a sweep advances the frontier");
+        assert!(after_one.frontier_active <= after_one.frontier_slots);
+        assert_eq!(after_one.lane_slots, 0, "scalar path uses no lanes");
+        // A 3-query batch is one block chunk: three logical sweeps, three
+        // of BLOCK lanes occupied.
+        engine.top_k_batch(&[0, 1, 2], 2);
+        let after_batch = engine.stats();
+        assert_eq!(after_batch.sweeps, 4);
+        assert_eq!(after_batch.lanes_used, 3);
+        assert_eq!(after_batch.lane_slots, BLOCK as u64);
+        assert!(after_batch.iterations > after_one.iterations);
     }
 
     #[test]

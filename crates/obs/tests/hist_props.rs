@@ -1,0 +1,135 @@
+//! Property tests of the log-bucketed histogram: recording never loses
+//! a sample, quantiles are monotone in `q`, bucket bounds bracket every
+//! value within the designed ~3% relative error, and merging two
+//! histograms is indistinguishable from recording the concatenated
+//! sample sequence. Plus a concurrent stress test: the lock-free path
+//! loses no increments under contention.
+
+use proptest::prelude::*;
+use ssr_obs::{bucket_high, bucket_index, Histogram, NUM_BUCKETS};
+
+/// Sample values spanning every bucketing regime: exact (< 32), narrow
+/// groups, and wide high-exponent groups. Kept below 2^40 so test sums
+/// stay far from u64 overflow.
+fn arb_value() -> impl Strategy<Value = u64> {
+    (0u64..(1 << 40), 0usize..4).prop_map(|(v, shrink)| match shrink {
+        0 => v % 32,        // exact region
+        1 => v % 4096,      // low groups
+        2 => v % (1 << 20), // mid groups
+        _ => v,             // full range
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every recorded sample is counted exactly once and summed exactly.
+    #[test]
+    fn recorded_count_and_sum_are_preserved(vs in proptest::collection::vec(arb_value(), 0..256)) {
+        let h = Histogram::unregistered();
+        for &v in &vs {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), vs.len() as u64);
+        prop_assert_eq!(h.sum(), vs.iter().sum::<u64>());
+        let snap = h.snapshot("h");
+        prop_assert_eq!(snap.count, vs.len() as u64, "snapshot count from buckets");
+        prop_assert_eq!(snap.max, vs.iter().copied().max().unwrap_or(0));
+    }
+
+    /// A bucket's reported upper bound is >= the value and within the
+    /// designed relative error (exact below 32, <= v/32 above).
+    #[test]
+    fn bucket_bounds_bracket_every_value(raw in 0u64..u64::MAX, edge in 0usize..4) {
+        // The range draw can't produce u64::MAX itself; hit the edges
+        // explicitly.
+        let v = match edge {
+            0 => u64::MAX,
+            1 => 1u64 << (raw % 64),
+            _ => raw,
+        };
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        let high = bucket_high(i);
+        prop_assert!(high >= v, "bucket high {} < value {}", high, v);
+        prop_assert!(high - v <= v / 32, "value {} high {} error too large", v, high);
+        if i > 0 {
+            prop_assert!(bucket_high(i - 1) < v, "value {} fits an earlier bucket", v);
+        }
+    }
+
+    /// Quantiles never decrease as q increases, p999 <= max bound holds,
+    /// and every quantile is a reachable bucket bound.
+    #[test]
+    fn quantiles_are_monotone(vs in proptest::collection::vec(arb_value(), 1..256)) {
+        let h = Histogram::unregistered();
+        for &v in &vs {
+            h.record(v);
+        }
+        let qs = [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let mut prev = 0u64;
+        for &q in &qs {
+            let cur = h.quantile(q);
+            prop_assert!(cur >= prev, "q {} gave {} after {}", q, cur, prev);
+            prev = cur;
+        }
+        let snap = h.snapshot("h");
+        prop_assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99 && snap.p99 <= snap.p999);
+        // The top quantile can exceed max only by intra-bucket rounding.
+        prop_assert_eq!(h.quantile(1.0), bucket_high(bucket_index(snap.max)));
+    }
+
+    /// merge(a, b) is exactly record(a ++ b): same buckets, same summary.
+    #[test]
+    fn merge_equals_concatenated_recording(
+        a in proptest::collection::vec(arb_value(), 0..128),
+        b in proptest::collection::vec(arb_value(), 0..128),
+    ) {
+        let ha = Histogram::unregistered();
+        let hb = Histogram::unregistered();
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        ha.merge_from(&hb);
+
+        let concat = Histogram::unregistered();
+        for &v in a.iter().chain(&b) {
+            concat.record(v);
+        }
+        prop_assert_eq!(ha.snapshot("m"), concat.snapshot("m"));
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile(q), concat.quantile(q), "quantile {} diverged", q);
+        }
+    }
+}
+
+/// Contended recording from many threads loses nothing: count, sum, and
+/// the derived snapshot all see every increment.
+#[test]
+fn concurrent_recording_loses_no_increments() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+    let h = Histogram::unregistered();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // A spread of values so threads collide on hot buckets
+                    // (small values) and cold ones alike.
+                    h.record((i % 100) * (t + 1));
+                }
+            });
+        }
+    });
+    let expect_count = THREADS * PER_THREAD;
+    let expect_sum: u64 =
+        (0..THREADS).map(|t| (0..PER_THREAD).map(|i| (i % 100) * (t + 1)).sum::<u64>()).sum();
+    assert_eq!(h.count(), expect_count);
+    assert_eq!(h.sum(), expect_sum);
+    let snap = h.snapshot("stress");
+    assert_eq!(snap.count, expect_count, "bucket totals match the atomic count");
+}

@@ -32,7 +32,8 @@
 
 use crate::cache::{CacheKey, CachedMatches, ShardedCache};
 use crate::epoch::EpochStore;
-use crate::router::Router;
+use crate::metrics::{QueryTrace, ServeMetrics};
+use crate::router::{Router, ScatterTiming};
 use ssr_graph::NodeId;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -69,6 +70,10 @@ pub struct QueryAnswer {
     pub cached: bool,
     /// Ranked `(node, score)` matches.
     pub matches: CachedMatches,
+    /// Server-side per-stage timings accumulated on the way to this
+    /// answer. Cache hits carry only `cache_ns`; flushed answers add
+    /// queue wait, engine compute, and merge time.
+    pub trace: QueryTrace,
 }
 
 /// Why a submission did not produce an answer.
@@ -117,6 +122,10 @@ struct Job {
     node: NodeId,
     k: usize,
     reply: JobReply,
+    /// Cache-probe time spent at admission, carried into the trace.
+    cache_ns: u64,
+    /// When the job entered the bounded queue (queue-wait stage start).
+    queued_at: Instant,
 }
 
 struct Slot {
@@ -180,6 +189,7 @@ struct Inner {
     store: Arc<EpochStore>,
     cache: Arc<ShardedCache>,
     router: Router,
+    metrics: Arc<ServeMetrics>,
     submitted: AtomicU64,
     shed: AtomicU64,
     flushes: AtomicU64,
@@ -196,8 +206,20 @@ pub struct Batcher {
 
 impl Batcher {
     /// Starts the flush workers (plus the shard-router worker pool when
-    /// the store is sharded).
+    /// the store is sharded) with a private metric registry.
     pub fn start(store: Arc<EpochStore>, cache: Arc<ShardedCache>, opts: BatcherOptions) -> Self {
+        let metrics = Arc::new(ServeMetrics::new(store.shard_count()));
+        Self::start_instrumented(store, cache, opts, metrics)
+    }
+
+    /// Starts the flush workers recording into the server's shared
+    /// [`ServeMetrics`] (stage/cache/queue/engine/merge histograms).
+    pub(crate) fn start_instrumented(
+        store: Arc<EpochStore>,
+        cache: Arc<ShardedCache>,
+        opts: BatcherOptions,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
         let router = Router::start(store.shard_count());
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
@@ -209,6 +231,7 @@ impl Batcher {
             store,
             cache,
             router,
+            metrics,
             submitted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
@@ -267,8 +290,18 @@ impl Batcher {
         }
         let key =
             CacheKey { epoch: snapshot.epoch, node, k: k as u32, params_key: snapshot.params_key };
-        if let Some(matches) = self.inner.cache.get_routed(&key, snapshot.cache_route(node)) {
-            return Ok(Some(QueryAnswer { epoch: snapshot.epoch, cached: true, matches }));
+        let cache_started = Instant::now();
+        let hit = self.inner.cache.get_routed(&key, snapshot.cache_route(node));
+        let cache_ns = cache_started.elapsed().as_nanos() as u64;
+        self.inner.metrics.stage_cache.record(cache_ns / 1_000);
+        if let Some(matches) = hit {
+            self.inner.metrics.inline_cache_hits.inc();
+            return Ok(Some(QueryAnswer {
+                epoch: snapshot.epoch,
+                cached: true,
+                matches,
+                trace: QueryTrace { cache_ns, ..QueryTrace::default() },
+            }));
         }
         drop(snapshot);
         {
@@ -281,7 +314,7 @@ impl Batcher {
                 self.inner.shed.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::Shed);
             }
-            queue.push_back(Job { node, k, reply });
+            queue.push_back(Job { node, k, reply, cache_ns, queued_at: Instant::now() });
             self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         }
         self.inner.nonempty.notify_all();
@@ -387,6 +420,8 @@ fn worker_loop(inner: &Inner) {
 /// current snapshot (scatter-gathered across shard workers when the
 /// snapshot is sharded), fills every job's slot, and populates the cache.
 fn flush(inner: &Inner, batch: Vec<Job>) {
+    // Queue-wait ends here for every job in the batch.
+    let drained = Instant::now();
     let snapshot = inner.store.current();
     // Jobs validated against an older snapshot can be out of range now.
     let (runnable, stale): (Vec<&Job>, Vec<&Job>) =
@@ -404,7 +439,21 @@ fn flush(inner: &Inner, batch: Vec<Job>) {
     nodes.sort_unstable();
     nodes.dedup();
     let k_max = runnable.iter().map(|j| j.k).max().unwrap_or(0);
-    let ranked = inner.router.scatter_top_k(&snapshot, &nodes, k_max);
+    let mut timing = ScatterTiming::default();
+    let scatter_started = Instant::now();
+    let ranked = inner.router.scatter_top_k(&snapshot, &nodes, k_max, &mut timing);
+    let scatter_ns = scatter_started.elapsed().as_nanos() as u64;
+    // Engine stage = scatter wall time minus the merge: shards compute
+    // concurrently, so the wall interval (not the per-shard sum) is what
+    // keeps each request's stage sum below its end-to-end latency.
+    let engine_ns = scatter_ns.saturating_sub(timing.merge_ns);
+    inner.metrics.stage_engine.record(engine_ns / 1_000);
+    inner.metrics.stage_merge.record(timing.merge_ns / 1_000);
+    for &(shard, ns) in &timing.per_shard {
+        if let Some(hist) = inner.metrics.shard_engine.get(shard) {
+            hist.record(ns / 1_000);
+        }
+    }
     inner.flushes.fetch_add(1, Ordering::Relaxed);
     inner.flushed_jobs.fetch_add(runnable.len() as u64, Ordering::Relaxed);
     inner.unique_lanes.fetch_add(nodes.len() as u64, Ordering::Relaxed);
@@ -424,7 +473,11 @@ fn flush(inner: &Inner, batch: Vec<Job>) {
             params_key: snapshot.params_key,
         };
         inner.cache.insert_routed(key, matches.clone(), snapshot.cache_route(job.node));
-        job.reply.fill(Ok(QueryAnswer { epoch: snapshot.epoch, cached: false, matches }));
+        let queue_ns = drained.duration_since(job.queued_at).as_nanos() as u64;
+        inner.metrics.stage_queue.record(queue_ns / 1_000);
+        let trace =
+            QueryTrace { cache_ns: job.cache_ns, queue_ns, engine_ns, merge_ns: timing.merge_ns };
+        job.reply.fill(Ok(QueryAnswer { epoch: snapshot.epoch, cached: false, matches, trace }));
     }
 }
 

@@ -12,7 +12,7 @@
 //! hang `bench-serve` until killed.
 
 use crate::codec::{Decoded, WireFormat, SSB_MAGIC};
-use crate::protocol::{CacheDirective, QueryReply, Request, Response, StatsReply};
+use crate::protocol::{CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply};
 use ssr_graph::NodeId;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -276,16 +276,28 @@ impl Client {
         }
     }
 
-    /// Admin: reconfigure batch window / flush cap / cache at runtime.
+    /// Admin: reconfigure batch window / flush cap / cache /
+    /// slow-query-log threshold at runtime. `slow_query_us: Some(0)`
+    /// disables the slow-query log.
     pub fn config(
         &mut self,
         window_us: Option<u64>,
         max_batch: Option<usize>,
         cache: Option<CacheDirective>,
+        slow_query_us: Option<u64>,
     ) -> Result<(), ClientError> {
-        match self.call(&Request::Config { window_us, max_batch, cache })? {
+        match self.call(&Request::Config { window_us, max_batch, cache, slow_query_us })? {
             Response::Config { .. } => Ok(()),
             other => Err(unexpected("config", &other)),
+        }
+    }
+
+    /// Typed `metrics` snapshot: the full observability registry
+    /// (counters, gauges, histogram quantiles) as of this call.
+    pub fn metrics(&mut self) -> Result<MetricsReply, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(*m),
+            other => Err(unexpected("metrics", &other)),
         }
     }
 

@@ -11,8 +11,9 @@ use super::{Decoded, Malformed, MAX_JSON_LINE_BYTES};
 use crate::batcher::BatcherStats;
 use crate::cache::CacheStats;
 use crate::json::{parse_json, Json};
-use crate::protocol::{CacheDirective, QueryReply, Request, Response, StatsReply};
+use crate::protocol::{CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply};
 use ssr_graph::NodeId;
+use ssr_obs::{HistSnap, RegistrySnapshot};
 use std::sync::Arc;
 
 /// The `json/1` codec. Stateless; see the module docs.
@@ -88,6 +89,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "reload" => {
             let path = doc
                 .get("path")
@@ -122,6 +124,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     .transpose()?
                     .map(|v| v as usize),
                 cache,
+                slow_query_us: doc
+                    .get("slow_query_us")
+                    .map(|v| num_field(v, "slow_query_us"))
+                    .transpose()?
+                    .map(|v| v as u64),
             })
         }
         "shutdown" => Ok(Request::Shutdown),
@@ -181,6 +188,7 @@ pub fn render_request(req: &Request) -> String {
         }
         Request::Ping => obj(vec![], "ping"),
         Request::Stats => obj(vec![], "stats"),
+        Request::Metrics => obj(vec![], "metrics"),
         Request::Shutdown => obj(vec![], "shutdown"),
         Request::Reload { path } => obj(vec![("path".into(), Json::Str(path.clone()))], "reload"),
         Request::EdgeDelta { add, remove } => {
@@ -194,7 +202,7 @@ pub fn render_request(req: &Request) -> String {
             };
             obj(vec![("add".into(), pairs(add)), ("remove".into(), pairs(remove))], "edge-delta")
         }
-        Request::Config { window_us, max_batch, cache } => {
+        Request::Config { window_us, max_batch, cache, slow_query_us } => {
             let mut fields = Vec::new();
             if let Some(w) = window_us {
                 fields.push(("window_us".into(), num(*w as f64)));
@@ -204,6 +212,9 @@ pub fn render_request(req: &Request) -> String {
             }
             if let Some(c) = cache {
                 fields.push(("cache".into(), Json::Str(c.as_str().into())));
+            }
+            if let Some(t) = slow_query_us {
+                fields.push(("slow_query_us".into(), num(*t as f64)));
             }
             obj(fields, "config")
         }
@@ -228,6 +239,7 @@ pub fn render_response(resp: &Response) -> String {
             ("epoch".into(), num(*epoch as f64)),
         ]),
         Response::Stats(s) => render_stats(s),
+        Response::Metrics(m) => render_metrics(m),
         Response::Reloaded { epoch, nodes, edges } => ok_response(vec![
             ("op".into(), Json::Str("reload".into())),
             ("epoch".into(), num(*epoch as f64)),
@@ -241,12 +253,15 @@ pub fn render_response(resp: &Response) -> String {
             ("added".into(), num(*added as f64)),
             ("removed".into(), num(*removed as f64)),
         ]),
-        Response::Config { window_us, max_batch, cache_enabled } => ok_response(vec![
-            ("op".into(), Json::Str("config".into())),
-            ("window_us".into(), num(*window_us as f64)),
-            ("max_batch".into(), num(*max_batch as f64)),
-            ("cache_enabled".into(), Json::Bool(*cache_enabled)),
-        ]),
+        Response::Config { window_us, max_batch, cache_enabled, slow_query_us } => {
+            ok_response(vec![
+                ("op".into(), Json::Str("config".into())),
+                ("window_us".into(), num(*window_us as f64)),
+                ("max_batch".into(), num(*max_batch as f64)),
+                ("cache_enabled".into(), Json::Bool(*cache_enabled)),
+                ("slow_query_us".into(), num(*slow_query_us as f64)),
+            ])
+        }
         Response::ShuttingDown => ok_response(vec![("op".into(), Json::Str("shutdown".into()))]),
         Response::Shed { reason } => Json::Obj(vec![
             ("status".into(), Json::Str("shed".into())),
@@ -307,6 +322,88 @@ fn render_stats(s: &StatsReply) -> String {
     ])
 }
 
+/// Renders the `metrics` payload: `(name, value)` pair arrays for
+/// counters and gauges, one object per histogram (count/sum/max plus the
+/// quantile summary). Values stay within 2^53, so the f64 JSON number
+/// space round-trips them exactly.
+fn render_metrics(m: &MetricsReply) -> String {
+    let num = Json::Num;
+    let pairs = |items: &[(String, u64)]| {
+        Json::Arr(
+            items
+                .iter()
+                .map(|(name, v)| Json::Arr(vec![Json::Str(name.clone()), num(*v as f64)]))
+                .collect(),
+        )
+    };
+    let hists = Json::Arr(
+        m.snapshot
+            .hists
+            .iter()
+            .map(|h| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(h.name.clone())),
+                    ("count".into(), num(h.count as f64)),
+                    ("sum".into(), num(h.sum as f64)),
+                    ("max".into(), num(h.max as f64)),
+                    ("p50".into(), num(h.p50 as f64)),
+                    ("p90".into(), num(h.p90 as f64)),
+                    ("p99".into(), num(h.p99 as f64)),
+                    ("p999".into(), num(h.p999 as f64)),
+                ])
+            })
+            .collect(),
+    );
+    ok_response(vec![
+        ("op".into(), Json::Str("metrics".into())),
+        ("version".into(), num(m.version as f64)),
+        ("counters".into(), pairs(&m.snapshot.counters)),
+        ("gauges".into(), pairs(&m.snapshot.gauges)),
+        ("histograms".into(), hists),
+    ])
+}
+
+fn parse_metrics(doc: &Json) -> MetricsReply {
+    let u = |v: Option<&Json>| v.and_then(Json::as_num).unwrap_or(0.0) as u64;
+    let pairs = |key: &str| -> Vec<(String, u64)> {
+        doc.get(key)
+            .and_then(Json::as_arr)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|pair| {
+                        let p = pair.as_arr()?;
+                        Some((p.first()?.as_str()?.to_string(), p.get(1)?.as_num()? as u64))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let hists = doc
+        .get("histograms")
+        .and_then(Json::as_arr)
+        .map(|items| {
+            items
+                .iter()
+                .map(|h| HistSnap {
+                    name: h.get("name").and_then(Json::as_str).unwrap_or("").to_string(),
+                    count: u(h.get("count")),
+                    sum: u(h.get("sum")),
+                    max: u(h.get("max")),
+                    p50: u(h.get("p50")),
+                    p90: u(h.get("p90")),
+                    p99: u(h.get("p99")),
+                    p999: u(h.get("p999")),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    MetricsReply {
+        version: u(doc.get("version")),
+        snapshot: RegistrySnapshot { counters: pairs("counters"), gauges: pairs("gauges"), hists },
+    }
+}
+
 /// Parses one response line into the typed [`Response`].
 pub fn parse_response(line: &str) -> Result<Response, String> {
     let doc = parse_json(line.trim()).map_err(|e| format!("bad JSON: {e}"))?;
@@ -332,6 +429,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             })),
             Some("ping") => Ok(Response::Pong { epoch: u(doc.get("epoch")) }),
             Some("stats") => Ok(Response::Stats(Box::new(parse_stats(&doc)))),
+            Some("metrics") => Ok(Response::Metrics(Box::new(parse_metrics(&doc)))),
             Some("reload") => Ok(Response::Reloaded {
                 epoch: u(doc.get("epoch")),
                 nodes: u(doc.get("nodes")),
@@ -347,6 +445,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 window_us: u(doc.get("window_us")),
                 max_batch: u(doc.get("max_batch")),
                 cache_enabled: doc.get("cache_enabled").and_then(Json::as_bool).unwrap_or(false),
+                slow_query_us: u(doc.get("slow_query_us")),
             }),
             Some("shutdown") => Ok(Response::ShuttingDown),
             Some(other) => Err(format!("unknown response op `{other}`")),
@@ -487,9 +586,20 @@ mod tests {
             Request::Config {
                 window_us: Some(250),
                 max_batch: Some(32),
-                cache: Some(CacheDirective::Clear)
+                cache: Some(CacheDirective::Clear),
+                slow_query_us: None
             }
         );
+        assert_eq!(
+            parse_request(r#"{"op":"config","slow_query_us":1500}"#).unwrap(),
+            Request::Config {
+                window_us: None,
+                max_batch: None,
+                cache: None,
+                slow_query_us: Some(1500)
+            }
+        );
+        assert_eq!(parse_request(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics);
         assert!(parse_request(r#"{"op":"config","cache":"purge"}"#).is_err());
         assert!(parse_request(r#"{"op":"edge-delta","add":[[1]]}"#).is_err());
     }
@@ -571,7 +681,9 @@ mod tests {
                 window_us: Some(250),
                 max_batch: None,
                 cache: Some(CacheDirective::On),
+                slow_query_us: Some(2_000),
             },
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in &reqs {
@@ -589,7 +701,29 @@ mod tests {
             Response::Pong { epoch: 3 },
             Response::Reloaded { epoch: 1, nodes: 10, edges: 20 },
             Response::DeltaApplied { epoch: 2, nodes: 10, added: 1, removed: 0 },
-            Response::Config { window_us: 800, max_batch: 64, cache_enabled: true },
+            Response::Config {
+                window_us: 800,
+                max_batch: 64,
+                cache_enabled: true,
+                slow_query_us: 1_000,
+            },
+            Response::Metrics(Box::new(MetricsReply {
+                version: 1,
+                snapshot: RegistrySnapshot {
+                    counters: vec![("ssr_requests_total{codec=\"json\"}".into(), 12)],
+                    gauges: vec![("ssr_epoch".into(), 3)],
+                    hists: vec![HistSnap {
+                        name: "ssr_stage_us{stage=\"total\"}".into(),
+                        count: 4,
+                        sum: 900,
+                        max: 400,
+                        p50: 200,
+                        p90: 380,
+                        p99: 400,
+                        p999: 400,
+                    }],
+                },
+            })),
             Response::ShuttingDown,
             Response::Shed { reason: "queue full".into() },
             Response::Error { message: "node 9 out of range".into() },

@@ -34,8 +34,9 @@
 use super::{Decoded, Malformed, MAX_FRAME_BYTES};
 use crate::batcher::BatcherStats;
 use crate::cache::CacheStats;
-use crate::protocol::{CacheDirective, QueryReply, Request, Response, StatsReply};
+use crate::protocol::{CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply};
 use ssr_graph::NodeId;
+use ssr_obs::{HistSnap, RegistrySnapshot};
 use ssr_store::varint::{read_varint, write_varint};
 use std::sync::Arc;
 
@@ -48,6 +49,7 @@ mod op {
     pub const EDGE_DELTA: u8 = 0x05;
     pub const CONFIG: u8 = 0x06;
     pub const SHUTDOWN: u8 = 0x07;
+    pub const METRICS: u8 = 0x08;
 }
 
 /// Response kinds.
@@ -61,6 +63,7 @@ mod kind {
     pub const SHUTTING_DOWN: u8 = 0x06;
     pub const SHED: u8 = 0x07;
     pub const ERROR: u8 = 0x08;
+    pub const METRICS: u8 = 0x09;
 }
 
 /// Presence flags of the `config` request body.
@@ -68,6 +71,7 @@ mod cfg {
     pub const WINDOW: u8 = 0x01;
     pub const MAX_BATCH: u8 = 0x02;
     pub const CACHE: u8 = 0x04;
+    pub const SLOW_QUERY: u8 = 0x08;
 }
 
 /// The `ssb/1` codec. Stateless; see the module docs.
@@ -89,6 +93,7 @@ impl super::Codec for SsbCodec {
                 }
                 Request::Ping => body.push(op::PING),
                 Request::Stats => body.push(op::STATS),
+                Request::Metrics => body.push(op::METRICS),
                 Request::Reload { path } => {
                     body.push(op::RELOAD);
                     put_str(body, path);
@@ -98,7 +103,7 @@ impl super::Codec for SsbCodec {
                     put_edges(body, add);
                     put_edges(body, remove);
                 }
-                Request::Config { window_us, max_batch, cache } => {
+                Request::Config { window_us, max_batch, cache, slow_query_us } => {
                     body.push(op::CONFIG);
                     let mut flags = 0u8;
                     if window_us.is_some() {
@@ -109,6 +114,9 @@ impl super::Codec for SsbCodec {
                     }
                     if cache.is_some() {
                         flags |= cfg::CACHE;
+                    }
+                    if slow_query_us.is_some() {
+                        flags |= cfg::SLOW_QUERY;
                     }
                     body.push(flags);
                     if let Some(w) = window_us {
@@ -123,6 +131,9 @@ impl super::Codec for SsbCodec {
                             CacheDirective::On => 1,
                             CacheDirective::Clear => 2,
                         });
+                    }
+                    if let Some(t) = slow_query_us {
+                        write_varint(body, *t);
                     }
                 }
                 Request::Shutdown => body.push(op::SHUTDOWN),
@@ -158,6 +169,10 @@ impl super::Codec for SsbCodec {
                     body.push(kind::STATS);
                     put_stats(body, s);
                 }
+                Response::Metrics(m) => {
+                    body.push(kind::METRICS);
+                    put_metrics(body, m);
+                }
                 Response::Reloaded { epoch, nodes, edges } => {
                     body.push(kind::RELOADED);
                     write_varint(body, *epoch);
@@ -171,11 +186,12 @@ impl super::Codec for SsbCodec {
                     write_varint(body, *added);
                     write_varint(body, *removed);
                 }
-                Response::Config { window_us, max_batch, cache_enabled } => {
+                Response::Config { window_us, max_batch, cache_enabled, slow_query_us } => {
                     body.push(kind::CONFIG);
                     write_varint(body, *window_us);
                     write_varint(body, *max_batch);
                     body.push(u8::from(*cache_enabled));
+                    write_varint(body, *slow_query_us);
                 }
                 Response::ShuttingDown => body.push(kind::SHUTTING_DOWN),
                 Response::Shed { reason } => {
@@ -218,6 +234,24 @@ fn put_edges(out: &mut Vec<u8>, edges: &[(NodeId, NodeId)]) {
     for &(a, b) in edges {
         write_varint(out, u64::from(a));
         write_varint(out, u64::from(b));
+    }
+}
+
+fn put_metrics(out: &mut Vec<u8>, m: &MetricsReply) {
+    write_varint(out, m.version);
+    for pairs in [&m.snapshot.counters, &m.snapshot.gauges] {
+        write_varint(out, pairs.len() as u64);
+        for (name, v) in pairs {
+            put_str(out, name);
+            write_varint(out, *v);
+        }
+    }
+    write_varint(out, m.snapshot.hists.len() as u64);
+    for h in &m.snapshot.hists {
+        put_str(out, &h.name);
+        for v in [h.count, h.sum, h.max, h.p50, h.p90, h.p99, h.p999] {
+            write_varint(out, v);
+        }
     }
 }
 
@@ -316,7 +350,7 @@ fn decode_request_body(r: &mut Reader) -> Result<Request, String> {
         }
         op::CONFIG => {
             let flags = r.byte("config flags")?;
-            if flags & !(cfg::WINDOW | cfg::MAX_BATCH | cfg::CACHE) != 0 {
+            if flags & !(cfg::WINDOW | cfg::MAX_BATCH | cfg::CACHE | cfg::SLOW_QUERY) != 0 {
                 return Err(format!("unknown config flags {flags:#04x}"));
             }
             let window_us =
@@ -336,9 +370,12 @@ fn decode_request_body(r: &mut Reader) -> Result<Request, String> {
             } else {
                 None
             };
-            Ok(Request::Config { window_us, max_batch, cache })
+            let slow_query_us =
+                if flags & cfg::SLOW_QUERY != 0 { Some(r.varint("slow_query_us")?) } else { None };
+            Ok(Request::Config { window_us, max_batch, cache, slow_query_us })
         }
         op::SHUTDOWN => Ok(Request::Shutdown),
+        op::METRICS => Ok(Request::Metrics),
         other => Err(format!("unknown request opcode {other:#04x}")),
     }
 }
@@ -364,6 +401,7 @@ fn decode_response_body(r: &mut Reader) -> Result<Response, String> {
         }
         kind::PONG => Ok(Response::Pong { epoch: r.varint("epoch")? }),
         kind::STATS => Ok(Response::Stats(Box::new(decode_stats(r)?))),
+        kind::METRICS => Ok(Response::Metrics(Box::new(decode_metrics(r)?))),
         kind::RELOADED => Ok(Response::Reloaded {
             epoch: r.varint("epoch")?,
             nodes: r.varint("nodes")?,
@@ -379,12 +417,46 @@ fn decode_response_body(r: &mut Reader) -> Result<Response, String> {
             window_us: r.varint("window_us")?,
             max_batch: r.varint("max_batch")?,
             cache_enabled: r.flag("cache_enabled")?,
+            slow_query_us: r.varint("slow_query_us")?,
         }),
         kind::SHUTTING_DOWN => Ok(Response::ShuttingDown),
         kind::SHED => Ok(Response::Shed { reason: r.string("reason")? }),
         kind::ERROR => Ok(Response::Error { message: r.string("message")? }),
         other => Err(format!("unknown response kind {other:#04x}")),
     }
+}
+
+fn decode_metrics(r: &mut Reader) -> Result<MetricsReply, String> {
+    fn pairs(r: &mut Reader, what: &str) -> Result<Vec<(String, u64)>, String> {
+        let n = r.varint(what)? as usize;
+        // ≥2 bytes per honest pair bounds the pre-allocation.
+        let mut out = Vec::with_capacity(n.min(r.remaining() / 2 + 1));
+        for _ in 0..n {
+            let name = r.string(what)?;
+            let v = r.varint(what)?;
+            out.push((name, v));
+        }
+        Ok(out)
+    }
+    let version = r.varint("metrics version")?;
+    let counters = pairs(r, "counters")?;
+    let gauges = pairs(r, "gauges")?;
+    let n = r.varint("histograms")? as usize;
+    let mut hists = Vec::with_capacity(n.min(r.remaining() / 8 + 1));
+    for _ in 0..n {
+        let name = r.string("histogram name")?;
+        hists.push(HistSnap {
+            name,
+            count: r.varint("count")?,
+            sum: r.varint("sum")?,
+            max: r.varint("max")?,
+            p50: r.varint("p50")?,
+            p90: r.varint("p90")?,
+            p99: r.varint("p99")?,
+            p999: r.varint("p999")?,
+        });
+    }
+    Ok(MetricsReply { version, snapshot: RegistrySnapshot { counters, gauges, hists } })
 }
 
 fn decode_stats(r: &mut Reader) -> Result<StatsReply, String> {
@@ -511,12 +583,14 @@ mod tests {
             Request::Reload { path: "π/graph.ssg".into() },
             Request::EdgeDelta { add: vec![(1, 2), (300, 70_000)], remove: vec![] },
             Request::EdgeDelta { add: vec![], remove: vec![(0, 0)] },
-            Request::Config { window_us: None, max_batch: None, cache: None },
+            Request::Config { window_us: None, max_batch: None, cache: None, slow_query_us: None },
             Request::Config {
                 window_us: Some(800),
                 max_batch: Some(64),
                 cache: Some(CacheDirective::Clear),
+                slow_query_us: Some(2_500),
             },
+            Request::Metrics,
             Request::Shutdown,
         ]
     }
@@ -556,9 +630,29 @@ mod tests {
                     unique_lanes: 7,
                 },
             })),
+            Response::Metrics(Box::new(MetricsReply {
+                version: 1,
+                snapshot: RegistrySnapshot {
+                    counters: vec![
+                        ("ssr_malformed_total".into(), 0),
+                        ("ssr_requests_total{codec=\"ssb\"}".into(), u64::MAX),
+                    ],
+                    gauges: vec![("ssr_connections".into(), 3)],
+                    hists: vec![HistSnap {
+                        name: "ssr_stage_us{stage=\"engine\"}".into(),
+                        count: 2,
+                        sum: 300,
+                        max: 200,
+                        p50: 100,
+                        p90: 200,
+                        p99: 200,
+                        p999: 200,
+                    }],
+                },
+            })),
             Response::Reloaded { epoch: 2, nodes: 100, edges: 400 },
             Response::DeltaApplied { epoch: 3, nodes: 100, added: 2, removed: 1 },
-            Response::Config { window_us: 0, max_batch: 1, cache_enabled: false },
+            Response::Config { window_us: 0, max_batch: 1, cache_enabled: false, slow_query_us: 0 },
             Response::ShuttingDown,
             Response::Shed { reason: "queue full".into() },
             Response::Error { message: "node 9 out of range".into() },

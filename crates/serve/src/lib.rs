@@ -79,6 +79,7 @@ pub mod codec;
 pub mod epoch;
 pub mod json;
 pub mod loadgen;
+pub mod metrics;
 pub mod poller;
 pub mod protocol;
 pub mod router;
@@ -92,6 +93,7 @@ pub use cache::{CacheKey, CacheStats, ShardedCache};
 pub use client::{Client, ClientBuilder, ClientError, Reply};
 pub use codec::{Codec, Decoded, Malformed, WireFormat};
 pub use epoch::{EpochStore, ShardSlice, Snapshot};
-pub use protocol::{CacheDirective, QueryReply, Request, Response, StatsReply};
+pub use metrics::QueryTrace;
+pub use protocol::{CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply};
 pub use router::merge_ranked;
 pub use server::{Server, ServerOptions};

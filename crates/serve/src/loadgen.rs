@@ -13,10 +13,20 @@
 //! same schema — which is what lets `bench_check` gate either against
 //! committed baselines.
 //!
-//! Transport failures (timeout, closed connection, undecodable bytes)
-//! abort the run with a typed [`ClientError`] instead of hanging or
-//! being silently folded into the error counter; only protocol-level
-//! `error` responses count as `errors` and continue.
+//! Failures are reported in separate columns, never folded together:
+//! protocol-level `error` responses count as `errors` and the client
+//! continues; a socket timeout counts the timed-out request (and any
+//! others in flight on that connection) as `timeouts` and retires that
+//! client — its completed work still lands in the report. Other
+//! transport failures (closed connection, undecodable bytes) abort the
+//! whole run with a typed [`ClientError`] instead of hanging or skewing
+//! the numbers.
+//!
+//! Latency percentiles come from an [`ssr_obs::Histogram`] — each client
+//! records into its own unregistered histogram, merged bucket-wise into
+//! the report — so `BENCH_serve.json` carries the same quantile
+//! semantics (bucket upper bounds, ~3% relative error) as the server's
+//! own `metrics` op.
 
 use crate::client::{Client, ClientError, Reply};
 use crate::codec::WireFormat;
@@ -106,7 +116,7 @@ impl LoadPlan {
 /// Aggregated result of one load phase.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
-    /// Requests sent (ok + shed + error).
+    /// Requests sent (ok + shed + error + timeouts).
     pub requests: usize,
     /// `status: ok` responses.
     pub ok: usize,
@@ -114,12 +124,21 @@ pub struct LoadReport {
     pub cached: usize,
     /// `status: shed` responses.
     pub shed: usize,
-    /// `status: error` responses.
+    /// Protocol-level `status: error` responses — the server answered,
+    /// the answer was a typed error. Reported separately from
+    /// `timeouts`.
     pub errors: usize,
+    /// Requests whose response never arrived before the socket timeout
+    /// (including any still in flight when their connection timed out).
+    pub timeouts: usize,
     /// Wall-clock of the whole phase.
     pub elapsed_ms: f64,
-    /// Per-request latencies in µs, sorted ascending.
+    /// Per-request latencies in µs, sorted ascending (raw samples; the
+    /// percentiles reported come from `hist`).
     pub lat_us: Vec<f64>,
+    /// Registry-style latency histogram (µs), merged across clients —
+    /// the source of the report's percentiles.
+    pub hist: ssr_obs::Histogram,
     /// Distinct epochs observed in ok responses.
     pub epochs: Vec<u64>,
 }
@@ -130,25 +149,39 @@ impl LoadReport {
         self.ok as f64 / (self.elapsed_ms / 1e3).max(1e-9)
     }
 
-    /// Nearest-rank percentile of the latency samples.
+    /// Nearest-rank percentile of the latency samples, reported as the
+    /// registry histogram's bucket upper bound (≤ ~3% relative error) —
+    /// identical semantics to the server's `metrics` op quantiles.
     pub fn percentile_us(&self, p: f64) -> f64 {
-        if self.lat_us.is_empty() {
-            return 0.0;
-        }
-        let rank = (self.lat_us.len() as f64 * p).ceil() as usize;
-        self.lat_us[rank.saturating_sub(1).min(self.lat_us.len() - 1)]
+        self.hist.quantile(p) as f64
     }
 }
 
 /// One client thread's tally, merged into the [`LoadReport`].
-#[derive(Default)]
 struct ClientTally {
     ok: usize,
     cached: usize,
     shed: usize,
     errors: usize,
+    timeouts: usize,
     lat_us: Vec<f64>,
+    hist: ssr_obs::Histogram,
     epochs: Vec<u64>,
+}
+
+impl Default for ClientTally {
+    fn default() -> ClientTally {
+        ClientTally {
+            ok: 0,
+            cached: 0,
+            shed: 0,
+            errors: 0,
+            timeouts: 0,
+            lat_us: Vec::new(),
+            hist: ssr_obs::Histogram::unregistered(),
+            epochs: Vec::new(),
+        }
+    }
 }
 
 impl ClientTally {
@@ -169,7 +202,9 @@ impl ClientTally {
 
 /// One client's run: a sliding window of up to `plan.pipeline` requests
 /// in flight, latency measured per request from its send to its in-order
-/// response (depth 1 degenerates to the strict closed loop).
+/// response (depth 1 degenerates to the strict closed loop). A socket
+/// timeout retires the client — every request still in flight counts as
+/// a timeout, and the completed work is kept.
 fn run_client(addr: SocketAddr, plan: &LoadPlan, c: usize) -> Result<ClientTally, ClientError> {
     let mut client =
         Client::builder().protocol(plan.protocol).pipeline(plan.pipeline).connect(addr)?;
@@ -180,14 +215,32 @@ fn run_client(addr: SocketAddr, plan: &LoadPlan, c: usize) -> Result<ClientTally
     while sent < plan.requests_per_client || !in_flight.is_empty() {
         if sent < plan.requests_per_client && in_flight.len() < depth {
             let node = plan.nodes[(c + sent * plan.clients) % plan.nodes.len()];
-            client.send_query(node, plan.top_k)?;
+            match client.send_query(node, plan.top_k) {
+                Ok(_) => {}
+                Err(ClientError::TimedOut) => {
+                    tally.timeouts += 1 + in_flight.len();
+                    return Ok(tally);
+                }
+                Err(e) => return Err(e),
+            }
             in_flight.push_back(Instant::now());
             sent += 1;
             continue;
         }
-        let reply = client.recv_reply()?;
+        let reply = match client.recv_reply() {
+            Ok(reply) => reply,
+            Err(ClientError::TimedOut) => {
+                // The head-of-line response never came; everything behind
+                // it on this connection is unanswerable too.
+                tally.timeouts += in_flight.len();
+                return Ok(tally);
+            }
+            Err(e) => return Err(e),
+        };
         let t = in_flight.pop_front().expect("response without a request in flight");
-        tally.lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        tally.lat_us.push(us);
+        tally.hist.record(us as u64);
         tally.absorb(reply);
     }
     Ok(tally)
@@ -214,8 +267,10 @@ pub fn run_load(addr: SocketAddr, plan: &LoadPlan) -> Result<LoadReport, ClientE
         cached: 0,
         shed: 0,
         errors: 0,
+        timeouts: 0,
         elapsed_ms,
         lat_us: Vec::new(),
+        hist: ssr_obs::Histogram::unregistered(),
         epochs: Vec::new(),
     };
     for tally in per_client {
@@ -223,8 +278,10 @@ pub fn run_load(addr: SocketAddr, plan: &LoadPlan) -> Result<LoadReport, ClientE
         report.cached += tally.cached;
         report.shed += tally.shed;
         report.errors += tally.errors;
-        report.requests += tally.lat_us.len();
+        report.timeouts += tally.timeouts;
+        report.requests += tally.lat_us.len() + tally.timeouts;
         report.lat_us.extend(tally.lat_us);
+        report.hist.merge_from(&tally.hist);
         report.epochs.extend(tally.epochs);
     }
     report.lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -349,8 +406,8 @@ pub fn run_standard_phases(
         ("cached", window_us, CacheDirective::On, Some(hot_nodes)),
     ];
     for (name, window, cache, nodes) in phases {
-        admin.config(Some(window), None, Some(cache))?;
-        admin.config(None, None, Some(CacheDirective::Clear))?;
+        admin.config(Some(window), None, Some(cache), None)?;
+        admin.config(None, None, Some(CacheDirective::Clear), None)?;
         let mut phase_plan = plan.clone().with_protocol(WireFormat::Jsonl, 1);
         if let Some(nodes) = nodes {
             phase_plan.nodes = nodes;
@@ -374,8 +431,8 @@ pub fn run_sharded_phases(
     let mut admin = Client::connect(addr)?;
     let mut results = Vec::new();
     for (base, window) in [("serial", 0), ("batched", window_us)] {
-        admin.config(Some(window), None, Some(CacheDirective::Off))?;
-        admin.config(None, None, Some(CacheDirective::Clear))?;
+        admin.config(Some(window), None, Some(CacheDirective::Off), None)?;
+        admin.config(None, None, Some(CacheDirective::Clear), None)?;
         let phase_plan = plan.clone().with_protocol(WireFormat::Jsonl, 1);
         let name = format!("{base}_shards{shards}");
         let mut result = run_phase(addr, &mut admin, &name, &phase_plan, 0)?;
@@ -403,8 +460,8 @@ pub fn run_protocol_phases(
     pipeline: usize,
 ) -> Result<Vec<PhaseResult>, ClientError> {
     let mut admin = Client::connect(addr)?;
-    admin.config(Some(window_us), None, Some(CacheDirective::On))?;
-    admin.config(None, None, Some(CacheDirective::Clear))?;
+    admin.config(Some(window_us), None, Some(CacheDirective::On), None)?;
+    admin.config(None, None, Some(CacheDirective::Clear), None)?;
     // One warm-up pass: every timed request in every phase is then a
     // cache hit, so the phases compare wires, not engine runs.
     let mut warm = Client::connect(addr)?;
@@ -440,7 +497,7 @@ pub fn run_connections_phase(
     let mut admin = Client::connect(addr)?;
     // Same wire-bound regime as the protocol phases (cache on, hot pool):
     // the axis under test here is the idle-connection mass.
-    admin.config(Some(window_us), None, Some(CacheDirective::On))?;
+    admin.config(Some(window_us), None, Some(CacheDirective::On), None)?;
     let mut warm = Client::connect(addr)?;
     for &node in &hot_nodes {
         warm.query(node, plan.top_k)?;
@@ -513,6 +570,8 @@ pub fn render_serve_json(meta: &ServeBenchMeta, phases: &[PhaseResult]) -> Strin
             ("p50_us".into(), Json::Num(round1(p.report.percentile_us(0.50)))),
             ("p99_us".into(), Json::Num(round1(p.report.percentile_us(0.99)))),
             ("cached_responses".into(), Json::Num(p.report.cached as f64)),
+            ("protocol_errors".into(), Json::Num(p.report.errors as f64)),
+            ("timeouts".into(), Json::Num(p.report.timeouts as f64)),
             ("shed".into(), Json::Num(p.shed as f64)),
             ("cache_hit_rate".into(), Json::Num(round3(p.hit_rate()))),
             ("flushes".into(), Json::Num(p.flushes as f64)),
@@ -576,6 +635,10 @@ mod tests {
     use super::*;
 
     fn phase(name: &str, qps_scale: f64) -> PhaseResult {
+        let hist = ssr_obs::Histogram::unregistered();
+        for i in 1..=100u64 {
+            hist.record(i);
+        }
         PhaseResult {
             name: name.into(),
             protocol: if name.starts_with("ssb") { "ssb/1" } else { "json/1" },
@@ -587,9 +650,11 @@ mod tests {
                 ok: 100,
                 cached: 0,
                 shed: 0,
-                errors: 0,
+                errors: 3,
+                timeouts: 2,
                 elapsed_ms: 1000.0 / qps_scale,
                 lat_us: (1..=100).map(|i| i as f64).collect(),
+                hist,
                 epochs: vec![0],
             },
             cache_hits: 30,
@@ -647,6 +712,9 @@ mod tests {
             assert!(mode.get("p50_us").and_then(Json::as_num).is_some(), "{m}");
             assert!(mode.get("shed").and_then(Json::as_num).is_some(), "{m}");
             assert!(mode.get("protocol").and_then(Json::as_str).is_some(), "{m}");
+            // Failure modes are separate columns, never folded together.
+            assert_eq!(mode.get("protocol_errors").and_then(Json::as_num), Some(3.0), "{m}");
+            assert_eq!(mode.get("timeouts").and_then(Json::as_num), Some(2.0), "{m}");
         }
         assert_eq!(
             modes.get("ssb_pipelined").unwrap().get("protocol").and_then(Json::as_str),

@@ -31,6 +31,9 @@ pub enum Request {
     Ping,
     /// Cache / batcher / epoch metric snapshot.
     Stats,
+    /// Full observability snapshot: every registry counter, gauge, and
+    /// per-stage latency histogram (see [`MetricsReply`]).
+    Metrics,
     /// Admin: load a new graph from an edge-list or `.ssg` file and
     /// publish it as a new epoch. In-flight queries finish on the old
     /// snapshot.
@@ -54,6 +57,10 @@ pub enum Request {
         max_batch: Option<usize>,
         /// Result-cache directive, if any.
         cache: Option<CacheDirective>,
+        /// New slow-query-log threshold in microseconds (`0` disables the
+        /// log; any query whose end-to-end latency reaches the threshold
+        /// is logged with its per-stage breakdown).
+        slow_query_us: Option<u64>,
     },
     /// Admin: stop accepting connections and shut the server down.
     Shutdown,
@@ -120,6 +127,8 @@ pub enum Response {
     },
     /// `stats` snapshot.
     Stats(Box<StatsReply>),
+    /// `metrics` snapshot.
+    Metrics(Box<MetricsReply>),
     /// `reload` acknowledgement.
     Reloaded {
         /// Epoch of the newly published snapshot.
@@ -148,6 +157,8 @@ pub enum Response {
         max_batch: u64,
         /// Whether the result cache is enabled.
         cache_enabled: bool,
+        /// Effective slow-query-log threshold, µs (`0` = disabled).
+        slow_query_us: u64,
     },
     /// `shutdown` acknowledgement — the last frame on the connection.
     ShuttingDown,
@@ -202,6 +213,22 @@ pub struct StatsReply {
     pub max_batch: u64,
     /// Micro-batcher counters.
     pub batcher: BatcherStats,
+}
+
+/// Version of the `metrics` payload both codecs carry. Bumped whenever
+/// the snapshot's field layout changes.
+pub const METRICS_VERSION: u64 = 1;
+
+/// The full `metrics` payload: a versioned [`ssr_obs::RegistrySnapshot`]
+/// — every counter and gauge as pre-rendered `(name, value)` pairs and
+/// every latency histogram as a quantile summary. Names and labels are
+/// cataloged in README ("Observability").
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReply {
+    /// Payload version ([`METRICS_VERSION`]).
+    pub version: u64,
+    /// The frozen registry.
+    pub snapshot: ssr_obs::RegistrySnapshot,
 }
 
 #[cfg(test)]

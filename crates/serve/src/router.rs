@@ -36,6 +36,20 @@ use simrank_star::QueryEngine;
 use ssr_graph::NodeId;
 use std::cmp::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Where a scatter spent its time, reported back to the flush worker so
+/// the batcher can record stage and per-shard histograms. All values are
+/// nanoseconds of *compute observed by this flush* — per-shard engine
+/// time is measured on the worker thread around its `top_k_batch` call,
+/// so concurrent shards report overlapping wall-clock intervals.
+#[derive(Debug, Default)]
+pub(crate) struct ScatterTiming {
+    /// `(shard, engine_ns)` for every shard that ran queries this flush.
+    pub(crate) per_shard: Vec<(usize, u64)>,
+    /// Deterministic k-way merge time (zero on the single-shard path).
+    pub(crate) merge_ns: u64,
+}
 
 /// Ranking order shared with the engine's partial selection: score
 /// descending, node id ascending on ties (including exact-zero ties).
@@ -77,7 +91,7 @@ struct Task {
     queries: Vec<NodeId>,
     k: usize,
     shard: usize,
-    reply: mpsc::Sender<(usize, RankedLists)>,
+    reply: mpsc::Sender<(usize, RankedLists, u64)>,
 }
 
 /// The partitioned engine-worker pool. One persistent thread per shard
@@ -105,10 +119,12 @@ impl Router {
                 .name(format!("ssr-shard-{shard}"))
                 .spawn(move || {
                     while let Ok(task) = rx.recv() {
+                        let started = Instant::now();
                         let ranked = task.engine.top_k_batch(&task.queries, task.k);
+                        let engine_ns = started.elapsed().as_nanos() as u64;
                         // A dropped receiver means the flush worker gave
                         // up (shutdown); nothing to deliver to.
-                        let _ = task.reply.send((task.shard, ranked));
+                        let _ = task.reply.send((task.shard, ranked, engine_ns));
                     }
                 })
                 .expect("spawn shard worker");
@@ -120,15 +136,20 @@ impl Router {
 
     /// Ranked top-`k` per query node, bit-identical to the whole-graph
     /// deterministic engine. `nodes` are deduplicated global ids.
+    /// Per-shard engine time and merge time land in `timing`.
     pub(crate) fn scatter_top_k(
         &self,
         snapshot: &Snapshot,
         nodes: &[NodeId],
         k: usize,
+        timing: &mut ScatterTiming,
     ) -> Vec<Vec<(NodeId, f64)>> {
         let Some(plan) = snapshot.plan.as_deref() else {
             // Single shard: the whole-graph engine, exactly as before.
-            return snapshot.shards[0].engine.top_k_batch(nodes, k);
+            let started = Instant::now();
+            let ranked = snapshot.shards[0].engine.top_k_batch(nodes, k);
+            timing.per_shard.push((0, started.elapsed().as_nanos() as u64));
+            return ranked;
         };
         assert_eq!(
             snapshot.shards.len(),
@@ -173,7 +194,8 @@ impl Router {
         // sub-engine already resolved on local ids.
         let mut per_shard: Vec<Option<RankedLists>> = vec![None; shards];
         for _ in 0..outstanding {
-            let (shard, ranked) = reply_rx.recv().expect("shard worker died mid-flush");
+            let (shard, ranked, engine_ns) = reply_rx.recv().expect("shard worker died mid-flush");
+            timing.per_shard.push((shard, engine_ns));
             let globals = snapshot.shards[shard].nodes.as_slice();
             per_shard[shard] = Some(
                 ranked
@@ -189,7 +211,8 @@ impl Router {
             .iter()
             .map(|s| s.nodes.iter().take(k).map(|&v| (v, 0.0)).collect())
             .collect();
-        nodes
+        let merge_started = Instant::now();
+        let merged: Vec<Vec<(NodeId, f64)>> = nodes
             .iter()
             .zip(&slot)
             .map(|(_, &(owner, pos))| {
@@ -203,7 +226,9 @@ impl Router {
                 }
                 merge_ranked(&lists, k)
             })
-            .collect()
+            .collect();
+        timing.merge_ns = merge_started.elapsed().as_nanos() as u64;
+        merged
     }
 
     /// Stops the pool: closes every task channel and joins the workers.

@@ -28,6 +28,7 @@
 
 use crate::batcher::SubmitError;
 use crate::codec::{jsonl, Decoded, WireFormat, SSB_MAGIC};
+use crate::metrics::QueryTrace;
 use crate::poller::{self, Event, Interest, Poller, RawId, WakeRx};
 use crate::protocol::{CacheDirective, QueryReply, Request, Response, StatsReply};
 use crate::server::{AdminJob, AdminOp, CompletionPayload, Inner};
@@ -37,6 +38,7 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
 /// Poller token of the listening socket.
 const TOKEN_LISTENER: u64 = 0;
@@ -76,6 +78,14 @@ struct Pending {
     /// (where the codec ignores it — pairing is positional).
     id: u64,
     state: PendingState,
+    /// When decoding of this frame began — the start of the server-side
+    /// end-to-end interval (`ssr_stage_us{stage="total"}` ends when the
+    /// response is encoded).
+    accepted: Instant,
+    /// Decode-stage time for this frame.
+    decode_ns: u64,
+    /// Batcher-side stage timings, filled when a query answer lands.
+    trace: QueryTrace,
 }
 
 enum PendingState {
@@ -222,6 +232,7 @@ impl EventLoop {
             }
             if self.conns.len() >= self.inner.max_connections {
                 self.shed_connections += 1;
+                self.inner.metrics.connections_shed.inc();
                 // The peer has not negotiated a format yet, so the shed
                 // notice is JSON — the compatibility codec — best-effort.
                 let mut s = stream;
@@ -254,6 +265,8 @@ impl EventLoop {
                     shutdown_after_flush: false,
                 },
             );
+            self.inner.metrics.connections_opened.inc();
+            self.inner.metrics.connections.set(self.conns.len() as u64);
         }
     }
 
@@ -270,6 +283,9 @@ impl EventLoop {
                     PendingState::WaitingQuery { tag, node, k } if tag == done.tag => {
                         match &done.payload {
                             CompletionPayload::Query(result) => {
+                                if let Ok(answer) = result {
+                                    p.trace = answer.trace;
+                                }
                                 query_response(node, k, result, &mut conn.close_after_flush)
                             }
                             CompletionPayload::Admin(resp) => resp.clone(),
@@ -309,6 +325,7 @@ impl EventLoop {
 
     fn close(&mut self, conn: Conn) {
         let _ = self.poller.deregister(conn.raw);
+        self.inner.metrics.connections.set(self.conns.len() as u64);
         // `conn.stream` drops here, closing the socket. In-flight batcher
         // tags pointing at this connection die at completion time: the
         // token lookup fails and the result is discarded.
@@ -323,7 +340,7 @@ impl EventLoop {
             // gets its response; close once flushed.
             conn.close_after_flush = true;
         }
-        Self::encode_ready(conn);
+        self.encode_ready(conn);
         if !Self::write_some(conn) {
             return Keep::Close;
         }
@@ -406,7 +423,10 @@ impl EventLoop {
                     continue;
                 }
             };
-            match fmt.codec().decode_request(buf) {
+            let decode_started = Instant::now();
+            let decoded = fmt.codec().decode_request(buf);
+            let decode_ns = decode_started.elapsed().as_nanos() as u64;
+            match decoded {
                 Decoded::Incomplete => {
                     incomplete = true;
                     break;
@@ -415,16 +435,21 @@ impl EventLoop {
                 Decoded::Frame { consumed: n, id, value } => {
                     consumed += n;
                     self.requests += 1;
+                    self.inner.metrics.requests(fmt).inc();
+                    self.inner.metrics.stage_decode.record(decode_ns / 1_000);
+                    self.inner.metrics.decode_hist(fmt).record(decode_ns / 1_000);
                     let id = id.unwrap_or_else(|| {
                         let seq = conn.next_seq;
                         conn.next_seq += 1;
                         seq
                     });
-                    self.dispatch(token, conn, id, value);
+                    self.dispatch(token, conn, id, value, decode_started, decode_ns);
                 }
                 Decoded::Malformed(m) => {
                     consumed += m.consumed;
                     self.requests += 1;
+                    self.inner.metrics.requests(fmt).inc();
+                    self.inner.metrics.malformed.inc();
                     let id = m.id.unwrap_or_else(|| {
                         let seq = conn.next_seq;
                         conn.next_seq += 1;
@@ -433,6 +458,9 @@ impl EventLoop {
                     conn.pending.push_back(Pending {
                         id,
                         state: PendingState::Ready(Response::Error { message: m.error }),
+                        accepted: decode_started,
+                        decode_ns,
+                        trace: QueryTrace::default(),
                     });
                     if !m.recoverable {
                         framed = false;
@@ -458,6 +486,9 @@ impl EventLoop {
                         "request frame exceeds per-connection buffer cap ({RBUF_CAP} bytes)"
                     ),
                 }),
+                accepted: Instant::now(),
+                decode_ns: 0,
+                trace: QueryTrace::default(),
             });
             framed = false;
         }
@@ -471,19 +502,31 @@ impl EventLoop {
     }
 
     /// Handles one decoded request, pushing its pending entry.
-    fn dispatch(&mut self, token: u64, conn: &mut Conn, id: u64, request: Request) {
+    fn dispatch(
+        &mut self,
+        token: u64,
+        conn: &mut Conn,
+        id: u64,
+        request: Request,
+        accepted: Instant,
+        decode_ns: u64,
+    ) {
+        let mut trace = QueryTrace::default();
         let state = match request {
             Request::Query { node, k } => {
                 let tag = self.next_tag;
                 self.next_tag += 1;
                 match self.inner.batcher.submit(node, k, &self.inner.completion_sink, tag) {
-                    Ok(Some(answer)) => PendingState::Ready(Response::Query(QueryReply {
-                        epoch: answer.epoch,
-                        node,
-                        k: k as u64,
-                        cached: answer.cached,
-                        matches: answer.matches,
-                    })),
+                    Ok(Some(answer)) => {
+                        trace = answer.trace;
+                        PendingState::Ready(Response::Query(QueryReply {
+                            epoch: answer.epoch,
+                            node,
+                            k: k as u64,
+                            cached: answer.cached,
+                            matches: answer.matches,
+                        }))
+                    }
                     Ok(None) => {
                         self.tags.insert(tag, token);
                         PendingState::WaitingQuery { tag, node, k }
@@ -497,16 +540,22 @@ impl EventLoop {
                 PendingState::Ready(Response::Pong { epoch: self.inner.store.current().epoch })
             }
             Request::Stats => PendingState::Ready(Response::Stats(Box::new(self.stats_reply()))),
+            Request::Metrics => {
+                PendingState::Ready(Response::Metrics(Box::new(self.inner.metrics_reply())))
+            }
             Request::Reload { path } => self.send_admin(token, AdminOp::Reload { path }),
             Request::EdgeDelta { add, remove } => {
                 self.send_admin(token, AdminOp::EdgeDelta { add, remove })
             }
-            Request::Config { window_us, max_batch, cache } => {
+            Request::Config { window_us, max_batch, cache, slow_query_us } => {
                 if let Some(w) = window_us {
                     self.inner.batcher.set_window_us(w);
                 }
                 if let Some(m) = max_batch {
                     self.inner.batcher.set_max_batch(m);
+                }
+                if let Some(t) = slow_query_us {
+                    self.inner.metrics.set_slow_query_us(t);
                 }
                 match cache {
                     Some(CacheDirective::On) => self.inner.cache.set_enabled(true),
@@ -519,6 +568,7 @@ impl EventLoop {
                     window_us,
                     max_batch: max_batch as u64,
                     cache_enabled: self.inner.cache.is_enabled(),
+                    slow_query_us: self.inner.metrics.slow_query_us(),
                 })
             }
             Request::Shutdown => {
@@ -526,7 +576,7 @@ impl EventLoop {
                 PendingState::Ready(Response::ShuttingDown)
             }
         };
-        conn.pending.push_back(Pending { id, state });
+        conn.pending.push_back(Pending { id, state, accepted, decode_ns, trace });
     }
 
     /// Queues a slow admin op on the executor thread.
@@ -541,14 +591,26 @@ impl EventLoop {
     }
 
     /// Encodes every `Ready` entry at the *front* of the FIFO — responses
-    /// never overtake an earlier request still in flight.
-    fn encode_ready(conn: &mut Conn) {
+    /// never overtake an earlier request still in flight. Encode and
+    /// end-to-end ("total") stages are recorded here; queries that cross
+    /// the armed slow-query threshold are logged with their breakdown.
+    fn encode_ready(&self, conn: &mut Conn) {
         let Format::Wire(fmt) = conn.format else { return };
         let codec = fmt.codec();
+        let m = &self.inner.metrics;
         while matches!(conn.pending.front(), Some(p) if matches!(p.state, PendingState::Ready(_))) {
             let p = conn.pending.pop_front().expect("front checked");
             let PendingState::Ready(resp) = p.state else { unreachable!("front checked") };
+            let encode_started = Instant::now();
             codec.encode_response(p.id, &resp, &mut conn.wbuf);
+            let encode_ns = encode_started.elapsed().as_nanos() as u64;
+            m.stage_encode.record(encode_ns / 1_000);
+            m.encode_hist(fmt).record(encode_ns / 1_000);
+            m.count_response(&resp);
+            if let Response::Query(reply) = &resp {
+                let total_ns = p.accepted.elapsed().as_nanos() as u64;
+                m.observe_query(fmt, reply, p.decode_ns, p.trace, encode_ns, total_ns);
+            }
         }
     }
 

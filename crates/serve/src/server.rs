@@ -18,8 +18,9 @@
 use crate::batcher::{Batcher, BatcherOptions, CompletionSink, QueryAnswer, SubmitError};
 use crate::cache::ShardedCache;
 use crate::epoch::EpochStore;
+use crate::metrics::ServeMetrics;
 use crate::poller::{self, Waker};
-use crate::protocol::Response;
+use crate::protocol::{MetricsReply, Response};
 use crate::runtime::EventLoop;
 use simrank_star::{QueryEngineOptions, SimStarParams};
 use ssr_graph::{DiGraph, NodeId};
@@ -53,6 +54,9 @@ pub struct ServerOptions {
     /// Concurrent-connection cap; sockets beyond it receive one shed
     /// line and are closed.
     pub max_connections: usize,
+    /// Initial slow-query-log threshold in microseconds; 0 disables the
+    /// log. Retunable at runtime through the admin `config` op.
+    pub slow_query_us: u64,
 }
 
 impl Default for ServerOptions {
@@ -65,6 +69,7 @@ impl Default for ServerOptions {
             shards: 1,
             batch: BatcherOptions::default(),
             max_connections: 256,
+            slow_query_us: 0,
         }
     }
 }
@@ -125,6 +130,9 @@ pub(crate) struct Inner {
     pub(crate) store: Arc<EpochStore>,
     pub(crate) cache: Arc<ShardedCache>,
     pub(crate) batcher: Batcher,
+    /// The server-lifetime metric registry every stage records into.
+    /// Never reset by epoch swaps — see [`crate::metrics`].
+    pub(crate) metrics: Arc<ServeMetrics>,
     pub(crate) completions: Arc<CompletionQueue>,
     /// The completion queue as the batcher's sink type, cloned per submit.
     pub(crate) completion_sink: Arc<dyn CompletionSink>,
@@ -150,6 +158,50 @@ impl Inner {
         *self.stopped.lock().expect("stop flag poisoned") = true;
         self.stopped_cv.notify_all();
     }
+
+    /// Assembles the versioned `metrics` payload: the live registry plus
+    /// values *pulled* at snapshot time from the cache, the batcher, and
+    /// the current epoch's shard engines. The split is deliberate —
+    /// lifetime counters live in server-lifetime structures and survive
+    /// epoch swaps; the `ssr_engine_*` gauges are epoch-scoped because
+    /// engines are rebuilt per epoch.
+    pub(crate) fn metrics_reply(&self) -> MetricsReply {
+        let snapshot = self.store.current();
+        let cache = self.cache.stats();
+        let batcher = self.batcher.stats();
+        let pulled_counters = vec![
+            ("ssr_batch_flushed_jobs_total".to_string(), batcher.flushed_jobs),
+            ("ssr_batch_flushes_total".to_string(), batcher.flushes),
+            ("ssr_batch_shed_total".to_string(), batcher.shed),
+            ("ssr_batch_submitted_total".to_string(), batcher.submitted),
+            ("ssr_batch_unique_lanes_total".to_string(), batcher.unique_lanes),
+            ("ssr_cache_evictions_total".to_string(), cache.evictions),
+            ("ssr_cache_hits_total".to_string(), cache.hits),
+            ("ssr_cache_inserts_total".to_string(), cache.inserts),
+            ("ssr_cache_misses_total".to_string(), cache.misses),
+            ("ssr_epoch_swaps_total".to_string(), self.store.swap_count()),
+        ];
+        let mut pulled_gauges = vec![
+            ("ssr_batch_max_flush".to_string(), batcher.max_flush),
+            ("ssr_cache_entries".to_string(), cache.entries as u64),
+            ("ssr_epoch".to_string(), snapshot.epoch),
+        ];
+        for (shard, slice) in snapshot.shards.iter().enumerate() {
+            let stats = slice.engine.stats();
+            for (name, value) in [
+                ("sweeps", stats.sweeps),
+                ("iterations", stats.iterations),
+                ("dense_steps", stats.dense_steps),
+                ("lanes_used", stats.lanes_used),
+                ("lane_slots", stats.lane_slots),
+                ("frontier_active", stats.frontier_active),
+                ("frontier_slots", stats.frontier_slots),
+            ] {
+                pulled_gauges.push((format!("ssr_engine_{name}{{shard=\"{shard}\"}}"), value));
+            }
+        }
+        self.metrics.reply(pulled_counters, pulled_gauges)
+    }
 }
 
 /// A running serve instance. Dropping it (or calling [`Server::shutdown`])
@@ -174,7 +226,14 @@ impl Server {
         let store =
             Arc::new(EpochStore::with_shards(graph, opts.params, opts.engine.clone(), opts.shards));
         let cache = Arc::new(ShardedCache::new(opts.cache_capacity, opts.cache_shards));
-        let batcher = Batcher::start(store.clone(), cache.clone(), opts.batch.clone());
+        let metrics = Arc::new(ServeMetrics::new(store.shard_count()));
+        metrics.set_slow_query_us(opts.slow_query_us);
+        let batcher = Batcher::start_instrumented(
+            store.clone(),
+            cache.clone(),
+            opts.batch.clone(),
+            metrics.clone(),
+        );
         // Sharded stores add one persistent engine worker per shard; a
         // single shard runs inline in the flush workers (no extra threads,
         // so the stats surface is unchanged for the default path).
@@ -187,6 +246,7 @@ impl Server {
             store: store.clone(),
             cache,
             batcher,
+            metrics,
             completions: completions.clone(),
             completion_sink,
             running: AtomicBool::new(true),
@@ -214,6 +274,24 @@ impl Server {
     /// count.
     pub fn worker_threads(&self) -> u64 {
         self.inner.worker_threads
+    }
+
+    /// The current `metrics` payload, exactly as the `metrics` admin op
+    /// would return it over either codec. The CLI's `--metrics-dump` and
+    /// the e2e suite read it in-process through this.
+    pub fn metrics(&self) -> MetricsReply {
+        self.inner.metrics_reply()
+    }
+
+    /// Prometheus text exposition of [`Server::metrics`].
+    pub fn metrics_prometheus(&self) -> String {
+        self.inner.metrics_reply().snapshot.render_prometheus()
+    }
+
+    /// The retained slow-query log lines (oldest first). Populated only
+    /// while a non-zero threshold is armed via the admin `config` op.
+    pub fn slow_query_lines(&self) -> Vec<String> {
+        self.inner.metrics.slow_lines()
     }
 
     /// Blocks until the server is asked to stop (a client `shutdown` op or

@@ -5,8 +5,11 @@
 //! never a panic and never an over-consume.
 
 use proptest::prelude::*;
+use ssr_obs::{HistSnap, RegistrySnapshot};
 use ssr_serve::codec::{Decoded, WireFormat, MAX_FRAME_BYTES};
-use ssr_serve::protocol::{CacheDirective, QueryReply, Request, Response, StatsReply};
+use ssr_serve::protocol::{
+    CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply,
+};
 use std::sync::Arc;
 
 /// JSON carries counters as f64, so round-trip equality holds for
@@ -34,31 +37,35 @@ fn arb_score() -> impl Strategy<Value = f64> {
 fn arb_request() -> impl Strategy<Value = Request> {
     let pairs = || proptest::collection::vec((0u32..5000, 0u32..5000), 0..8);
     (
-        0usize..7,
+        0usize..8,
         (0u32..1_000_000, 0u64..MAX_SAFE, arb_string()),
         (pairs(), pairs()),
-        (0usize..2, 0u64..MAX_SAFE, 0usize..2, 0u64..MAX_SAFE, 0usize..4),
+        ((0usize..2, 0u64..MAX_SAFE, 0usize..2, 0u64..MAX_SAFE), (0usize..4, 0usize..2)),
     )
-        .prop_map(|(variant, (node, k, path), (add, remove), (wopt, w, bopt, b, copt))| {
-            match variant {
-                0 => Request::Query { node, k: k as usize },
-                1 => Request::Ping,
-                2 => Request::Stats,
-                3 => Request::Reload { path },
-                4 => Request::EdgeDelta { add, remove },
-                5 => Request::Config {
-                    window_us: (wopt > 0).then_some(w),
-                    max_batch: (bopt > 0).then_some(b as usize),
-                    cache: match copt {
-                        0 => None,
-                        1 => Some(CacheDirective::On),
-                        2 => Some(CacheDirective::Off),
-                        _ => Some(CacheDirective::Clear),
+        .prop_map(
+            |(variant, (node, k, path), (add, remove), ((wopt, w, bopt, b), (copt, sopt)))| {
+                match variant {
+                    0 => Request::Query { node, k: k as usize },
+                    1 => Request::Ping,
+                    2 => Request::Stats,
+                    3 => Request::Reload { path },
+                    4 => Request::EdgeDelta { add, remove },
+                    5 => Request::Config {
+                        window_us: (wopt > 0).then_some(w),
+                        max_batch: (bopt > 0).then_some(b as usize),
+                        cache: match copt {
+                            0 => None,
+                            1 => Some(CacheDirective::On),
+                            2 => Some(CacheDirective::Off),
+                            _ => Some(CacheDirective::Clear),
+                        },
+                        slow_query_us: (sopt > 0).then_some(w),
                     },
-                },
-                _ => Request::Shutdown,
-            }
-        })
+                    6 => Request::Metrics,
+                    _ => Request::Shutdown,
+                }
+            },
+        )
 }
 
 fn arb_stats() -> impl Strategy<Value = StatsReply> {
@@ -100,34 +107,86 @@ fn arb_stats() -> impl Strategy<Value = StatsReply> {
         })
 }
 
+/// Metric names exercise the `name{label="value"}` shape the registry
+/// pre-renders; values stay below 2^53 so the JSON wire (f64 numbers)
+/// round-trips them exactly.
+fn metric_name(base: usize, label: usize) -> String {
+    let base = ["ssr_requests_total", "ssr_stage_us", "ssr_connections", "ssr_epoch"][base % 4];
+    match label % 4 {
+        0 => base.to_string(),
+        1 => format!("{base}{{codec=\"json\"}}"),
+        2 => format!("{base}{{stage=\"engine\"}}"),
+        _ => format!("{base}{{shard=\"1\"}}"),
+    }
+}
+
+fn arb_metrics() -> impl Strategy<Value = MetricsReply> {
+    let pairs = || proptest::collection::vec((0usize..4, 0usize..4, 0u64..MAX_SAFE), 0..3);
+    let hists = proptest::collection::vec(
+        ((0usize..4, 0usize..4), proptest::collection::vec(0u64..MAX_SAFE, 7)),
+        0..3,
+    );
+    (pairs(), pairs(), hists).prop_map(|(counters, gauges, hists)| {
+        let pair = |(b, l, v): (usize, usize, u64)| (metric_name(b, l), v);
+        MetricsReply {
+            version: ssr_serve::protocol::METRICS_VERSION,
+            snapshot: RegistrySnapshot {
+                counters: counters.into_iter().map(pair).collect(),
+                gauges: gauges.into_iter().map(pair).collect(),
+                hists: hists
+                    .into_iter()
+                    .map(|((b, l), v)| HistSnap {
+                        name: metric_name(b, l),
+                        count: v[0],
+                        sum: v[1],
+                        max: v[2],
+                        p50: v[3],
+                        p90: v[4],
+                        p99: v[5],
+                        p999: v[6],
+                    })
+                    .collect(),
+            },
+        }
+    })
+}
+
 fn arb_response() -> impl Strategy<Value = Response> {
     let matches = proptest::collection::vec((0u32..10_000, arb_score()), 0..12);
     (
-        0usize..9,
+        0usize..10,
         (0u64..MAX_SAFE, 0u32..1_000_000, 0u64..MAX_SAFE, 0usize..2, matches),
         (0u64..MAX_SAFE, 0u64..MAX_SAFE, 0u64..MAX_SAFE),
-        arb_stats(),
-        arb_string(),
+        (arb_stats(), arb_string()),
+        arb_metrics(),
     )
-        .prop_map(|(variant, (epoch, node, k, cached, m), (x, y, z), stats, text)| {
-            match variant {
-                0 => Response::Query(QueryReply {
-                    epoch,
-                    node,
-                    k,
-                    cached: cached > 0,
-                    matches: Arc::new(m),
-                }),
-                1 => Response::Pong { epoch },
-                2 => Response::Stats(Box::new(stats)),
-                3 => Response::Reloaded { epoch, nodes: x, edges: y },
-                4 => Response::DeltaApplied { epoch, nodes: x, added: y, removed: z },
-                5 => Response::Config { window_us: x, max_batch: y, cache_enabled: cached > 0 },
-                6 => Response::ShuttingDown,
-                7 => Response::Shed { reason: text },
-                _ => Response::Error { message: text },
-            }
-        })
+        .prop_map(
+            |(variant, (epoch, node, k, cached, m), (x, y, z), (stats, text), metrics)| {
+                match variant {
+                    0 => Response::Query(QueryReply {
+                        epoch,
+                        node,
+                        k,
+                        cached: cached > 0,
+                        matches: Arc::new(m),
+                    }),
+                    1 => Response::Pong { epoch },
+                    2 => Response::Stats(Box::new(stats)),
+                    3 => Response::Reloaded { epoch, nodes: x, edges: y },
+                    4 => Response::DeltaApplied { epoch, nodes: x, added: y, removed: z },
+                    5 => Response::Config {
+                        window_us: x,
+                        max_batch: y,
+                        cache_enabled: cached > 0,
+                        slow_query_us: z,
+                    },
+                    6 => Response::ShuttingDown,
+                    7 => Response::Shed { reason: text },
+                    8 => Response::Metrics(Box::new(metrics)),
+                    _ => Response::Error { message: text },
+                }
+            },
+        )
 }
 
 /// Drives a full single-frame decode and asserts clean framing.
