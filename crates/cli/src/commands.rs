@@ -57,10 +57,14 @@ COMMANDS:
             [--c 0.6] [--k 5] [--compress false] [--window-us 500]
             [--max-batch 64] [--workers 1] [--queue 1024] [--cache 4096]
             [--cache-shards 8] [--shards 1] [--max-conns 256]
+            [--trace-sample 0] [--trace-out FILE]
             port 0 binds an ephemeral port; --announce writes the bound
             address to FILE once listening; --shards N partitions the
             graph by weakly-connected component across N engine workers
-            (scatter-gather answers stay bit-identical to --shards 1)
+            (scatter-gather answers stay bit-identical to --shards 1);
+            --trace-sample N records a span trace for 1 in N requests
+            (0 = off, retunable via the admin config op), fetched through
+            the trace op or streamed as JSONL with --trace-out
   bench-serve  closed-loop load generator against a running serve instance
             (--addr HOST:PORT | --announce FILE [--wait-announce 10])
             [--clients 16] [--requests 125] [--top-k 10]
@@ -76,10 +80,23 @@ COMMANDS:
             emitting serial_shardsN / batched_shardsN modes
   serve-probe  dump a server's deterministic top-k answers for diffing
             (--addr HOST:PORT | --announce FILE [--wait-announce 10])
-            [--top-k 10] [--count n]
+            [--top-k 10] [--count n] [--metrics false] [--healthz false]
             one query\\tnode\\tscore line per match with shortest-round-
             trip scores: diff two probes to prove bit-identical serving
-            (CI diffs --shards 1 against --shards N this way)
+            (CI diffs --shards 1 against --shards N this way);
+            --healthz is a readiness check: one ping, prints the epoch
+            and shard count, nonzero exit on any failure
+  trace     offline analyzer for trace JSONL exports (serve --trace-out
+            files, one document per line)
+            trace summarize --input FILE [--min 1]
+                         validate every trace, then per-stage latency
+                         percentiles, queue delay by batch size, and the
+                         critical-path breakdown; fails if fewer than
+                         --min traces parse
+            trace slowest --input FILE [--n 5]
+                         the N slowest requests as full span trees
+            trace folded --input FILE
+                         flamegraph folded-stack lines (self time)
   stats     graph statistics + compression summary
             --input FILE [--format text|json] [--memory false]
             [--load-full false]
@@ -120,6 +137,7 @@ pub fn run(command: &str, rest: &[String]) -> Result<String, ArgError> {
         "audit" => cmd_audit(rest),
         "generate" => cmd_generate(rest),
         "store" => crate::store_cmd::cmd_store(rest),
+        "trace" => crate::trace_cmd::cmd_trace(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(ArgError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }

@@ -11,3 +11,4 @@ pub mod args;
 pub mod commands;
 pub mod serve_cmd;
 pub mod store_cmd;
+pub mod trace_cmd;

@@ -36,6 +36,8 @@ pub fn cmd_serve(rest: &[String]) -> Result<String, ArgError> {
             "max-conns",
             "slow-query-us",
             "metrics-dump",
+            "trace-sample",
+            "trace-out",
         ],
     )?;
     let g = crate::commands::load_graph(&args)?;
@@ -61,6 +63,12 @@ pub fn cmd_serve(rest: &[String]) -> Result<String, ArgError> {
         },
         max_connections: args.get("max-conns", 256usize)?,
         slow_query_us: args.get("slow-query-us", 0u64)?,
+        trace_sample: args.get("trace-sample", 0u64)?,
+        trace_out: if args.has("trace-out") {
+            Some(std::path::PathBuf::from(args.req("trace-out")?))
+        } else {
+            None
+        },
     };
     let host = args.opt("host", "127.0.0.1").to_string();
     let port = args.get("port", 0u16)?;
@@ -256,6 +264,43 @@ pub fn cmd_bench_serve(rest: &[String]) -> Result<String, ArgError> {
             qps("ssb_pipelined") / qps("json_serial")
         );
     }
+    // When the server samples traces, surface the slowest sampled
+    // requests (by end-to-end time) with their trace ids, so a slow run
+    // can be cross-referenced against `trace` dumps / `--trace-out` files.
+    if let Ok(dump) = admin.trace_dump() {
+        if dump.sample_every > 0 && !dump.traces.is_empty() {
+            let mut traces = dump.traces;
+            traces.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.id.cmp(&b.id)));
+            let show = traces.len().min(5);
+            let _ = writeln!(
+                out,
+                "slowest sampled requests (1-in-{} sampling, {} trace(s) in ring):",
+                dump.sample_every,
+                traces.len()
+            );
+            for t in traces.iter().take(show) {
+                let stage = |name: &str| {
+                    t.spans
+                        .iter()
+                        .find(|s| s.name == name)
+                        .map_or(0.0, |s| s.dur_ns as f64 / 1000.0)
+                };
+                let _ = writeln!(
+                    out,
+                    "  trace={} total={:.1}us decode={:.1}us cache={:.1}us queue={:.1}us \
+                     engine={:.1}us merge={:.1}us encode={:.1}us",
+                    t.id,
+                    t.total_ns as f64 / 1000.0,
+                    stage("decode"),
+                    stage("cache"),
+                    stage("queue"),
+                    stage("engine"),
+                    stage("merge"),
+                    stage("encode"),
+                );
+            }
+        }
+    }
     let _ = writeln!(out, "wrote {out_path}");
     if args.get("shutdown", false)? {
         admin.shutdown().map_err(|e| ArgError(format!("shutdown op failed: {e}")))?;
@@ -276,14 +321,23 @@ pub fn cmd_bench_serve(rest: &[String]) -> Result<String, ArgError> {
 /// Prometheus text exposition — the CI scrape path. `--shutdown true`
 /// asks the server to stop afterwards (which is what lets CI collect a
 /// `serve --metrics-dump` file from a gracefully exiting server).
+///
+/// With `--healthz true` it is a readiness check: one `ping` round-trip,
+/// printing the served epoch and shard count. Any failure (can't connect,
+/// timeout, protocol error) surfaces as the usual nonzero process exit,
+/// so wrappers can gate on it directly.
 pub fn cmd_serve_probe(rest: &[String]) -> Result<String, ArgError> {
     let args = Args::parse(
         rest,
-        &["addr", "announce", "wait-announce", "top-k", "count", "metrics", "shutdown"],
+        &["addr", "announce", "wait-announce", "top-k", "count", "metrics", "shutdown", "healthz"],
     )?;
     let addr = resolve_server_addr(&args)?;
     let mut client =
         Client::connect(addr).map_err(|e| ArgError(format!("connecting to `{addr}`: {e}")))?;
+    if args.get("healthz", false)? {
+        let (epoch, shards) = client.ping().map_err(|e| ArgError(format!("ping failed: {e}")))?;
+        return Ok(format!("ok epoch={epoch} shards={shards}\n"));
+    }
     if args.get("metrics", false)? {
         let reply = client.metrics().map_err(|e| ArgError(format!("metrics op failed: {e}")))?;
         let text = reply.snapshot.render_prometheus();

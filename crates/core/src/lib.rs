@@ -71,6 +71,7 @@ pub use kernel::{
 };
 pub use params::{fnv1a, Fnv1a, SimStarParams};
 pub use query_engine::{
-    EngineStats, EngineStatsSnapshot, QueryEngine, QueryEngineOptions, SeriesKind,
+    EngineStats, EngineStatsSnapshot, EngineStep, EngineTrace, QueryEngine, QueryEngineOptions,
+    SeriesKind,
 };
 pub use sim_matrix::SimilarityMatrix;

@@ -47,6 +47,7 @@ use ssr_graph::{DiGraph, NeighborAccess, NodeId};
 use ssr_linalg::{Csr, Dense};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Which SimRank\* series the engine evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -508,6 +509,40 @@ pub struct EngineStatsSnapshot {
     pub frontier_slots: u64,
 }
 
+/// One frontier advance observed by a traced sweep — the engine's
+/// per-request introspection record, collected only on the explicitly
+/// traced entry points ([`QueryEngine::top_k_batch_traced`]). The
+/// untraced hot path never constructs these (no timing calls, no
+/// allocation), so sampling-off serving cost is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStep {
+    /// Which sweep pass advanced: `0` = forward (θ), `1` = Horner (λ).
+    pub pass: u8,
+    /// The θ (or λ) term the advance computed.
+    pub index: usize,
+    /// Active frontier support after the advance (`n` when dense).
+    pub frontier: usize,
+    /// Whether the advance ended in the dense-fallback representation.
+    pub dense: bool,
+    /// Wall time of the advance in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Per-advance records accumulated by one traced batch call, in
+/// execution order (chunk by chunk, forward pass then Horner pass).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EngineTrace {
+    /// Every frontier advance the batch ran.
+    pub steps: Vec<EngineStep>,
+}
+
+impl EngineTrace {
+    /// Advances that ended dense — the dense-fallback trigger count.
+    pub fn dense_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.dense).count()
+    }
+}
+
 /// Amortized single-source SimRank\* query engine. See the module docs.
 ///
 /// ```
@@ -779,6 +814,17 @@ impl QueryEngine {
     /// instead of once per query — sparse pushes and the blocked dense lane
     /// kernels alike.
     pub fn query_batch(&self, queries: &[NodeId]) -> Dense {
+        self.query_batch_inner(queries, None)
+    }
+
+    /// [`Self::query_batch`] with per-advance introspection appended to
+    /// `trace`. Results are bitwise identical to the untraced call — the
+    /// only difference is timing capture around each frontier advance.
+    pub fn query_batch_traced(&self, queries: &[NodeId], trace: &mut EngineTrace) -> Dense {
+        self.query_batch_inner(queries, Some(trace))
+    }
+
+    fn query_batch_inner(&self, queries: &[NodeId], mut trace: Option<&mut EngineTrace>) -> Dense {
         for &q in queries {
             assert!((q as usize) < self.n, "query node out of range");
         }
@@ -794,7 +840,7 @@ impl QueryEngine {
         order.sort_by_key(|&(i, q)| (self.component[q as usize], q, i));
         let mut s = self.take_block_scratch();
         for chunk in order.chunks(BLOCK) {
-            self.sweep_block(chunk, &mut out, &mut s);
+            self.sweep_block(chunk, &mut out, &mut s, trace.as_deref_mut());
         }
         self.put_block_scratch(s);
         out
@@ -803,6 +849,23 @@ impl QueryEngine {
     /// Batched top-`k`: one partial selection per result row.
     pub fn top_k_batch(&self, queries: &[NodeId], k: usize) -> Vec<Vec<(NodeId, f64)>> {
         let rows = self.query_batch(queries);
+        Self::select_top_k(&rows, queries, k)
+    }
+
+    /// [`Self::top_k_batch`] with per-advance introspection appended to
+    /// `trace`. The ranked lists are bitwise identical to the untraced
+    /// call (selection is a pure function of the batch rows).
+    pub fn top_k_batch_traced(
+        &self,
+        queries: &[NodeId],
+        k: usize,
+        trace: &mut EngineTrace,
+    ) -> Vec<Vec<(NodeId, f64)>> {
+        let rows = self.query_batch_traced(queries, trace);
+        Self::select_top_k(&rows, queries, k)
+    }
+
+    fn select_top_k(rows: &Dense, queries: &[NodeId], k: usize) -> Vec<Vec<(NodeId, f64)>> {
         let mut idx = Vec::new();
         queries
             .iter()
@@ -915,8 +978,14 @@ impl QueryEngine {
     /// (`chunk[lane] = (out_row, query node)`): runs
     /// [`Self::sweep_block_core`] and transposes the folded result into the
     /// (zeroed) rows of `out`.
-    fn sweep_block(&self, chunk: &[(usize, NodeId)], out: &mut Dense, s: &mut BlockScratch) {
-        self.sweep_block_core(chunk.iter().map(|&(_, q)| q), s);
+    fn sweep_block(
+        &self,
+        chunk: &[(usize, NodeId)],
+        out: &mut Dense,
+        s: &mut BlockScratch,
+        trace: Option<&mut EngineTrace>,
+    ) {
+        self.sweep_block_core_traced(chunk.iter().map(|&(_, q)| q), s, trace);
         for (lane, &(out_row, _)) in chunk.iter().enumerate() {
             copy_lane_into(&s.w, lane, out.row_mut(out_row));
         }
@@ -939,6 +1008,16 @@ impl QueryEngine {
         queries: impl ExactSizeIterator<Item = NodeId>,
         s: &mut BlockScratch,
     ) {
+        self.sweep_block_core_traced(queries, s, None)
+    }
+
+    /// [`Self::sweep_block_core`] with optional per-advance tracing.
+    fn sweep_block_core_traced(
+        &self,
+        queries: impl ExactSizeIterator<Item = NodeId>,
+        s: &mut BlockScratch,
+        trace: Option<&mut EngineTrace>,
+    ) {
         let lam: &dyn RightMultiplier = match &self.lambda_lanes {
             LaneKernel::Compressed(k) => k,
             LaneKernel::Plain(cell) => match &self.backing {
@@ -960,7 +1039,7 @@ impl QueryEngine {
         };
         match &self.backing {
             Backing::Memory { qmat, qt } => {
-                self.sweep_block_with(queries, s, &CsrRows(qmat), &CsrRows(qt), lam, th)
+                self.sweep_block_with(queries, s, &CsrRows(qmat), &CsrRows(qt), lam, th, trace)
             }
             Backing::Access { src, inv_in } => self.sweep_block_with(
                 queries,
@@ -969,13 +1048,18 @@ impl QueryEngine {
                 &AccessQtRows { src: &**src, inv_in },
                 lam,
                 th,
+                trace,
             ),
         }
     }
 
     /// [`Self::sweep_block_core`] generic over the backing's row views
     /// (same split as [`Self::sweep_with`]); `lam`/`th` are the blocked
-    /// dense-fallback kernels for the Horner and forward advances.
+    /// dense-fallback kernels for the Horner and forward advances. With
+    /// `trace` set, every advance is individually timed and recorded —
+    /// the timing capture happens strictly between advances, so traced
+    /// results stay bitwise identical to untraced ones.
+    #[allow(clippy::too_many_arguments)]
     fn sweep_block_with(
         &self,
         queries: impl ExactSizeIterator<Item = NodeId>,
@@ -984,6 +1068,7 @@ impl QueryEngine {
         qt_rows: &impl PushRows,
         lam: &dyn RightMultiplier,
         th: &dyn RightMultiplier,
+        mut trace: Option<&mut EngineTrace>,
     ) {
         debug_assert!(queries.len() <= BLOCK);
         let k = self.params.iterations;
@@ -1014,8 +1099,18 @@ impl QueryEngine {
                 break;
             }
             // u ← u·Q lane-wise: push over Q rows, or blocked Qᵀ·u.
+            let started = trace.is_some().then(Instant::now);
             advance_block(q_rows, &mut s.u, &mut s.u_next, eps, cutoff, det, th);
             tally(s.u.dense, s.u.active.len(), self.n);
+            if let (Some(t), Some(at)) = (trace.as_deref_mut(), started) {
+                t.steps.push(EngineStep {
+                    pass: 0,
+                    index: theta,
+                    frontier: if s.u.dense { self.n } else { s.u.active.len() },
+                    dense: s.u.dense,
+                    dur_ns: at.elapsed().as_nanos() as u64,
+                });
+            }
             if s.u.is_zero() {
                 break;
             }
@@ -1024,8 +1119,18 @@ impl QueryEngine {
         for lambda in (0..=k).rev() {
             if !s.w.is_zero() {
                 // r ← r·Qᵀ lane-wise: push over Qᵀ rows, or blocked Q·r.
+                let started = trace.is_some().then(Instant::now);
                 advance_block(qt_rows, &mut s.w, &mut s.w_next, eps, cutoff, det, lam);
                 tally(s.w.dense, s.w.active.len(), self.n);
+                if let (Some(t), Some(at)) = (trace.as_deref_mut(), started) {
+                    t.steps.push(EngineStep {
+                        pass: 1,
+                        index: lambda,
+                        frontier: if s.w.dense { self.n } else { s.w.active.len() },
+                        dense: s.w.dense,
+                        dur_ns: at.elapsed().as_nanos() as u64,
+                    });
+                }
             }
             s.w.axpy_from(&s.vs[lambda], 1.0);
             s.vs[lambda].clear();

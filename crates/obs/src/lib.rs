@@ -36,6 +36,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub mod trace;
+
+pub use trace::{Trace, TraceSpan, NO_PARENT, TRACE_SCHEMA_VERSION};
+
 /// Sub-bucket resolution: each power-of-two group is split into
 /// `2^SUB_BITS = 32` linear sub-buckets, bounding relative error at
 /// `2^-SUB_BITS` (~3%).

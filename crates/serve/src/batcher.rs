@@ -74,6 +74,29 @@ pub struct QueryAnswer {
     /// answer. Cache hits carry only `cache_ns`; flushed answers add
     /// queue wait, engine compute, and merge time.
     pub trace: QueryTrace,
+    /// Pipeline context captured for sampled requests only (`None` on the
+    /// untraced fast path — tracing costs nothing when off).
+    pub detail: Option<Box<TraceDetail>>,
+}
+
+/// What a sampled request saw on its way through the pipeline; attached
+/// to [`QueryAnswer::detail`] and flattened into span attributes by the
+/// runtime's trace assembly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceDetail {
+    /// Result-cache shard the admission probe touched.
+    pub cache_shard: usize,
+    /// Whether that probe hit.
+    pub cache_hit: bool,
+    /// Jobs already waiting in the bounded queue at admission.
+    pub queue_depth: usize,
+    /// Jobs in the flush that executed this query (`0` for cache hits).
+    pub batch_size: usize,
+    /// Duplicate jobs the flush collapsed into shared engine lanes.
+    pub dedup: usize,
+    /// Per-shard engine step traces, shard-ordered and shared by every
+    /// traced job of the flush.
+    pub shards: Arc<Vec<(usize, simrank_star::EngineTrace)>>,
 }
 
 /// Why a submission did not produce an answer.
@@ -126,6 +149,13 @@ struct Job {
     cache_ns: u64,
     /// When the job entered the bounded queue (queue-wait stage start).
     queued_at: Instant,
+    /// The request is trace-sampled: the flush captures engine traces
+    /// and attaches a [`TraceDetail`] to the answer.
+    traced: bool,
+    /// Result-cache shard probed at admission (trace context).
+    cache_shard: usize,
+    /// Queue depth observed at admission (trace context).
+    queue_depth: usize,
 }
 
 struct Slot {
@@ -196,6 +226,8 @@ struct Inner {
     flushed_jobs: AtomicU64,
     max_flush: AtomicU64,
     unique_lanes: AtomicU64,
+    /// Deepest the bounded queue has ever been (occupancy gauge).
+    queue_high_water: AtomicU64,
 }
 
 /// The micro-batcher: bounded queue + flush workers. See the module docs.
@@ -238,6 +270,7 @@ impl Batcher {
             flushed_jobs: AtomicU64::new(0),
             max_flush: AtomicU64::new(0),
             unique_lanes: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
         });
         let workers = (0..opts.workers.max(1))
             .map(|_| {
@@ -254,7 +287,7 @@ impl Batcher {
     /// [`Batcher::submit`] instead.
     pub fn serve(&self, node: NodeId, k: usize) -> Result<QueryAnswer, SubmitError> {
         let slot = Arc::new(Slot { result: Mutex::new(None), done: Condvar::new() });
-        match self.enqueue(node, k, JobReply::Slot(slot.clone()))? {
+        match self.enqueue(node, k, false, JobReply::Slot(slot.clone()))? {
             Some(hit) => Ok(hit),
             None => slot.wait(),
         }
@@ -269,10 +302,11 @@ impl Batcher {
         &self,
         node: NodeId,
         k: usize,
+        traced: bool,
         sink: &Arc<dyn CompletionSink>,
         tag: u64,
     ) -> Result<Option<QueryAnswer>, SubmitError> {
-        self.enqueue(node, k, JobReply::Sink { sink: sink.clone(), tag })
+        self.enqueue(node, k, traced, JobReply::Sink { sink: sink.clone(), tag })
     }
 
     /// Shared admission path: snapshot range check, cache lookup, bounded
@@ -282,6 +316,7 @@ impl Batcher {
         &self,
         node: NodeId,
         k: usize,
+        traced: bool,
         reply: JobReply,
     ) -> Result<Option<QueryAnswer>, SubmitError> {
         let snapshot = self.inner.store.current();
@@ -290,17 +325,23 @@ impl Batcher {
         }
         let key =
             CacheKey { epoch: snapshot.epoch, node, k: k as u32, params_key: snapshot.params_key };
+        let route = snapshot.cache_route(node);
+        let cache_shard = self.inner.cache.shard_index(&key, route);
         let cache_started = Instant::now();
-        let hit = self.inner.cache.get_routed(&key, snapshot.cache_route(node));
+        let hit = self.inner.cache.get_routed(&key, route);
         let cache_ns = cache_started.elapsed().as_nanos() as u64;
         self.inner.metrics.stage_cache.record(cache_ns / 1_000);
         if let Some(matches) = hit {
             self.inner.metrics.inline_cache_hits.inc();
+            let detail = traced.then(|| {
+                Box::new(TraceDetail { cache_shard, cache_hit: true, ..TraceDetail::default() })
+            });
             return Ok(Some(QueryAnswer {
                 epoch: snapshot.epoch,
                 cached: true,
                 matches,
                 trace: QueryTrace { cache_ns, ..QueryTrace::default() },
+                detail,
             }));
         }
         drop(snapshot);
@@ -314,7 +355,18 @@ impl Batcher {
                 self.inner.shed.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::Shed);
             }
-            queue.push_back(Job { node, k, reply, cache_ns, queued_at: Instant::now() });
+            let queue_depth = queue.len();
+            queue.push_back(Job {
+                node,
+                k,
+                reply,
+                cache_ns,
+                queued_at: Instant::now(),
+                traced,
+                cache_shard,
+                queue_depth,
+            });
+            self.inner.queue_high_water.fetch_max(queue.len() as u64, Ordering::Relaxed);
             self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         }
         self.inner.nonempty.notify_all();
@@ -334,6 +386,11 @@ impl Batcher {
     /// Current `(window_us, max_batch)` configuration.
     pub fn config(&self) -> (u64, usize) {
         (self.inner.window_us.load(Ordering::Relaxed), self.inner.max_batch.load(Ordering::Relaxed))
+    }
+
+    /// Deepest the bounded queue has ever been (occupancy high-water).
+    pub fn queue_high_water(&self) -> u64 {
+        self.inner.queue_high_water.load(Ordering::Relaxed)
     }
 
     /// Counter snapshot.
@@ -439,9 +496,10 @@ fn flush(inner: &Inner, batch: Vec<Job>) {
     nodes.sort_unstable();
     nodes.dedup();
     let k_max = runnable.iter().map(|j| j.k).max().unwrap_or(0);
+    let traced = runnable.iter().any(|j| j.traced);
     let mut timing = ScatterTiming::default();
     let scatter_started = Instant::now();
-    let ranked = inner.router.scatter_top_k(&snapshot, &nodes, k_max, &mut timing);
+    let ranked = inner.router.scatter_top_k(&snapshot, &nodes, k_max, traced, &mut timing);
     let scatter_ns = scatter_started.elapsed().as_nanos() as u64;
     // Engine stage = scatter wall time minus the merge: shards compute
     // concurrently, so the wall interval (not the per-shard sum) is what
@@ -458,6 +516,14 @@ fn flush(inner: &Inner, batch: Vec<Job>) {
     inner.flushed_jobs.fetch_add(runnable.len() as u64, Ordering::Relaxed);
     inner.unique_lanes.fetch_add(nodes.len() as u64, Ordering::Relaxed);
     inner.max_flush.fetch_max(runnable.len() as u64, Ordering::Relaxed);
+    // One shard-ordered trace set, shared by every traced job of the
+    // flush (they all rode the same scatter).
+    let shard_traces = traced.then(|| {
+        let mut traces = std::mem::take(&mut timing.per_shard_traces);
+        traces.sort_by_key(|&(shard, _)| shard);
+        Arc::new(traces)
+    });
+    let batch_size_total = runnable.len();
     for job in runnable {
         let lane = nodes.binary_search(&job.node).expect("node came from this batch");
         let full = &ranked[lane];
@@ -477,7 +543,23 @@ fn flush(inner: &Inner, batch: Vec<Job>) {
         inner.metrics.stage_queue.record(queue_ns / 1_000);
         let trace =
             QueryTrace { cache_ns: job.cache_ns, queue_ns, engine_ns, merge_ns: timing.merge_ns };
-        job.reply.fill(Ok(QueryAnswer { epoch: snapshot.epoch, cached: false, matches, trace }));
+        let detail = job.traced.then(|| {
+            Box::new(TraceDetail {
+                cache_shard: job.cache_shard,
+                cache_hit: false,
+                queue_depth: job.queue_depth,
+                batch_size: batch_size_total,
+                dedup: batch_size_total - nodes.len(),
+                shards: shard_traces.clone().unwrap_or_default(),
+            })
+        });
+        job.reply.fill(Ok(QueryAnswer {
+            epoch: snapshot.epoch,
+            cached: false,
+            matches,
+            trace,
+            detail,
+        }));
     }
 }
 
@@ -624,7 +706,7 @@ mod tests {
         let sink = Arc::new(TestSink { got: Mutex::new(Vec::new()), ready: Condvar::new() });
         let dyn_sink: Arc<dyn CompletionSink> = sink.clone();
         // Miss: queued, completed asynchronously with the engine's answer.
-        assert_eq!(b.submit(1, 3, &dyn_sink, 77).unwrap(), None);
+        assert_eq!(b.submit(1, 3, false, &dyn_sink, 77).unwrap(), None);
         let got = sink.wait_for(1);
         let (tag, result) = &got[0];
         assert_eq!(*tag, 77);
@@ -632,14 +714,14 @@ mod tests {
         assert!(!answer.cached);
         assert_eq!(*answer.matches, store.current().engine().top_k(1, 3));
         // Hit: returned inline, nothing more reaches the sink.
-        let hit = b.submit(1, 3, &dyn_sink, 78).unwrap().expect("cache hit");
+        let hit = b.submit(1, 3, false, &dyn_sink, 78).unwrap().expect("cache hit");
         assert!(hit.cached);
         assert_eq!(hit.matches, answer.matches);
         assert_eq!(sink.got.lock().unwrap().len(), 1);
         // Admission errors surface immediately, not via the sink.
-        assert_eq!(b.submit(99, 3, &dyn_sink, 79), Err(SubmitError::BadNode { nodes: 6 }));
+        assert_eq!(b.submit(99, 3, false, &dyn_sink, 79), Err(SubmitError::BadNode { nodes: 6 }));
         // Shutdown fails queued jobs through their sink.
         b.shutdown();
-        assert_eq!(b.submit(2, 3, &dyn_sink, 80), Err(SubmitError::Closed));
+        assert_eq!(b.submit(2, 3, false, &dyn_sink, 80), Err(SubmitError::Closed));
     }
 }

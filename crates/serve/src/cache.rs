@@ -153,11 +153,7 @@ impl ShardedCache {
     /// layer guarantees that because the route is a pure function of the
     /// key's epoch + node (see [`crate::epoch::Snapshot::cache_route`]).
     fn shard(&self, key: &CacheKey, route: Option<usize>) -> &Mutex<Shard> {
-        let idx = match route {
-            Some(r) => r % self.shards.len(),
-            None => (key.stable_hash() % self.shards.len() as u64) as usize,
-        };
-        &self.shards[idx]
+        &self.shards[self.shard_index(key, route)]
     }
 
     /// Looks up `key` with the default hash spread. See
@@ -245,6 +241,38 @@ impl ShardedCache {
     /// Whether lookups currently hit storage.
     pub fn is_enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The shard index `key` maps to under `route` — the same selection
+    /// [`ShardedCache::get_routed`] performs, exposed so traces can tag a
+    /// lookup with the lock it contended on.
+    pub fn shard_index(&self, key: &CacheKey, route: Option<usize>) -> usize {
+        match route {
+            Some(r) => r % self.shards.len(),
+            None => (key.stable_hash() % self.shards.len() as u64) as usize,
+        }
+    }
+
+    /// Per-shard occupancy: `(entries, estimated bytes)` for each shard,
+    /// in shard order. Bytes count the match vectors plus fixed per-entry
+    /// map overhead — an estimate for capacity-planning gauges, not an
+    /// allocator measurement.
+    pub fn per_shard_occupancy(&self) -> Vec<(usize, usize)> {
+        let entry_overhead = std::mem::size_of::<CacheKey>()
+            + std::mem::size_of::<(CachedMatches, u64)>()
+            + std::mem::size_of::<(u64, CacheKey)>();
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache shard poisoned");
+                let bytes: usize = shard
+                    .map
+                    .values()
+                    .map(|(v, _)| entry_overhead + v.len() * std::mem::size_of::<(NodeId, f64)>())
+                    .sum();
+                (shard.map.len(), bytes)
+            })
+            .collect()
     }
 
     /// Counter snapshot.

@@ -12,7 +12,9 @@
 //! hang `bench-serve` until killed.
 
 use crate::codec::{Decoded, WireFormat, SSB_MAGIC};
-use crate::protocol::{CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply};
+use crate::protocol::{
+    CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply, TraceReply,
+};
 use ssr_graph::NodeId;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -238,10 +240,10 @@ impl Client {
         }
     }
 
-    /// Liveness probe; returns the current epoch.
-    pub fn ping(&mut self) -> Result<u64, ClientError> {
+    /// Liveness probe; returns `(epoch, shard count)`.
+    pub fn ping(&mut self) -> Result<(u64, u64), ClientError> {
         match self.call(&Request::Ping)? {
-            Response::Pong { epoch } => Ok(epoch),
+            Response::Pong { epoch, shards } => Ok((epoch, shards)),
             other => Err(unexpected("ping", &other)),
         }
     }
@@ -277,18 +279,29 @@ impl Client {
     }
 
     /// Admin: reconfigure batch window / flush cap / cache /
-    /// slow-query-log threshold at runtime. `slow_query_us: Some(0)`
-    /// disables the slow-query log.
+    /// slow-query-log threshold / trace sampling at runtime.
+    /// `slow_query_us: Some(0)` disables the slow-query log;
+    /// `trace_sample: Some(0)` turns trace sampling off.
     pub fn config(
         &mut self,
         window_us: Option<u64>,
         max_batch: Option<usize>,
         cache: Option<CacheDirective>,
         slow_query_us: Option<u64>,
+        trace_sample: Option<u64>,
     ) -> Result<(), ClientError> {
-        match self.call(&Request::Config { window_us, max_batch, cache, slow_query_us })? {
+        let req = Request::Config { window_us, max_batch, cache, slow_query_us, trace_sample };
+        match self.call(&req)? {
             Response::Config { .. } => Ok(()),
             other => Err(unexpected("config", &other)),
+        }
+    }
+
+    /// Admin: dump the server's in-memory ring of sampled traces.
+    pub fn trace_dump(&mut self) -> Result<TraceReply, ClientError> {
+        match self.call(&Request::Trace)? {
+            Response::Trace(t) => Ok(*t),
+            other => Err(unexpected("trace", &other)),
         }
     }
 

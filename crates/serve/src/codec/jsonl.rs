@@ -11,7 +11,10 @@ use super::{Decoded, Malformed, MAX_JSON_LINE_BYTES};
 use crate::batcher::BatcherStats;
 use crate::cache::CacheStats;
 use crate::json::{parse_json, Json};
-use crate::protocol::{CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply};
+use crate::protocol::{
+    CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply, TraceReply,
+};
+use crate::tracing::{parse_trace, render_trace};
 use ssr_graph::NodeId;
 use ssr_obs::{HistSnap, RegistrySnapshot};
 use std::sync::Arc;
@@ -90,6 +93,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
+        "trace" => Ok(Request::Trace),
         "reload" => {
             let path = doc
                 .get("path")
@@ -127,6 +131,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 slow_query_us: doc
                     .get("slow_query_us")
                     .map(|v| num_field(v, "slow_query_us"))
+                    .transpose()?
+                    .map(|v| v as u64),
+                trace_sample: doc
+                    .get("trace_sample")
+                    .map(|v| num_field(v, "trace_sample"))
                     .transpose()?
                     .map(|v| v as u64),
             })
@@ -189,6 +198,7 @@ pub fn render_request(req: &Request) -> String {
         Request::Ping => obj(vec![], "ping"),
         Request::Stats => obj(vec![], "stats"),
         Request::Metrics => obj(vec![], "metrics"),
+        Request::Trace => obj(vec![], "trace"),
         Request::Shutdown => obj(vec![], "shutdown"),
         Request::Reload { path } => obj(vec![("path".into(), Json::Str(path.clone()))], "reload"),
         Request::EdgeDelta { add, remove } => {
@@ -202,7 +212,7 @@ pub fn render_request(req: &Request) -> String {
             };
             obj(vec![("add".into(), pairs(add)), ("remove".into(), pairs(remove))], "edge-delta")
         }
-        Request::Config { window_us, max_batch, cache, slow_query_us } => {
+        Request::Config { window_us, max_batch, cache, slow_query_us, trace_sample } => {
             let mut fields = Vec::new();
             if let Some(w) = window_us {
                 fields.push(("window_us".into(), num(*w as f64)));
@@ -216,6 +226,9 @@ pub fn render_request(req: &Request) -> String {
             if let Some(t) = slow_query_us {
                 fields.push(("slow_query_us".into(), num(*t as f64)));
             }
+            if let Some(t) = trace_sample {
+                fields.push(("trace_sample".into(), num(*t as f64)));
+            }
             obj(fields, "config")
         }
     }
@@ -225,18 +238,24 @@ pub fn render_request(req: &Request) -> String {
 pub fn render_response(resp: &Response) -> String {
     let num = Json::Num;
     match resp {
-        Response::Query(r) => Json::Obj(vec![
-            ("status".into(), Json::Str("ok".into())),
-            ("epoch".into(), num(r.epoch as f64)),
-            ("node".into(), num(r.node as f64)),
-            ("k".into(), num(r.k as f64)),
-            ("cached".into(), Json::Bool(r.cached)),
-            ("matches".into(), matches_json(&r.matches)),
-        ])
-        .render(),
-        Response::Pong { epoch } => ok_response(vec![
+        Response::Query(r) => {
+            let mut fields = vec![
+                ("status".into(), Json::Str("ok".into())),
+                ("epoch".into(), num(r.epoch as f64)),
+                ("node".into(), num(r.node as f64)),
+                ("k".into(), num(r.k as f64)),
+                ("cached".into(), Json::Bool(r.cached)),
+            ];
+            if let Some(id) = r.trace_id {
+                fields.push(("trace_id".into(), num(id as f64)));
+            }
+            fields.push(("matches".into(), matches_json(&r.matches)));
+            Json::Obj(fields).render()
+        }
+        Response::Pong { epoch, shards } => ok_response(vec![
             ("op".into(), Json::Str("ping".into())),
             ("epoch".into(), num(*epoch as f64)),
+            ("shards".into(), num(*shards as f64)),
         ]),
         Response::Stats(s) => render_stats(s),
         Response::Metrics(m) => render_metrics(m),
@@ -253,15 +272,22 @@ pub fn render_response(resp: &Response) -> String {
             ("added".into(), num(*added as f64)),
             ("removed".into(), num(*removed as f64)),
         ]),
-        Response::Config { window_us, max_batch, cache_enabled, slow_query_us } => {
+        Response::Config { window_us, max_batch, cache_enabled, slow_query_us, trace_sample } => {
             ok_response(vec![
                 ("op".into(), Json::Str("config".into())),
                 ("window_us".into(), num(*window_us as f64)),
                 ("max_batch".into(), num(*max_batch as f64)),
                 ("cache_enabled".into(), Json::Bool(*cache_enabled)),
                 ("slow_query_us".into(), num(*slow_query_us as f64)),
+                ("trace_sample".into(), num(*trace_sample as f64)),
             ])
         }
+        Response::Trace(t) => ok_response(vec![
+            ("op".into(), Json::Str("trace".into())),
+            ("version".into(), num(t.version as f64)),
+            ("sample_every".into(), num(t.sample_every as f64)),
+            ("traces".into(), Json::Arr(t.traces.iter().map(render_trace).collect())),
+        ]),
         Response::ShuttingDown => ok_response(vec![("op".into(), Json::Str("shutdown".into()))]),
         Response::Shed { reason } => Json::Obj(vec![
             ("status".into(), Json::Str("shed".into())),
@@ -426,10 +452,24 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 k: u(doc.get("k")),
                 cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
                 matches: Arc::new(parse_matches(doc.get("matches"))),
+                trace_id: doc.get("trace_id").and_then(Json::as_num).map(|v| v as u64),
             })),
-            Some("ping") => Ok(Response::Pong { epoch: u(doc.get("epoch")) }),
+            Some("ping") => {
+                Ok(Response::Pong { epoch: u(doc.get("epoch")), shards: u(doc.get("shards")) })
+            }
             Some("stats") => Ok(Response::Stats(Box::new(parse_stats(&doc)))),
             Some("metrics") => Ok(Response::Metrics(Box::new(parse_metrics(&doc)))),
+            Some("trace") => Ok(Response::Trace(Box::new(TraceReply {
+                version: u(doc.get("version")),
+                sample_every: u(doc.get("sample_every")),
+                traces: doc
+                    .get("traces")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(parse_trace)
+                    .collect::<Result<Vec<_>, String>>()?,
+            }))),
             Some("reload") => Ok(Response::Reloaded {
                 epoch: u(doc.get("epoch")),
                 nodes: u(doc.get("nodes")),
@@ -446,6 +486,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 max_batch: u(doc.get("max_batch")),
                 cache_enabled: doc.get("cache_enabled").and_then(Json::as_bool).unwrap_or(false),
                 slow_query_us: u(doc.get("slow_query_us")),
+                trace_sample: u(doc.get("trace_sample")),
             }),
             Some("shutdown") => Ok(Response::ShuttingDown),
             Some(other) => Err(format!("unknown response op `{other}`")),
@@ -587,7 +628,8 @@ mod tests {
                 window_us: Some(250),
                 max_batch: Some(32),
                 cache: Some(CacheDirective::Clear),
-                slow_query_us: None
+                slow_query_us: None,
+                trace_sample: None
             }
         );
         assert_eq!(
@@ -596,10 +638,22 @@ mod tests {
                 window_us: None,
                 max_batch: None,
                 cache: None,
-                slow_query_us: Some(1500)
+                slow_query_us: Some(1500),
+                trace_sample: None
             }
         );
         assert_eq!(parse_request(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics);
+        assert_eq!(parse_request(r#"{"op":"trace"}"#).unwrap(), Request::Trace);
+        assert_eq!(
+            parse_request(r#"{"op":"config","trace_sample":8}"#).unwrap(),
+            Request::Config {
+                window_us: None,
+                max_batch: None,
+                cache: None,
+                slow_query_us: None,
+                trace_sample: Some(8)
+            }
+        );
         assert!(parse_request(r#"{"op":"config","cache":"purge"}"#).is_err());
         assert!(parse_request(r#"{"op":"edge-delta","add":[[1]]}"#).is_err());
     }
@@ -613,11 +667,13 @@ mod tests {
             k: 2,
             cached: true,
             matches: Arc::new(matches.to_vec()),
+            trace_id: Some(17),
         }));
         let doc = crate::json::parse_json(&line).unwrap();
         assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(doc.get("epoch").and_then(Json::as_num), Some(7.0));
         assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("trace_id").and_then(Json::as_num), Some(17.0));
         let parsed = doc.get("matches").and_then(Json::as_arr).unwrap();
         for (&(v, s), m) in matches.iter().zip(parsed) {
             let pair = m.as_arr().unwrap();
@@ -682,7 +738,9 @@ mod tests {
                 max_batch: None,
                 cache: Some(CacheDirective::On),
                 slow_query_us: Some(2_000),
+                trace_sample: Some(4),
             },
+            Request::Trace,
             Request::Metrics,
             Request::Shutdown,
         ];
@@ -698,7 +756,7 @@ mod tests {
             }
         }
         let resps = [
-            Response::Pong { epoch: 3 },
+            Response::Pong { epoch: 3, shards: 2 },
             Response::Reloaded { epoch: 1, nodes: 10, edges: 20 },
             Response::DeltaApplied { epoch: 2, nodes: 10, added: 1, removed: 0 },
             Response::Config {
@@ -706,7 +764,21 @@ mod tests {
                 max_batch: 64,
                 cache_enabled: true,
                 slow_query_us: 1_000,
+                trace_sample: 16,
             },
+            Response::Trace(Box::new(TraceReply {
+                version: 1,
+                sample_every: 4,
+                traces: vec![ssr_obs::Trace {
+                    id: 12,
+                    total_ns: 500,
+                    attrs: vec![("codec".into(), "json".into())],
+                    spans: vec![
+                        ssr_obs::TraceSpan::new("request", ssr_obs::NO_PARENT, 0, 500),
+                        ssr_obs::TraceSpan::new("decode", 0, 0, 40).attr("bytes", 21),
+                    ],
+                }],
+            })),
             Response::Metrics(Box::new(MetricsReply {
                 version: 1,
                 snapshot: RegistrySnapshot {

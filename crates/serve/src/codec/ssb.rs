@@ -34,9 +34,11 @@
 use super::{Decoded, Malformed, MAX_FRAME_BYTES};
 use crate::batcher::BatcherStats;
 use crate::cache::CacheStats;
-use crate::protocol::{CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply};
+use crate::protocol::{
+    CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply, TraceReply,
+};
 use ssr_graph::NodeId;
-use ssr_obs::{HistSnap, RegistrySnapshot};
+use ssr_obs::{HistSnap, RegistrySnapshot, Trace, TraceSpan};
 use ssr_store::varint::{read_varint, write_varint};
 use std::sync::Arc;
 
@@ -50,6 +52,7 @@ mod op {
     pub const CONFIG: u8 = 0x06;
     pub const SHUTDOWN: u8 = 0x07;
     pub const METRICS: u8 = 0x08;
+    pub const TRACE: u8 = 0x09;
 }
 
 /// Response kinds.
@@ -64,6 +67,7 @@ mod kind {
     pub const SHED: u8 = 0x07;
     pub const ERROR: u8 = 0x08;
     pub const METRICS: u8 = 0x09;
+    pub const TRACE: u8 = 0x0A;
 }
 
 /// Presence flags of the `config` request body.
@@ -72,6 +76,7 @@ mod cfg {
     pub const MAX_BATCH: u8 = 0x02;
     pub const CACHE: u8 = 0x04;
     pub const SLOW_QUERY: u8 = 0x08;
+    pub const TRACE_SAMPLE: u8 = 0x10;
 }
 
 /// The `ssb/1` codec. Stateless; see the module docs.
@@ -94,6 +99,7 @@ impl super::Codec for SsbCodec {
                 Request::Ping => body.push(op::PING),
                 Request::Stats => body.push(op::STATS),
                 Request::Metrics => body.push(op::METRICS),
+                Request::Trace => body.push(op::TRACE),
                 Request::Reload { path } => {
                     body.push(op::RELOAD);
                     put_str(body, path);
@@ -103,7 +109,7 @@ impl super::Codec for SsbCodec {
                     put_edges(body, add);
                     put_edges(body, remove);
                 }
-                Request::Config { window_us, max_batch, cache, slow_query_us } => {
+                Request::Config { window_us, max_batch, cache, slow_query_us, trace_sample } => {
                     body.push(op::CONFIG);
                     let mut flags = 0u8;
                     if window_us.is_some() {
@@ -117,6 +123,9 @@ impl super::Codec for SsbCodec {
                     }
                     if slow_query_us.is_some() {
                         flags |= cfg::SLOW_QUERY;
+                    }
+                    if trace_sample.is_some() {
+                        flags |= cfg::TRACE_SAMPLE;
                     }
                     body.push(flags);
                     if let Some(w) = window_us {
@@ -133,6 +142,9 @@ impl super::Codec for SsbCodec {
                         });
                     }
                     if let Some(t) = slow_query_us {
+                        write_varint(body, *t);
+                    }
+                    if let Some(t) = trace_sample {
                         write_varint(body, *t);
                     }
                 }
@@ -155,15 +167,21 @@ impl super::Codec for SsbCodec {
                     write_varint(body, u64::from(r.node));
                     write_varint(body, r.k);
                     body.push(u8::from(r.cached));
+                    // Trace id: one presence byte, then the id when sampled.
+                    body.push(u8::from(r.trace_id.is_some()));
+                    if let Some(t) = r.trace_id {
+                        write_varint(body, t);
+                    }
                     write_varint(body, r.matches.len() as u64);
                     for &(node, score) in r.matches.iter() {
                         write_varint(body, u64::from(node));
                         put_f64(body, score);
                     }
                 }
-                Response::Pong { epoch } => {
+                Response::Pong { epoch, shards } => {
                     body.push(kind::PONG);
                     write_varint(body, *epoch);
+                    write_varint(body, *shards);
                 }
                 Response::Stats(s) => {
                     body.push(kind::STATS);
@@ -172,6 +190,10 @@ impl super::Codec for SsbCodec {
                 Response::Metrics(m) => {
                     body.push(kind::METRICS);
                     put_metrics(body, m);
+                }
+                Response::Trace(t) => {
+                    body.push(kind::TRACE);
+                    put_traces(body, t);
                 }
                 Response::Reloaded { epoch, nodes, edges } => {
                     body.push(kind::RELOADED);
@@ -186,12 +208,19 @@ impl super::Codec for SsbCodec {
                     write_varint(body, *added);
                     write_varint(body, *removed);
                 }
-                Response::Config { window_us, max_batch, cache_enabled, slow_query_us } => {
+                Response::Config {
+                    window_us,
+                    max_batch,
+                    cache_enabled,
+                    slow_query_us,
+                    trace_sample,
+                } => {
                     body.push(kind::CONFIG);
                     write_varint(body, *window_us);
                     write_varint(body, *max_batch);
                     body.push(u8::from(*cache_enabled));
                     write_varint(body, *slow_query_us);
+                    write_varint(body, *trace_sample);
                 }
                 Response::ShuttingDown => body.push(kind::SHUTTING_DOWN),
                 Response::Shed { reason } => {
@@ -251,6 +280,35 @@ fn put_metrics(out: &mut Vec<u8>, m: &MetricsReply) {
         put_str(out, &h.name);
         for v in [h.count, h.sum, h.max, h.p50, h.p90, h.p99, h.p999] {
             write_varint(out, v);
+        }
+    }
+}
+
+fn put_attrs(out: &mut Vec<u8>, attrs: &[(String, String)]) {
+    write_varint(out, attrs.len() as u64);
+    for (k, v) in attrs {
+        put_str(out, k);
+        put_str(out, v);
+    }
+}
+
+fn put_traces(out: &mut Vec<u8>, t: &TraceReply) {
+    write_varint(out, t.version);
+    write_varint(out, t.sample_every);
+    write_varint(out, t.traces.len() as u64);
+    for trace in &t.traces {
+        write_varint(out, trace.id);
+        write_varint(out, trace.total_ns);
+        put_attrs(out, &trace.attrs);
+        write_varint(out, trace.spans.len() as u64);
+        for span in &trace.spans {
+            put_str(out, &span.name);
+            // `parent` is ≥ −1 (−1 = root), so shift by one to stay in
+            // unsigned varint territory.
+            write_varint(out, (span.parent + 1) as u64);
+            write_varint(out, span.start_ns);
+            write_varint(out, span.dur_ns);
+            put_attrs(out, &span.attrs);
         }
     }
 }
@@ -350,7 +408,9 @@ fn decode_request_body(r: &mut Reader) -> Result<Request, String> {
         }
         op::CONFIG => {
             let flags = r.byte("config flags")?;
-            if flags & !(cfg::WINDOW | cfg::MAX_BATCH | cfg::CACHE | cfg::SLOW_QUERY) != 0 {
+            let known =
+                cfg::WINDOW | cfg::MAX_BATCH | cfg::CACHE | cfg::SLOW_QUERY | cfg::TRACE_SAMPLE;
+            if flags & !known != 0 {
                 return Err(format!("unknown config flags {flags:#04x}"));
             }
             let window_us =
@@ -372,10 +432,13 @@ fn decode_request_body(r: &mut Reader) -> Result<Request, String> {
             };
             let slow_query_us =
                 if flags & cfg::SLOW_QUERY != 0 { Some(r.varint("slow_query_us")?) } else { None };
-            Ok(Request::Config { window_us, max_batch, cache, slow_query_us })
+            let trace_sample =
+                if flags & cfg::TRACE_SAMPLE != 0 { Some(r.varint("trace_sample")?) } else { None };
+            Ok(Request::Config { window_us, max_batch, cache, slow_query_us, trace_sample })
         }
         op::SHUTDOWN => Ok(Request::Shutdown),
         op::METRICS => Ok(Request::Metrics),
+        op::TRACE => Ok(Request::Trace),
         other => Err(format!("unknown request opcode {other:#04x}")),
     }
 }
@@ -387,6 +450,8 @@ fn decode_response_body(r: &mut Reader) -> Result<Response, String> {
             let node = r.node_id()?;
             let k = r.varint("k")?;
             let cached = r.flag("cached")?;
+            let trace_id =
+                if r.flag("trace_id present")? { Some(r.varint("trace_id")?) } else { None };
             let n = r.varint("match count")? as usize;
             // Cap the pre-allocation by what the body could possibly hold
             // (9 bytes minimum per match) so a lying count cannot balloon
@@ -397,11 +462,19 @@ fn decode_response_body(r: &mut Reader) -> Result<Response, String> {
                 let score = r.f64("score")?;
                 matches.push((node, score));
             }
-            Ok(Response::Query(QueryReply { epoch, node, k, cached, matches: Arc::new(matches) }))
+            Ok(Response::Query(QueryReply {
+                epoch,
+                node,
+                k,
+                cached,
+                matches: Arc::new(matches),
+                trace_id,
+            }))
         }
-        kind::PONG => Ok(Response::Pong { epoch: r.varint("epoch")? }),
+        kind::PONG => Ok(Response::Pong { epoch: r.varint("epoch")?, shards: r.varint("shards")? }),
         kind::STATS => Ok(Response::Stats(Box::new(decode_stats(r)?))),
         kind::METRICS => Ok(Response::Metrics(Box::new(decode_metrics(r)?))),
+        kind::TRACE => Ok(Response::Trace(Box::new(decode_traces(r)?))),
         kind::RELOADED => Ok(Response::Reloaded {
             epoch: r.varint("epoch")?,
             nodes: r.varint("nodes")?,
@@ -418,6 +491,7 @@ fn decode_response_body(r: &mut Reader) -> Result<Response, String> {
             max_batch: r.varint("max_batch")?,
             cache_enabled: r.flag("cache_enabled")?,
             slow_query_us: r.varint("slow_query_us")?,
+            trace_sample: r.varint("trace_sample")?,
         }),
         kind::SHUTTING_DOWN => Ok(Response::ShuttingDown),
         kind::SHED => Ok(Response::Shed { reason: r.string("reason")? }),
@@ -457,6 +531,43 @@ fn decode_metrics(r: &mut Reader) -> Result<MetricsReply, String> {
         });
     }
     Ok(MetricsReply { version, snapshot: RegistrySnapshot { counters, gauges, hists } })
+}
+
+fn decode_attrs(r: &mut Reader, what: &str) -> Result<Vec<(String, String)>, String> {
+    let n = r.varint(what)? as usize;
+    // ≥2 bytes per honest key/value pair bounds the pre-allocation.
+    let mut attrs = Vec::with_capacity(n.min(r.remaining() / 2 + 1));
+    for _ in 0..n {
+        let k = r.string(what)?;
+        let v = r.string(what)?;
+        attrs.push((k, v));
+    }
+    Ok(attrs)
+}
+
+fn decode_traces(r: &mut Reader) -> Result<TraceReply, String> {
+    let version = r.varint("trace version")?;
+    let sample_every = r.varint("sample_every")?;
+    let n = r.varint("trace count")? as usize;
+    let mut traces = Vec::with_capacity(n.min(r.remaining() / 4 + 1));
+    for _ in 0..n {
+        let id = r.varint("trace id")?;
+        let total_ns = r.varint("total_ns")?;
+        let attrs = decode_attrs(r, "trace attrs")?;
+        let m = r.varint("span count")? as usize;
+        let mut spans = Vec::with_capacity(m.min(r.remaining() / 5 + 1));
+        for _ in 0..m {
+            let name = r.string("span name")?;
+            // Shifted by one on the wire so the root's −1 fits a varint.
+            let parent = r.varint("span parent")? as i64 - 1;
+            let start_ns = r.varint("start_ns")?;
+            let dur_ns = r.varint("dur_ns")?;
+            let attrs = decode_attrs(r, "span attrs")?;
+            spans.push(TraceSpan { name, parent, start_ns, dur_ns, attrs });
+        }
+        traces.push(Trace { id, total_ns, attrs, spans });
+    }
+    Ok(TraceReply { version, sample_every, traces })
 }
 
 fn decode_stats(r: &mut Reader) -> Result<StatsReply, String> {
@@ -583,14 +694,22 @@ mod tests {
             Request::Reload { path: "π/graph.ssg".into() },
             Request::EdgeDelta { add: vec![(1, 2), (300, 70_000)], remove: vec![] },
             Request::EdgeDelta { add: vec![], remove: vec![(0, 0)] },
-            Request::Config { window_us: None, max_batch: None, cache: None, slow_query_us: None },
+            Request::Config {
+                window_us: None,
+                max_batch: None,
+                cache: None,
+                slow_query_us: None,
+                trace_sample: None,
+            },
             Request::Config {
                 window_us: Some(800),
                 max_batch: Some(64),
                 cache: Some(CacheDirective::Clear),
                 slow_query_us: Some(2_500),
+                trace_sample: Some(16),
             },
             Request::Metrics,
+            Request::Trace,
             Request::Shutdown,
         ]
     }
@@ -603,8 +722,17 @@ mod tests {
                 k: 10,
                 cached: true,
                 matches: Arc::new(vec![(1, 0.5), (2, f64::MIN_POSITIVE), (3, -0.0)]),
+                trace_id: None,
             }),
-            Response::Pong { epoch: u64::MAX },
+            Response::Query(QueryReply {
+                epoch: 4,
+                node: 8,
+                k: 1,
+                cached: false,
+                matches: Arc::new(vec![(9, 0.125)]),
+                trace_id: Some(42),
+            }),
+            Response::Pong { epoch: u64::MAX, shards: 4 },
             Response::Stats(Box::new(StatsReply {
                 epoch: 1,
                 epoch_swaps: 2,
@@ -650,9 +778,30 @@ mod tests {
                     }],
                 },
             })),
+            Response::Trace(Box::new(TraceReply {
+                version: 1,
+                sample_every: 8,
+                traces: vec![Trace {
+                    id: 24,
+                    total_ns: 9_000,
+                    attrs: vec![("codec".into(), "ssb".into()), ("node".into(), "7".into())],
+                    spans: vec![
+                        TraceSpan::new("request", ssr_obs::NO_PARENT, 0, 9_000),
+                        TraceSpan::new("decode", 0, 0, 300).attr("bytes", 12),
+                        TraceSpan::new("engine", 0, 300, 8_000).attr("batch_size", 2),
+                        TraceSpan::new("shard-0", 2, 300, 7_500).attr("frontier", 40),
+                    ],
+                }],
+            })),
             Response::Reloaded { epoch: 2, nodes: 100, edges: 400 },
             Response::DeltaApplied { epoch: 3, nodes: 100, added: 2, removed: 1 },
-            Response::Config { window_us: 0, max_batch: 1, cache_enabled: false, slow_query_us: 0 },
+            Response::Config {
+                window_us: 0,
+                max_batch: 1,
+                cache_enabled: false,
+                slow_query_us: 0,
+                trace_sample: 32,
+            },
             Response::ShuttingDown,
             Response::Shed { reason: "queue full".into() },
             Response::Error { message: "node 9 out of range".into() },

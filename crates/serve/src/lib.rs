@@ -85,15 +85,19 @@ pub mod protocol;
 pub mod router;
 pub(crate) mod runtime;
 pub mod server;
+pub mod tracing;
 
 pub use batcher::{
-    Batcher, BatcherOptions, BatcherStats, CompletionSink, QueryAnswer, SubmitError,
+    Batcher, BatcherOptions, BatcherStats, CompletionSink, QueryAnswer, SubmitError, TraceDetail,
 };
 pub use cache::{CacheKey, CacheStats, ShardedCache};
 pub use client::{Client, ClientBuilder, ClientError, Reply};
 pub use codec::{Codec, Decoded, Malformed, WireFormat};
 pub use epoch::{EpochStore, ShardSlice, Snapshot};
 pub use metrics::QueryTrace;
-pub use protocol::{CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply};
+pub use protocol::{
+    CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply, TraceReply,
+};
 pub use router::merge_ranked;
 pub use server::{Server, ServerOptions};
+pub use tracing::{parse_trace, parse_trace_line, render_trace, TraceCollector, TRACE_RING_CAP};

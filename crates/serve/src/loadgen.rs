@@ -406,8 +406,8 @@ pub fn run_standard_phases(
         ("cached", window_us, CacheDirective::On, Some(hot_nodes)),
     ];
     for (name, window, cache, nodes) in phases {
-        admin.config(Some(window), None, Some(cache), None)?;
-        admin.config(None, None, Some(CacheDirective::Clear), None)?;
+        admin.config(Some(window), None, Some(cache), None, None)?;
+        admin.config(None, None, Some(CacheDirective::Clear), None, None)?;
         let mut phase_plan = plan.clone().with_protocol(WireFormat::Jsonl, 1);
         if let Some(nodes) = nodes {
             phase_plan.nodes = nodes;
@@ -431,8 +431,8 @@ pub fn run_sharded_phases(
     let mut admin = Client::connect(addr)?;
     let mut results = Vec::new();
     for (base, window) in [("serial", 0), ("batched", window_us)] {
-        admin.config(Some(window), None, Some(CacheDirective::Off), None)?;
-        admin.config(None, None, Some(CacheDirective::Clear), None)?;
+        admin.config(Some(window), None, Some(CacheDirective::Off), None, None)?;
+        admin.config(None, None, Some(CacheDirective::Clear), None, None)?;
         let phase_plan = plan.clone().with_protocol(WireFormat::Jsonl, 1);
         let name = format!("{base}_shards{shards}");
         let mut result = run_phase(addr, &mut admin, &name, &phase_plan, 0)?;
@@ -460,8 +460,8 @@ pub fn run_protocol_phases(
     pipeline: usize,
 ) -> Result<Vec<PhaseResult>, ClientError> {
     let mut admin = Client::connect(addr)?;
-    admin.config(Some(window_us), None, Some(CacheDirective::On), None)?;
-    admin.config(None, None, Some(CacheDirective::Clear), None)?;
+    admin.config(Some(window_us), None, Some(CacheDirective::On), None, None)?;
+    admin.config(None, None, Some(CacheDirective::Clear), None, None)?;
     // One warm-up pass: every timed request in every phase is then a
     // cache hit, so the phases compare wires, not engine runs.
     let mut warm = Client::connect(addr)?;
@@ -497,7 +497,7 @@ pub fn run_connections_phase(
     let mut admin = Client::connect(addr)?;
     // Same wire-bound regime as the protocol phases (cache on, hot pool):
     // the axis under test here is the idle-connection mass.
-    admin.config(Some(window_us), None, Some(CacheDirective::On), None)?;
+    admin.config(Some(window_us), None, Some(CacheDirective::On), None, None)?;
     let mut warm = Client::connect(addr)?;
     for &node in &hot_nodes {
         warm.query(node, plan.top_k)?;

@@ -113,6 +113,20 @@ impl ServeMetrics {
         let shard_engine = (0..shards.max(1))
             .map(|s| registry.histogram("ssr_shard_engine_us", &[("shard", &s.to_string())]))
             .collect();
+        // Info-style metric: the value is always 1, the payload is the
+        // labels — crate version, wire protocols, readable .ssg versions.
+        let store_versions =
+            format!("ssg/{} ssg/{}", ssr_store::FORMAT_VERSION_V1, ssr_store::FORMAT_VERSION);
+        registry
+            .gauge(
+                "ssr_build_info",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("protocols", "json/1 ssb/1"),
+                    ("store_versions", &store_versions),
+                ],
+            )
+            .set(1);
         ServeMetrics {
             requests_json: registry.counter("ssr_requests_total", &[("codec", "json")]),
             requests_ssb: registry.counter("ssr_requests_total", &[("codec", "ssb")]),
@@ -206,7 +220,7 @@ impl ServeMetrics {
             return;
         }
         self.slow_queries.inc();
-        let line = format!(
+        let mut line = format!(
             "slow-query total_us={total_us} node={} k={} epoch={} cached={} codec={} \
              decode_us={} cache_us={} queue_us={} engine_us={} merge_us={} encode_us={}",
             reply.node,
@@ -221,6 +235,10 @@ impl ServeMetrics {
             trace.merge_ns / 1_000,
             encode_ns / 1_000,
         );
+        // Sampled queries cross-reference their span tree by trace id.
+        if let Some(t) = reply.trace_id {
+            line.push_str(&format!(" trace={t}"));
+        }
         eprintln!("{line}");
         let mut lines = self.slow_lines.lock().expect("slow log poisoned");
         if lines.len() >= SLOW_LOG_CAP {
@@ -266,7 +284,14 @@ mod tests {
     use std::sync::Arc;
 
     fn query_reply() -> QueryReply {
-        QueryReply { epoch: 1, node: 3, k: 2, cached: false, matches: Arc::new(vec![(1, 0.5)]) }
+        QueryReply {
+            epoch: 1,
+            node: 3,
+            k: 2,
+            cached: false,
+            matches: Arc::new(vec![(1, 0.5)]),
+            trace_id: Some(6),
+        }
     }
 
     #[test]
@@ -284,6 +309,7 @@ mod tests {
         assert!(lines[0].contains("total_us=12"), "{}", lines[0]);
         assert!(lines[0].contains("codec=ssb"));
         assert!(lines[0].contains("engine_us=5"));
+        assert!(lines[0].contains("trace=6"));
         assert_eq!(m.slow_queries.get(), 1);
         // Below threshold: not logged.
         m.observe_query(WireFormat::Ssb, &query_reply(), 100, trace, 100, 9_000);

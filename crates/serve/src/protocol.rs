@@ -34,6 +34,9 @@ pub enum Request {
     /// Full observability snapshot: every registry counter, gauge, and
     /// per-stage latency histogram (see [`MetricsReply`]).
     Metrics,
+    /// The server's in-process trace ring: the last sampled request
+    /// traces, newest last (see [`TraceReply`]).
+    Trace,
     /// Admin: load a new graph from an edge-list or `.ssg` file and
     /// publish it as a new epoch. In-flight queries finish on the old
     /// snapshot.
@@ -61,6 +64,9 @@ pub enum Request {
         /// log; any query whose end-to-end latency reaches the threshold
         /// is logged with its per-stage breakdown).
         slow_query_us: Option<u64>,
+        /// New trace sampling rate: sample 1-in-N requests (`0` disables
+        /// tracing).
+        trace_sample: Option<u64>,
     },
     /// Admin: stop accepting connections and shut the server down.
     Shutdown,
@@ -113,6 +119,10 @@ pub struct QueryReply {
     /// both codecs (shortest-round-trip decimal in JSON, raw IEEE-754
     /// bits in `ssb/1`).
     pub matches: CachedMatches,
+    /// The request's trace id, present when the request was sampled —
+    /// the key into the trace ring / JSONL export and the `trace=` field
+    /// of slow-query-log lines.
+    pub trace_id: Option<u64>,
 }
 
 /// A typed server response.
@@ -120,15 +130,20 @@ pub struct QueryReply {
 pub enum Response {
     /// Query result.
     Query(QueryReply),
-    /// `ping` acknowledgement with the current epoch.
+    /// `ping` acknowledgement with the current epoch and shard count —
+    /// enough for a readiness probe to confirm the serving topology.
     Pong {
         /// Current epoch.
         epoch: u64,
+        /// Engine shards serving the current snapshot.
+        shards: u64,
     },
     /// `stats` snapshot.
     Stats(Box<StatsReply>),
     /// `metrics` snapshot.
     Metrics(Box<MetricsReply>),
+    /// `trace` ring snapshot.
+    Trace(Box<TraceReply>),
     /// `reload` acknowledgement.
     Reloaded {
         /// Epoch of the newly published snapshot.
@@ -159,6 +174,8 @@ pub enum Response {
         cache_enabled: bool,
         /// Effective slow-query-log threshold, µs (`0` = disabled).
         slow_query_us: u64,
+        /// Effective trace sampling rate (1-in-N; `0` = off).
+        trace_sample: u64,
     },
     /// `shutdown` acknowledgement — the last frame on the connection.
     ShuttingDown,
@@ -231,6 +248,19 @@ pub struct MetricsReply {
     pub snapshot: ssr_obs::RegistrySnapshot,
 }
 
+/// The `trace` payload: the server's in-process trace ring, oldest
+/// first, versioned with the trace schema both exports share
+/// ([`ssr_obs::TRACE_SCHEMA_VERSION`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReply {
+    /// Trace schema version.
+    pub version: u64,
+    /// Current sampling rate (1-in-N; `0` = off).
+    pub sample_every: u64,
+    /// The ring's traces, oldest first.
+    pub traces: Vec<ssr_obs::Trace>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +283,7 @@ mod tests {
                 k: 2,
                 cached,
                 matches: Arc::new(vec![(1, 0.5), (2, 0.25)]),
+                trace_id: None,
             })
         };
         assert_eq!(reply(true), reply(true));

@@ -32,7 +32,7 @@
 //! whole-graph engine directly — byte-identical to the pre-router path.
 
 use crate::epoch::Snapshot;
-use simrank_star::QueryEngine;
+use simrank_star::{EngineTrace, QueryEngine};
 use ssr_graph::NodeId;
 use std::cmp::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
@@ -49,6 +49,8 @@ pub(crate) struct ScatterTiming {
     pub(crate) per_shard: Vec<(usize, u64)>,
     /// Deterministic k-way merge time (zero on the single-shard path).
     pub(crate) merge_ns: u64,
+    /// Per-shard engine step traces, filled only for traced scatters.
+    pub(crate) per_shard_traces: Vec<(usize, EngineTrace)>,
 }
 
 /// Ranking order shared with the engine's partial selection: score
@@ -91,7 +93,9 @@ struct Task {
     queries: Vec<NodeId>,
     k: usize,
     shard: usize,
-    reply: mpsc::Sender<(usize, RankedLists, u64)>,
+    /// Capture per-step engine traces for this sub-batch.
+    traced: bool,
+    reply: mpsc::Sender<(usize, RankedLists, u64, Option<EngineTrace>)>,
 }
 
 /// The partitioned engine-worker pool. One persistent thread per shard
@@ -120,11 +124,18 @@ impl Router {
                 .spawn(move || {
                     while let Ok(task) = rx.recv() {
                         let started = Instant::now();
-                        let ranked = task.engine.top_k_batch(&task.queries, task.k);
+                        let (ranked, trace) = if task.traced {
+                            let mut trace = EngineTrace::default();
+                            let ranked =
+                                task.engine.top_k_batch_traced(&task.queries, task.k, &mut trace);
+                            (ranked, Some(trace))
+                        } else {
+                            (task.engine.top_k_batch(&task.queries, task.k), None)
+                        };
                         let engine_ns = started.elapsed().as_nanos() as u64;
                         // A dropped receiver means the flush worker gave
                         // up (shutdown); nothing to deliver to.
-                        let _ = task.reply.send((task.shard, ranked, engine_ns));
+                        let _ = task.reply.send((task.shard, ranked, engine_ns, trace));
                     }
                 })
                 .expect("spawn shard worker");
@@ -142,12 +153,20 @@ impl Router {
         snapshot: &Snapshot,
         nodes: &[NodeId],
         k: usize,
+        traced: bool,
         timing: &mut ScatterTiming,
     ) -> Vec<Vec<(NodeId, f64)>> {
         let Some(plan) = snapshot.plan.as_deref() else {
             // Single shard: the whole-graph engine, exactly as before.
             let started = Instant::now();
-            let ranked = snapshot.shards[0].engine.top_k_batch(nodes, k);
+            let ranked = if traced {
+                let mut trace = EngineTrace::default();
+                let ranked = snapshot.shards[0].engine.top_k_batch_traced(nodes, k, &mut trace);
+                timing.per_shard_traces.push((0, trace));
+                ranked
+            } else {
+                snapshot.shards[0].engine.top_k_batch(nodes, k)
+            };
             timing.per_shard.push((0, started.elapsed().as_nanos() as u64));
             return ranked;
         };
@@ -177,6 +196,7 @@ impl Router {
                 queries,
                 k,
                 shard,
+                traced,
                 reply: reply_tx.clone(),
             };
             let tx = self.txs[shard]
@@ -194,8 +214,12 @@ impl Router {
         // sub-engine already resolved on local ids.
         let mut per_shard: Vec<Option<RankedLists>> = vec![None; shards];
         for _ in 0..outstanding {
-            let (shard, ranked, engine_ns) = reply_rx.recv().expect("shard worker died mid-flush");
+            let (shard, ranked, engine_ns, trace) =
+                reply_rx.recv().expect("shard worker died mid-flush");
             timing.per_shard.push((shard, engine_ns));
+            if let Some(trace) = trace {
+                timing.per_shard_traces.push((shard, trace));
+            }
             let globals = snapshot.shards[shard].nodes.as_slice();
             per_shard[shard] = Some(
                 ranked

@@ -26,13 +26,15 @@
 //! while a single request frame too large for the read cap is answered
 //! with a typed error and the connection closed.
 
-use crate::batcher::SubmitError;
+use crate::batcher::{SubmitError, TraceDetail};
 use crate::codec::{jsonl, Decoded, WireFormat, SSB_MAGIC};
-use crate::metrics::QueryTrace;
+use crate::metrics::{codec_label, QueryTrace};
 use crate::poller::{self, Event, Interest, Poller, RawId, WakeRx};
-use crate::protocol::{CacheDirective, QueryReply, Request, Response, StatsReply};
+use crate::protocol::{CacheDirective, QueryReply, Request, Response, StatsReply, TraceReply};
 use crate::server::{AdminJob, AdminOp, CompletionPayload, Inner};
+use crate::tracing::assemble_trace;
 use ssr_graph::NodeId;
+use ssr_obs::TRACE_SCHEMA_VERSION;
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -86,6 +88,10 @@ struct Pending {
     decode_ns: u64,
     /// Batcher-side stage timings, filled when a query answer lands.
     trace: QueryTrace,
+    /// The request's trace id when the sampler kept it.
+    trace_id: Option<u64>,
+    /// Pipeline context for sampled queries, filled with the answer.
+    detail: Option<Box<TraceDetail>>,
 }
 
 enum PendingState {
@@ -285,8 +291,15 @@ impl EventLoop {
                             CompletionPayload::Query(result) => {
                                 if let Ok(answer) = result {
                                     p.trace = answer.trace;
+                                    p.detail = answer.detail.clone();
                                 }
-                                query_response(node, k, result, &mut conn.close_after_flush)
+                                query_response(
+                                    node,
+                                    k,
+                                    p.trace_id,
+                                    result,
+                                    &mut conn.close_after_flush,
+                                )
                             }
                             CompletionPayload::Admin(resp) => resp.clone(),
                         }
@@ -461,6 +474,8 @@ impl EventLoop {
                         accepted: decode_started,
                         decode_ns,
                         trace: QueryTrace::default(),
+                        trace_id: None,
+                        detail: None,
                     });
                     if !m.recoverable {
                         framed = false;
@@ -489,6 +504,8 @@ impl EventLoop {
                 accepted: Instant::now(),
                 decode_ns: 0,
                 trace: QueryTrace::default(),
+                trace_id: None,
+                detail: None,
             });
             framed = false;
         }
@@ -511,20 +528,28 @@ impl EventLoop {
         accepted: Instant,
         decode_ns: u64,
     ) {
+        // Every decoded request draws a trace id; only sampled queries
+        // grow a span tree.
+        let (trace_seq, sampled) = self.inner.tracer.issue();
+        let trace_id = sampled.then_some(trace_seq);
         let mut trace = QueryTrace::default();
+        let mut detail = None;
         let state = match request {
             Request::Query { node, k } => {
                 let tag = self.next_tag;
                 self.next_tag += 1;
-                match self.inner.batcher.submit(node, k, &self.inner.completion_sink, tag) {
+                match self.inner.batcher.submit(node, k, sampled, &self.inner.completion_sink, tag)
+                {
                     Ok(Some(answer)) => {
                         trace = answer.trace;
+                        detail = answer.detail;
                         PendingState::Ready(Response::Query(QueryReply {
                             epoch: answer.epoch,
                             node,
                             k: k as u64,
                             cached: answer.cached,
                             matches: answer.matches,
+                            trace_id,
                         }))
                     }
                     Ok(None) => {
@@ -537,17 +562,26 @@ impl EventLoop {
                 }
             }
             Request::Ping => {
-                PendingState::Ready(Response::Pong { epoch: self.inner.store.current().epoch })
+                let snapshot = self.inner.store.current();
+                PendingState::Ready(Response::Pong {
+                    epoch: snapshot.epoch,
+                    shards: snapshot.shards.len() as u64,
+                })
             }
             Request::Stats => PendingState::Ready(Response::Stats(Box::new(self.stats_reply()))),
             Request::Metrics => {
                 PendingState::Ready(Response::Metrics(Box::new(self.inner.metrics_reply())))
             }
+            Request::Trace => PendingState::Ready(Response::Trace(Box::new(TraceReply {
+                version: TRACE_SCHEMA_VERSION,
+                sample_every: self.inner.tracer.every(),
+                traces: self.inner.tracer.snapshot(),
+            }))),
             Request::Reload { path } => self.send_admin(token, AdminOp::Reload { path }),
             Request::EdgeDelta { add, remove } => {
                 self.send_admin(token, AdminOp::EdgeDelta { add, remove })
             }
-            Request::Config { window_us, max_batch, cache, slow_query_us } => {
+            Request::Config { window_us, max_batch, cache, slow_query_us, trace_sample } => {
                 if let Some(w) = window_us {
                     self.inner.batcher.set_window_us(w);
                 }
@@ -556,6 +590,9 @@ impl EventLoop {
                 }
                 if let Some(t) = slow_query_us {
                     self.inner.metrics.set_slow_query_us(t);
+                }
+                if let Some(t) = trace_sample {
+                    self.inner.tracer.set_every(t);
                 }
                 match cache {
                     Some(CacheDirective::On) => self.inner.cache.set_enabled(true),
@@ -569,6 +606,7 @@ impl EventLoop {
                     max_batch: max_batch as u64,
                     cache_enabled: self.inner.cache.is_enabled(),
                     slow_query_us: self.inner.metrics.slow_query_us(),
+                    trace_sample: self.inner.tracer.every(),
                 })
             }
             Request::Shutdown => {
@@ -576,7 +614,7 @@ impl EventLoop {
                 PendingState::Ready(Response::ShuttingDown)
             }
         };
-        conn.pending.push_back(Pending { id, state, accepted, decode_ns, trace });
+        conn.pending.push_back(Pending { id, state, accepted, decode_ns, trace, trace_id, detail });
     }
 
     /// Queues a slow admin op on the executor thread.
@@ -610,6 +648,18 @@ impl EventLoop {
             if let Response::Query(reply) = &resp {
                 let total_ns = p.accepted.elapsed().as_nanos() as u64;
                 m.observe_query(fmt, reply, p.decode_ns, p.trace, encode_ns, total_ns);
+                if let Some(trace_id) = p.trace_id {
+                    self.inner.tracer.record(assemble_trace(
+                        trace_id,
+                        codec_label(fmt),
+                        reply,
+                        p.decode_ns,
+                        &p.trace,
+                        p.detail.as_deref(),
+                        encode_ns,
+                        total_ns,
+                    ));
+                }
             }
         }
     }
@@ -664,6 +714,7 @@ impl EventLoop {
 fn query_response(
     node: NodeId,
     k: usize,
+    trace_id: Option<u64>,
     result: &Result<crate::batcher::QueryAnswer, SubmitError>,
     close_after_flush: &mut bool,
 ) -> Response {
@@ -674,6 +725,7 @@ fn query_response(
             k: k as u64,
             cached: answer.cached,
             matches: answer.matches.clone(),
+            trace_id,
         }),
         Err(err) => query_error(node, err, close_after_flush),
     }

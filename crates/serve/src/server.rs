@@ -22,9 +22,11 @@ use crate::metrics::ServeMetrics;
 use crate::poller::{self, Waker};
 use crate::protocol::{MetricsReply, Response};
 use crate::runtime::EventLoop;
+use crate::tracing::TraceCollector;
 use simrank_star::{QueryEngineOptions, SimStarParams};
 use ssr_graph::{DiGraph, NodeId};
 use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -57,6 +59,11 @@ pub struct ServerOptions {
     /// Initial slow-query-log threshold in microseconds; 0 disables the
     /// log. Retunable at runtime through the admin `config` op.
     pub slow_query_us: u64,
+    /// Trace-sample 1-in-N requests (0 = off). Retunable at runtime
+    /// through the admin `config` op.
+    pub trace_sample: u64,
+    /// Stream every recorded trace as JSONL to this file.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ServerOptions {
@@ -70,6 +77,8 @@ impl Default for ServerOptions {
             batch: BatcherOptions::default(),
             max_connections: 256,
             slow_query_us: 0,
+            trace_sample: 0,
+            trace_out: None,
         }
     }
 }
@@ -133,6 +142,8 @@ pub(crate) struct Inner {
     /// The server-lifetime metric registry every stage records into.
     /// Never reset by epoch swaps — see [`crate::metrics`].
     pub(crate) metrics: Arc<ServeMetrics>,
+    /// The trace sampler + ring + JSONL exporter.
+    pub(crate) tracer: Arc<TraceCollector>,
     pub(crate) completions: Arc<CompletionQueue>,
     /// The completion queue as the batcher's sink type, cloned per submit.
     pub(crate) completion_sink: Arc<dyn CompletionSink>,
@@ -183,9 +194,14 @@ impl Inner {
         ];
         let mut pulled_gauges = vec![
             ("ssr_batch_max_flush".to_string(), batcher.max_flush),
+            ("ssr_batch_queue_depth_high_water".to_string(), self.batcher.queue_high_water()),
             ("ssr_cache_entries".to_string(), cache.entries as u64),
             ("ssr_epoch".to_string(), snapshot.epoch),
         ];
+        for (shard, (entries, bytes)) in self.cache.per_shard_occupancy().into_iter().enumerate() {
+            pulled_gauges.push((format!("ssr_cache_entries{{shard=\"{shard}\"}}"), entries as u64));
+            pulled_gauges.push((format!("ssr_cache_bytes{{shard=\"{shard}\"}}"), bytes as u64));
+        }
         for (shard, slice) in snapshot.shards.iter().enumerate() {
             let stats = slice.engine.stats();
             for (name, value) in [
@@ -196,6 +212,7 @@ impl Inner {
                 ("lane_slots", stats.lane_slots),
                 ("frontier_active", stats.frontier_active),
                 ("frontier_slots", stats.frontier_slots),
+                ("resident_bytes", slice.engine.resident_bytes() as u64),
             ] {
                 pulled_gauges.push((format!("ssr_engine_{name}{{shard=\"{shard}\"}}"), value));
             }
@@ -228,6 +245,7 @@ impl Server {
         let cache = Arc::new(ShardedCache::new(opts.cache_capacity, opts.cache_shards));
         let metrics = Arc::new(ServeMetrics::new(store.shard_count()));
         metrics.set_slow_query_us(opts.slow_query_us);
+        let tracer = Arc::new(TraceCollector::new(opts.trace_sample, opts.trace_out.as_deref())?);
         let batcher = Batcher::start_instrumented(
             store.clone(),
             cache.clone(),
@@ -247,6 +265,7 @@ impl Server {
             cache,
             batcher,
             metrics,
+            tracer,
             completions: completions.clone(),
             completion_sink,
             running: AtomicBool::new(true),

@@ -5,11 +5,12 @@
 //! never a panic and never an over-consume.
 
 use proptest::prelude::*;
-use ssr_obs::{HistSnap, RegistrySnapshot};
+use ssr_obs::{HistSnap, RegistrySnapshot, Trace, TraceSpan, NO_PARENT, TRACE_SCHEMA_VERSION};
 use ssr_serve::codec::{Decoded, WireFormat, MAX_FRAME_BYTES};
 use ssr_serve::protocol::{
-    CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply,
+    CacheDirective, MetricsReply, QueryReply, Request, Response, StatsReply, TraceReply,
 };
+use ssr_serve::{parse_trace_line, render_trace};
 use std::sync::Arc;
 
 /// JSON carries counters as f64, so round-trip equality holds for
@@ -37,13 +38,18 @@ fn arb_score() -> impl Strategy<Value = f64> {
 fn arb_request() -> impl Strategy<Value = Request> {
     let pairs = || proptest::collection::vec((0u32..5000, 0u32..5000), 0..8);
     (
-        0usize..8,
+        0usize..9,
         (0u32..1_000_000, 0u64..MAX_SAFE, arb_string()),
         (pairs(), pairs()),
-        ((0usize..2, 0u64..MAX_SAFE, 0usize..2, 0u64..MAX_SAFE), (0usize..4, 0usize..2)),
+        ((0usize..2, 0u64..MAX_SAFE, 0usize..2, 0u64..MAX_SAFE), (0usize..4, 0usize..2, 0usize..2)),
     )
         .prop_map(
-            |(variant, (node, k, path), (add, remove), ((wopt, w, bopt, b), (copt, sopt)))| {
+            |(
+                variant,
+                (node, k, path),
+                (add, remove),
+                ((wopt, w, bopt, b), (copt, sopt, topt)),
+            )| {
                 match variant {
                     0 => Request::Query { node, k: k as usize },
                     1 => Request::Ping,
@@ -60,8 +66,10 @@ fn arb_request() -> impl Strategy<Value = Request> {
                             _ => Some(CacheDirective::Clear),
                         },
                         slow_query_us: (sopt > 0).then_some(w),
+                        trace_sample: (topt > 0).then_some(b),
                     },
                     6 => Request::Metrics,
+                    7 => Request::Trace,
                     _ => Request::Shutdown,
                 }
             },
@@ -154,14 +162,15 @@ fn arb_metrics() -> impl Strategy<Value = MetricsReply> {
 fn arb_response() -> impl Strategy<Value = Response> {
     let matches = proptest::collection::vec((0u32..10_000, arb_score()), 0..12);
     (
-        0usize..10,
-        (0u64..MAX_SAFE, 0u32..1_000_000, 0u64..MAX_SAFE, 0usize..2, matches),
+        0usize..11,
+        (0u64..MAX_SAFE, 0u32..1_000_000, 0u64..MAX_SAFE, 0usize..3, matches),
         (0u64..MAX_SAFE, 0u64..MAX_SAFE, 0u64..MAX_SAFE),
         (arb_stats(), arb_string()),
         arb_metrics(),
+        arb_trace(),
     )
         .prop_map(
-            |(variant, (epoch, node, k, cached, m), (x, y, z), (stats, text), metrics)| {
+            |(variant, (epoch, node, k, cached, m), (x, y, z), (stats, text), metrics, trace)| {
                 match variant {
                     0 => Response::Query(QueryReply {
                         epoch,
@@ -169,8 +178,9 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         k,
                         cached: cached > 0,
                         matches: Arc::new(m),
+                        trace_id: (cached > 1).then_some(x),
                     }),
-                    1 => Response::Pong { epoch },
+                    1 => Response::Pong { epoch, shards: y },
                     2 => Response::Stats(Box::new(stats)),
                     3 => Response::Reloaded { epoch, nodes: x, edges: y },
                     4 => Response::DeltaApplied { epoch, nodes: x, added: y, removed: z },
@@ -179,14 +189,53 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         max_batch: y,
                         cache_enabled: cached > 0,
                         slow_query_us: z,
+                        trace_sample: epoch,
                     },
                     6 => Response::ShuttingDown,
                     7 => Response::Shed { reason: text },
                     8 => Response::Metrics(Box::new(metrics)),
+                    9 => Response::Trace(Box::new(TraceReply {
+                        version: TRACE_SCHEMA_VERSION,
+                        sample_every: x,
+                        traces: vec![trace],
+                    })),
                     _ => Response::Error { message: text },
                 }
             },
         )
+}
+
+/// Valid-by-construction span trees: a root covering `[0, total]`,
+/// disjoint sequential stage children, and a nested grandchild inside
+/// every stage wide enough to hold one — so each draw also witnesses the
+/// nesting invariants ([`Trace::validate`]) the analyzer relies on.
+/// Attribute keys/values reuse [`arb_string`], which exercises every
+/// JSON escape path on the JSONL wire.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        0u64..MAX_SAFE,
+        proptest::collection::vec(0u64..100_000, 1..6),
+        proptest::collection::vec((arb_string(), arb_string()), 0..3),
+        0u64..1_000,
+    )
+        .prop_map(|(id, durs, attrs, slack)| {
+            let total: u64 = durs.iter().sum::<u64>() + slack;
+            let mut spans = vec![TraceSpan::new("request", NO_PARENT, 0, total)];
+            let mut cur = 0u64;
+            for (i, &d) in durs.iter().enumerate() {
+                let mut stage = TraceSpan::new(&format!("stage-{i}"), 0, cur, d);
+                for (key, value) in &attrs {
+                    stage = stage.attr(key, value);
+                }
+                let parent = spans.len() as i64;
+                spans.push(stage);
+                if d > 1 {
+                    spans.push(TraceSpan::new(&format!("sub-{i}"), parent, cur, d / 2));
+                }
+                cur += d;
+            }
+            Trace { id, total_ns: total, attrs, spans }
+        })
 }
 
 /// Drives a full single-frame decode and asserts clean framing.
@@ -270,6 +319,35 @@ proptest! {
         }
         prop_assert_eq!(&jval, &resp, "JSON changed the response");
         prop_assert_eq!(&bval, &resp, "ssb/1 changed the response");
+    }
+
+    /// The trace schema: every generated span tree satisfies the nesting
+    /// invariants, round-trips bit-exactly through one JSONL line (the
+    /// `--trace-out` export format), and a full `trace` reply carrying
+    /// the same trees is identical through both codecs.
+    #[test]
+    fn traces_round_trip_through_jsonl_and_both_codecs(
+        traces in proptest::collection::vec(arb_trace(), 0..4),
+        every in 0u64..MAX_SAFE,
+        id in 0u64..u64::MAX,
+    ) {
+        for t in &traces {
+            t.validate().unwrap();
+            let line = render_trace(t).render();
+            prop_assert!(!line.contains('\n'), "JSONL line must be one line");
+            let back = parse_trace_line(&line).unwrap();
+            prop_assert_eq!(&back, t, "JSONL changed the trace");
+            back.validate().unwrap();
+        }
+        let resp = Response::Trace(Box::new(TraceReply {
+            version: TRACE_SCHEMA_VERSION,
+            sample_every: every,
+            traces,
+        }));
+        let (_, jval) = roundtrip_response(WireFormat::Jsonl, id, &resp).unwrap();
+        let (_, bval) = roundtrip_response(WireFormat::Ssb, id, &resp).unwrap();
+        prop_assert_eq!(&jval, &resp, "JSON changed the trace reply");
+        prop_assert_eq!(&bval, &resp, "ssb/1 changed the trace reply");
     }
 
     /// Pipelining: N frames concatenated into one buffer decode back in

@@ -44,7 +44,7 @@ fn query_round_trip_matches_engine_bits_and_caches() {
     for format in [WireFormat::Jsonl, WireFormat::Ssb] {
         let mut client = Client::builder().protocol(format).connect(server.addr()).unwrap();
         let mut admin = Client::connect(server.addr()).unwrap();
-        admin.config(None, None, Some(CacheDirective::Clear), None).unwrap();
+        admin.config(None, None, Some(CacheDirective::Clear), None, None).unwrap();
         for node in 0..8 {
             let expect = engine.top_k(node, 5);
             let Reply::Ok(first) = client.query(node, 5).unwrap() else {
@@ -91,8 +91,9 @@ fn config_op_retunes_batcher_and_cache() {
         max_batch: Some(7),
         cache: Some(CacheDirective::Off),
         slow_query_us: Some(9_000),
+        trace_sample: None,
     };
-    let Response::Config { window_us, max_batch, cache_enabled, slow_query_us } =
+    let Response::Config { window_us, max_batch, cache_enabled, slow_query_us, .. } =
         client.call(&req).unwrap()
     else {
         panic!("config echo expected")
@@ -107,6 +108,7 @@ fn config_op_retunes_batcher_and_cache() {
         max_batch: None,
         cache: Some(CacheDirective::On),
         slow_query_us: None,
+        trace_sample: None,
     };
     let Response::Config { cache_enabled, slow_query_us, .. } = client.call(&req).unwrap() else {
         panic!()
@@ -213,7 +215,7 @@ fn idle_connections_are_cheap_and_stay_live() {
     assert_eq!(stats.worker_threads, 3);
     // Every held socket still answers — first, last, and a few between.
     for i in [0usize, 67, 133, 199] {
-        assert_eq!(idle[i].ping().unwrap(), 0, "idle connection {i}");
+        assert_eq!(idle[i].ping().unwrap().0, 0, "idle connection {i}");
     }
     drop(idle);
     server.shutdown();
@@ -762,7 +764,7 @@ fn stage_span_sums_bound_end_to_end_latency() {
     let server = start(ServerOptions { cache_capacity: 0, ..Default::default() });
     let addr = server.addr();
     let mut admin = Client::connect(addr).unwrap();
-    admin.config(None, None, None, Some(1)).unwrap();
+    admin.config(None, None, None, Some(1), None).unwrap();
     for format in [WireFormat::Jsonl, WireFormat::Ssb] {
         let mut client = Client::builder().protocol(format).connect(addr).unwrap();
         for node in 0..8u32 {
@@ -859,9 +861,164 @@ fn reload_from_binary_store_is_bit_identical_to_text() {
     bytes[last] ^= 0x40;
     std::fs::write(&bad_path, &bytes).unwrap();
     assert!(admin.reload(&bad_path.to_string_lossy()).is_err());
-    assert_eq!(admin.ping().unwrap(), 2);
+    assert_eq!(admin.ping().unwrap().0, 2);
     server.shutdown();
     for p in [&text_path, &ssg_path, &bad_path] {
         std::fs::remove_file(p).ok();
     }
+}
+
+/// Tracing tentpole acceptance: a server sampling every request
+/// (`trace_sample: 1`) across two engine shards answers bit-identically
+/// to an untraced single-engine server, every sampled reply carries its
+/// trace id, and every recorded trace satisfies the analyzer's
+/// invariants with per-shard engine spans.
+#[test]
+fn traced_sharded_answers_match_untraced_unsharded_bits() {
+    // Two weakly-connected components so both shards compute.
+    let graph = || {
+        DiGraph::from_edges(8, &[(1, 0), (2, 0), (3, 1), (4, 3), (6, 5), (7, 6), (5, 7)]).unwrap()
+    };
+    let plain = Server::start(graph(), "127.0.0.1", 0, ServerOptions::default()).unwrap();
+    let traced = Server::start(
+        graph(),
+        "127.0.0.1",
+        0,
+        ServerOptions { shards: 2, trace_sample: 1, ..Default::default() },
+    )
+    .unwrap();
+    for format in [WireFormat::Jsonl, WireFormat::Ssb] {
+        let mut a = Client::builder().protocol(format).connect(plain.addr()).unwrap();
+        let mut b = Client::builder().protocol(format).connect(traced.addr()).unwrap();
+        for node in 0..8u32 {
+            let Reply::Ok(x) = a.query(node, 5).unwrap() else { panic!("plain {node}") };
+            let Reply::Ok(y) = b.query(node, 5).unwrap() else { panic!("traced {node}") };
+            assert_eq!(
+                x.matches, y.matches,
+                "{format:?} node {node}: tracing + sharding must not move answer bits"
+            );
+            assert_eq!(x.trace_id, None, "untraced server must not stamp trace ids");
+            assert!(y.trace_id.is_some(), "{format:?} node {node}: sampled reply carries its id");
+        }
+    }
+    let mut admin = Client::connect(traced.addr()).unwrap();
+    let dump = admin.trace_dump().unwrap();
+    assert_eq!(dump.version, ssr_obs::TRACE_SCHEMA_VERSION);
+    assert_eq!(dump.sample_every, 1);
+    assert!(dump.traces.len() >= 16, "16 sampled queries, got {} traces", dump.traces.len());
+    let mut shard_spans = 0usize;
+    for t in &dump.traces {
+        t.validate().unwrap_or_else(|e| panic!("trace {}: {e}", t.id));
+        let has = |name: &str| t.spans.iter().any(|s| s.name == name);
+        for required in ["request", "decode", "cache", "encode"] {
+            assert!(has(required), "trace {} missing `{required}`", t.id);
+        }
+        if t.attr("cached") == Some("false") {
+            for required in ["queue", "engine", "merge"] {
+                assert!(has(required), "uncached trace {} missing `{required}`", t.id);
+            }
+        }
+        shard_spans += t.spans.iter().filter(|s| s.name.starts_with("shard-")).count();
+    }
+    assert!(shard_spans > 0, "per-shard engine spans must appear in the span trees");
+    plain.shutdown();
+    traced.shutdown();
+}
+
+/// The `trace` op means the same thing on both wires, and the sampling
+/// rate is retunable at runtime through the admin `config` op — on, one
+/// query, dump, and back off.
+#[test]
+fn trace_op_is_codec_equivalent_and_sampling_retunes_at_runtime() {
+    let server = start(ServerOptions::default());
+    let addr = server.addr();
+    let mut json = Client::builder().protocol(WireFormat::Jsonl).connect(addr).unwrap();
+    let mut ssb = Client::builder().protocol(WireFormat::Ssb).connect(addr).unwrap();
+
+    // Sampling is off by default: no ids on replies, an empty ring.
+    let Reply::Ok(r) = json.query(0, 3).unwrap() else { panic!() };
+    assert_eq!(r.trace_id, None);
+    let dump = json.trace_dump().unwrap();
+    assert_eq!((dump.sample_every, dump.traces.len()), (0, 0));
+
+    // Retune to 1-in-1; the config echo reports the live rate.
+    let req = Request::Config {
+        window_us: None,
+        max_batch: None,
+        cache: None,
+        slow_query_us: None,
+        trace_sample: Some(1),
+    };
+    let Response::Config { trace_sample, .. } = json.call(&req).unwrap() else {
+        panic!("config echo expected")
+    };
+    assert_eq!(trace_sample, 1);
+    let Reply::Ok(r) = ssb.query(1, 3).unwrap() else { panic!() };
+    assert!(r.trace_id.is_some(), "sampling on: replies carry ids");
+
+    // Quiesced between the two fetches, so the dumps must be identical
+    // — the codec-equivalence contract extended to the trace op.
+    let a = json.trace_dump().unwrap();
+    let b = ssb.trace_dump().unwrap();
+    assert_eq!(a.version, b.version);
+    assert_eq!(a.sample_every, 1);
+    assert!(!a.traces.is_empty());
+    assert_eq!(a.traces, b.traces, "trace op must be semantically identical across codecs");
+    for t in &a.traces {
+        t.validate().unwrap();
+    }
+
+    // And off again: new replies are unstamped (the ring keeps history).
+    json.config(None, None, None, None, Some(0)).unwrap();
+    let Reply::Ok(r) = json.query(2, 3).unwrap() else { panic!() };
+    assert_eq!(r.trace_id, None);
+    server.shutdown();
+}
+
+/// The readiness probe's contract: `ping` answers with the live epoch
+/// and shard count on both codecs (what `serve-probe --healthz` prints).
+#[test]
+fn ping_reports_epoch_and_shard_count() {
+    let graph =
+        DiGraph::from_edges(8, &[(1, 0), (2, 0), (3, 1), (4, 3), (6, 5), (7, 6), (5, 7)]).unwrap();
+    let server =
+        Server::start(graph, "127.0.0.1", 0, ServerOptions { shards: 2, ..Default::default() })
+            .unwrap();
+    for format in [WireFormat::Jsonl, WireFormat::Ssb] {
+        let mut client = Client::builder().protocol(format).connect(server.addr()).unwrap();
+        assert_eq!(client.ping().unwrap(), (0, 2), "{format:?}");
+    }
+    server.shutdown();
+}
+
+/// `--trace-out` streams one parseable JSONL document per sampled
+/// request, and 1-in-N sampling is deterministic in the request
+/// sequence: with `trace_sample: 2`, exactly the even-numbered request
+/// ids land in the file.
+#[test]
+fn trace_out_streams_deterministically_sampled_jsonl() {
+    let dir = std::env::temp_dir().join("ssr_serve_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("trace_out_{}.jsonl", std::process::id()));
+    let server = start(ServerOptions {
+        trace_sample: 2,
+        trace_out: Some(path.clone()),
+        ..Default::default()
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    for node in 0..8u32 {
+        assert!(matches!(client.query(node, 3).unwrap(), Reply::Ok(_)));
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    let traces: Vec<_> = text
+        .lines()
+        .map(|l| ssr_serve::parse_trace_line(l).unwrap_or_else(|e| panic!("{e}: {l}")))
+        .collect();
+    assert_eq!(traces.len(), 4, "1-in-2 sampling of 8 requests");
+    for t in &traces {
+        t.validate().unwrap();
+        assert_eq!(t.id % 2, 0, "sampling must be a pure function of the request id");
+    }
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
 }
